@@ -1,0 +1,42 @@
+"""Embedding ablation (the paper's "practical improvements", Section 2).
+
+The modified (regular) embedding replaces the independent uniform node
+placement of the theoretical analysis; "the major advantage ... is that it
+decreases the expected distances between the processors simulating
+neighbored access tree nodes", at the price of dependencies the theory
+does not cover ("we have not recognized any bad effects").
+"""
+
+from conftest import emit, once
+
+from repro.analysis import ablation_embedding, format_table
+
+
+def test_ablation_embedding_matmul(benchmark):
+    rows = once(benchmark, lambda: ablation_embedding(app="matmul", side=8, size=1024))
+    emit(
+        "ablation_embedding_matmul",
+        format_table(
+            rows,
+            ["embedding", "congestion_bytes", "total_bytes", "time"],
+            title="Embedding ablation, matmul 8x8 block 1024 (4-ary tree)",
+        ),
+    )
+    d = {r["embedding"]: r for r in rows}
+    # Shorter tree edges => less total traffic and time.
+    assert d["modified"]["total_bytes"] < d["random"]["total_bytes"]
+    assert d["modified"]["time"] < d["random"]["time"]
+
+
+def test_ablation_embedding_bitonic(benchmark):
+    rows = once(benchmark, lambda: ablation_embedding(app="bitonic", side=8, size=1024))
+    emit(
+        "ablation_embedding_bitonic",
+        format_table(
+            rows,
+            ["embedding", "congestion_bytes", "total_bytes", "time"],
+            title="Embedding ablation, bitonic 8x8, 1024 keys/proc (4-ary tree)",
+        ),
+    )
+    d = {r["embedding"]: r for r in rows}
+    assert d["modified"]["total_bytes"] < d["random"]["total_bytes"]

@@ -1,0 +1,47 @@
+"""Runtime-service ablations: barrier implementation and bounded memory.
+
+* Barrier: DIVA's combining-tree barrier vs a central coordinator -- the
+  tree variant distributes synchronization traffic (the paper's barriers
+  are "implementations of elegant algorithms that use access trees").
+* Bounded memory: the paper's Figure 8 shows a congestion kink for the
+  2-ary tree at 60,000 bodies caused by LRU copy replacement; shrinking
+  per-processor capacity reproduces the effect at small scale.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import ablation_barrier, bounded_memory_experiment, format_table
+
+
+def test_ablation_barrier(benchmark):
+    rows = once(benchmark, lambda: ablation_barrier(side=8, keys=1024))
+    emit(
+        "ablation_barrier",
+        format_table(
+            rows,
+            ["barrier", "congestion_bytes", "time", "max_startups"],
+            title="Barrier ablation, bitonic 8x8 (2-4-ary tree)",
+        ),
+    )
+    d = {r["barrier"]: r for r in rows}
+    # The central coordinator concentrates startups on one processor.
+    assert d["tree"]["max_startups"] <= d["central"]["max_startups"]
+
+
+def test_bounded_memory_replacement(benchmark):
+    rows = once(benchmark, lambda: bounded_memory_experiment(side=4, bodies=256))
+    emit(
+        "bounded_memory",
+        format_table(
+            rows,
+            ["capacity_copies", "congestion_msgs", "evictions", "time"],
+            title="LRU replacement under bounded memory (2-ary Barnes-Hut, 4x4)",
+        ),
+    )
+    unbounded = rows[0]
+    tightest = rows[-1]
+    assert unbounded["evictions"] == 0
+    assert tightest["evictions"] > 0
+    # Replacement raises congestion and time (the Figure 8 kink).
+    assert tightest["congestion_msgs"] > unbounded["congestion_msgs"]
+    assert tightest["time"] > unbounded["time"]

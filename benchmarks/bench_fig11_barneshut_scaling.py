@@ -1,0 +1,52 @@
+"""Figure 11: Barnes-Hut scaling, N = bodies_per_proc * P.
+
+Paper (8x8 .. 16x32, N = 200 P, fixed home vs the 4-8-ary access tree):
+the access tree's congestion and execution-time advantage grows with the
+number of processors -- time ratio about 49% and communication-time ratio
+about 33% at 512 processors.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import PAPER, fig11_barneshut_scaling, format_table, scale_params
+
+
+def test_fig11_barneshut_scaling(benchmark):
+    p = scale_params("fig11")
+    rows = once(
+        benchmark,
+        lambda: fig11_barneshut_scaling(
+            meshes=p["meshes"],
+            bodies_per_proc=p["bodies_per_proc"],
+            steps=p["steps"],
+            warm=p["warm"],
+        ),
+    )
+    for row in rows:
+        row.pop("result", None)
+
+    emit(
+        "fig11",
+        format_table(
+            rows,
+            ["strategy", "mesh", "procs", "bodies", "congestion_msgs", "time", "comm_time"],
+            title=f"Figure 11: Barnes-Hut scaling, N = {p['bodies_per_proc']}*P "
+            f"({PAPER['fig11']['note']})",
+        ),
+    )
+
+    meshes = [f"{r}x{c}" for r, c in p["meshes"]]
+    time_ratio = []
+    comm_ratio = []
+    for label in meshes:
+        fh = next(r for r in rows if r["strategy"] == "fixed-home" and r["mesh"] == label)
+        at = next(r for r in rows if r["strategy"] == "4-8-ary" and r["mesh"] == label)
+        time_ratio.append(at["time"] / fh["time"])
+        comm_ratio.append(at["comm_time"] / fh["comm_time"])
+        assert at["congestion_msgs"] < fh["congestion_msgs"]
+    # Access tree wins at the largest configuration, and communication time
+    # improves at least as much as total time (compute is shared).
+    assert time_ratio[-1] < 1.0
+    assert comm_ratio[-1] <= time_ratio[-1] + 0.05
+    # Advantage does not shrink with growing P.
+    assert time_ratio[-1] <= time_ratio[0] + 0.05

@@ -1,0 +1,33 @@
+"""Figure 2 (analytic): the data flow for distributing one block.
+
+The paper derives, for the read accesses directed to a single block (read
+by its whole row and column), an expected total communication load of
+Theta(m*P) for the fixed home strategy vs Theta(m*sqrtP*logP) for the
+access tree -- hence congestion Theta(m*P / sqrtP) vs Theta(m*sqrtP*logP /
+sqrtP).  This microbenchmark reproduces that single-variable flow.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import fig2_single_block_flow, format_table, scale_params
+
+
+def test_fig2_single_block_flow(benchmark):
+    p = scale_params("fig2")
+    rows = once(
+        benchmark, lambda: fig2_single_block_flow(side=p["side"], block_entries=p["block_entries"])
+    )
+
+    emit(
+        "fig2",
+        format_table(
+            rows,
+            ["strategy", "mesh", "total_bytes", "congestion_bytes", "time"],
+            title="Figure 2: one block distributed to its row+column",
+        ),
+    )
+
+    fh = next(r for r in rows if r["strategy"] == "fixed-home")
+    at = next(r for r in rows if r["strategy"] == "4-ary")
+    assert at["total_bytes"] < fh["total_bytes"]
+    assert at["congestion_bytes"] < fh["congestion_bytes"]

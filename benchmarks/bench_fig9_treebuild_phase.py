@@ -1,0 +1,33 @@
+"""Figure 9: the tree-building phase of the Figure 8 runs.
+
+Paper: the root cell is the bottleneck -- with the fixed home strategy one
+processor (the root's home) delivers a copy of the root to every processor
+one by one, giving the fixed home a large congestion offset; access trees
+distribute the root through their multicast trees.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import PAPER, fig9_fig10_phase_views, format_table
+
+
+def test_fig9_treebuild_phase(benchmark, fig8_rows):
+    p, rows = fig8_rows
+    fig9, _ = once(benchmark, lambda: fig9_fig10_phase_views(rows))
+
+    emit(
+        "fig9",
+        format_table(
+            fig9,
+            ["strategy", "bodies", "congestion_msgs", "time"],
+            title=f"Figure 9: tree-building phase ({PAPER['fig9']['note']})",
+        ),
+    )
+
+    n = max(r["bodies"] for r in fig9)
+    cong = {r["strategy"]: r["congestion_msgs"] for r in fig9 if r["bodies"] == n}
+    time = {r["strategy"]: r["time"] for r in fig9 if r["bodies"] == n}
+    # The fixed home offset: well above every access-tree variant.
+    for name in ("2-ary", "4-ary", "4-16-ary"):
+        assert cong["fixed-home"] > 1.5 * cong[name]
+        assert time["fixed-home"] > time[name]

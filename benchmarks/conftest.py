@@ -1,0 +1,43 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one figure of the paper at the scale selected
+by ``REPRO_SCALE`` (``default`` if unset; ``paper`` for the paper's exact
+parameters -- slow in pure Python; ``quick`` for smoke runs), prints a
+paper-vs-measured table, asserts the figure's *shape*, and records the
+table under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a results table and persist it."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale = os.environ.get("REPRO_SCALE", "default")
+    (RESULTS_DIR / f"{name}.{scale}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def fig8_rows():
+    """Shared Figure 8 runs (Figures 9 and 10 are phase views of the same
+    executions, exactly as in the paper)."""
+    from repro.analysis import fig8_barneshut_bodies, scale_params
+
+    p = scale_params("fig8")
+    return p, fig8_barneshut_bodies(
+        side=p["side"], bodies=p["bodies"], steps=p["steps"], warm=p["warm"]
+    )
+
+
+def once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

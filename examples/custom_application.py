@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Writing your own application against the DIVA API.
+
+This example implements a shared work queue with a global result table --
+an access pattern none of the paper's benchmarks has -- to show the full
+programming interface: transparent reads/writes on global variables,
+locks, barriers, and virtual-compute charging.
+
+Each processor repeatedly locks a shared queue variable, pops a task,
+computes on it, and publishes the result into a per-task global variable;
+processors reading their neighbours' results afterwards exercise the copy
+distribution.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro import GCEL, Mesh2D, Runtime, make_strategy
+
+
+def main() -> None:
+    mesh = Mesh2D(4, 4)
+    n_tasks = 64
+    shared = {}
+    results_seen = []
+
+    def program(env):
+        # rank 0 creates the queue and the result table.
+        if env.rank == 0:
+            shared["queue"] = env.create("queue", 64, value=tuple(range(n_tasks)))
+            shared["results"] = [
+                env.create(f"result{i}", 32, value=None) for i in range(n_tasks)
+            ]
+        yield from env.barrier(phase="work")
+
+        queue = shared["queue"]
+        # Self-scheduling loop: pop under mutual exclusion.
+        while True:
+            yield from env.lock(queue)
+            tasks = yield from env.read(queue)
+            if not tasks:
+                yield from env.unlock(queue)
+                break
+            task, rest = tasks[0], tasks[1:]
+            yield from env.write(queue, rest)
+            yield from env.unlock(queue)
+
+            yield from env.compute(ops=50_000)  # simulate real work
+            yield from env.write(shared["results"][task], (task, task * task))
+
+        yield from env.barrier(phase="reduce")
+        # Everyone validates three pseudo-random results (read sharing).
+        for k in range(3):
+            idx = (env.rank * 7 + k * 13) % n_tasks
+            val = yield from env.read(shared["results"][idx])
+            assert val == (idx, idx * idx)
+            results_seen.append(val)
+        yield from env.barrier(phase="done")
+
+    for name in ("4-ary", "fixed-home"):
+        results_seen.clear()
+        shared.clear()
+        strategy = make_strategy(name, mesh, seed=0)
+        rt = Runtime(mesh, strategy, GCEL)
+        res = rt.run(program)
+        assert len(results_seen) == 3 * mesh.n_nodes
+        work = res.phase("work")
+        reduce_ = res.phase("reduce")
+        print(
+            f"{name:>12s}: total {res.time:6.3f}s | work {work.time:6.3f}s "
+            f"(lock acquisitions {res.lock_acquisitions}) | "
+            f"reduce congestion {reduce_.stats.congestion_bytes:6.0f}B"
+        )
+    print(
+        "\nSame program, different data management.  The serialized work"
+        "\nqueue dominates total time for both strategies, but the result"
+        "\nfan-out (reduce phase) congests less under the access tree --"
+        "\nshared read-mostly data is where it wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

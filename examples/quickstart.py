@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the access tree strategy against fixed home on the
+paper's matrix-multiplication workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Mesh2D, make_strategy
+from repro.apps import matmul
+
+
+def main() -> None:
+    mesh = Mesh2D(8, 8)  # 64 simulated processors (the GCel scales to 32x32)
+    block = 1024  # integers per matrix block
+
+    # The hand-optimized message-passing baseline: minimal congestion.
+    base = matmul.run_handopt(mesh, block_entries=block)
+
+    print(f"matrix square on {mesh.rows}x{mesh.cols} mesh, block = {block} ints\n")
+    print(f"{'strategy':>12s} {'comm time':>10s} {'congestion':>11s} {'total load':>11s} ratio")
+    print("-" * 60)
+    print(
+        f"{'hand-opt':>12s} {base.time:9.3f}s {base.congestion_bytes / 1024:9.0f}KB "
+        f"{base.total_bytes / 1e6:9.1f}MB   1.00"
+    )
+    for name in ("4-ary", "2-ary", "fixed-home"):
+        strategy = make_strategy(name, mesh, seed=1)
+        res = matmul.run_diva(mesh, strategy, block_entries=block)
+        assert res.extra["verified"], "distributed result must equal numpy"
+        print(
+            f"{name:>12s} {res.time:9.3f}s {res.congestion_bytes / 1024:9.0f}KB "
+            f"{res.total_bytes / 1e6:9.1f}MB {res.time / base.time:6.2f}"
+        )
+    print(
+        "\nThe access tree strategy transparently caches and replicates the"
+        "\nshared blocks with near-minimal congestion; the fixed home"
+        "\nstrategy funnels every miss through one random processor per"
+        "\nblock and congests the mesh (the paper's headline result)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: keeps `pip install -e .` working on minimal/offline
+environments whose setuptools lacks wheel support (PEP 660).  All real
+metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

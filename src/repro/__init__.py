@@ -1,0 +1,52 @@
+"""repro -- reproduction of *Data Management in Networks: Experimental
+Evaluation of a Provably Good Strategy* (Krick, Meyer auf der Heide, Räcke,
+Vöcking, Westermann; SPAA 1999).
+
+The package simulates the DIVA distributed-variables library on a
+mesh-connected machine and reproduces the paper's experimental comparison
+of the congestion-minimizing **access tree strategy** against a **fixed
+home** caching strategy and **hand-optimized message passing**, on matrix
+multiplication, bitonic sorting and Barnes-Hut N-body simulation.
+
+Quickstart::
+
+    from repro import Mesh2D, make_strategy
+    from repro.apps import matmul
+
+    mesh = Mesh2D(8, 8)
+    res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), block_entries=256)
+    print(res.time, res.congestion_bytes)
+"""
+
+from .core import (
+    STRATEGY_NAMES,
+    AccessTreeStrategy,
+    DataManagementStrategy,
+    FixedHomeStrategy,
+    NullStrategy,
+    build_tree,
+    make_strategy,
+)
+from .network import GCEL, ZERO_COST, MachineModel, Mesh2D
+from .runtime import Env, RunResult, Runtime, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mesh2D",
+    "MachineModel",
+    "GCEL",
+    "ZERO_COST",
+    "make_strategy",
+    "STRATEGY_NAMES",
+    "AccessTreeStrategy",
+    "FixedHomeStrategy",
+    "NullStrategy",
+    "DataManagementStrategy",
+    "build_tree",
+    "Runtime",
+    "run_spmd",
+    "RunResult",
+    "Env",
+    "__version__",
+]

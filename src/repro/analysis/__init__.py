@@ -1,0 +1,41 @@
+"""Experiment harness: per-figure runners, paper reference data, tables."""
+
+from .experiments import (
+    ablation_barrier,
+    ablation_embedding,
+    ablation_invalidation,
+    ablation_remapping,
+    ablation_tree_degree,
+    bounded_memory_experiment,
+    fig2_single_block_flow,
+    fig3_matmul_blocksize,
+    fig4_matmul_network,
+    fig6_bitonic_keys,
+    fig7_bitonic_network,
+    fig8_barneshut_bodies,
+    fig9_fig10_phase_views,
+    fig11_barneshut_scaling,
+    scale_params,
+)
+from .tables import PAPER, format_table, ratio
+
+__all__ = [
+    "scale_params",
+    "fig2_single_block_flow",
+    "fig3_matmul_blocksize",
+    "fig4_matmul_network",
+    "fig6_bitonic_keys",
+    "fig7_bitonic_network",
+    "fig8_barneshut_bodies",
+    "fig9_fig10_phase_views",
+    "fig11_barneshut_scaling",
+    "ablation_tree_degree",
+    "ablation_embedding",
+    "ablation_barrier",
+    "ablation_invalidation",
+    "ablation_remapping",
+    "bounded_memory_experiment",
+    "PAPER",
+    "format_table",
+    "ratio",
+]

@@ -1,0 +1,607 @@
+"""Experiment runners: one function per figure of the paper's evaluation.
+
+Every runner returns a list of row dicts (strategy, sweep parameter,
+congestion, time, ratios) ready for :func:`repro.analysis.tables.format_table`
+and for the benchmark harness's shape assertions.
+
+Scaling: the runners take explicit parameters with defaults chosen so the
+whole suite finishes in minutes of pure Python; :func:`scale_params`
+resolves the ``REPRO_SCALE`` environment variable (``quick`` / ``default``
+/ ``paper``) into the per-figure parameter sets, where ``paper`` is the
+paper's exact configuration (Barnes-Hut at paper scale runs for hours in
+pure Python -- documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..apps import barneshut, bitonic, matmul
+from ..core.strategy import make_strategy
+from ..network.machine import GCEL, MachineModel
+from ..network.mesh import Mesh2D
+from ..runtime.results import RunResult
+
+__all__ = [
+    "scale_params",
+    "fig2_single_block_flow",
+    "fig3_matmul_blocksize",
+    "fig4_matmul_network",
+    "fig6_bitonic_keys",
+    "fig7_bitonic_network",
+    "fig8_barneshut_bodies",
+    "fig9_fig10_phase_views",
+    "fig11_barneshut_scaling",
+    "ablation_tree_degree",
+    "ablation_embedding",
+    "ablation_barrier",
+    "ablation_invalidation",
+    "ablation_remapping",
+    "bounded_memory_experiment",
+]
+
+Row = Dict[str, object]
+
+
+def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
+    """Per-figure parameters for ``quick`` (tests), ``default`` (benches)
+    and ``paper`` (the paper's exact sizes)."""
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "default")
+    if scale not in ("quick", "default", "paper"):
+        raise ValueError(f"REPRO_SCALE must be quick/default/paper, got {scale!r}")
+    table: Dict[str, Dict[str, Dict[str, object]]] = {
+        "fig2": {
+            "quick": dict(side=4, block_entries=256),
+            "default": dict(side=16, block_entries=1024),
+            "paper": dict(side=16, block_entries=4096),
+        },
+        "fig3": {
+            "quick": dict(side=8, blocks=(64, 256)),
+            "default": dict(side=16, blocks=(64, 256, 1024)),
+            "paper": dict(side=16, blocks=(64, 256, 1024, 4096)),
+        },
+        "fig4": {
+            "quick": dict(sides=(4, 8), block_entries=256),
+            "default": dict(sides=(4, 8, 16), block_entries=1024),
+            "paper": dict(sides=(4, 8, 16, 32), block_entries=4096),
+        },
+        "fig6": {
+            "quick": dict(side=8, keys=(256, 1024)),
+            "default": dict(side=16, keys=(256, 1024, 4096)),
+            "paper": dict(side=16, keys=(256, 1024, 4096, 16384)),
+        },
+        "fig7": {
+            "quick": dict(sides=(4, 8), keys=1024),
+            "default": dict(sides=(4, 8, 16), keys=4096),
+            "paper": dict(sides=(4, 8, 16, 32), keys=4096),
+        },
+        "fig8": {
+            "quick": dict(side=4, bodies=(128, 256), steps=2, warm=1),
+            "default": dict(side=8, bodies=(400, 800, 1200), steps=3, warm=1),
+            "paper": dict(
+                side=16,
+                bodies=(10000, 20000, 30000, 40000, 50000, 60000),
+                steps=7,
+                warm=2,
+            ),
+        },
+        "fig11": {
+            "quick": dict(meshes=((2, 4), (4, 4)), bodies_per_proc=24, steps=2, warm=1),
+            "default": dict(
+                meshes=((4, 4), (4, 8), (8, 8)), bodies_per_proc=50, steps=3, warm=1
+            ),
+            "paper": dict(
+                meshes=((8, 8), (8, 16), (16, 16), (16, 32)),
+                bodies_per_proc=200,
+                steps=7,
+                warm=2,
+            ),
+        },
+    }
+    return dict(table[figure][scale])
+
+
+# --------------------------------------------------------------------- fig 2
+def fig2_single_block_flow(
+    side: int = 16,
+    block_entries: int = 1024,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 2 (analytic): the data flow for distributing ONE block to its
+    row and column.  The paper derives total load Theta(m*P) for fixed home
+    vs Theta(m*sqrtP*logP) for the access tree.  We create a single
+    variable on a center processor and let every processor of its row and
+    column read it once; total load and congestion are reported."""
+    from ..runtime.launcher import Runtime
+
+    rows: List[Row] = []
+    for name in ("fixed-home", "4-ary"):
+        mesh = Mesh2D(side, side)
+        strategy = make_strategy(name, mesh, seed=seed)
+        owner = mesh.node(side // 2, side // 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == owner:
+                handles["x"] = env.create("block", block_entries * machine.word_bytes, value=42)
+            yield from env.barrier(phase="distribute")
+            r, c = env.coord
+            ro, co = env.mesh.coord(owner)
+            if (r == ro or c == co) and env.rank != owner:
+                v = yield from env.read(handles["x"])
+                assert v == 42
+            yield from env.barrier(phase="done")
+
+        rt = Runtime(mesh, strategy, machine, seed=seed)
+        res = rt.run(program)
+        rows.append(
+            {
+                "strategy": name,
+                "mesh": f"{side}x{side}",
+                "total_bytes": res.stats.total_bytes,
+                "congestion_bytes": res.stats.congestion_bytes,
+                "time": res.time,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- fig 3
+def _matmul_rows(
+    side: int,
+    block_entries: int,
+    strategies: Sequence[str],
+    machine: MachineModel,
+    seed: int,
+    embedding: str = "modified",
+) -> List[Row]:
+    mesh = Mesh2D(side, side)
+    base = matmul.run_handopt(mesh, block_entries, machine=machine, seed=seed)
+    rows: List[Row] = [
+        {
+            "strategy": "handopt",
+            "side": side,
+            "block": block_entries,
+            "congestion_bytes": base.congestion_bytes,
+            "time": base.time,
+            "congestion_ratio": 1.0,
+            "time_ratio": 1.0,
+        }
+    ]
+    for name in strategies:
+        strat = make_strategy(name, mesh, seed=seed, embedding=embedding)
+        res = matmul.run_diva(mesh, strat, block_entries, machine=machine, seed=seed)
+        rows.append(
+            {
+                "strategy": name,
+                "side": side,
+                "block": block_entries,
+                "congestion_bytes": res.congestion_bytes,
+                "time": res.time,
+                "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
+                "time_ratio": res.time / base.time,
+            }
+        )
+    return rows
+
+
+def fig3_matmul_blocksize(
+    side: int = 16,
+    blocks: Sequence[int] = (64, 256, 1024, 4096),
+    strategies: Sequence[str] = ("fixed-home", "4-ary"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 3: matmul congestion/communication-time ratios vs block size
+    on a fixed mesh (communication time: compute charges disabled)."""
+    rows: List[Row] = []
+    for block in blocks:
+        rows.extend(_matmul_rows(side, block, strategies, machine, seed))
+    return rows
+
+
+def fig4_matmul_network(
+    sides: Sequence[int] = (4, 8, 16, 32),
+    block_entries: int = 4096,
+    strategies: Sequence[str] = ("fixed-home", "4-ary"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 4: matmul ratios vs network size at a fixed block size."""
+    rows: List[Row] = []
+    for side in sides:
+        rows.extend(_matmul_rows(side, block_entries, strategies, machine, seed))
+    return rows
+
+
+# --------------------------------------------------------------------- fig 6
+def _bitonic_rows(
+    side: int,
+    keys: int,
+    strategies: Sequence[str],
+    machine: MachineModel,
+    seed: int,
+    embedding: str = "modified",
+) -> List[Row]:
+    mesh = Mesh2D(side, side)
+    base = bitonic.run_handopt(mesh, keys, machine=machine, seed=seed)
+    rows: List[Row] = [
+        {
+            "strategy": "handopt",
+            "side": side,
+            "keys": keys,
+            "congestion_bytes": base.congestion_bytes,
+            "time": base.time,
+            "congestion_ratio": 1.0,
+            "time_ratio": 1.0,
+        }
+    ]
+    for name in strategies:
+        strat = make_strategy(name, mesh, seed=seed, embedding=embedding)
+        res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed)
+        rows.append(
+            {
+                "strategy": name,
+                "side": side,
+                "keys": keys,
+                "congestion_bytes": res.congestion_bytes,
+                "time": res.time,
+                "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
+                "time_ratio": res.time / base.time,
+            }
+        )
+    return rows
+
+
+def fig6_bitonic_keys(
+    side: int = 16,
+    keys: Sequence[int] = (256, 1024, 4096, 16384),
+    strategies: Sequence[str] = ("fixed-home", "2-4-ary"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 6: bitonic congestion/execution-time ratios vs keys/processor."""
+    rows: List[Row] = []
+    for m in keys:
+        rows.extend(_bitonic_rows(side, m, strategies, machine, seed))
+    return rows
+
+
+def fig7_bitonic_network(
+    sides: Sequence[int] = (4, 8, 16, 32),
+    keys: int = 4096,
+    strategies: Sequence[str] = ("fixed-home", "2-4-ary"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 7: bitonic ratios vs network size at fixed keys/processor."""
+    rows: List[Row] = []
+    for side in sides:
+        rows.extend(_bitonic_rows(side, keys, strategies, machine, seed))
+    return rows
+
+
+# --------------------------------------------------------------------- fig 8
+FIG8_STRATEGIES = ("fixed-home", "16-ary", "4-16-ary", "4-ary", "2-ary")
+
+
+def fig8_barneshut_bodies(
+    side: int = 8,
+    bodies: Sequence[int] = (400, 800, 1200),
+    strategies: Sequence[str] = FIG8_STRATEGIES,
+    steps: int = 3,
+    warm: int = 1,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 8: Barnes-Hut absolute congestion (messages) and execution
+    time vs body count, for all five strategies.  Rows carry the full
+    :class:`RunResult` (key ``result``) so Figures 9/10 can be derived
+    without re-running."""
+    rows: List[Row] = []
+    mesh = Mesh2D(side, side)
+    for n in bodies:
+        for name in strategies:
+            strat = make_strategy(name, mesh, seed=seed)
+            res = barneshut.run(
+                mesh, strat, n, steps=steps, warm=warm, machine=machine, seed=seed
+            )
+            rows.append(
+                {
+                    "strategy": name,
+                    "bodies": n,
+                    "congestion_msgs": res.congestion_msgs,
+                    "time": res.time,
+                    "hit_ratio": res.hit_ratio,
+                    "result": res,
+                }
+            )
+    return rows
+
+
+def fig9_fig10_phase_views(fig8_rows: Iterable[Row]) -> Tuple[List[Row], List[Row]]:
+    """Figures 9 and 10: per-phase views (tree building / force
+    computation) of the Figure 8 runs, including the force phase's local
+    computation time (the extra line in Figure 10)."""
+    fig9: List[Row] = []
+    fig10: List[Row] = []
+    for row in fig8_rows:
+        res: RunResult = row["result"]  # type: ignore[assignment]
+        tb = res.phase("treebuild")
+        fc = res.phase("force")
+        if tb is not None:
+            fig9.append(
+                {
+                    "strategy": row["strategy"],
+                    "bodies": row["bodies"],
+                    "congestion_msgs": tb.stats.congestion_msgs,
+                    "time": tb.time,
+                }
+            )
+        if fc is not None:
+            rt = res.extra.get("runtime")
+            acc = rt._phase_acc.get("force") if rt is not None else None
+            compute = float(acc.compute.max()) if acc is not None else 0.0
+            fig10.append(
+                {
+                    "strategy": row["strategy"],
+                    "bodies": row["bodies"],
+                    "congestion_msgs": fc.stats.congestion_msgs,
+                    "time": fc.time,
+                    "local_compute": compute,
+                    "comm_share": 1.0 - (compute / fc.time if fc.time else 0.0),
+                }
+            )
+    return fig9, fig10
+
+
+def fig11_barneshut_scaling(
+    meshes: Sequence[Tuple[int, int]] = ((4, 4), (4, 8), (8, 8)),
+    bodies_per_proc: int = 50,
+    strategies: Sequence[str] = ("fixed-home", "4-8-ary"),
+    steps: int = 3,
+    warm: int = 1,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Figure 11: Barnes-Hut scaling with N = bodies_per_proc * P over
+    growing meshes; reports congestion, execution time and communication
+    time (execution minus force-phase local computation)."""
+    rows: List[Row] = []
+    for r, c in meshes:
+        mesh = Mesh2D(r, c)
+        n = bodies_per_proc * mesh.n_nodes
+        for name in strategies:
+            strat = make_strategy(name, mesh, seed=seed)
+            res = barneshut.run(
+                mesh, strat, n, steps=steps, warm=warm, machine=machine, seed=seed
+            )
+            rt = res.extra.get("runtime")
+            acc = rt._phase_acc.get("force") if rt is not None else None
+            compute = float(acc.compute.max()) if acc is not None else 0.0
+            rows.append(
+                {
+                    "strategy": name,
+                    "mesh": f"{r}x{c}",
+                    "procs": mesh.n_nodes,
+                    "bodies": n,
+                    "congestion_msgs": res.congestion_msgs,
+                    "time": res.time,
+                    "comm_time": res.time - compute,
+                    "result": res,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------- ablations
+def ablation_tree_degree(
+    app: str = "matmul",
+    side: int = 8,
+    size: int = 1024,
+    variants: Sequence[str] = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Tree-degree ablation (Sections 3.1/3.2): smaller degree gives
+    smaller congestion, but flat trees save startups; 4-ary wins matmul
+    time, 2-ary/2-4-ary win bitonic."""
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for name in variants:
+        strat = make_strategy(name, mesh, seed=seed)
+        if app == "matmul":
+            res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        elif app == "bitonic":
+            res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        else:
+            raise ValueError(f"unknown app {app!r}")
+        rows.append(
+            {
+                "strategy": name,
+                "app": app,
+                "congestion_bytes": res.congestion_bytes,
+                "time": res.time,
+                "max_startups": res.stats.max_startups,
+            }
+        )
+    return rows
+
+
+def ablation_embedding(
+    app: str = "matmul",
+    side: int = 8,
+    size: int = 1024,
+    strategy: str = "4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Modified vs random embedding (Section 2's practical improvement):
+    the modified embedding shortens expected tree-edge distances."""
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for embedding in ("modified", "random"):
+        strat = make_strategy(strategy, mesh, seed=seed, embedding=embedding)
+        if app == "matmul":
+            res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        else:
+            res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        rows.append(
+            {
+                "embedding": embedding,
+                "app": app,
+                "congestion_bytes": res.congestion_bytes,
+                "total_bytes": res.stats.total_bytes,
+                "time": res.time,
+            }
+        )
+    return rows
+
+
+def ablation_invalidation(
+    side: int = 8,
+    block_entries: int = 1024,
+    strategies: Sequence[str] = ("4-ary", "fixed-home"),
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Matrix *square* vs general multiplication: the paper chose squaring
+    "because the matrix square requires the data management strategy to
+    create and invalidate copies whereas the general matrix multiplication
+    does not".  This ablation quantifies the consistency-maintenance share
+    of the dynamic strategies' traffic."""
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for name in strategies:
+        for variant, runner in (("square", matmul.run_diva), ("general", matmul.run_diva_general)):
+            strat = make_strategy(name, mesh, seed=seed)
+            res = runner(mesh, strat, block_entries, machine=machine, seed=seed)
+            rows.append(
+                {
+                    "strategy": name,
+                    "variant": variant,
+                    "congestion_bytes": res.congestion_bytes,
+                    "ctrl_msgs": res.stats.ctrl_msgs,
+                    "time": res.time,
+                }
+            )
+    return rows
+
+
+def ablation_remapping(
+    side: int = 8,
+    payload: int = 1024,
+    rounds: int = 8,
+    thresholds: Sequence[Optional[int]] = (None, 64, 16, 4),
+    strategy: str = "4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Access-tree node remapping (omitted by the paper): re-randomize a
+    tree node's host after ``threshold`` stops.
+
+    The paper's applications never make a tree node hot (path replication
+    serves later readers locally -- matmul's interior nodes see <= 3 stops
+    each), so the ablation uses the one pattern that does: a single
+    variable repeatedly broadcast-read by every processor and invalidated
+    by its owner (the Barnes-Hut root-cell pattern).  The paper's
+    conjecture -- "the constant overhead induced by this procedure will
+    not be retained in practice" -- can then be checked on measured time."""
+    from ..runtime.launcher import Runtime
+
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for threshold in thresholds:
+        strat = make_strategy(strategy, mesh, seed=seed, remap_threshold=threshold)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("hot", payload, value=0)
+            yield from env.barrier(phase="rounds")
+            for r in range(rounds):
+                v = yield from env.read(handles["x"])
+                assert v == r
+                yield from env.barrier()
+                if env.rank == 0:
+                    yield from env.write(handles["x"], r + 1)
+                yield from env.barrier()
+            yield from env.barrier(phase="done")
+
+        rt = Runtime(mesh, strat, machine, seed=seed)
+        res = rt.run(program)
+        rows.append(
+            {
+                "remap_threshold": threshold if threshold is not None else "off",
+                "remaps": strat.remaps,
+                "congestion_bytes": res.stats.congestion_bytes,
+                "time": res.time,
+            }
+        )
+    return rows
+
+
+def ablation_barrier(
+    side: int = 8,
+    keys: int = 1024,
+    strategy: str = "2-4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """Tree-combining vs central barrier (DIVA synchronization service)."""
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for kind in ("tree", "central"):
+        strat = make_strategy(strategy, mesh, seed=seed)
+        res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed, barrier=kind)
+        rows.append(
+            {
+                "barrier": kind,
+                "congestion_bytes": res.congestion_bytes,
+                "time": res.time,
+                "max_startups": res.stats.max_startups,
+            }
+        )
+    return rows
+
+
+def bounded_memory_experiment(
+    side: int = 4,
+    bodies: int = 256,
+    capacity_copies: Sequence[Optional[float]] = (None, 64, 24),
+    strategy: str = "2-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """LRU replacement under bounded memory (the Figure 8 kink of the 2-ary
+    tree at 60,000 bodies): shrinking capacity forces copy replacement,
+    raising congestion."""
+    from ..apps.barneshut import CELL_BYTES
+
+    mesh = Mesh2D(side, side)
+    rows: List[Row] = []
+    for cap in capacity_copies:
+        strat = make_strategy(strategy, mesh, seed=seed)
+        capacity_bytes = None if cap is None else cap * CELL_BYTES
+        res = barneshut.run(
+            mesh,
+            strat,
+            bodies,
+            steps=2,
+            warm=1,
+            machine=machine,
+            seed=seed,
+            capacity_bytes=capacity_bytes,
+        )
+        rows.append(
+            {
+                "capacity_copies": cap if cap is not None else "unbounded",
+                "congestion_msgs": res.congestion_msgs,
+                "evictions": res.evictions,
+                "time": res.time,
+            }
+        )
+    return rows

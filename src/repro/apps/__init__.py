@@ -1,0 +1,5 @@
+"""The paper's three benchmark applications."""
+
+from . import barneshut, bitonic, matmul
+
+__all__ = ["matmul", "bitonic", "barneshut"]

@@ -1,0 +1,24 @@
+"""Barnes-Hut N-body simulation over the DIVA runtime (SPLASH-2 adapted)."""
+
+from .app import BODY_BYTES, CELL_BYTES, INTERACTION_OPS, PHASES, Cell, run
+from .octree import bounding_cube, build_reference_tree, reference_forces
+from .physics import DT, EPS, THETA, BodyState, advance, plummer, total_energy
+
+__all__ = [
+    "run",
+    "Cell",
+    "PHASES",
+    "BODY_BYTES",
+    "CELL_BYTES",
+    "INTERACTION_OPS",
+    "BodyState",
+    "plummer",
+    "advance",
+    "total_energy",
+    "DT",
+    "EPS",
+    "THETA",
+    "bounding_cube",
+    "build_reference_tree",
+    "reference_forces",
+]

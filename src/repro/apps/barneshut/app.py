@@ -1,0 +1,469 @@
+"""Distributed Barnes-Hut over DIVA global variables (paper Section 3.3).
+
+The SPLASH-2 structure is reproduced: every body and every octree cell is a
+global variable, and each simulated time-step runs six barrier-separated
+phases:
+
+1. **treebuild** -- processors load their bodies into the shared adaptive
+   octree; per-cell locks guard concurrent modification (the root is the
+   famous contention point: it "has to be read once for every body");
+2. **com** -- upward pass computing each cell's center of mass and subtree
+   cost (level-synchronized: each processor handles the cells it created);
+3. **partition** -- costzones: the total work (stored in the tree) is cut
+   into ``P`` equal zones along the tree's in-order; processor zones follow
+   the decomposition-tree leaf numbering, translating physical locality
+   into topological locality on the mesh;
+4. **force** -- per owned body, a partial tree traversal with the opening
+   criterion (a cell is accepted when its side is smaller than ``theta``
+   times the distance to its center of mass); by far the dominant phase;
+5. **update** -- advance positions/velocities, write bodies back (storing
+   the interaction count as the body's cost for the next partition);
+6. **bbox** -- global bounding-box reduction for the next step's root cell.
+
+The paper simulates 7 steps and measures the last 5 ("execution times ...
+are already relatively stable after the simulation of the first two
+steps"); ``warm`` controls that window here (traffic and phase accounting
+reset at the boundary barrier).
+
+Deviations from SPLASH documented in DESIGN.md: the upward pass is
+level-synchronized with barriers (SPLASH uses per-cell child counters),
+and the bounding box is reduced through per-processor variables combined
+by rank 0 (SPLASH uses a global reduction) -- both preserve the sharing
+pattern the data-management strategies react to.
+
+Verification: the evolved body positions are compared against the
+sequential reference (:mod:`repro.apps.barneshut.octree`); tree shape,
+traversal order and accumulation order are identical by construction, so
+agreement is to float precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ...core.decomposition import build_tree
+from ...core.strategy import DataManagementStrategy
+from ...network.machine import GCEL, MachineModel
+from ...network.mesh import Mesh2D
+from ...runtime.api import Env
+from ...runtime.launcher import Runtime
+from ...runtime.results import RunResult
+from .octree import MAX_DEPTH, bounding_cube, child_center, octant, reference_forces
+from .physics import DT, EPS, THETA, BodyState, advance, pairwise_force, plummer
+
+__all__ = ["run", "Cell", "BODY_BYTES", "CELL_BYTES", "PHASES", "INTERACTION_OPS"]
+
+#: Wire sizes of the two kinds of global variables (paper-scale records).
+BODY_BYTES = 64
+CELL_BYTES = 96
+
+#: Work charged per body-body/body-cell interaction (transputer-scale
+#: gravity kernel: ~60 integer-op equivalents).
+INTERACTION_OPS = 60.0
+
+PHASES = ("treebuild", "com", "partition", "force", "update", "bbox")
+
+Vec = Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """Value of a cell variable.  ``children`` entries are ``None``,
+    ``("b", body_vid)`` or ``("c", cell_vid)``; ``child_costs`` mirrors
+    ``children`` with the work of each subtree/body so that the costzones
+    traversal can prune without touching the bodies themselves."""
+
+    center: Vec
+    half: float
+    depth: int
+    children: Tuple[Optional[Tuple[str, int]], ...] = (None,) * 8
+    mass: float = 0.0
+    com: Vec = (0.0, 0.0, 0.0)
+    cost: float = 0.0
+    child_costs: Tuple[float, ...] = (0.0,) * 8
+
+
+def run(
+    mesh: Mesh2D,
+    strategy: DataManagementStrategy,
+    n_bodies: int,
+    *,
+    steps: int = 4,
+    warm: int = 1,
+    theta: float = THETA,
+    dt: float = DT,
+    eps: float = EPS,
+    machine: MachineModel = GCEL,
+    charge_compute: bool = True,
+    interaction_ops: float = INTERACTION_OPS,
+    verify: bool = False,
+    seed: int = 0,
+    **runtime_kwargs,
+) -> RunResult:
+    """Run the Barnes-Hut simulation; measurement starts after ``warm``
+    steps, so ``steps - warm`` time-steps are measured (the paper's
+    5-of-7 methodology)."""
+    if not (0 <= warm < steps):
+        raise ValueError(f"need 0 <= warm < steps, got warm={warm}, steps={steps}")
+    if n_bodies < 2:
+        raise ValueError("need at least two bodies")
+    p = mesh.n_nodes
+    bodies0 = plummer(n_bodies, seed)
+    owner0: List[List[int]] = [[] for _ in range(p)]
+    for gid in range(n_bodies):
+        owner0[gid % p].append(gid)
+    inorder = build_tree(mesh, stride=1, terminal=1).procs_inorder()
+    zone_index = {proc: r for r, proc in enumerate(inorder)}
+
+    shared: Dict[str, object] = {
+        "body_vid": {},  # gid -> variable id
+        "gid_of": {},  # variable id -> gid
+        "minmax_vids": {},  # rank -> variable id
+        "depth_vids": {},  # rank -> variable id
+    }
+    final_bodies: Dict[int, BodyState] = {}
+    interactions_by_step: List[int] = [0] * steps
+    claims_per_step: List[int] = [0] * steps
+
+    def program(env: Env):
+        rank = env.rank
+        registry = env._rt.registry
+        my_zone = zone_index[rank]
+
+        # ---------------------------------------------------------- setup
+        for gid in owner0[rank]:
+            var = env.create(f"body{gid}", BODY_BYTES, value=bodies0[gid])
+            shared["body_vid"][gid] = var.vid
+            shared["gid_of"][var.vid] = gid
+        minmax_var = env.create(f"minmax{rank}", 48, value=None)
+        shared["minmax_vids"][rank] = minmax_var.vid
+        depth_var = env.create(f"depth{rank}", 8, value=0)
+        shared["depth_vids"][rank] = depth_var.vid
+        if rank == 0:
+            shared["box_vid"] = env.create("bbox", 32, value=None).vid
+            shared["gmax_vid"] = env.create("gmax", 8, value=0).vid
+
+        my_states: Dict[int, BodyState] = {gid: bodies0[gid] for gid in owner0[rank]}
+        my_bodies: List[int] = list(owner0[rank])
+        yield from _bbox_phase(env, shared, my_states, minmax_var)
+
+        # ------------------------------------------------------ time steps
+        for step in range(steps):
+            yield from env.barrier(phase="treebuild", reset=(step == warm))
+
+            # -- phase 1: tree construction --------------------------------
+            owned_cells: List[Tuple[object, int]] = []  # (cell var, depth)
+            if rank == 0:
+                box = yield from env.read(registry.by_id(shared["box_vid"]))
+                root = env.create(
+                    f"root@{step}", CELL_BYTES, value=Cell(center=box[0], half=box[1], depth=0)
+                )
+                owned_cells.append((root, 0))
+                shared["root_vid"] = root.vid
+            yield from env.barrier()
+            root_var = registry.by_id(shared["root_vid"])
+
+            for gid in my_bodies:
+                created = yield from _insert_body(
+                    env, registry, shared, root_var, gid, my_states[gid].pos, step
+                )
+                owned_cells.extend(created)
+            yield from env.compute(ops=20.0 * len(my_bodies))
+
+            # -- phase 2: centers of mass (level-synchronized upward pass) -
+            yield from env.barrier(phase="com")
+            my_max_depth = max((d for _, d in owned_cells), default=0)
+            yield from env.write(depth_var, my_max_depth)
+            yield from env.barrier()
+            if rank == 0:
+                gmax = 0
+                for r in range(env.nprocs):
+                    d = yield from env.read(registry.by_id(shared["depth_vids"][r]))
+                    if d > gmax:
+                        gmax = d
+                yield from env.write(registry.by_id(shared["gmax_vid"]), gmax)
+            yield from env.barrier()
+            gmax = yield from env.read(registry.by_id(shared["gmax_vid"]))
+
+            by_level: Dict[int, List[object]] = {}
+            for var, d in owned_cells:
+                by_level.setdefault(d, []).append(var)
+            for level in range(gmax, -1, -1):
+                for var in by_level.get(level, ()):
+                    yield from _summarize_cell(env, registry, var)
+                yield from env.barrier()
+
+            # -- phase 3: costzones partition ------------------------------
+            yield from env.barrier(phase="partition")
+            root_cell = yield from env.read(root_var)
+            total = root_cell.cost
+            lo = my_zone * total / env.nprocs
+            hi = (my_zone + 1) * total / env.nprocs
+            my_bodies = yield from _costzones(env, registry, shared, root_cell, lo, hi)
+            claims_per_step[step] += len(my_bodies)
+            yield from env.compute(ops=5.0 * len(my_bodies))
+
+            # -- phase 4: force computation --------------------------------
+            yield from env.barrier(phase="force")
+            results: List[Tuple[int, BodyState, Vec, int]] = []
+            for gid in my_bodies:
+                bvar = registry.by_id(shared["body_vid"][gid])
+                state = yield from env.read(bvar)
+                acc, n_inter = yield from _force_on(
+                    env, registry, shared, root_var, gid, state, theta, eps
+                )
+                results.append((gid, state, acc, n_inter))
+                yield from env.compute(ops=interaction_ops * n_inter)
+            interactions_by_step[step] += sum(r[3] for r in results)
+
+            # -- phase 5: position update ----------------------------------
+            yield from env.barrier(phase="update")
+            my_states = {}
+            for gid, state, acc, n_inter in results:
+                new_state = advance(state, acc, dt, work=float(max(1, n_inter)))
+                my_states[gid] = new_state
+                yield from env.write(registry.by_id(shared["body_vid"][gid]), new_state)
+            yield from env.compute(ops=12.0 * len(my_bodies))
+
+            # -- phase 6: bounding box for the next step -------------------
+            yield from _bbox_phase(env, shared, my_states, minmax_var)
+
+        yield from env.barrier(phase="done")
+        final_bodies.update(my_states)
+
+    rt = Runtime(mesh, strategy, machine, charge_compute=charge_compute, seed=seed, **runtime_kwargs)
+    result = rt.run(program)
+    for step, claimed in enumerate(claims_per_step):
+        if claimed != n_bodies:
+            raise AssertionError(
+                f"costzones step {step}: {claimed} bodies claimed, expected {n_bodies} "
+                "(zones must tile the body set exactly)"
+            )
+    result.extra["runtime"] = rt
+    result.extra["app"] = "barneshut"
+    result.extra["n_bodies"] = n_bodies
+    result.extra["steps"] = steps
+    result.extra["warm"] = warm
+    result.extra["interactions_by_step"] = interactions_by_step
+    result.extra["final_bodies"] = [final_bodies[g] for g in range(n_bodies)]
+
+    if verify:
+        ref = list(bodies0)
+        for _ in range(steps):
+            box = bounding_cube([b.pos for b in ref])
+            accs, counts = reference_forces(ref, theta=theta, eps=eps, box=box)
+            ref = [advance(b, a, dt, work=float(max(1, c))) for b, a, c in zip(ref, accs, counts)]
+        for gid in range(n_bodies):
+            got = final_bodies[gid].pos
+            want = ref[gid].pos
+            err = max(abs(got[k] - want[k]) for k in range(3))
+            if err > 1e-9:
+                raise AssertionError(f"body {gid} diverged from the reference by {err}")
+        result.extra["verified"] = True
+    return result
+
+
+# ------------------------------------------------------------------ helpers
+def _bbox_phase(env: Env, shared, my_states: Dict[int, BodyState], minmax_var):
+    """Phase 6 (also the initial reduction): every processor writes its
+    local min/max; rank 0 combines them into the global box variable."""
+    yield from env.barrier(phase="bbox")
+    if my_states:
+        xs = [b.pos[0] for b in my_states.values()]
+        ys = [b.pos[1] for b in my_states.values()]
+        zs = [b.pos[2] for b in my_states.values()]
+        local = ((min(xs), min(ys), min(zs)), (max(xs), max(ys), max(zs)))
+    else:
+        inf = float("inf")
+        local = ((inf, inf, inf), (-inf, -inf, -inf))
+    yield from env.write(minmax_var, local)
+    yield from env.compute(ops=6.0 * len(my_states))
+    yield from env.barrier()
+    if env.rank == 0:
+        registry = env._rt.registry
+        inf = float("inf")
+        lo = [inf, inf, inf]
+        hi = [-inf, -inf, -inf]
+        for r in range(env.nprocs):
+            mm = yield from env.read(registry.by_id(shared["minmax_vids"][r]))
+            for k in range(3):
+                if mm[0][k] < lo[k]:
+                    lo[k] = mm[0][k]
+                if mm[1][k] > hi[k]:
+                    hi[k] = mm[1][k]
+        center = ((lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0, (lo[2] + hi[2]) / 2.0)
+        half = max(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]) / 2.0
+        half = half * 1.0001 + 1e-9
+        yield from env.write(registry.by_id(shared["box_vid"]), (center, half))
+    yield from env.barrier()
+
+
+def _insert_body(env: Env, registry, shared, root_var, gid: int, pos: Vec, step: int):
+    """Phase-1 insertion of one body; returns the cells created (with their
+    depths) so the caller can claim ownership for the upward pass."""
+    created: List[Tuple[object, int]] = []
+    my_vid = shared["body_vid"][gid]
+    cur = root_var
+    while True:
+        cell = yield from env.read(cur)
+        o = octant(cell.center, pos)
+        ref = cell.children[o]
+        if ref is not None and ref[0] == "c":
+            cur = registry.by_id(ref[1])
+            continue
+        # Empty slot or a body: modify this cell under its lock.
+        yield from env.lock(cur)
+        cell = yield from env.read(cur)  # re-read: may have changed meanwhile
+        ref = cell.children[o]
+        if ref is not None and ref[0] == "c":
+            yield from env.unlock(cur)
+            cur = registry.by_id(ref[1])
+            continue
+        if ref is None:
+            children = list(cell.children)
+            children[o] = ("b", my_vid)
+            yield from env.write(cur, replace(cell, children=tuple(children)))
+            yield from env.unlock(cur)
+            return created
+        # The slot holds another body: split into a chain of cells until the
+        # two bodies separate (the adaptive refinement of the paper).
+        other_vid = ref[1]
+        other = yield from env.read(registry.by_id(other_vid))
+        sub_center = child_center(cell.center, cell.half, o)
+        sub_half = cell.half / 2.0
+        depth = cell.depth + 1
+        chain: List[Tuple[Vec, float, int, int]] = []
+        while octant(sub_center, other.pos) == octant(sub_center, pos):
+            if depth > MAX_DEPTH:
+                raise RuntimeError("octree exceeded MAX_DEPTH; coincident bodies?")
+            oo = octant(sub_center, pos)
+            chain.append((sub_center, sub_half, depth, oo))
+            sub_center = child_center(sub_center, sub_half, oo)
+            sub_half /= 2.0
+            depth += 1
+        deep_children: List[Optional[Tuple[str, int]]] = [None] * 8
+        deep_children[octant(sub_center, other.pos)] = ("b", other_vid)
+        deep_children[octant(sub_center, pos)] = ("b", my_vid)
+        deep = env.create(
+            f"cell@{step}.{env.rank}.{gid}.{depth}",
+            CELL_BYTES,
+            value=Cell(center=sub_center, half=sub_half, depth=depth, children=tuple(deep_children)),
+        )
+        created.append((deep, depth))
+        link: Tuple[str, int] = ("c", deep.vid)
+        for c_center, c_half, c_depth, oo in reversed(chain):
+            kids: List[Optional[Tuple[str, int]]] = [None] * 8
+            kids[oo] = link
+            cv = env.create(
+                f"cell@{step}.{env.rank}.{gid}.{c_depth}",
+                CELL_BYTES,
+                value=Cell(center=c_center, half=c_half, depth=c_depth, children=tuple(kids)),
+            )
+            created.append((cv, c_depth))
+            link = ("c", cv.vid)
+        children = list(cell.children)
+        children[o] = link
+        yield from env.write(cur, replace(cell, children=tuple(children)))
+        yield from env.unlock(cur)
+        yield from env.compute(ops=30.0 * (1 + len(chain)))
+        return created
+
+
+def _summarize_cell(env: Env, registry, var):
+    """Phase-2 work for one owned cell: combine children into mass, center
+    of mass and subtree cost (child order 0..7, matching the reference)."""
+    cell = yield from env.read(var)
+    m = 0.0
+    cx = cy = cz = 0.0
+    costs = [0.0] * 8
+    for o, ref in enumerate(cell.children):
+        if ref is None:
+            continue
+        if ref[0] == "b":
+            b = yield from env.read(registry.by_id(ref[1]))
+            cm, cc, cost = b.mass, b.pos, b.work
+        else:
+            sub = yield from env.read(registry.by_id(ref[1]))
+            cm, cc, cost = sub.mass, sub.com, sub.cost
+        m += cm
+        cx += cm * cc[0]
+        cy += cm * cc[1]
+        cz += cm * cc[2]
+        costs[o] = cost
+    com = (cx / m, cy / m, cz / m) if m > 0.0 else (0.0, 0.0, 0.0)
+    yield from env.write(
+        var, replace(cell, mass=m, com=com, cost=sum(costs), child_costs=tuple(costs))
+    )
+    yield from env.compute(ops=40.0)
+
+
+def _costzones(env: Env, registry, shared, root_cell, lo: float, hi: float):
+    """Phase-3 zone claim: in-order walk over the tree's cost prefix,
+    descending only into subtrees overlapping ``[lo, hi)``.  A body is
+    claimed when its cost offset falls inside the zone, so the zones tile
+    the body set exactly."""
+    claimed: List[int] = []
+    work: List[Tuple[Tuple[str, int], float]] = []
+
+    def expand(cell, base: float) -> List[Tuple[Tuple[str, int], float]]:
+        out = []
+        off = base
+        for o, ref in enumerate(cell.children):
+            cost = cell.child_costs[o]
+            if ref is not None:
+                if off < hi and off + cost > lo:
+                    out.append((ref, off))
+                off += cost
+        return out
+
+    work.extend(reversed(expand(root_cell, 0.0)))
+    while work:
+        ref, base = work.pop()
+        if ref[0] == "b":
+            if lo <= base < hi:
+                claimed.append(shared["gid_of"][ref[1]])
+            continue
+        cell = yield from env.read(registry.by_id(ref[1]))
+        work.extend(reversed(expand(cell, base)))
+    return claimed
+
+
+def _force_on(env: Env, registry, shared, root_var, gid: int, state: BodyState, theta: float, eps: float):
+    """Phase-4 traversal for one body: same acceptance rule, child order and
+    accumulation order as the sequential reference, so forces agree to
+    float precision."""
+    pos = state.pos
+    my_vid = shared["body_vid"][gid]
+    ax = ay = az = 0.0
+    n_inter = 0
+    stack: List[Tuple[str, int]] = [("c", root_var.vid)]
+    while stack:
+        kind, vid = stack.pop()
+        if kind == "c":
+            cell = yield from env.read(registry.by_id(vid))
+            dx = cell.com[0] - pos[0]
+            dy = cell.com[1] - pos[1]
+            dz = cell.com[2] - pos[2]
+            dist = math.sqrt(dx * dx + dy * dy + dz * dz)
+            if 2.0 * cell.half < theta * dist:
+                fx, fy, fz = pairwise_force(pos, cell.mass, cell.com, eps)
+                ax += fx
+                ay += fy
+                az += fz
+                n_inter += 1
+            else:
+                for ref in reversed(cell.children):
+                    if ref is not None:
+                        stack.append(ref)
+        else:
+            if vid == my_vid:
+                continue
+            b = yield from env.read(registry.by_id(vid))
+            fx, fy, fz = pairwise_force(pos, b.mass, b.pos, eps)
+            ax += fx
+            ay += fy
+            az += fz
+            n_inter += 1
+    return (ax, ay, az), n_inter

@@ -1,0 +1,148 @@
+"""N-body physics substrate: Plummer model, force kernel, integration.
+
+The paper adapts the SPLASH-2 Barnes-Hut application, which simulates a
+Plummer sphere.  We generate the same kind of initial condition with the
+classical Aarseth/Henon/Wielen recipe (deterministic under a seed), use a
+softened gravitational kernel, and integrate with the simple symplectic
+(leapfrog-style) scheme SPLASH uses.
+
+Units: G = 1, total mass = 1, virial-ish scaling.  All per-body state is
+kept in plain tuples/floats -- for the traversal-heavy simulation this is
+substantially faster than 3-element numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+__all__ = [
+    "BodyState",
+    "plummer",
+    "pairwise_force",
+    "advance",
+    "total_energy",
+    "DT",
+    "EPS",
+    "THETA",
+]
+
+Vec = Tuple[float, float, float]
+
+#: SPLASH-2-style defaults.
+DT = 0.025
+EPS = 0.05
+THETA = 1.0
+
+
+@dataclass(frozen=True)
+class BodyState:
+    """One body: mass, position, velocity and the work (interaction) count
+    of the previous force phase (used by costzones load balancing)."""
+
+    mass: float
+    pos: Vec
+    vel: Vec
+    work: float = 1.0
+
+    def moved(self, pos: Vec, vel: Vec, work: float) -> "BodyState":
+        return replace(self, pos=pos, vel=vel, work=work)
+
+
+def plummer(n: int, seed: int = 0) -> List[BodyState]:
+    """Deterministic Plummer sphere with ``n`` equal-mass bodies.
+
+    Radii follow the Plummer cumulative mass profile; velocities are drawn
+    with the classic rejection sampling against the local escape speed
+    (Aarseth, Henon & Wielen 1974).  A 99%-mass radius cutoff avoids
+    extreme outliers, as in most published implementations.
+    """
+    if n < 1:
+        raise ValueError("need at least one body")
+    rng = random.Random(seed * 7_919 + 17)
+    bodies: List[BodyState] = []
+    mass = 1.0 / n
+    scale = 16.0 / (3.0 * math.pi)  # standard virial scaling factor
+    for _ in range(n):
+        # Radius from inverse CDF, with mass-fraction cutoff at 99 %.
+        m_frac = rng.uniform(1e-6, 0.999)
+        r = 1.0 / math.sqrt(m_frac ** (-2.0 / 3.0) - 1.0)
+        pos = _random_shell(rng, r / scale)
+        # Velocity magnitude: rejection sample q in [0,1] with density
+        # q^2 (1-q^2)^3.5, then v = q * v_escape(r).
+        while True:
+            q = rng.uniform(0.0, 1.0)
+            g = rng.uniform(0.0, 0.1)
+            if g < q * q * (1.0 - q * q) ** 3.5:
+                break
+        v = q * math.sqrt(2.0) * (1.0 + r * r) ** (-0.25)
+        vel = _random_shell(rng, v / math.sqrt(scale))
+        bodies.append(BodyState(mass=mass, pos=pos, vel=vel))
+    return _zero_momentum(bodies)
+
+
+def _random_shell(rng: random.Random, radius: float) -> Vec:
+    """Uniform point on the sphere of ``radius``."""
+    while True:
+        x = rng.uniform(-1.0, 1.0)
+        y = rng.uniform(-1.0, 1.0)
+        z = rng.uniform(-1.0, 1.0)
+        r2 = x * x + y * y + z * z
+        if 1e-10 < r2 <= 1.0:
+            s = radius / math.sqrt(r2)
+            return (x * s, y * s, z * s)
+
+
+def _zero_momentum(bodies: List[BodyState]) -> List[BodyState]:
+    """Shift to the center-of-mass frame (standard Plummer post-processing)."""
+    m_tot = sum(b.mass for b in bodies)
+    cx = sum(b.mass * b.pos[0] for b in bodies) / m_tot
+    cy = sum(b.mass * b.pos[1] for b in bodies) / m_tot
+    cz = sum(b.mass * b.pos[2] for b in bodies) / m_tot
+    vx = sum(b.mass * b.vel[0] for b in bodies) / m_tot
+    vy = sum(b.mass * b.vel[1] for b in bodies) / m_tot
+    vz = sum(b.mass * b.vel[2] for b in bodies) / m_tot
+    return [
+        replace(
+            b,
+            pos=(b.pos[0] - cx, b.pos[1] - cy, b.pos[2] - cz),
+            vel=(b.vel[0] - vx, b.vel[1] - vy, b.vel[2] - vz),
+        )
+        for b in bodies
+    ]
+
+
+def pairwise_force(pos: Vec, src_mass: float, src_pos: Vec, eps: float = EPS) -> Vec:
+    """Softened gravitational acceleration exerted on a body at ``pos`` by a
+    point mass (body or cell center-of-mass) at ``src_pos``."""
+    dx = src_pos[0] - pos[0]
+    dy = src_pos[1] - pos[1]
+    dz = src_pos[2] - pos[2]
+    r2 = dx * dx + dy * dy + dz * dz + eps * eps
+    inv = src_mass / (r2 * math.sqrt(r2))
+    return (dx * inv, dy * inv, dz * inv)
+
+
+def advance(body: BodyState, acc: Vec, dt: float = DT, work: float = 1.0) -> BodyState:
+    """Kick-drift update (SPLASH's simple symplectic integrator)."""
+    vel = (body.vel[0] + acc[0] * dt, body.vel[1] + acc[1] * dt, body.vel[2] + acc[2] * dt)
+    pos = (body.pos[0] + vel[0] * dt, body.pos[1] + vel[1] * dt, body.pos[2] + vel[2] * dt)
+    return body.moved(pos, vel, work)
+
+
+def total_energy(bodies: List[BodyState], eps: float = EPS) -> float:
+    """Exact (O(n^2)) total energy; for conservation sanity tests."""
+    kin = 0.5 * sum(b.mass * (b.vel[0] ** 2 + b.vel[1] ** 2 + b.vel[2] ** 2) for b in bodies)
+    pot = 0.0
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi.pos[0] - bj.pos[0]
+            dy = bi.pos[1] - bj.pos[1]
+            dz = bi.pos[2] - bj.pos[2]
+            pot -= bi.mass * bj.mass / math.sqrt(dx * dx + dy * dy + dz * dz + eps * eps)
+    return kin + pot

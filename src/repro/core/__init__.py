@@ -1,0 +1,23 @@
+"""The paper's data-management strategies and their building blocks."""
+
+from .access_tree import AccessTreeStrategy
+from .decomposition import DecompositionTree, build_tree, parse_arity
+from .embedding import Embedding, ModifiedEmbedding, RandomEmbedding, make_embedding
+from .fixed_home import FixedHomeStrategy
+from .strategy import STRATEGY_NAMES, DataManagementStrategy, NullStrategy, make_strategy
+
+__all__ = [
+    "AccessTreeStrategy",
+    "FixedHomeStrategy",
+    "DataManagementStrategy",
+    "NullStrategy",
+    "make_strategy",
+    "STRATEGY_NAMES",
+    "DecompositionTree",
+    "build_tree",
+    "parse_arity",
+    "Embedding",
+    "RandomEmbedding",
+    "ModifiedEmbedding",
+    "make_embedding",
+]

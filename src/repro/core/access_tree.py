@@ -1,0 +1,396 @@
+"""The access tree strategy (the paper's Section 2).
+
+For every global variable ``x`` an *access tree* -- a copy of the mesh
+decomposition tree -- is embedded into the mesh.  A simple caching protocol
+runs on the tree:
+
+* the tree nodes holding a copy of ``x`` always form a **connected
+  component** of the tree;
+* **read** from node ``v``: a request hops along tree edges from ``v``'s
+  leaf to the nearest tree node ``u`` holding a copy; the value hops back,
+  and a copy is created on every tree node of the path;
+* **write** from node ``v``: the new value hops to the nearest copy holder
+  ``u``; ``u`` multicasts invalidations over the copy component (which
+  acknowledges back along tree edges), modifies its copy, and sends it back
+  to ``v``, leaving copies exactly on the tree path ``u .. v``.
+
+All messages between neighbouring tree nodes travel along the
+dimension-order mesh path between their host processors; every intermediate
+tree node pays startup cost (the motivation for flatter, higher-arity
+trees).
+
+The connected copy component is tracked with its node set plus the
+*topmost* node (the unique member of minimum depth).  The request path from
+a leaf ``l`` is the prefix of the tree path ``l -> top`` up to its first
+member of the component; connectivity makes that member the closest one:
+walking up from ``l``, the first node whose subtree intersects the
+component must itself hold a copy, because the component hangs together
+under ``top``.
+
+LRU replacement under bounded memory may silently drop copies whose tree
+node is a *leaf of the component* (degree <= 1 inside it) -- dropping any
+other node would disconnect the component; the last copy is never dropped
+(it is the authoritative value).  A control message notifies the tree
+neighbour so its direction information stays sound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..network.mesh import Mesh2D
+from ..runtime.locks import RaymondTreeLock
+from ..runtime.variables import GlobalVariable
+from ..sim.flows import chain, multicast_acks
+from .decomposition import DecompositionTree, build_tree, parse_arity
+from .embedding import make_embedding
+from .strategy import DataManagementStrategy, GrantCallback
+
+__all__ = ["AccessTreeStrategy"]
+
+
+class _CopySet:
+    """Connected copy component of one variable: node set + topmost node."""
+
+    __slots__ = ("nodes", "top")
+
+    def __init__(self, leaf: int):
+        self.nodes: Set[int] = {leaf}
+        self.top = leaf
+
+
+class AccessTreeStrategy(DataManagementStrategy):
+    """The access tree strategy in any of its arity variants.
+
+    Parameters
+    ----------
+    mesh:
+        Topology (fixes the decomposition tree).
+    arity:
+        ``"2-ary"``, ``"4-ary"``, ``"16-ary"`` or the terminated
+        ``"<l>-<k>-ary"`` variants (see
+        :func:`repro.core.decomposition.parse_arity`).
+    embedding:
+        ``"modified"`` (the paper's practical embedding, default) or
+        ``"random"`` (the theoretical analysis).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        arity: str = "4-ary",
+        seed: int = 0,
+        embedding: str = "modified",
+        remap_threshold: Optional[int] = None,
+    ):
+        stride, terminal = parse_arity(arity)
+        self.mesh = mesh
+        self.tree: DecompositionTree = build_tree(mesh, stride=stride, terminal=terminal)
+        self.embedding = make_embedding(embedding, self.tree, seed=seed)
+        self.name = arity
+        self.arity = arity
+        self.seed = seed
+        self._copies: Dict[int, _CopySet] = {}
+        self.write_local = 0
+        self.write_remote = 0
+        # Optional remapping (the theoretical strategy's feature the paper
+        # omits): after `remap_threshold` protocol messages have stopped at
+        # the same tree node, its host is re-randomized within its submesh.
+        self.remap_threshold = remap_threshold
+        self._access_counts: Dict[Tuple[int, int], int] = {}
+        self._remap_serial: Dict[Tuple[int, int], int] = {}
+        self.remaps = 0
+
+    def attach(self, runtime) -> None:
+        super().attach(runtime)
+        self._locks = RaymondTreeLock(self.sim, self.tree, self.embedding)
+        # LRU bookkeeping is only needed under bounded memory; the common
+        # unbounded case (the paper's default) skips it on the hot paths.
+        self._track_mem = self.memory.capacity is not None
+
+    # ----------------------------------------------------------- inspection
+    def copy_nodes(self, var: GlobalVariable) -> Set[int]:
+        """Tree node ids currently holding a copy (for tests/analysis)."""
+        return set(self._copies[var.vid].nodes)
+
+    def copy_procs(self, var: GlobalVariable) -> Set[int]:
+        """Processors hosting at least one copy."""
+        emb = self.embedding
+        return {emb.host(var.vid, n) for n in self._copies[var.vid].nodes}
+
+    @property
+    def lock_acquisitions(self) -> int:
+        return self._locks.acquisitions
+
+    # ------------------------------------------------------------- plumbing
+    def _host(self, vid: int, node: int) -> int:
+        return self.embedding.host(vid, node)
+
+    def _note_accesses(self, vid: int, path: List[int], t: float) -> None:
+        """Remapping bookkeeping ("the embedding of an access tree node is
+        changed when too many accesses are directed to the same node"):
+        every internal node of the path served one stop; over-threshold
+        nodes are re-randomized within their submesh.  The copy (if any)
+        migrates with the node: one data message to the new host."""
+        threshold = self.remap_threshold
+        counts = self._access_counts
+        tree = self.tree
+        for node in path:
+            tn = tree.nodes[node]
+            if tn.size == 1:
+                continue  # leaves are pinned to their processor
+            key = (vid, node)
+            c = counts.get(key, 0) + 1
+            if c >= threshold:
+                counts[key] = 0
+                self._remap_node(vid, node, t)
+            else:
+                counts[key] = c
+
+    def _remap_node(self, vid: int, node: int, t: float) -> None:
+        """Move the host of ``(vid, node)`` to a fresh random processor of
+        its submesh (deterministic in the remap serial number)."""
+        import random as _random
+
+        serial = self._remap_serial.get((vid, node), 0) + 1
+        self._remap_serial[(vid, node)] = serial
+        tn = self.tree.nodes[node]
+        old_host = self._host(vid, node)
+        rng = _random.Random((self.seed * 1_000_003 + vid) * 131 + node * 31 + serial)
+        r = tn.row0 + rng.randrange(tn.rows)
+        c = tn.col0 + rng.randrange(tn.cols)
+        new_host = self.tree.mesh.node(r, c)
+        per_var = self.embedding._cache.setdefault(vid, {})
+        per_var[node] = new_host
+        self.remaps += 1
+        if new_host != old_host:
+            var = self.registry.by_id(vid)
+            cs = self._copies[vid]
+            payload = var.payload_bytes if node in cs.nodes else 0
+            # Migrate the node's state (and its copy, if it holds one).
+            self.sim.send_leg(old_host, new_host, payload, t, is_data=payload > 0)
+            if self._track_mem and node in cs.nodes:
+                key = (vid, node)
+                old_mem = self.memory[old_host]
+                if key in old_mem:
+                    old_mem.remove(key)
+                self._mem_insert(var, cs, node, t)
+
+    def _request_path(self, cs: _CopySet, leaf: int) -> List[int]:
+        """Tree nodes from ``leaf`` to the nearest copy holder (inclusive)."""
+        path = self.tree.tree_path(leaf, cs.top)
+        nodes = cs.nodes
+        out: List[int] = []
+        for n in path:
+            out.append(n)
+            if n in nodes:
+                return out
+        raise AssertionError("copy component unreachable from leaf (broken invariant)")
+
+    def _add_copies(self, var: GlobalVariable, cs: _CopySet, path: List[int], t: float) -> None:
+        """Insert copies for every node of ``path`` (memory + component).
+
+        ``path`` runs from the requesting leaf to a node already in the
+        component; nodes are added in *reverse* (component side outward) so
+        the component stays connected after every single insertion -- the
+        LRU eviction triggered by an insert inspects component degrees and
+        relies on that invariant.
+        """
+        depth = self.tree.depth
+        track = self._track_mem
+        for n in reversed(path):
+            if n not in cs.nodes:
+                cs.nodes.add(n)
+                if depth[n] < depth[cs.top]:
+                    cs.top = n
+                if track:
+                    self._mem_insert(var, cs, n, t)
+            elif track:
+                mem = self.memory[self._host(var.vid, n)]
+                key = (var.vid, n)
+                if key in mem:
+                    mem.touch(key)
+
+    def _mem_insert(self, var: GlobalVariable, cs: _CopySet, node: int, t: float) -> None:
+        host = self._host(var.vid, node)
+        mem = self.memory[host]
+
+        def evictable(key) -> bool:
+            vid2, node2 = key
+            cs2 = self._copies[vid2]
+            if len(cs2.nodes) <= 1:
+                return False  # never drop the last (authoritative) copy
+            return self._component_degree(cs2, node2) <= 1
+
+        def on_evict(key) -> None:
+            vid2, node2 = key
+            self._drop_copy(vid2, node2, host, t)
+
+        mem.insert((var.vid, node), var.payload_bytes, evictable, on_evict)
+
+    def _component_degree(self, cs: _CopySet, node: int) -> int:
+        deg = 0
+        tn = self.tree.nodes[node]
+        if tn.parent is not None and tn.parent in cs.nodes:
+            deg += 1
+        for c in tn.children:
+            if c in cs.nodes:
+                deg += 1
+        return deg
+
+    def _drop_copy(self, vid: int, node: int, host: int, t: float) -> None:
+        """Evict the copy at ``node``; notify its component neighbour so the
+        tree's direction information stays consistent (one control leg)."""
+        cs = self._copies[vid]
+        cs.nodes.discard(node)
+        tn = self.tree.nodes[node]
+        neighbour: Optional[int] = None
+        if tn.parent is not None and tn.parent in cs.nodes:
+            neighbour = tn.parent
+        else:
+            for c in tn.children:
+                if c in cs.nodes:
+                    neighbour = c
+                    break
+        if neighbour is None:
+            raise AssertionError(
+                f"evicted copy of var {vid} at node {node} had no component "
+                f"neighbour (component {sorted(cs.nodes)[:8]}...): the "
+                "connectivity invariant is broken"
+            )
+        if node == cs.top:
+            # The unique component neighbour of a dropped degree-1 top is the
+            # new top (it is the shallowest remaining node of the component).
+            cs.top = neighbour
+        self.sim.send_leg(host, self._host(vid, neighbour), 0, t, is_data=False)
+
+    # ------------------------------------------------------------------ API
+    def register(self, var: GlobalVariable) -> None:
+        leaf = self.tree.leaf_of_proc[var.creator]
+        cs = _CopySet(leaf)
+        self._copies[var.vid] = cs
+        if self._track_mem:
+            self._mem_insert(var, cs, leaf, 0.0)
+
+    def read(self, proc: int, var: GlobalVariable, t: float) -> Optional[Tuple[float, Any]]:
+        """Serve a read.  Returns ``(t, value)`` for a local hit; otherwise
+        launches the request/reply flow and returns ``None`` (the runtime is
+        resumed at completion time with the value)."""
+        cs = self._copies[var.vid]
+        leaf = self.tree.leaf_of_proc[proc]
+        if leaf in cs.nodes:
+            self.hits += 1
+            if self._track_mem:
+                mem = self.memory[proc]
+                key = (var.vid, leaf)
+                if key in mem:
+                    mem.touch(key)
+            return t, self.registry.get(var)
+        self.misses += 1
+        path = self._request_path(cs, leaf)
+        if self.remap_threshold is not None:
+            self._note_accesses(var.vid, path, t)
+        hosts = [self._host(var.vid, n) for n in path]
+        value = self.registry.get(var)  # the value the fetched copy carries
+        payload = var.payload_bytes
+        self._add_copies(var, cs, path, t)
+        up = list(zip(hosts, hosts[1:]))
+        legs = [(a, b, 0, False) for a, b in up] + [
+            (b, a, payload, True) for a, b in reversed(up)
+        ]
+        runtime = self.runtime
+        chain(self.sim, legs, t, lambda td: runtime.resume(proc, td, value))
+        return None
+
+    def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> Optional[float]:
+        """Serve a write.  Returns ``t`` for a purely local write (sole copy
+        at the writer); otherwise launches the invalidation flow and returns
+        ``None``."""
+        cs = self._copies[var.vid]
+        leaf = self.tree.leaf_of_proc[proc]
+        if leaf in cs.nodes and len(cs.nodes) == 1:
+            self.write_local += 1
+            self.registry.set(var, value)
+            if self._track_mem:
+                mem = self.memory[proc]
+                key = (var.vid, leaf)
+                if key in mem:
+                    mem.touch(key)
+            return t
+        self.write_remote += 1
+        vid = var.vid
+
+        if leaf in cs.nodes:
+            u = leaf
+            path = [leaf]
+        else:
+            path = self._request_path(cs, leaf)
+            u = path[-1]
+        if self.remap_threshold is not None:
+            self._note_accesses(vid, path, t)
+        hosts = [self._host(vid, n) for n in path]
+        payload = var.payload_bytes
+
+        # Snapshot the component structure (rooted at u) for the
+        # invalidation multicast before the state collapses.
+        mc_children: Dict[int, List[int]] = {}
+        mc_hosts: Dict[int, int] = {}
+        stack = [(u, -1)]
+        while stack:
+            n, frm = stack.pop()
+            mc_hosts[n] = self._host(vid, n)
+            tn = self.tree.nodes[n]
+            kids = []
+            if tn.parent is not None and tn.parent in cs.nodes and tn.parent != frm:
+                kids.append(tn.parent)
+            for c in tn.children:
+                if c in cs.nodes and c != frm:
+                    kids.append(c)
+            mc_children[n] = kids
+            stack.extend((k, n) for k in kids)
+
+        # --- state update (atomic at initiation) ---
+        if self._track_mem:
+            for n in cs.nodes - set(path):
+                mem = self.memory[self._host(vid, n)]
+                key = (vid, n)
+                if key in mem:
+                    mem.remove(key)
+        cs.nodes = {u}
+        cs.top = u
+        self._add_copies(var, cs, path, t)
+        self.registry.set(var, value)
+
+        # --- timing flow ---
+        sim = self.sim
+        runtime = self.runtime
+        up = list(zip(hosts, hosts[1:]))
+        # The write request carries the new value ("a message including the
+        # new value") to u ...
+        legs_to_u = [(a, b, payload, True) for a, b in up]
+        # ... and the modified copy travels back, leaving copies on the path.
+        legs_back = [(b, a, payload, True) for a, b in reversed(up)]
+
+        def after_request(t1: float) -> None:
+            multicast_acks(sim, u, mc_children, mc_hosts, t1, after_inval)
+
+        def after_inval(t2: float) -> None:
+            chain(sim, legs_back, t2, lambda t3: runtime.resume(proc, t3, None))
+
+        chain(sim, legs_to_u, t, after_request)
+        return None
+
+    # ---------------------------------------------------------------- locks
+    def lock(self, proc: int, var: GlobalVariable, t: float, grant: GrantCallback) -> None:
+        self._locks.lock(proc, var.vid, var.creator, t, grant)
+
+    def unlock(self, proc: int, var: GlobalVariable, t: float) -> float:
+        return self._locks.unlock(proc, var.vid, var.creator, t)
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.write_local = 0
+        self.write_remote = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessTreeStrategy({self.arity}, {self.embedding.name}, {self.mesh!r})"

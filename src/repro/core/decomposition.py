@@ -1,0 +1,286 @@
+"""Hierarchical mesh decomposition and decomposition trees.
+
+Section 2 of the paper: the access tree strategy is based on a recursive
+decomposition of the mesh.  A mesh ``M`` with side lengths ``m1 >= m2`` is
+partitioned into two non-overlapping submeshes of size ``ceil(m1/2) x m2``
+and ``floor(m1/2) x m2``, which are decomposed recursively; the recursion
+ends at single processors.  The *decomposition tree* has one node per
+submesh produced this way.
+
+Variants (all implemented here through one builder):
+
+* **2-ary** -- the tree exactly as above.
+* **4-ary** -- "just skips the odd decomposition levels of the 2-ary
+  decomposition": every kept node's children are its binary grandchildren.
+* **16-ary** -- skips the odd levels of the 4-ary decomposition (stride 4
+  over binary levels).
+* **l-k-ary** (``l in {2, 4}``, ``k >= l``) -- an l-ary decomposition that
+  "terminates at submeshes of size k": a node representing a submesh of
+  ``k0 <= k`` processors gets ``k0`` children, one per processor.
+
+In every variant the leaves of the tree are the individual processors, so
+each processor has a unique leaf (``leaf_of_proc``), and the processor
+numbering induced by reading the leaves left to right is exactly the
+numbering the paper uses for its locality-preserving assignment of bitonic
+wires and Barnes-Hut costzones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..network.mesh import Mesh2D
+
+__all__ = ["DecompNode", "DecompositionTree", "build_tree", "parse_arity"]
+
+
+@dataclass
+class DecompNode:
+    """One node of a decomposition tree = one submesh.
+
+    ``row0, col0, rows, cols`` describe the submesh; leaves have
+    ``rows == cols == 1``.
+    """
+
+    idx: int
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+    parent: Optional[int]
+    depth: int
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DecompNode({self.idx}, d{self.depth}, "
+            f"[{self.row0}:{self.row0 + self.rows})x[{self.col0}:{self.col0 + self.cols}))"
+        )
+
+
+class DecompositionTree:
+    """A decomposition tree over a mesh, with tree-path utilities.
+
+    The same tree object is shared by *all* access trees of a strategy
+    (every variable's access tree is "a copy of the decomposition tree");
+    only the embedding (node -> hosting processor) differs per variable.
+    """
+
+    def __init__(self, mesh: Mesh2D, nodes: List[DecompNode], label: str):
+        self.mesh = mesh
+        self.nodes = nodes
+        self.label = label
+        self.root = 0
+        self.leaf_of_proc: List[int] = [-1] * mesh.n_nodes
+        for n in nodes:
+            if n.is_leaf:
+                proc = mesh.node(n.row0, n.col0)
+                if self.leaf_of_proc[proc] != -1:
+                    raise AssertionError(f"duplicate leaf for processor {proc}")
+                self.leaf_of_proc[proc] = n.idx
+        missing = [p for p, leaf in enumerate(self.leaf_of_proc) if leaf == -1]
+        if missing:
+            raise AssertionError(f"processors without leaves: {missing[:5]}...")
+        self.parent = [(-1 if n.parent is None else n.parent) for n in nodes]
+        self.depth = [n.depth for n in nodes]
+        self.height = max(self.depth)
+        self.max_degree = max((len(n.children) for n in nodes), default=0)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ----------------------------------------------------------- tree paths
+    def tree_path(self, a: int, b: int) -> List[int]:
+        """Node ids on the unique tree path ``a .. b`` (inclusive)."""
+        if a == b:
+            return [a]
+        depth = self.depth
+        parent = self.parent
+        up_a: List[int] = [a]
+        up_b: List[int] = [b]
+        x, y = a, b
+        while depth[x] > depth[y]:
+            x = parent[x]
+            up_a.append(x)
+        while depth[y] > depth[x]:
+            y = parent[y]
+            up_b.append(y)
+        while x != y:
+            x = parent[x]
+            y = parent[y]
+            up_a.append(x)
+            up_b.append(y)
+        # x == y == LCA; up_a ends with LCA, up_b ends with LCA.
+        up_b.pop()  # drop duplicate LCA
+        return up_a + up_b[::-1]
+
+    def tree_distance(self, a: int, b: int) -> int:
+        return len(self.tree_path(a, b)) - 1
+
+    def leaves_under(self, node: int) -> Iterator[int]:
+        """All leaf node ids in the subtree of ``node``."""
+        stack = [node]
+        while stack:
+            n = self.nodes[stack.pop()]
+            if n.is_leaf:
+                yield n.idx
+            else:
+                stack.extend(n.children)
+
+    def procs_under(self, node: int) -> List[int]:
+        """Processors of the submesh represented by ``node``."""
+        n = self.nodes[node]
+        return self.mesh.submesh_nodes(n.row0, n.col0, n.rows, n.cols)
+
+    def leaves_inorder(self) -> List[int]:
+        """Leaf node ids left to right (defines the locality-preserving
+        processor numbering used by bitonic sorting and costzones)."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            n = self.nodes[stack.pop()]
+            if n.is_leaf:
+                out.append(n.idx)
+            else:
+                stack.extend(reversed(n.children))
+        return out
+
+    def procs_inorder(self) -> List[int]:
+        """Processor ids in leaf left-to-right order."""
+        return [self.mesh.node(self.nodes[l].row0, self.nodes[l].col0) for l in self.leaves_inorder()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DecompositionTree({self.label}, {len(self.nodes)} nodes, height {self.height})"
+
+
+# --------------------------------------------------------------------- build
+def _split(rows: int, cols: int, row0: int, col0: int) -> List[Tuple[int, int, int, int]]:
+    """Binary split of a submesh: halve the longer side (ceil/floor);
+    ties split rows, matching the paper's ``m1 >= m2`` orientation."""
+    if rows >= cols:
+        top = (rows + 1) // 2
+        return [(row0, col0, top, cols), (row0 + top, col0, rows - top, cols)]
+    left = (cols + 1) // 2
+    return [(row0, col0, rows, left), (row0, col0 + left, rows, cols - left)]
+
+
+def _binary_children(
+    box: Tuple[int, int, int, int],
+    stride: int,
+    terminal: int,
+) -> List[Tuple[int, int, int, int]]:
+    """Descend ``stride`` binary levels from ``box``, stopping early at
+    single processors or at submeshes of size <= ``terminal``."""
+    frontier = [box]
+    for _ in range(stride):
+        nxt: List[Tuple[int, int, int, int]] = []
+        for r0, c0, r, c in frontier:
+            if r * c == 1 or r * c <= terminal:
+                nxt.append((r0, c0, r, c))
+            else:
+                nxt.extend(_split(r, c, r0, c0))
+        frontier = nxt
+    return frontier
+
+
+def build_tree(
+    mesh: Mesh2D,
+    stride: int = 2,
+    terminal: int = 1,
+    label: Optional[str] = None,
+) -> DecompositionTree:
+    """Build a decomposition tree.
+
+    Parameters
+    ----------
+    stride:
+        Binary levels contracted into one tree level: 1 -> 2-ary,
+        2 -> 4-ary, 4 -> 16-ary.
+    terminal:
+        ``k`` of the l-k-ary variants: the decomposition stops at submeshes
+        of ``<= k`` processors, which then get one child per processor.
+        ``terminal=1`` reproduces the plain variants.
+    """
+    if stride not in (1, 2, 4):
+        raise ValueError(f"stride must be 1, 2 or 4 (2-, 4-, 16-ary); got {stride}")
+    if terminal < 1:
+        raise ValueError("terminal submesh size must be >= 1")
+
+    nodes: List[DecompNode] = []
+
+    def add(box: Tuple[int, int, int, int], parent: Optional[int], depth: int) -> int:
+        r0, c0, r, c = box
+        node = DecompNode(len(nodes), r0, c0, r, c, parent, depth)
+        nodes.append(node)
+        return node.idx
+
+    root = add((0, 0, mesh.rows, mesh.cols), None, 0)
+    stack = [root]
+    while stack:
+        idx = stack.pop()
+        n = nodes[idx]
+        if n.size == 1:
+            continue  # leaf processor
+        if n.size <= terminal:
+            # Terminal node of the l-k-ary variant: one child per processor.
+            for r in range(n.row0, n.row0 + n.rows):
+                for c in range(n.col0, n.col0 + n.cols):
+                    add((r, c, 1, 1), idx, n.depth + 1)
+                    n.children.append(len(nodes) - 1)
+            continue
+        for box in _binary_children((n.row0, n.col0, n.rows, n.cols), stride, terminal):
+            child = add(box, idx, n.depth + 1)
+            n.children.append(child)
+            stack.append(child)
+
+    if label is None:
+        base = {1: "2-ary", 2: "4-ary", 4: "16-ary"}[stride]
+        label = base if terminal == 1 else f"{ {1: 2, 2: 4, 4: 16}[stride] }-{terminal}-ary"
+    return DecompositionTree(mesh, nodes, label)
+
+
+#: Named variants evaluated in the paper -> (stride, terminal).
+_ARITIES: Dict[str, Tuple[int, int]] = {
+    "2-ary": (1, 1),
+    "4-ary": (2, 1),
+    "16-ary": (4, 1),
+    "2-4-ary": (1, 4),
+    "4-8-ary": (2, 8),
+    "4-16-ary": (2, 16),
+}
+
+
+def parse_arity(name: str) -> Tuple[int, int]:
+    """Map a strategy-variant name to ``(stride, terminal)``.
+
+    Supports the paper's named variants plus the general patterns
+    ``"<l>-ary"`` and ``"<l>-<k>-ary"`` with ``l in {2, 4, 16}``.
+    """
+    if name in _ARITIES:
+        return _ARITIES[name]
+    parts = name.split("-")
+    try:
+        if len(parts) == 2 and parts[1] == "ary":
+            stride = {2: 1, 4: 2, 16: 4}[int(parts[0])]
+            return stride, 1
+        if len(parts) == 3 and parts[2] == "ary":
+            stride = {2: 1, 4: 2, 16: 4}[int(parts[0])]
+            k = int(parts[1])
+            if k < int(parts[0]):
+                raise KeyError
+            return stride, k
+    except (KeyError, ValueError):
+        pass
+    raise ValueError(
+        f"unknown access-tree arity {name!r}; expected one of {sorted(_ARITIES)} "
+        "or '<l>-ary' / '<l>-<k>-ary' with l in {2,4,16} and k >= l"
+    )

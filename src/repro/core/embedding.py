@@ -1,0 +1,126 @@
+"""Embeddings of access trees into the mesh.
+
+For each global variable the access tree (a copy of the decomposition tree)
+is embedded into the mesh: every tree node is hosted by a processor of the
+submesh it represents.  Two embeddings are implemented:
+
+* :class:`RandomEmbedding` -- the theoretical version analysed in Maggs et
+  al.: each node is mapped *independently and uniformly at random* to a
+  processor of its submesh.
+* :class:`ModifiedEmbedding` -- the paper's practical improvement
+  ("Practical improvements to the access tree strategy"): the root is
+  mapped at random; every other node ``v`` with parent ``v'`` inherits the
+  parent's submesh-local coordinates modulo its own submesh size:
+  if ``v'`` sits in row ``i`` / column ``j`` *of its submesh* ``M'``, then
+  ``v`` is hosted at row ``i mod m1``, column ``j mod m2`` of its submesh
+  ``M`` (``m1 x m2``).  This shortens the expected distance between
+  neighbouring tree nodes at the price of correlated placements (the paper
+  saw no bad effects, and neither do our ablations).
+
+Both embeddings are deterministic functions of ``(seed, variable id)`` and
+are computed lazily, node by node: Barnes-Hut creates hundreds of thousands
+of variables, and only the tree nodes actually touched by the protocol ever
+need a host.
+
+A leaf's submesh is a single processor, so every leaf is hosted by "its"
+processor under both embeddings -- requests enter and answers leave the
+tree at the requesting processor, as the protocol requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .decomposition import DecompositionTree
+
+__all__ = ["Embedding", "RandomEmbedding", "ModifiedEmbedding", "make_embedding"]
+
+_MIX1 = 0x9E3779B97F4A7C15
+_MIX2 = 1000003
+
+
+def _key(seed: int, vid: int, node: int) -> int:
+    """Stable scalar seed for (run seed, variable, tree node)."""
+    return (seed * _MIX2 + vid + 1) * _MIX2 + node ^ _MIX1
+
+
+class Embedding:
+    """Base class: lazy per-variable ``host(vid, node) -> processor`` map."""
+
+    name = "abstract"
+
+    def __init__(self, tree: DecompositionTree, seed: int = 0):
+        self.tree = tree
+        self.seed = seed
+        self._cache: Dict[int, Dict[int, int]] = {}
+
+    def host(self, vid: int, node: int) -> int:
+        """Processor hosting tree ``node`` of variable ``vid``'s access tree."""
+        per_var = self._cache.get(vid)
+        if per_var is None:
+            per_var = self._cache[vid] = {}
+        h = per_var.get(node)
+        if h is None:
+            h = self._compute(vid, node, per_var)
+            per_var[node] = h
+        return h
+
+    def hosts_for(self, vid: int, nodes) -> List[int]:
+        return [self.host(vid, n) for n in nodes]
+
+    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+        raise NotImplementedError
+
+    def forget(self, vid: int) -> None:
+        """Drop the lazy cache of a variable (used when variables die)."""
+        self._cache.pop(vid, None)
+
+
+class RandomEmbedding(Embedding):
+    """Theoretical embedding: independent uniform host per tree node."""
+
+    name = "random"
+
+    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+        n = self.tree.nodes[node]
+        if n.size == 1:
+            return self.tree.mesh.node(n.row0, n.col0)
+        rng = random.Random(_key(self.seed, vid, node))
+        r = n.row0 + rng.randrange(n.rows)
+        c = n.col0 + rng.randrange(n.cols)
+        return self.tree.mesh.node(r, c)
+
+
+class ModifiedEmbedding(Embedding):
+    """The paper's regular embedding: child inherits parent's submesh-local
+    coordinates modulo its own submesh size; only the root is random."""
+
+    name = "modified"
+
+    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+        tree = self.tree
+        n = tree.nodes[node]
+        if n.size == 1:
+            return tree.mesh.node(n.row0, n.col0)
+        if n.parent is None:  # root: random in the whole mesh
+            rng = random.Random(_key(self.seed, vid, node))
+            r = n.row0 + rng.randrange(n.rows)
+            c = n.col0 + rng.randrange(n.cols)
+            return tree.mesh.node(r, c)
+        parent_host = self.host(vid, n.parent)  # memoized recursion
+        p = tree.nodes[n.parent]
+        pr, pc = tree.mesh.coord(parent_host)
+        li, lj = pr - p.row0, pc - p.col0  # parent's submesh-local coords
+        r = n.row0 + (li % n.rows)
+        c = n.col0 + (lj % n.cols)
+        return tree.mesh.node(r, c)
+
+
+def make_embedding(kind: str, tree: DecompositionTree, seed: int = 0) -> Embedding:
+    """Factory: ``"modified"`` (paper default) or ``"random"`` (theoretical)."""
+    if kind == "modified":
+        return ModifiedEmbedding(tree, seed)
+    if kind == "random":
+        return RandomEmbedding(tree, seed)
+    raise ValueError(f"unknown embedding {kind!r}; expected 'modified' or 'random'")

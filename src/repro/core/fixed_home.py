@@ -1,0 +1,209 @@
+"""The fixed home strategy (the paper's CC-NUMA-like baseline).
+
+Each global variable is assigned a *home* processor chosen uniformly at
+random; the home keeps track of the variable's copies using the classical
+**ownership scheme**:
+
+* at any time either some processor or the home ("main memory") is the
+  owner;
+* a **write** by a non-owner invalidates all existing copies (the home
+  sends one invalidation per copy holder and collects acknowledgements)
+  and makes the writer the owner holding the sole copy; writes by the
+  owner are free;
+* a **read** by a processor without a valid copy asks the home; if a
+  processor owns the variable, the home first fetches the value (moving
+  ownership back to the home, the previous owner keeping a non-owner
+  copy), then answers with a data message.
+
+If every write is preceded by a read of the same processor -- true for all
+three applications -- this behaves like a P-ary access tree, which is why
+the paper considers it the right baseline.
+
+Locks are served by a FIFO queue at the variable's home.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..network.mesh import Mesh2D
+from ..runtime.locks import HomeLock
+from ..runtime.variables import GlobalVariable
+from ..sim.flows import chain, multicast_acks
+from .strategy import DataManagementStrategy, GrantCallback
+
+__all__ = ["FixedHomeStrategy"]
+
+#: Owner sentinel: the home/main-memory is the owner.
+HOME = -1
+
+
+class _VarState:
+    __slots__ = ("home", "copies", "owner")
+
+    def __init__(self, home: int, creator: int):
+        self.home = home
+        # The creator initialized the variable: it holds the sole copy and
+        # the ownership, exactly as after a write (matching the paper's
+        # matrix-multiplication initial configuration).
+        self.copies: Set[int] = {creator}
+        self.owner = creator
+
+
+class FixedHomeStrategy(DataManagementStrategy):
+    """Fixed home + ownership scheme."""
+
+    name = "fixed-home"
+
+    def __init__(self, mesh: Mesh2D, seed: int = 0):
+        self.mesh = mesh
+        self.seed = seed
+        self._states: Dict[int, _VarState] = {}
+        self.write_local = 0
+        self.write_remote = 0
+
+    def attach(self, runtime) -> None:
+        super().attach(runtime)
+        self._locks = HomeLock(self.sim, self.home_of)
+        # LRU bookkeeping is only needed under bounded memory.
+        self._track_mem = self.memory.capacity is not None
+
+    # ----------------------------------------------------------- inspection
+    def home_of(self, vid: int) -> int:
+        return self._states[vid].home
+
+    def copy_procs(self, var: GlobalVariable) -> Set[int]:
+        return set(self._states[var.vid].copies)
+
+    def owner_of(self, var: GlobalVariable) -> int:
+        """Current owner processor, or ``HOME`` (-1)."""
+        return self._states[var.vid].owner
+
+    @property
+    def lock_acquisitions(self) -> int:
+        return self._locks.acquisitions
+
+    # ------------------------------------------------------------- plumbing
+    def _mem_insert(self, st: _VarState, var: GlobalVariable, proc: int, t: float) -> None:
+        if not self._track_mem:
+            return
+        mem = self.memory[proc]
+
+        def evictable(vid2) -> bool:
+            st2 = self._states[vid2]
+            if st2.owner == proc:
+                return False  # the owner's copy is authoritative
+            if st2.owner == HOME and proc == st2.home:
+                return False  # ditto for the home's copy
+            return True
+
+        def on_evict(vid2) -> None:
+            st2 = self._states[vid2]
+            st2.copies.discard(proc)
+            # Dropping a cached copy must be announced to the home, which
+            # tracks all copies for invalidation.
+            self.sim.send_leg(proc, st2.home, 0, t, is_data=False)
+
+        mem.insert(var.vid, var.payload_bytes, evictable, on_evict)
+
+    # ------------------------------------------------------------------ API
+    def register(self, var: GlobalVariable) -> None:
+        rng = random.Random((self.seed * 1000003 + var.vid) ^ 0x5EED)
+        home = rng.randrange(self.mesh.n_nodes)
+        st = _VarState(home, var.creator)
+        self._states[var.vid] = st
+        if self._track_mem:
+            self._mem_insert(st, var, var.creator, 0.0)
+
+    def read(self, proc: int, var: GlobalVariable, t: float) -> Optional[Tuple[float, Any]]:
+        """Serve a read.  Returns ``(t, value)`` for a local hit; otherwise
+        launches the home round-trip flow and returns ``None``."""
+        st = self._states[var.vid]
+        if proc in st.copies:
+            self.hits += 1
+            if self._track_mem:
+                mem = self.memory[proc]
+                if var.vid in mem:
+                    mem.touch(var.vid)
+            return t, self.registry.get(var)
+        self.misses += 1
+        payload = var.payload_bytes
+        legs: List[tuple] = [(proc, st.home, 0, False)]
+        if st.owner != HOME:
+            # The home first fetches the value from the current owner,
+            # moving the ownership back to the main memory.
+            q = st.owner
+            legs.append((st.home, q, 0, False))
+            legs.append((q, st.home, payload, True))
+            st.owner = HOME
+            st.copies.add(st.home)
+            self._mem_insert(st, var, st.home, t)
+        legs.append((st.home, proc, payload, True))
+        st.copies.add(proc)
+        self._mem_insert(st, var, proc, t)
+        value = self.registry.get(var)
+        runtime = self.runtime
+        chain(self.sim, legs, t, lambda td: runtime.resume(proc, td, value))
+        return None
+
+    def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> Optional[float]:
+        """Serve a write.  Owner writes are free; otherwise the home
+        invalidates all copies (serializing at its NIC -- the hotspot the
+        paper attributes to this strategy), collects acknowledgements and
+        grants ownership to the writer."""
+        st = self._states[var.vid]
+        if st.owner == proc:
+            self.write_local += 1
+            self.registry.set(var, value)
+            if self._track_mem:
+                mem = self.memory[proc]
+                if var.vid in mem:
+                    mem.touch(var.vid)
+            return t
+        self.write_remote += 1
+        home = st.home
+        holders = sorted(st.copies - {proc})
+        # --- state update (atomic at initiation) ---
+        if self._track_mem:
+            for q in holders:
+                mem = self.memory[q]
+                if var.vid in mem:
+                    mem.remove(var.vid)
+        st.copies = {proc}
+        st.owner = proc
+        self.registry.set(var, value)
+        self._mem_insert(st, var, proc, t)
+
+        # --- timing flow: request; star-multicast invalidations + acks
+        # through the home; ownership grant back to the writer. ---
+        mc_children = {-1: list(range(len(holders)))}
+        mc_hosts = {-1: home}
+        for i, q in enumerate(holders):
+            mc_hosts[i] = q
+        sim = self.sim
+        runtime = self.runtime
+
+        def after_request(t1: float) -> None:
+            multicast_acks(sim, -1, mc_children, mc_hosts, t1, after_acks)
+
+        def after_acks(t2: float) -> None:
+            chain(sim, [(home, proc, 0, False)], t2, lambda t3: runtime.resume(proc, t3, None))
+
+        chain(sim, [(proc, home, 0, False)], t, after_request)
+        return None
+
+    # ---------------------------------------------------------------- locks
+    def lock(self, proc: int, var: GlobalVariable, t: float, grant: GrantCallback) -> None:
+        self._locks.lock(proc, var.vid, var.creator, t, grant)
+
+    def unlock(self, proc: int, var: GlobalVariable, t: float) -> float:
+        return self._locks.unlock(proc, var.vid, var.creator, t)
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.write_local = 0
+        self.write_remote = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedHomeStrategy(seed={self.seed}, {self.mesh!r})"

@@ -1,0 +1,137 @@
+"""Data-management strategy interface and factory.
+
+A strategy decides, for every read and write of a global variable, which
+messages flow where (and therefore what congestion arises), and it provides
+the lock service for its variables.  The two families from the paper:
+
+* the **access tree strategy** (:mod:`repro.core.access_tree`) in all its
+  arity/embedding variants, and
+* the **fixed home strategy** (:mod:`repro.core.fixed_home`).
+
+Hand-optimized message-passing programs bypass data management entirely and
+run under :class:`NullStrategy`.
+
+Strategies are attached to a :class:`repro.runtime.launcher.Runtime` before
+the run; reads/writes return *completion times* in virtual seconds, having
+recorded their traffic in the simulator (atomic-at-initiation discipline,
+see :mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from ..network.mesh import Mesh2D
+from ..runtime.variables import GlobalVariable
+
+__all__ = ["DataManagementStrategy", "NullStrategy", "make_strategy", "STRATEGY_NAMES"]
+
+GrantCallback = Callable[[float], None]
+
+
+class DataManagementStrategy:
+    """Abstract base: the runtime calls these entry points."""
+
+    #: Human-readable name used in result tables.
+    name: str = "abstract"
+
+    def attach(self, runtime) -> None:
+        """Bind to a runtime (simulator, registry, memory book)."""
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.registry = runtime.registry
+        self.memory = runtime.memory
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, var: GlobalVariable) -> None:
+        """A variable was created; place its initial sole copy."""
+        raise NotImplementedError
+
+    def read(self, proc: int, var: GlobalVariable, t: float) -> Tuple[float, Any]:
+        """Serve a read issued by ``proc`` at time ``t``; returns
+        ``(completion_time, value)``."""
+        raise NotImplementedError
+
+    def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> float:
+        """Serve a write; returns its completion time."""
+        raise NotImplementedError
+
+    def lock(self, proc: int, var: GlobalVariable, t: float, grant: GrantCallback) -> None:
+        raise NotImplementedError
+
+    def unlock(self, proc: int, var: GlobalVariable, t: float) -> float:
+        raise NotImplementedError
+
+    @property
+    def lock_acquisitions(self) -> int:
+        return 0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class NullStrategy(DataManagementStrategy):
+    """No shared data management: for pure message-passing programs
+    (the paper's hand-optimized baselines)."""
+
+    name = "handopt"
+
+    def register(self, var: GlobalVariable) -> None:
+        raise RuntimeError("NullStrategy programs must not create global variables")
+
+    def read(self, proc, var, t):
+        raise RuntimeError("NullStrategy programs must not read global variables")
+
+    def write(self, proc, var, value, t):
+        raise RuntimeError("NullStrategy programs must not write global variables")
+
+    def lock(self, proc, var, t, grant):
+        raise RuntimeError("NullStrategy programs must not lock global variables")
+
+    def unlock(self, proc, var, t):
+        raise RuntimeError("NullStrategy programs must not unlock global variables")
+
+
+#: Strategy names accepted by :func:`make_strategy` (the paper's variants).
+STRATEGY_NAMES = (
+    "2-ary",
+    "4-ary",
+    "16-ary",
+    "2-4-ary",
+    "4-8-ary",
+    "4-16-ary",
+    "fixed-home",
+    "handopt",
+)
+
+
+def make_strategy(
+    name: str,
+    mesh: Mesh2D,
+    seed: int = 0,
+    embedding: str = "modified",
+    remap_threshold=None,
+):
+    """Build a strategy by paper name.
+
+    ``name`` is one of the access-tree variants (``"2-ary"``, ``"4-ary"``,
+    ``"16-ary"``, ``"2-4-ary"``, ``"4-8-ary"``, ``"4-16-ary"``, or any
+    ``"<l>-<k>-ary"``), ``"fixed-home"``, or ``"handopt"``.
+    ``embedding`` selects ``"modified"`` (paper default) or ``"random"``
+    (the theoretical analysis) for access trees; ``remap_threshold``
+    enables the theoretical strategy's node remapping (the paper omits it;
+    ``None`` = off) after that many stops at the same tree node.
+    """
+    if name == "fixed-home":
+        from .fixed_home import FixedHomeStrategy
+
+        return FixedHomeStrategy(mesh, seed=seed)
+    if name == "handopt":
+        return NullStrategy()
+    from .access_tree import AccessTreeStrategy
+
+    return AccessTreeStrategy(
+        mesh, arity=name, seed=seed, embedding=embedding, remap_threshold=remap_threshold
+    )

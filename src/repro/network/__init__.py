@@ -1,0 +1,20 @@
+"""Mesh network substrate: topology, routing, traffic statistics, cost model."""
+
+from .machine import GCEL, ZERO_COST, MachineModel
+from .mesh import Coord, Mesh2D
+from .routing import path_length, route_links, route_nodes
+from .stats import LinkStats, PhaseStats, StatsSnapshot
+
+__all__ = [
+    "Mesh2D",
+    "Coord",
+    "route_links",
+    "route_nodes",
+    "path_length",
+    "LinkStats",
+    "StatsSnapshot",
+    "PhaseStats",
+    "MachineModel",
+    "GCEL",
+    "ZERO_COST",
+]

@@ -1,0 +1,112 @@
+"""Machine cost model.
+
+The simulator charges virtual time for three resources, mirroring the cost
+structure the paper identifies on the Parsytec GCel:
+
+* **link bandwidth** -- a message of ``s`` bytes occupies every link of its
+  path for ``s / link_bandwidth`` seconds (the congestion effect);
+* **startup cost** -- every message send and every receive occupies the
+  processor's network interface.  The paper: "Any intermediate stop on a
+  processor simulating an internal node of the access tree requires that
+  this processor receives, inspects, and sends out a message.  The sending
+  of a message by a processor is called a startup."  Startup cost grows
+  with message size (copying/packetization), so "the startup cost [of
+  messages including program data] are a lot larger than the startup cost
+  for small control messages" -- we model it as
+  ``nic_fixed_overhead + wire_bytes * nic_byte_overhead`` per send and per
+  receive.  This is the cost that flat (high-arity) access trees reduce;
+* **processor speed** -- local computation is charged as
+  ``ops * int_op_time``.
+
+GCel calibration (Section 3 of the paper):
+
+* "We have measured a maximum link bandwidth of about 1 Mbyte/sec."
+* "fairly large messages of about 1 Kbyte have to be transmitted to achieve
+  this high bandwidth" -- the fixed per-message overhead is of the order of
+  the transfer time of a few hundred bytes.
+* "The processor speed is about 0.29 integer additions a micro sec."
+  (measured on 4-byte integers, which also fixes ``word_bytes = 4``; the
+  paper derives the link/processor speed ratio 0.86 from these numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineModel", "GCEL", "ZERO_COST"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Virtual-time cost parameters (seconds, bytes).
+
+    Attributes
+    ----------
+    link_bandwidth:
+        Bytes per second per directed link.
+    nic_fixed_overhead:
+        Fixed NIC occupancy per message operation (send or receive).
+    nic_byte_overhead:
+        Additional NIC occupancy per wire byte (copy/packetization cost) at
+        each endpoint; this makes data startups "a lot larger" than control
+        startups, as measured in the paper.
+    hop_latency:
+        Per-hop wormhole routing latency (small on the GCel).
+    int_op_time:
+        Seconds per integer (or comparable float) operation of local compute.
+    word_bytes:
+        Bytes per matrix entry / sort key (the paper uses 4-byte integers).
+    ctrl_bytes:
+        Wire size of a protocol control message (request, invalidation, ack,
+        barrier/lock token).
+    header_bytes:
+        Per-message header added on top of a data payload.
+    local_overhead:
+        Cost of a message a node sends to itself (same-processor tree
+        neighbours); essentially a function call in DIVA.
+    """
+
+    link_bandwidth: float = 1.0e6
+    nic_fixed_overhead: float = 6.0e-5
+    nic_byte_overhead: float = 1.0e-7
+    hop_latency: float = 1.0e-5
+    int_op_time: float = 1.0e-6 / 0.29
+    word_bytes: int = 4
+    ctrl_bytes: int = 32
+    header_bytes: int = 16
+    local_overhead: float = 2.0e-5
+
+    def nic_overhead(self, wire_bytes: float) -> float:
+        """NIC occupancy of one send (or one receive) of ``wire_bytes``."""
+        return self.nic_fixed_overhead + wire_bytes * self.nic_byte_overhead
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Pure bandwidth term for one link crossing."""
+        return size_bytes / self.link_bandwidth
+
+    def compute_time(self, ops: float) -> float:
+        """Local computation charge for ``ops`` elementary operations."""
+        return ops * self.int_op_time
+
+    def data_bytes(self, payload_bytes: int) -> int:
+        """On-wire size of a data message carrying ``payload_bytes``."""
+        return payload_bytes + self.header_bytes
+
+    def with_(self, **kw) -> "MachineModel":
+        """Return a copy with some parameters replaced (for ablations)."""
+        return replace(self, **kw)
+
+
+#: The Parsytec GCel model used throughout the paper's evaluation.
+GCEL = MachineModel()
+
+#: A zero-cost machine: every operation takes no virtual time.  Useful in
+#: unit tests that only care about protocol correctness and traffic counts.
+ZERO_COST = MachineModel(
+    link_bandwidth=float("inf"),
+    nic_fixed_overhead=0.0,
+    nic_byte_overhead=0.0,
+    hop_latency=0.0,
+    int_op_time=0.0,
+    local_overhead=0.0,
+)

@@ -1,0 +1,167 @@
+"""2-D mesh topology.
+
+The paper's experimental platform is the Parsytec GCel, whose nodes are
+connected by a 32x32 mesh.  This module provides the combinatorial side of
+that network: node numbering, coordinates, and *directed* links with dense
+integer identifiers so that traffic statistics and link-availability times
+can live in flat numpy arrays.
+
+Conventions
+-----------
+* Processors are numbered ``0 .. P-1`` in **row-major** order, exactly as the
+  paper assumes for its modified access-tree embedding and for the bitonic
+  wire <-> processor assignment.
+* A node's coordinate is ``(row, col)`` with ``0 <= row < rows`` and
+  ``0 <= col < cols``.
+* Every physical wire between neighbouring nodes is represented by **two**
+  directed links (the paper measured that the GCel achieves full bandwidth
+  in both directions of a link almost independently, so the two directions
+  are independent resources).
+
+Directed link id layout (``rows = R``, ``cols = C``)::
+
+    [0,              R*(C-1))    : horizontal, eastbound  (r, c) -> (r, c+1)
+    [R*(C-1),      2*R*(C-1))    : horizontal, westbound  (r, c+1) -> (r, c)
+    [2*R*(C-1),    2*R*(C-1) +   (R-1)*C) : vertical, southbound (r, c) -> (r+1, c)
+    [... + (R-1)*C, ... + 2*(R-1)*C)      : vertical, northbound (r+1, c) -> (r, c)
+
+The layout is an implementation detail; use :meth:`Mesh2D.h_link` /
+:meth:`Mesh2D.v_link` or :func:`repro.network.routing.route_links` rather
+than computing ids by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Mesh2D", "Coord"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``rows x cols`` mesh of processors.
+
+    Parameters
+    ----------
+    rows, cols:
+        Side lengths.  Both must be at least 1; the paper uses square and
+        2:1-rectangular meshes (``8x16``, ``16x32``) but any shape works.
+
+    Examples
+    --------
+    >>> m = Mesh2D(4, 3)
+    >>> m.n_nodes
+    12
+    >>> m.coord(5)
+    (1, 2)
+    >>> m.node(1, 2)
+    5
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"mesh sides must be >= 1, got {self.rows}x{self.cols}")
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def n_nodes(self) -> int:
+        """Number of processors ``P``."""
+        return self.rows * self.cols
+
+    def node(self, row: int, col: int) -> int:
+        """Row-major node id of coordinate ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinate ({row},{col}) outside {self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    def coord(self, node: int) -> Coord:
+        """``(row, col)`` of a node id."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside mesh of {self.n_nodes} nodes")
+        return divmod(node, self.cols)
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(self.n_nodes)
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Hop distance between two nodes under minimal (dimension-order) routing."""
+        ra, ca = self.coord(a)
+        rb, cb = self.coord(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    # ------------------------------------------------------------------ links
+    @property
+    def n_h_links_per_dir(self) -> int:
+        return self.rows * (self.cols - 1)
+
+    @property
+    def n_v_links_per_dir(self) -> int:
+        return (self.rows - 1) * self.cols
+
+    @property
+    def n_links(self) -> int:
+        """Total number of *directed* links."""
+        return 2 * (self.n_h_links_per_dir + self.n_v_links_per_dir)
+
+    def h_link(self, row: int, col: int, eastbound: bool) -> int:
+        """Directed link id of the horizontal wire between ``(row, col)`` and
+        ``(row, col+1)``; ``eastbound`` selects the ``c -> c+1`` direction."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols - 1):
+            raise ValueError(f"no horizontal wire at ({row},{col}) in {self.rows}x{self.cols}")
+        base = row * (self.cols - 1) + col
+        return base if eastbound else base + self.n_h_links_per_dir
+
+    def v_link(self, row: int, col: int, southbound: bool) -> int:
+        """Directed link id of the vertical wire between ``(row, col)`` and
+        ``(row+1, col)``; ``southbound`` selects the ``r -> r+1`` direction."""
+        if not (0 <= row < self.rows - 1 and 0 <= col < self.cols):
+            raise ValueError(f"no vertical wire at ({row},{col}) in {self.rows}x{self.cols}")
+        off = 2 * self.n_h_links_per_dir
+        base = row * self.cols + col
+        return off + (base if southbound else base + self.n_v_links_per_dir)
+
+    def link_endpoints(self, link: int) -> Tuple[int, int]:
+        """``(src_node, dst_node)`` of a directed link id (inverse of
+        :meth:`h_link`/:meth:`v_link`); useful for debugging and plots."""
+        nh = self.n_h_links_per_dir
+        nv = self.n_v_links_per_dir
+        if not (0 <= link < self.n_links):
+            raise ValueError(f"link {link} outside 0..{self.n_links - 1}")
+        if link < nh:  # east
+            row, col = divmod(link, self.cols - 1)
+            return self.node(row, col), self.node(row, col + 1)
+        if link < 2 * nh:  # west
+            row, col = divmod(link - nh, self.cols - 1)
+            return self.node(row, col + 1), self.node(row, col)
+        if link < 2 * nh + nv:  # south
+            row, col = divmod(link - 2 * nh, self.cols)
+            return self.node(row, col), self.node(row + 1, col)
+        # north
+        row, col = divmod(link - 2 * nh - nv, self.cols)
+        return self.node(row + 1, col), self.node(row, col)
+
+    def iter_links(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(link_id, src, dst)`` for every directed link."""
+        for link in range(self.n_links):
+            src, dst = self.link_endpoints(link)
+            yield link, src, dst
+
+    # --------------------------------------------------------------- regions
+    def submesh_nodes(self, row0: int, col0: int, rows: int, cols: int) -> list[int]:
+        """Node ids of the ``rows x cols`` submesh whose top-left corner is
+        ``(row0, col0)``, in row-major order."""
+        if rows < 1 or cols < 1:
+            raise ValueError("submesh sides must be >= 1")
+        if row0 < 0 or col0 < 0 or row0 + rows > self.rows or col0 + cols > self.cols:
+            raise ValueError("submesh exceeds mesh bounds")
+        return [self.node(r, c) for r in range(row0, row0 + rows) for c in range(col0, col0 + cols)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh2D({self.rows}x{self.cols}, P={self.n_nodes})"

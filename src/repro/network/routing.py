@@ -1,0 +1,73 @@
+"""Dimension-by-dimension order routing.
+
+The GCel's wormhole router transmits messages along *dimension-order* paths:
+the unique shortest path that first travels along dimension 1 and then along
+dimension 2.  The theoretical analysis of the access tree strategy assumes
+exactly these paths, and both the DIVA protocols and the hand-optimized
+baselines in the paper route every message this way.
+
+We fix dimension 1 = columns (horizontal, "x-first") and dimension 2 = rows.
+The choice is symmetric for the congestion bounds; it only has to be applied
+consistently, which this module guarantees by being the single source of
+routes for the whole package.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from .mesh import Mesh2D
+
+__all__ = ["route_links", "route_nodes", "path_length"]
+
+
+def path_length(mesh: Mesh2D, src: int, dst: int) -> int:
+    """Number of links on the dimension-order path (== Manhattan distance)."""
+    return mesh.manhattan(src, dst)
+
+
+def _route_links_uncached(mesh: Mesh2D, src: int, dst: int) -> Tuple[int, ...]:
+    r1, c1 = mesh.coord(src)
+    r2, c2 = mesh.coord(dst)
+    links: List[int] = []
+    # dimension 1: columns (x-first)
+    if c2 > c1:
+        links.extend(mesh.h_link(r1, c, eastbound=True) for c in range(c1, c2))
+    elif c2 < c1:
+        links.extend(mesh.h_link(r1, c - 1, eastbound=False) for c in range(c1, c2, -1))
+    # dimension 2: rows
+    if r2 > r1:
+        links.extend(mesh.v_link(r, c2, southbound=True) for r in range(r1, r2))
+    elif r2 < r1:
+        links.extend(mesh.v_link(r - 1, c2, southbound=False) for r in range(r1, r2, -1))
+    return tuple(links)
+
+
+@lru_cache(maxsize=1 << 20)
+def _route_cache(rows: int, cols: int, src: int, dst: int) -> Tuple[int, ...]:
+    return _route_links_uncached(Mesh2D(rows, cols), src, dst)
+
+
+def route_links(mesh: Mesh2D, src: int, dst: int) -> Tuple[int, ...]:
+    """Directed link ids of the dimension-order (x-first) path ``src -> dst``.
+
+    The result is cached: simulations route the same processor pairs over and
+    over (tree edges, home round-trips), and path computation dominated the
+    profile before caching.
+
+    >>> m = Mesh2D(2, 3)
+    >>> len(route_links(m, m.node(0, 0), m.node(1, 2)))
+    3
+    >>> route_links(m, 4, 4)
+    ()
+    """
+    return _route_cache(mesh.rows, mesh.cols, src, dst)
+
+
+def route_nodes(mesh: Mesh2D, src: int, dst: int) -> List[int]:
+    """Node ids visited by the dimension-order path, endpoints included."""
+    nodes = [src]
+    for link in route_links(mesh, src, dst):
+        nodes.append(mesh.link_endpoints(link)[1])
+    return nodes

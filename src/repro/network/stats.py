@@ -1,0 +1,241 @@
+"""Traffic statistics: per-link counters, congestion, startups, phases.
+
+The paper's two measured quantities are
+
+* **congestion** -- "the maximum amount of data that is transmitted by the
+  same link during the execution of an application".  For the matrix and
+  sorting experiments the unit is data volume (congestion "grows linear in
+  the block size"); for the Barnes-Hut figures the unit is *messages*
+  ("congestion in 10000 messages").  We therefore keep both a byte counter
+  and a message counter per directed link.
+* **startups** -- the number of message sends per processor (the paper:
+  "The sending of a message by a processor is called a startup"), the second
+  important cost factor identified by the experiments.
+
+Phases: the Barnes-Hut evaluation breaks congestion and time down by
+algorithm phase (Figures 9 and 10), and the matrix experiments measure the
+communication time of specific call types.  :class:`LinkStats` supports
+cheap snapshot/delta accounting so the runtime can attribute traffic to the
+currently executing phase.
+
+Implementation note: counters are plain Python lists because the hot path is
+scalar increments along short (<= mesh diameter) link paths, where list
+indexing beats numpy fancy indexing by a wide margin; aggregation converts
+to numpy once, at snapshot time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .mesh import Mesh2D
+
+__all__ = ["LinkStats", "StatsSnapshot", "PhaseStats"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable summary of traffic between two points of a run."""
+
+    congestion_bytes: float
+    congestion_msgs: int
+    total_bytes: float
+    total_msgs: int
+    max_startups: int
+    total_startups: int
+    data_msgs: int
+    ctrl_msgs: int
+    local_msgs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Traffic and time attributed to one named phase of an application."""
+
+    name: str
+    stats: StatsSnapshot
+    time: float
+
+    def as_dict(self) -> Dict[str, object]:
+        d = self.stats.as_dict()
+        d["name"] = self.name
+        d["time"] = self.time
+        return d
+
+
+class LinkStats:
+    """Mutable per-directed-link traffic counters for one simulation run.
+
+    Message legs are recorded with :meth:`record`.  Local (same-processor)
+    deliveries cross no link and contribute no congestion, but are counted
+    separately so hit-ratio style statistics remain possible.
+    """
+
+    def __init__(self, mesh: Mesh2D):
+        self.mesh = mesh
+        n = mesh.n_links
+        self.link_bytes = [0.0] * n
+        self.link_msgs = [0] * n
+        p = mesh.n_nodes
+        self.startups = [0] * p  # message sends per processor
+        self.receives = [0] * p
+        self.total_msgs = 0
+        self.data_msgs = 0
+        self.ctrl_msgs = 0
+        self.local_msgs = 0
+
+    # ------------------------------------------------------------- recording
+    def record(
+        self,
+        links: Sequence[int],
+        size_bytes: float,
+        src: int,
+        dst: int,
+        is_data: bool,
+    ) -> None:
+        """Account one message leg of ``size_bytes`` crossing ``links``."""
+        if links:
+            lb = self.link_bytes
+            lm = self.link_msgs
+            for link in links:
+                lb[link] += size_bytes
+                lm[link] += 1
+        else:
+            self.local_msgs += 1
+        self.startups[src] += 1
+        self.receives[dst] += 1
+        self.total_msgs += 1
+        if is_data:
+            self.data_msgs += 1
+        else:
+            self.ctrl_msgs += 1
+
+    # ----------------------------------------------------------- aggregation
+    @property
+    def congestion_bytes(self) -> float:
+        """Max bytes across any single directed link (the paper's congestion
+        measured in data volume)."""
+        return max(self.link_bytes, default=0.0)
+
+    @property
+    def congestion_msgs(self) -> int:
+        """Max messages across any single directed link (the paper's
+        Barnes-Hut congestion unit)."""
+        return max(self.link_msgs, default=0)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total communication load: sum over links of transmitted bytes."""
+        return float(sum(self.link_bytes))
+
+    @property
+    def total_link_msgs(self) -> int:
+        return int(sum(self.link_msgs))
+
+    def hottest_links(self, k: int = 5) -> list[tuple[int, int, int, float, int]]:
+        """The ``k`` most byte-loaded links as ``(link, src, dst, bytes,
+        msgs)``; handy when debugging why a strategy saturates a region."""
+        lb = np.asarray(self.link_bytes)
+        order = np.argsort(lb)[::-1][:k]
+        out = []
+        for link in order:
+            s, d = self.mesh.link_endpoints(int(link))
+            out.append((int(link), s, d, float(lb[link]), int(self.link_msgs[link])))
+        return out
+
+    def render_heatmap(self, width: int = 4) -> str:
+        """ASCII heatmap of per-link byte load (both directions of each wire
+        summed), for eyeballing where a strategy congests the mesh.
+
+        Nodes are ``+``; the number between two nodes is the wire's load as
+        a percentage of the most loaded wire (``..`` = idle)."""
+        m = self.mesh
+        wire_load: Dict[Tuple[int, int], float] = {}
+        for link in range(m.n_links):
+            a, b = m.link_endpoints(link)
+            key = (min(a, b), max(a, b))
+            wire_load[key] = wire_load.get(key, 0.0) + self.link_bytes[link]
+        peak = max(wire_load.values(), default=0.0)
+
+        def cell(a: int, b: int) -> str:
+            if peak <= 0:
+                return ".." .center(width)
+            pct = 100.0 * wire_load[(min(a, b), max(a, b))] / peak
+            return (".." if pct < 0.5 else f"{pct:.0f}").center(width)
+
+        lines = []
+        for r in range(m.rows):
+            row = []
+            for c in range(m.cols):
+                row.append("+")
+                if c + 1 < m.cols:
+                    row.append(cell(m.node(r, c), m.node(r, c + 1)))
+            lines.append("".join(row))
+            if r + 1 < m.rows:
+                vert = []
+                for c in range(m.cols):
+                    vert.append(cell(m.node(r, c), m.node(r + 1, c)).replace(" ", " "))
+                    if c + 1 < m.cols:
+                        vert.append(" ")
+                lines.append("".join(v for v in vert))
+        return "\n".join(lines)
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            congestion_bytes=self.congestion_bytes,
+            congestion_msgs=self.congestion_msgs,
+            total_bytes=self.total_bytes,
+            total_msgs=self.total_msgs,
+            max_startups=max(self.startups, default=0),
+            total_startups=sum(self.startups),
+            data_msgs=self.data_msgs,
+            ctrl_msgs=self.ctrl_msgs,
+            local_msgs=self.local_msgs,
+        )
+
+    # ------------------------------------------------------------ phase book
+    def checkpoint(self) -> "_Checkpoint":
+        """Capture raw counters; combine with the current state later via
+        :meth:`delta` to obtain a :class:`StatsSnapshot` for the interval."""
+        return _Checkpoint(
+            link_bytes=np.asarray(self.link_bytes, dtype=np.float64),
+            link_msgs=np.asarray(self.link_msgs, dtype=np.int64),
+            startups=np.asarray(self.startups, dtype=np.int64),
+            total_msgs=self.total_msgs,
+            data_msgs=self.data_msgs,
+            ctrl_msgs=self.ctrl_msgs,
+            local_msgs=self.local_msgs,
+        )
+
+    def delta(self, since: "_Checkpoint") -> StatsSnapshot:
+        db = np.asarray(self.link_bytes, dtype=np.float64) - since.link_bytes
+        dm = np.asarray(self.link_msgs, dtype=np.int64) - since.link_msgs
+        ds = np.asarray(self.startups, dtype=np.int64) - since.startups
+        return StatsSnapshot(
+            congestion_bytes=float(db.max(initial=0.0)),
+            congestion_msgs=int(dm.max(initial=0)),
+            total_bytes=float(db.sum()),
+            total_msgs=self.total_msgs - since.total_msgs,
+            max_startups=int(ds.max(initial=0)),
+            total_startups=int(ds.sum()),
+            data_msgs=self.data_msgs - since.data_msgs,
+            ctrl_msgs=self.ctrl_msgs - since.ctrl_msgs,
+            local_msgs=self.local_msgs - since.local_msgs,
+        )
+
+
+@dataclass
+class _Checkpoint:
+    link_bytes: np.ndarray
+    link_msgs: np.ndarray
+    startups: np.ndarray
+    total_msgs: int
+    data_msgs: int
+    ctrl_msgs: int
+    local_msgs: int

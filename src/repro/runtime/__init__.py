@@ -1,0 +1,18 @@
+"""DIVA runtime: variables, memory, program API, barrier/locks, launcher."""
+
+from .api import Env
+from .launcher import Runtime, run_spmd
+from .memory import LocalMemory, MemoryBook
+from .results import RunResult
+from .variables import GlobalVariable, VariableRegistry
+
+__all__ = [
+    "Env",
+    "Runtime",
+    "run_spmd",
+    "RunResult",
+    "GlobalVariable",
+    "VariableRegistry",
+    "LocalMemory",
+    "MemoryBook",
+]

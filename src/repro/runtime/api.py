@@ -1,0 +1,197 @@
+"""The DIVA programming interface for simulated SPMD programs.
+
+Programs are written as Python *generator functions* taking an :class:`Env`;
+every potentially-communicating operation is requested with ``yield from``:
+
+    def program(env: Env):
+        v = env.create(f"x{env.rank}", payload_bytes=64, value=0)
+        yield from env.barrier()
+        val = yield from env.read(v)
+        yield from env.write(v, val + 1)
+        yield from env.compute(ops=1000)
+
+The launcher (:mod:`repro.runtime.launcher`) drives all P generators
+through the event simulator: a ``yield`` suspends the processor until the
+operation's virtual completion time.  This mirrors DIVA's fully transparent
+access to global variables -- the program never mentions homes, copies or
+messages.
+
+Values are treated as immutable: programs must write a *new* object rather
+than mutate a previously read one in place (numpy arrays returned by
+``read`` are shared, not copied, for speed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .variables import GlobalVariable
+
+__all__ = [
+    "Env",
+    "ReadReq",
+    "WriteReq",
+    "ComputeReq",
+    "BarrierReq",
+    "LockReq",
+    "UnlockReq",
+    "SendReq",
+    "RecvReq",
+    "MarkReq",
+]
+
+
+class ReadReq:
+    __slots__ = ("var",)
+
+    def __init__(self, var: GlobalVariable):
+        self.var = var
+
+
+class WriteReq:
+    __slots__ = ("var", "value")
+
+    def __init__(self, var: GlobalVariable, value: Any):
+        self.var = var
+        self.value = value
+
+
+class ComputeReq:
+    __slots__ = ("seconds", "ops")
+
+    def __init__(self, seconds: float = 0.0, ops: float = 0.0):
+        self.seconds = seconds
+        self.ops = ops
+
+
+class BarrierReq:
+    __slots__ = ("phase", "reset")
+
+    def __init__(self, phase: Optional[str] = None, reset: bool = False):
+        self.phase = phase
+        self.reset = reset
+
+
+class LockReq:
+    __slots__ = ("var",)
+
+    def __init__(self, var: GlobalVariable):
+        self.var = var
+
+
+class UnlockReq:
+    __slots__ = ("var",)
+
+    def __init__(self, var: GlobalVariable):
+        self.var = var
+
+
+class SendReq:
+    """Explicit message passing (hand-optimized baselines): asynchronous
+    send of ``value`` (``payload_bytes`` on the wire) to ``dst`` under
+    ``tag``; completes once the message is injected."""
+
+    __slots__ = ("dst", "payload_bytes", "tag", "value")
+
+    def __init__(self, dst: int, payload_bytes: int, tag: Any, value: Any):
+        self.dst = dst
+        self.payload_bytes = payload_bytes
+        self.tag = tag
+        self.value = value
+
+
+class RecvReq:
+    """Blocking receive of the next message with ``tag``."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: Any):
+        self.tag = tag
+
+
+class MarkReq:
+    """Runtime control marks.  ``reset_measurement`` zeroes all traffic and
+    phase accounting (used by Barnes-Hut, which measures only the last
+    time-steps, like the paper)."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+
+class Env:
+    """Per-processor view of the runtime, passed to every program."""
+
+    def __init__(self, runtime: "Runtime", rank: int):  # noqa: F821
+        self._rt = runtime
+        self.rank = rank
+
+    # ------------------------------------------------------------- topology
+    @property
+    def nprocs(self) -> int:
+        return self._rt.sim.mesh.n_nodes
+
+    @property
+    def mesh(self):
+        return self._rt.sim.mesh
+
+    @property
+    def coord(self):
+        return self._rt.sim.mesh.coord(self.rank)
+
+    @property
+    def machine(self):
+        return self._rt.sim.machine
+
+    # ------------------------------------------------------ shared variables
+    def create(self, name: str, payload_bytes: int, value: Any = None) -> GlobalVariable:
+        """Create a global variable whose initial sole copy lives on this
+        processor.  Creation is local bookkeeping (no messages): DIVA
+        allocates variables out of a local pool."""
+        return self._rt.create_var(name, payload_bytes, self.rank, value)
+
+    def read(self, var: GlobalVariable):
+        """Read a global variable (``yield from``); returns its value."""
+        value = yield ReadReq(var)
+        return value
+
+    def write(self, var: GlobalVariable, value: Any):
+        """Write a global variable (``yield from``)."""
+        yield WriteReq(var, value)
+
+    # ---------------------------------------------------------------- time
+    def compute(self, ops: float = 0.0, seconds: float = 0.0):
+        """Charge local computation time (``ops`` elementary operations at
+        the machine's speed, plus raw ``seconds``)."""
+        yield ComputeReq(seconds=seconds, ops=ops)
+
+    # ------------------------------------------------------- synchronization
+    def barrier(self, phase: Optional[str] = None, reset: bool = False):
+        """Barrier across all processors.  If ``phase`` is given, the runtime
+        closes the current accounting phase at the barrier and starts a new
+        one named ``phase`` (all ranks must pass the same label).  With
+        ``reset=True`` the measurement window additionally restarts at the
+        barrier boundary (warm-up discard, the paper's Barnes-Hut
+        methodology); all ranks must agree on the flag."""
+        yield BarrierReq(phase, reset)
+
+    def lock(self, var: GlobalVariable):
+        yield LockReq(var)
+
+    def unlock(self, var: GlobalVariable):
+        yield UnlockReq(var)
+
+    # -------------------------------------------------------- message passing
+    def send(self, dst: int, value: Any, payload_bytes: int, tag: Any = 0):
+        yield SendReq(dst, payload_bytes, tag, value)
+
+    def recv(self, tag: Any = 0):
+        value = yield RecvReq(tag)
+        return value
+
+    # --------------------------------------------------------------- control
+    def reset_measurement(self):
+        """Zero traffic/phase accounting from this instant (call from rank 0
+        directly after a barrier, at a globally quiescent point)."""
+        yield MarkReq("reset_measurement")

@@ -1,0 +1,413 @@
+"""The SPMD launcher: drives P program generators through the simulator.
+
+This is DIVA's runtime loop.  Every processor runs one program (a generator
+over :mod:`repro.runtime.api` requests); the launcher dispatches each
+request to the data-management strategy, the barrier component, the lock
+manager or the message-passing layer, advancing virtual time through the
+event heap.  Zero-cost completions (cache hits, local writes) are resumed
+inline to keep large runs fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..network.machine import GCEL, MachineModel
+from ..network.mesh import Mesh2D
+from ..network.stats import LinkStats, PhaseStats, StatsSnapshot
+from ..sim.engine import SimDeadlock, Simulator
+from .api import (
+    BarrierReq,
+    ComputeReq,
+    Env,
+    LockReq,
+    MarkReq,
+    ReadReq,
+    RecvReq,
+    SendReq,
+    UnlockReq,
+    WriteReq,
+)
+from .barrier import make_barrier
+from .memory import MemoryBook
+from .results import RunResult
+from .variables import GlobalVariable, VariableRegistry
+
+__all__ = ["Runtime", "run_spmd"]
+
+ProgramFactory = Callable[[Env], Any]
+
+
+def _describe_block(req: Any) -> str:
+    """Human-readable description of the request a processor is stuck on
+    (formatted lazily: the hot path only stores the request object)."""
+    cls = req.__class__
+    if cls is ReadReq:
+        return f"read({req.var.name})"
+    if cls is WriteReq:
+        return f"write({req.var.name})"
+    if cls is LockReq:
+        return f"lock({req.var.name})"
+    if cls is UnlockReq:
+        return f"unlock({req.var.name})"
+    if cls is RecvReq:
+        return f"recv(tag={req.tag!r})"
+    if cls is BarrierReq:
+        return "barrier"
+    if cls is SendReq:
+        return f"send(dst={req.dst})"
+    if cls is ComputeReq:
+        return "compute"
+    return str(req)
+
+
+class _PhaseAcc:
+    """Accumulated per-link traffic / time / compute of one named phase."""
+
+    __slots__ = ("link_bytes", "link_msgs", "startups", "time", "compute",
+                 "total_msgs", "data_msgs", "ctrl_msgs", "local_msgs")
+
+    def __init__(self, n_links: int, n_procs: int):
+        self.link_bytes = np.zeros(n_links)
+        self.link_msgs = np.zeros(n_links, dtype=np.int64)
+        self.startups = np.zeros(n_procs, dtype=np.int64)
+        self.compute = np.zeros(n_procs)
+        self.time = 0.0
+        self.total_msgs = 0
+        self.data_msgs = 0
+        self.ctrl_msgs = 0
+        self.local_msgs = 0
+
+    def to_phase_stats(self, name: str) -> PhaseStats:
+        snap = StatsSnapshot(
+            congestion_bytes=float(self.link_bytes.max(initial=0.0)),
+            congestion_msgs=int(self.link_msgs.max(initial=0)),
+            total_bytes=float(self.link_bytes.sum()),
+            total_msgs=self.total_msgs,
+            max_startups=int(self.startups.max(initial=0)),
+            total_startups=int(self.startups.sum()),
+            data_msgs=self.data_msgs,
+            ctrl_msgs=self.ctrl_msgs,
+            local_msgs=self.local_msgs,
+        )
+        return PhaseStats(name=name, stats=snap, time=self.time)
+
+
+class Runtime:
+    """One simulated execution context: machine + strategy + programs.
+
+    Parameters
+    ----------
+    mesh, strategy, machine:
+        Topology, data-management strategy and cost model.
+    charge_compute:
+        ``False`` reproduces the paper's *communication time* measurements
+        ("we have simply removed the code for local computations"): all
+        ``compute`` charges become free.
+    barrier:
+        ``"tree"`` (DIVA combining tree, default) or ``"central"``.
+    capacity_bytes:
+        Per-processor memory capacity for cached copies (``None`` =
+        unbounded, the paper's default situation).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        strategy,
+        machine: MachineModel = GCEL,
+        *,
+        charge_compute: bool = True,
+        barrier: str = "tree",
+        seed: int = 0,
+        capacity_bytes: Optional[float] = None,
+    ):
+        self.sim = Simulator(mesh, machine)
+        self.registry = VariableRegistry()
+        self.memory = MemoryBook(mesh.n_nodes, capacity_bytes)
+        self.charge_compute = charge_compute
+        self.seed = seed
+        self.strategy = strategy
+        strategy.attach(self)
+        self.barrier = make_barrier(barrier, self.sim, seed)
+
+        p = mesh.n_nodes
+        self._gens: List[Any] = [None] * p
+        self._blocked_on: List[str] = ["start"] * p
+        self._finished = 0
+        self._final_time = [0.0] * p
+        self.program_results: List[Any] = [None] * p
+
+        # message passing
+        self._mailbox: Dict[Tuple[int, Any], List[Tuple[float, Any]]] = {}
+        self._waiting_recv: Dict[Tuple[int, Any], bool] = {}
+
+        # barrier bookkeeping
+        self._barrier_releases: List[Tuple[int, float]] = []
+        self._barrier_label: Optional[str] = None
+        self._barrier_label_set = False
+        self._barrier_reset = False
+
+        # phase + measurement accounting
+        self.measure_start = 0.0
+        self._phase_name = "main"
+        self._phase_order: List[str] = []
+        self._phase_acc: Dict[str, _PhaseAcc] = {}
+        self._ckpt = self.sim.stats.checkpoint()
+        self._phase_start = 0.0
+        self._compute_by_proc = np.zeros(p)
+        self._phase_compute_mark = np.zeros(p)
+
+    # ------------------------------------------------------------- variables
+    def create_var(self, name: str, payload_bytes: int, creator: int, value: Any) -> GlobalVariable:
+        var = self.registry.create(name, payload_bytes, creator, value)
+        self.strategy.register(var)
+        return var
+
+    # ------------------------------------------------------------------ run
+    def run(self, program: ProgramFactory) -> RunResult:
+        """Run ``program(env)`` on every processor to completion."""
+        mesh = self.sim.mesh
+        for p in range(mesh.n_nodes):
+            self._gens[p] = program(Env(self, p))
+            self.sim.schedule(0.0, self._step, p, None)
+        self.sim.run()
+        if self._finished < mesh.n_nodes:
+            blocked = [
+                f"p{p}:{_describe_block(self._blocked_on[p])}"
+                for p in range(mesh.n_nodes)
+                if self._gens[p] is not None
+            ]
+            raise SimDeadlock(
+                f"{mesh.n_nodes - self._finished} processors never finished; "
+                f"blocked: {', '.join(blocked[:10])}"
+            )
+        end = max(self._final_time)
+        self._close_phase(end)
+        phases = [self._phase_acc[n].to_phase_stats(n) for n in self._phase_order]
+        stats = self.sim.stats.snapshot()
+        strat_hits = getattr(self.strategy, "hits", 0)
+        strat_misses = getattr(self.strategy, "misses", 0)
+        locks = getattr(self.strategy, "lock_acquisitions", 0)
+        return RunResult(
+            strategy=self.strategy.name,
+            mesh=f"{mesh.rows}x{mesh.cols}",
+            time=end - self.measure_start,
+            end_time=end,
+            stats=stats,
+            phases=phases,
+            compute_time=float(self._compute_by_proc.max(initial=0.0)),
+            hits=strat_hits,
+            misses=strat_misses,
+            lock_acquisitions=locks,
+            evictions=self.memory.total_evictions,
+            barrier_episodes=self.barrier.episodes,
+            extra={},
+        )
+
+    # ------------------------------------------------------------ scheduling
+    def _step(self, p: int, value: Any) -> None:
+        """Resume processor ``p`` with ``value``; run until it blocks."""
+        gen = self._gens[p]
+        sim = self.sim
+        strategy = self.strategy
+        while True:
+            try:
+                req = gen.send(value)
+            except StopIteration as stop:
+                self._gens[p] = None
+                self._finished += 1
+                self._final_time[p] = sim.now
+                self.program_results[p] = stop.value
+                return
+            cls = req.__class__
+            now = sim.now
+            if cls is ReadReq:
+                res = strategy.read(p, req.var, now)
+                if res is None:
+                    # Miss: a flow was launched; it resumes us on completion.
+                    self._blocked_on[p] = req
+                    return
+                done, value = res
+                if done <= now:
+                    continue
+                self._blocked_on[p] = req
+                sim.schedule(done, self._step, p, value)
+                return
+            if cls is WriteReq:
+                done = strategy.write(p, req.var, req.value, now)
+                value = None
+                if done is None:
+                    self._blocked_on[p] = req
+                    return
+                if done <= now:
+                    continue
+                self._blocked_on[p] = req
+                sim.schedule(done, self._step, p, None)
+                return
+            if cls is ComputeReq:
+                value = None
+                if not self.charge_compute:
+                    continue
+                dt = req.seconds + sim.machine.compute_time(req.ops)
+                if dt <= 0.0:
+                    continue
+                self._compute_by_proc[p] += dt
+                self._blocked_on[p] = req
+                sim.schedule(now + dt, self._step, p, None)
+                return
+            if cls is BarrierReq:
+                self._blocked_on[p] = req
+                if req.phase is not None:
+                    if self._barrier_label_set and self._barrier_label != req.phase:
+                        raise RuntimeError(
+                            f"inconsistent barrier phase labels: "
+                            f"{self._barrier_label!r} vs {req.phase!r}"
+                        )
+                    self._barrier_label = req.phase
+                    self._barrier_label_set = True
+                if req.reset:
+                    self._barrier_reset = True
+                self.barrier.arrive(p, now, self._on_barrier_release)
+                return
+            if cls is LockReq:
+                self._blocked_on[p] = req
+                var = req.var
+
+                def grant(t: float, _p: int = p) -> None:
+                    self.sim.schedule(t, self._step, _p, None)
+
+                strategy.lock(p, var, now, grant)
+                return
+            if cls is UnlockReq:
+                done = strategy.unlock(p, req.var, now)
+                value = None
+                if done <= now:
+                    continue
+                self._blocked_on[p] = req
+                sim.schedule(done, self._step, p, None)
+                return
+            if cls is SendReq:
+                nic_before = max(now, sim.nic_free[p])
+                is_data = req.payload_bytes > 0
+                wire = (
+                    req.payload_bytes + sim.machine.header_bytes
+                    if is_data
+                    else sim.machine.ctrl_bytes
+                )
+                arrival = sim.send_leg(p, req.dst, req.payload_bytes, now, is_data=is_data)
+                self._deliver(req.dst, req.tag, arrival, req.value)
+                value = None
+                t_cont = nic_before + sim.machine.nic_overhead(wire) if req.dst != p else now
+                if t_cont <= now:
+                    continue
+                self._blocked_on[p] = req
+                sim.schedule(t_cont, self._step, p, None)
+                return
+            if cls is RecvReq:
+                key = (p, req.tag)
+                box = self._mailbox.get(key)
+                if box:
+                    arrival, value = box.pop(0)
+                    if arrival <= now:
+                        continue
+                    self._blocked_on[p] = req
+                    sim.schedule(arrival, self._step, p, value)
+                    return
+                self._blocked_on[p] = req
+                self._waiting_recv[key] = True
+                return
+            if cls is MarkReq:
+                if req.kind == "reset_measurement":
+                    self._reset_measurement()
+                    value = None
+                    continue
+                raise ValueError(f"unknown mark {req.kind!r}")
+            raise TypeError(f"program on p{p} yielded unexpected object {req!r}")
+
+    def resume(self, proc: int, t: float, value: Any) -> None:
+        """Called by strategy flows when a blocking operation completes."""
+        self.sim.schedule(t, self._step, proc, value)
+
+    # -------------------------------------------------------------- barriers
+    def _on_barrier_release(self, proc: int, t: float) -> None:
+        self._barrier_releases.append((proc, t))
+        if len(self._barrier_releases) == self.sim.mesh.n_nodes:
+            releases = self._barrier_releases
+            self._barrier_releases = []
+            boundary = max(t for _, t in releases)
+            label = self._barrier_label if self._barrier_label_set else None
+            if self._barrier_label_set:
+                self._barrier_label = None
+                self._barrier_label_set = False
+                self._close_phase(boundary)
+                self._phase_name = label
+                self._phase_start = boundary
+            if self._barrier_reset:
+                self._barrier_reset = False
+                self._reset_measurement(at=boundary)
+                if label is not None:
+                    self._phase_name = label
+            for proc_, t_ in releases:
+                self.sim.schedule(t_, self._step, proc_, None)
+
+    # ------------------------------------------------------ message passing
+    def _deliver(self, dst: int, tag: Any, arrival: float, value: Any) -> None:
+        key = (dst, tag)
+        if self._waiting_recv.pop(key, None):
+            self.sim.schedule(arrival, self._step, dst, value)
+        else:
+            self._mailbox.setdefault(key, []).append((arrival, value))
+
+    # ------------------------------------------------- phases / measurement
+    def _close_phase(self, t: float) -> None:
+        name = self._phase_name
+        acc = self._phase_acc.get(name)
+        if acc is None:
+            acc = self._phase_acc[name] = _PhaseAcc(self.sim.mesh.n_links, self.sim.mesh.n_nodes)
+            self._phase_order.append(name)
+        stats = self.sim.stats
+        cur = stats.checkpoint()
+        acc.link_bytes += cur.link_bytes - self._ckpt.link_bytes
+        acc.link_msgs += cur.link_msgs - self._ckpt.link_msgs
+        acc.startups += cur.startups - self._ckpt.startups
+        acc.total_msgs += cur.total_msgs - self._ckpt.total_msgs
+        acc.data_msgs += cur.data_msgs - self._ckpt.data_msgs
+        acc.ctrl_msgs += cur.ctrl_msgs - self._ckpt.ctrl_msgs
+        acc.local_msgs += cur.local_msgs - self._ckpt.local_msgs
+        acc.time += max(0.0, t - self._phase_start)
+        acc.compute += self._compute_by_proc - self._phase_compute_mark
+        self._phase_compute_mark = self._compute_by_proc.copy()
+        self._ckpt = cur
+
+    def _reset_measurement(self, at: Optional[float] = None) -> None:
+        """Zero all traffic and phase accounting from instant ``at``
+        (default: now)."""
+        t = self.sim.now if at is None else at
+        self.sim.stats = LinkStats(self.sim.mesh)
+        self.measure_start = t
+        self._phase_order = []
+        self._phase_acc = {}
+        self._ckpt = self.sim.stats.checkpoint()
+        self._phase_start = t
+        self._compute_by_proc[:] = 0.0
+        self._phase_compute_mark[:] = 0.0
+        reset = getattr(self.strategy, "reset_counters", None)
+        if reset is not None:
+            reset()
+
+
+def run_spmd(
+    mesh: Mesh2D,
+    strategy,
+    program: ProgramFactory,
+    machine: MachineModel = GCEL,
+    **kwargs,
+) -> RunResult:
+    """Convenience one-shot: build a :class:`Runtime`, run, return the result."""
+    rt = Runtime(mesh, strategy, machine, **kwargs)
+    result = rt.run(program)
+    result.extra["runtime"] = rt
+    return result

@@ -1,0 +1,123 @@
+"""Per-processor local memory modules with LRU replacement.
+
+The paper: "If the local memory module is full then data objects will be
+replaced in least recently used fashion.  However, in all our experiments
+there will be a sufficient amount of memory so that no data objects have to
+be replaced (unless otherwise stated)."  The exception is the 2-ary access
+tree at 60,000 bodies in Figure 8, whose congestion kink is caused by copy
+replacement.
+
+We reproduce that capability: capacity is optional (``None`` = unbounded,
+the default, like the paper); when bounded, inserting a copy beyond capacity
+evicts least-recently-used *evictable* entries.  An entry is evictable when
+the owning strategy says so -- the access tree strategy must keep its copy
+set connected, so only copies whose tree node has degree <= 1 inside the
+copy subtree may be dropped, and the very last copy of an object is never
+evictable (it is the authoritative data).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, List, Optional
+
+__all__ = ["LocalMemory", "MemoryBook"]
+
+
+class LocalMemory:
+    """LRU-ordered set of copy entries hosted on one processor.
+
+    Entries are opaque hashable keys supplied by the strategy (for the
+    access tree strategy ``(vid, tree_node)``, for fixed home ``vid``);
+    each has a byte size.  ``OrderedDict`` gives O(1) LRU maintenance.
+    """
+
+    def __init__(self, capacity_bytes: Optional[float] = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive or None")
+        self.capacity = capacity_bytes
+        self._entries: "OrderedDict[Hashable, int]" = OrderedDict()
+        self.used_bytes = 0
+        self.evictions = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, key: Hashable) -> None:
+        """Mark ``key`` most recently used."""
+        self._entries.move_to_end(key)
+
+    def insert(
+        self,
+        key: Hashable,
+        size: int,
+        evictable: Callable[[Hashable], bool],
+        on_evict: Optional[Callable[[Hashable], None]] = None,
+    ) -> List[Hashable]:
+        """Insert (or refresh) an entry; return the keys evicted to make room.
+
+        ``evictable(key)`` is consulted in LRU order; non-evictable entries
+        are skipped (and keep their LRU position).  ``on_evict(key)`` fires
+        *immediately after each individual eviction*, before the next
+        candidate is examined -- the access-tree strategy updates its copy
+        component there, so the connectivity checks inside ``evictable``
+        always see current state (deciding a whole batch against stale
+        state could evict both endpoints of a two-node component).
+
+        If capacity cannot be met the memory is allowed to overflow -- the
+        strategies guarantee progress over strict capacity, mirroring
+        DIVA's treatment of the capacity as a soft target for cached
+        (non-authoritative) copies.
+        """
+        if key in self._entries:
+            self.touch(key)
+            return []
+        self._entries[key] = size
+        self.used_bytes += size
+        evicted: List[Hashable] = []
+        if self.capacity is None:
+            return evicted
+        if self.used_bytes <= self.capacity:
+            return evicted
+        # Scan from least-recently-used; evict until under capacity or
+        # nothing more can be dropped.
+        for cand in list(self._entries.keys()):
+            if self.used_bytes <= self.capacity:
+                break
+            if cand == key or not evictable(cand):
+                continue
+            self.remove(cand)
+            evicted.append(cand)
+            self.evictions += 1
+            if on_evict is not None:
+                on_evict(cand)
+        return evicted
+
+    def remove(self, key: Hashable) -> None:
+        size = self._entries.pop(key)
+        self.used_bytes -= size
+
+    def keys(self):
+        return self._entries.keys()
+
+
+class MemoryBook:
+    """The collection of all processors' local memories."""
+
+    def __init__(self, n_procs: int, capacity_bytes: Optional[float] = None):
+        self.capacity = capacity_bytes
+        self.mems = [LocalMemory(capacity_bytes) for _ in range(n_procs)]
+
+    def __getitem__(self, proc: int) -> LocalMemory:
+        return self.mems[proc]
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(m.evictions for m in self.mems)
+
+    @property
+    def max_used_bytes(self) -> int:
+        return max((m.used_bytes for m in self.mems), default=0)

@@ -1,0 +1,95 @@
+"""Run results: the measured quantities of one simulated execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..network.stats import PhaseStats, StatsSnapshot
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything the paper measures, for one application run.
+
+    Attributes
+    ----------
+    time:
+        Virtual execution time of the measured window (seconds).  For most
+        runs the window is the whole execution; Barnes-Hut resets the
+        window after its warm-up steps, like the paper.
+    stats:
+        Traffic snapshot of the measured window; ``stats.congestion_bytes``
+        and ``stats.congestion_msgs`` are the paper's congestion in data
+        volume and in messages.
+    phases:
+        Per-phase congestion/time breakdown (Figures 9/10); phases with the
+        same label accumulate across time-steps.
+    compute_time:
+        Virtual seconds charged as local computation inside the window,
+        summed per processor and maximized (the "local computation time"
+        line of Figure 10 reports the per-phase variant).
+    hits / misses:
+        Strategy cache statistics (reads served from a local copy vs reads
+        that needed communication).
+    extra:
+        Application-specific outputs (verification data etc.).
+    """
+
+    strategy: str
+    mesh: str
+    time: float
+    end_time: float
+    stats: StatsSnapshot
+    phases: List[PhaseStats] = field(default_factory=list)
+    compute_time: float = 0.0
+    hits: int = 0
+    misses: int = 0
+    lock_acquisitions: int = 0
+    evictions: int = 0
+    barrier_episodes: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def congestion_bytes(self) -> float:
+        return self.stats.congestion_bytes
+
+    @property
+    def congestion_msgs(self) -> int:
+        return self.stats.congestion_msgs
+
+    @property
+    def total_bytes(self) -> float:
+        return self.stats.total_bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        n = self.hits + self.misses
+        return self.hits / n if n else 0.0
+
+    def phase(self, name: str) -> Optional[PhaseStats]:
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "mesh": self.mesh,
+            "time": self.time,
+            "congestion_bytes": self.congestion_bytes,
+            "congestion_msgs": self.congestion_msgs,
+            "total_bytes": self.total_bytes,
+            "total_msgs": self.stats.total_msgs,
+            "max_startups": self.stats.max_startups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "lock_acquisitions": self.lock_acquisitions,
+            "evictions": self.evictions,
+            "compute_time": self.compute_time,
+            "phases": [p.as_dict() for p in self.phases],
+        }

@@ -1,0 +1,83 @@
+"""Global variables (shared data objects) and their registry.
+
+A DIVA *global variable* is a shared data object that any processor can read
+or write transparently.  The registry is the single source of truth for the
+variable's current value: because protocol operations serialize atomically
+at initiation (see :mod:`repro.sim.engine`), the "current value" is always
+well defined, and the copy sets kept by the strategies are pure placement
+metadata that determines message traffic -- exactly the quantity the paper
+measures.
+
+Variables carry a payload size in bytes, which drives the bandwidth cost of
+every data message about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+__all__ = ["GlobalVariable", "VariableRegistry"]
+
+
+@dataclass(frozen=True)
+class GlobalVariable:
+    """Handle of a shared data object.
+
+    Attributes
+    ----------
+    vid:
+        Dense integer id (index into the registry).
+    name:
+        Debugging label, e.g. ``"A[2,3]"`` or ``"cell#117"``.
+    payload_bytes:
+        Size of the object's value on the wire.
+    creator:
+        Processor that created/initialized the variable; the initial sole
+        copy lives there (matching the paper's matrix-multiplication setup).
+    """
+
+    vid: int
+    name: str
+    payload_bytes: int
+    creator: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self.vid}:{self.name}, {self.payload_bytes}B@p{self.creator})"
+
+
+class VariableRegistry:
+    """Allocates variables and stores their authoritative values."""
+
+    def __init__(self) -> None:
+        self._vars: List[GlobalVariable] = []
+        self._values: List[Any] = []
+
+    def create(
+        self,
+        name: str,
+        payload_bytes: int,
+        creator: int,
+        value: Any = None,
+    ) -> GlobalVariable:
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        var = GlobalVariable(len(self._vars), name, payload_bytes, creator)
+        self._vars.append(var)
+        self._values.append(value)
+        return var
+
+    def get(self, var: GlobalVariable) -> Any:
+        return self._values[var.vid]
+
+    def set(self, var: GlobalVariable, value: Any) -> None:
+        self._values[var.vid] = value
+
+    def by_id(self, vid: int) -> GlobalVariable:
+        return self._vars[vid]
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def __iter__(self):
+        return iter(self._vars)

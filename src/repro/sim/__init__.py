@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from .engine import SimDeadlock, Simulator
+
+__all__ = ["Simulator", "SimDeadlock"]

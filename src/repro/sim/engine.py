@@ -1,0 +1,175 @@
+"""Deterministic discrete-event simulator of the mesh machine.
+
+The simulator models the three resources that determine execution time on
+the GCel (see :mod:`repro.network.machine`):
+
+* every **directed link** has an availability time; a message of size ``s``
+  reserves all links of its dimension-order path atomically for ``s/BW``
+  seconds starting at the earliest instant all of them are free.  This is
+  the standard whole-path approximation of wormhole routing: a blocked worm
+  occupies its path, so bandwidth-contended links serialize messages.
+* every **processor NIC** has an availability time; each message send and
+  each receive occupies it for the startup overhead.  This serialization is
+  what turns the fixed-home strategy's home processor into a hotspot and
+  what penalizes deep access trees (many intermediate stops).
+* every **processor program** advances its own virtual clock through
+  compute charges and blocking operations.
+
+Timing discipline
+-----------------
+Protocol operations are *atomic at initiation*: when an operation starts,
+its message legs are timed immediately (in simulation-time order of
+initiation), updating resource availabilities.  Legs of operations
+initiated earlier therefore acquire resources first -- FCFS per operation,
+which is the natural service order of the real system up to reordering of
+in-flight messages.  Event-driven behaviour that genuinely depends on
+*future* state (lock grants, barrier releases, message-passing receives)
+goes through the event heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Sequence, Tuple
+
+from ..network.machine import MachineModel
+from ..network.mesh import Mesh2D
+from ..network.routing import route_links
+from ..network.stats import LinkStats
+
+__all__ = ["Simulator", "SimDeadlock"]
+
+
+class SimDeadlock(RuntimeError):
+    """Raised when the event heap drains while programs are still blocked."""
+
+
+class Simulator:
+    """Resource bookkeeping + event heap for one run.
+
+    Parameters
+    ----------
+    mesh:
+        The network topology.
+    machine:
+        Cost model (use :data:`repro.network.machine.ZERO_COST` in tests that
+        only check traffic).
+    """
+
+    def __init__(self, mesh: Mesh2D, machine: MachineModel):
+        self.mesh = mesh
+        self.machine = machine
+        self.stats = LinkStats(mesh)
+        self.link_free: List[float] = [0.0] * mesh.n_links
+        self.nic_free: List[float] = [0.0] * mesh.n_nodes
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------ event heap
+    def schedule(self, time: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at simulation ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {time} < now {self.now}")
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+
+    def run(self) -> None:
+        """Drain the event heap."""
+        heap = self._heap
+        while heap:
+            time, _, callback, args = heapq.heappop(heap)
+            self.now = time
+            callback(*args)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    # -------------------------------------------------------------- messages
+    def send_leg(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        ready: float,
+        is_data: bool,
+        count: bool = True,
+    ) -> float:
+        """Time one message leg and account its traffic.
+
+        Parameters
+        ----------
+        src, dst:
+            Processor ids.  ``src == dst`` models a message between two
+            access-tree nodes hosted on the same processor (a DIVA function
+            call; cheap, no link traffic).
+        payload_bytes:
+            Application payload; the wire size adds the header for data
+            messages, control messages use the fixed control size.
+        ready:
+            Earliest time the leg may start (dependencies satisfied).
+        is_data:
+            Data messages carry the object value; control messages are
+            requests/invalidations/acks.
+        count:
+            Set ``False`` to time a hypothetical leg without recording
+            traffic (used nowhere in production code, but useful in tests).
+
+        Returns
+        -------
+        float
+            Completion time: the instant the receiver has fully received and
+            processed the message (after its receive overhead).
+        """
+        m = self.machine
+        if src == dst:
+            done = ready + m.local_overhead
+            if count:
+                self.stats.record((), 0, src, dst, is_data)
+            return done
+
+        wire = payload_bytes + m.header_bytes if is_data else m.ctrl_bytes
+        overhead = m.nic_fixed_overhead + wire * m.nic_byte_overhead
+        nic = self.nic_free
+        t_send = nic[src]
+        if ready > t_send:
+            t_send = ready
+        nic[src] = t_send + overhead
+        depart = t_send + overhead
+
+        links = route_links(self.mesh, src, dst)
+        lf = self.link_free
+        start = depart
+        for link in links:
+            if lf[link] > start:
+                start = lf[link]
+        occupy = wire / m.link_bandwidth
+        end = start + occupy
+        for link in links:
+            lf[link] = end
+        arrive = end + len(links) * m.hop_latency
+
+        t_recv = nic[dst]
+        if arrive > t_recv:
+            t_recv = arrive
+        nic[dst] = t_recv + overhead
+
+        if count:
+            self.stats.record(links, wire, src, dst, is_data)
+        return t_recv + overhead
+
+    def send_chain(
+        self,
+        hosts: Sequence[int],
+        payload_bytes: int,
+        ready: float,
+        is_data: bool,
+    ) -> float:
+        """Time a store-and-forward chain of legs through ``hosts`` (the
+        access-tree request/reply pattern: every intermediate tree node
+        receives, inspects, and forwards).  Returns final completion time."""
+        t = ready
+        for a, b in zip(hosts, hosts[1:]):
+            t = self.send_leg(a, b, payload_bytes, t, is_data)
+        return t

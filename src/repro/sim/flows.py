@@ -1,0 +1,138 @@
+"""Flow executors: timing multi-leg protocol operations through the event heap.
+
+Why events per leg?  A protocol operation (read miss, write with
+invalidation, ...) consists of *dependent* message legs.  If all legs were
+timed at initiation, later legs would reserve NICs and links at instants
+far in the simulated future; the engine's availability pointers would jump
+forward and subsequently-initiated traffic would queue behind phantom busy
+periods, compounding into artificial convoys.  Executing every leg in its
+own event at its ready time keeps all resource reservations monotone in
+simulation time -- i.e. genuine FCFS queueing.
+
+Two composable patterns cover every protocol in the package:
+
+* :func:`chain` -- a store-and-forward sequence of legs (access-tree
+  request/reply hopping through tree nodes; fixed-home round trips);
+* :func:`multicast_acks` -- fan-out over a tree with combining
+  acknowledgements (the invalidation multicast).
+
+State updates (copy sets, ownership) stay atomic at operation initiation;
+flows only carry the *timing* and traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .engine import Simulator
+
+__all__ = ["Leg", "chain", "multicast_acks"]
+
+#: One message leg: (src_proc, dst_proc, payload_bytes, is_data).
+Leg = Tuple[int, int, int, bool]
+
+Done = Callable[[float], None]
+
+
+def chain(sim: Simulator, legs: Sequence[Leg], t: float, done: Done) -> None:
+    """Execute ``legs`` sequentially, each in its own event; call
+    ``done(completion_time)`` after the last leg is delivered.
+
+    An empty sequence completes immediately at ``t``.
+    """
+    legs = list(legs)
+    n = len(legs)
+    if n == 0:
+        done(t)
+        return
+    i = 0
+
+    def fire() -> None:
+        nonlocal i
+        src, dst, payload, is_data = legs[i]
+        arrive = sim.send_leg(src, dst, payload, sim.now, is_data)
+        i += 1
+        if i == n:
+            done(arrive)
+        else:
+            sim.schedule(arrive, fire)
+
+    sim.schedule(t, fire)
+
+
+def multicast_acks(
+    sim: Simulator,
+    root: int,
+    children: Dict[int, List[int]],
+    hosts: Dict[int, int],
+    t: float,
+    done: Done,
+    payload: int = 0,
+) -> None:
+    """Multicast from ``root`` over the tree given by ``children`` (node ->
+    list of child nodes), with per-edge acknowledgements combining back to
+    the root; ``done(time)`` fires when the last ack converges at ``root``.
+
+    ``hosts`` maps tree node ids to processors.  Every downward leg and
+    every upward ack is a control message (``payload`` adds data weight to
+    the downward legs if nonzero -- unused by the paper's protocols but
+    handy for experiments).
+    """
+    kids = children.get(root, [])
+    if not kids:
+        done(t)
+        return
+    pending = {"n": len(kids), "t": t}
+
+    def branch_done(t_ack: float) -> None:
+        pending["n"] -= 1
+        if t_ack > pending["t"]:
+            pending["t"] = t_ack
+        if pending["n"] == 0:
+            done(pending["t"])
+
+    for kid in kids:
+        _branch(sim, root, kid, children, hosts, t, branch_done, payload)
+
+
+def _branch(
+    sim: Simulator,
+    parent: int,
+    node: int,
+    children: Dict[int, List[int]],
+    hosts: Dict[int, int],
+    t: float,
+    ack_to_parent: Done,
+    payload: int,
+) -> None:
+    """Deliver the multicast to ``node`` (one leg), recurse into its
+    children, and send the combined ack back to ``parent``."""
+
+    def on_arrive() -> None:
+        t_here = sim.send_leg(hosts[parent], hosts[node], payload, sim.now, payload > 0)
+        kids = children.get(node, [])
+
+        def after_subtree(t_sub: float) -> None:
+            # Combined ack back to the parent, one control leg.
+            def fire_ack() -> None:
+                t_ack = sim.send_leg(hosts[node], hosts[parent], 0, sim.now, False)
+                ack_to_parent(t_ack)
+
+            sim.schedule(t_sub, fire_ack)
+
+        if not kids:
+            after_subtree(t_here)
+            return
+        pending = {"n": len(kids), "t": t_here}
+
+        def branch_done(t_ack: float) -> None:
+            pending["n"] -= 1
+            if t_ack > pending["t"]:
+                pending["t"] = t_ack
+            if pending["n"] == 0:
+                after_subtree(pending["t"])
+
+        for kid in kids:
+            _branch(sim, node, kid, children, hosts, t_here, branch_done, payload)
+
+    sim.schedule(t, on_arrive)

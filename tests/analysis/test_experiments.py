@@ -1,0 +1,199 @@
+"""Experiment runner tests (quick scale) with paper-shape assertions."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER,
+    ablation_barrier,
+    ablation_embedding,
+    ablation_tree_degree,
+    fig2_single_block_flow,
+    fig3_matmul_blocksize,
+    fig4_matmul_network,
+    fig6_bitonic_keys,
+    fig7_bitonic_network,
+    fig8_barneshut_bodies,
+    fig9_fig10_phase_views,
+    fig11_barneshut_scaling,
+    format_table,
+    scale_params,
+)
+
+
+def by(rows, **match):
+    out = [r for r in rows if all(r.get(k) == v for k, v in match.items())]
+    assert out, f"no rows match {match}"
+    return out
+
+
+class TestScaleParams:
+    def test_known_scales(self):
+        for scale in ("quick", "default", "paper"):
+            p = scale_params("fig3", scale)
+            assert "blocks" in p
+
+    def test_paper_scale_matches_paper(self):
+        p = scale_params("fig4", "paper")
+        assert p["sides"] == (4, 8, 16, 32)
+        assert p["block_entries"] == 4096
+        p8 = scale_params("fig8", "paper")
+        assert p8["bodies"] == (10000, 20000, 30000, 40000, 50000, 60000)
+        assert p8["side"] == 16
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            scale_params("fig3", "huge")
+
+
+class TestFig2:
+    def test_access_tree_lowers_total_load_and_congestion(self):
+        rows = fig2_single_block_flow(side=8, block_entries=256)
+        fh = by(rows, strategy="fixed-home")[0]
+        at = by(rows, strategy="4-ary")[0]
+        # Theta(mP) vs Theta(m sqrtP logP): both metrics favour the tree.
+        assert at["total_bytes"] < fh["total_bytes"]
+        assert at["congestion_bytes"] < fh["congestion_bytes"]
+
+
+class TestFig3:
+    def test_shapes(self):
+        p = scale_params("fig3", "quick")
+        rows = fig3_matmul_blocksize(side=p["side"], blocks=p["blocks"])
+        for block in p["blocks"]:
+            fh = by(rows, strategy="fixed-home", block=block)[0]
+            at = by(rows, strategy="4-ary", block=block)[0]
+            assert at["congestion_ratio"] < fh["congestion_ratio"]
+            assert at["congestion_ratio"] > 1.0
+            assert at["time_ratio"] < fh["time_ratio"] * 1.5
+        # Ratios decrease (weakly) with block size, like the paper.
+        fh_ratios = [by(rows, strategy="fixed-home", block=b)[0]["congestion_ratio"] for b in p["blocks"]]
+        assert fh_ratios[-1] <= fh_ratios[0]
+
+
+class TestFig4:
+    def test_gap_grows_with_network(self):
+        p = scale_params("fig4", "quick")
+        rows = fig4_matmul_network(sides=p["sides"], block_entries=p["block_entries"])
+        gaps = []
+        for side in p["sides"]:
+            fh = by(rows, strategy="fixed-home", side=side)[0]
+            at = by(rows, strategy="4-ary", side=side)[0]
+            gaps.append(fh["congestion_ratio"] / at["congestion_ratio"])
+        assert gaps[-1] > gaps[0]  # fixed home degrades faster
+
+
+class TestFig6Fig7:
+    def test_fig6_shapes(self):
+        p = scale_params("fig6", "quick")
+        rows = fig6_bitonic_keys(side=p["side"], keys=p["keys"])
+        for m in p["keys"]:
+            fh = by(rows, strategy="fixed-home", keys=m)[0]
+            at = by(rows, strategy="2-4-ary", keys=m)[0]
+            assert at["congestion_ratio"] < fh["congestion_ratio"]
+
+    def test_fig7_fixed_home_degrades(self):
+        p = scale_params("fig7", "quick")
+        rows = fig7_bitonic_network(sides=p["sides"], keys=p["keys"])
+        fh = [by(rows, strategy="fixed-home", side=s)[0]["congestion_ratio"] for s in p["sides"]]
+        at = [by(rows, strategy="2-4-ary", side=s)[0]["congestion_ratio"] for s in p["sides"]]
+        assert fh[-1] > fh[0]
+        assert at[-1] / at[0] < fh[-1] / fh[0]
+
+
+class TestFig8Family:
+    @pytest.fixture(scope="class")
+    def fig8_rows(self):
+        p = scale_params("fig8", "quick")
+        return fig8_barneshut_bodies(
+            side=p["side"], bodies=p["bodies"], steps=p["steps"], warm=p["warm"]
+        )
+
+    def test_congestion_ordering(self, fig8_rows):
+        """Paper: the higher the tree, the smaller the congestion; fixed
+        home worst."""
+        n = max(r["bodies"] for r in fig8_rows)
+        cong = {r["strategy"]: r["congestion_msgs"] for r in fig8_rows if r["bodies"] == n}
+        assert cong["2-ary"] < cong["fixed-home"]
+        assert cong["4-ary"] < cong["fixed-home"]
+        # On the quick 4x4 mesh the 16-ary tree degenerates to one root with
+        # 16 leaf children -- the P-ary tree the paper equates with fixed
+        # home -- so only near-parity can be asserted here; the strict
+        # five-way ordering is checked by the default-scale bench (8x8+).
+        assert cong["16-ary"] <= 1.15 * cong["fixed-home"]
+        assert cong["2-ary"] <= 1.15 * cong["4-ary"]
+
+    def test_congestion_grows_with_n(self, fig8_rows):
+        ns = sorted({r["bodies"] for r in fig8_rows})
+        for name in ("fixed-home", "4-ary"):
+            series = [r["congestion_msgs"] for r in fig8_rows if r["strategy"] == name]
+            assert series == sorted(series) or series[-1] > series[0]
+
+    def test_fig9_treebuild_fixed_home_offset(self, fig8_rows):
+        fig9, fig10 = fig9_fig10_phase_views(fig8_rows)
+        n = max(r["bodies"] for r in fig9)
+        tb = {r["strategy"]: r["congestion_msgs"] for r in fig9 if r["bodies"] == n}
+        assert tb["fixed-home"] > tb["4-ary"]
+
+    def test_fig10_force_views(self, fig8_rows):
+        _, fig10 = fig9_fig10_phase_views(fig8_rows)
+        n = max(r["bodies"] for r in fig10)
+        rows = {r["strategy"]: r for r in fig10 if r["bodies"] == n}
+        assert rows["4-ary"]["congestion_msgs"] < rows["fixed-home"]["congestion_msgs"]
+        assert rows["4-ary"]["local_compute"] > 0
+        # Local compute is strategy-independent (same physics).
+        assert rows["4-ary"]["local_compute"] == pytest.approx(
+            rows["fixed-home"]["local_compute"], rel=1e-9
+        )
+
+
+class TestFig11:
+    def test_advantage_grows_with_p(self):
+        p = scale_params("fig11", "quick")
+        rows = fig11_barneshut_scaling(
+            meshes=p["meshes"], bodies_per_proc=p["bodies_per_proc"],
+            steps=p["steps"], warm=p["warm"],
+        )
+        ratios = []
+        for r, c in p["meshes"]:
+            label = f"{r}x{c}"
+            fh = by(rows, strategy="fixed-home", mesh=label)[0]
+            at = by(rows, strategy="4-8-ary", mesh=label)[0]
+            ratios.append(at["time"] / fh["time"])
+        assert ratios[-1] < 1.0  # access tree wins at the largest mesh
+        assert ratios[-1] <= ratios[0] * 1.1  # and the gap does not shrink
+
+
+class TestAblations:
+    def test_tree_degree_congestion_monotone(self):
+        rows = ablation_tree_degree(app="matmul", side=4, size=256)
+        cong = {r["strategy"]: r["congestion_bytes"] for r in rows}
+        assert cong["2-ary"] <= cong["4-ary"] <= cong["16-ary"]
+
+    def test_flat_trees_fewer_startups(self):
+        rows = ablation_tree_degree(app="matmul", side=4, size=256)
+        st = {r["strategy"]: r["max_startups"] for r in rows}
+        assert st["16-ary"] < st["2-ary"]
+
+    def test_embedding_modified_beats_random(self):
+        rows = ablation_embedding(app="matmul", side=4, size=256)
+        d = {r["embedding"]: r for r in rows}
+        assert d["modified"]["total_bytes"] < d["random"]["total_bytes"]
+
+    def test_barrier_tree_beats_central(self):
+        rows = ablation_barrier(side=4, keys=256)
+        d = {r["barrier"]: r for r in rows}
+        assert d["tree"]["max_startups"] <= d["central"]["max_startups"]
+
+
+class TestFormatting:
+    def test_format_table(self):
+        rows = [{"a": 1.23456, "b": "x"}, {"a": 2, "b": "y"}]
+        out = format_table(rows, ["a", "b"], title="T")
+        assert "T" in out and "1.23" in out and "y" in out
+
+    def test_paper_reference_data_consistent(self):
+        for fig in ("fig3", "fig4", "fig6", "fig7"):
+            data = PAPER[fig]
+            for metric in ("congestion_ratio", "time_ratio"):
+                for series in data[metric].values():
+                    assert len(series) == len(data["x"])

@@ -1,0 +1,245 @@
+"""Barnes-Hut application tests: physics substrate, reference octree, and
+the distributed DIVA version."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import barneshut
+from repro.apps.barneshut.octree import (
+    bounding_cube,
+    build_reference_tree,
+    child_center,
+    octant,
+    reference_forces,
+)
+from repro.apps.barneshut.physics import (
+    BodyState,
+    advance,
+    pairwise_force,
+    plummer,
+    total_energy,
+)
+from repro.core.strategy import make_strategy
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+
+
+class TestPlummer:
+    def test_deterministic(self):
+        a = plummer(50, seed=3)
+        b = plummer(50, seed=3)
+        assert a == b
+
+    def test_total_mass_is_one(self):
+        bodies = plummer(100, seed=0)
+        assert sum(b.mass for b in bodies) == pytest.approx(1.0)
+
+    def test_center_of_mass_at_origin(self):
+        bodies = plummer(200, seed=1)
+        for k in range(3):
+            com = sum(b.mass * b.pos[k] for b in bodies)
+            assert abs(com) < 1e-9
+
+    def test_zero_total_momentum(self):
+        bodies = plummer(200, seed=1)
+        for k in range(3):
+            mom = sum(b.mass * b.vel[k] for b in bodies)
+            assert abs(mom) < 1e-9
+
+    def test_bound_system(self):
+        """A Plummer sphere is gravitationally bound: total energy < 0."""
+        bodies = plummer(150, seed=2)
+        assert total_energy(bodies) < 0.0
+
+    def test_reasonable_extent(self):
+        bodies = plummer(300, seed=4)
+        radii = [math.sqrt(sum(c * c for c in b.pos)) for b in bodies]
+        assert np.median(radii) < 2.0  # Plummer scale radius is ~0.59/scale
+        assert max(radii) < 50.0  # 99% mass cutoff keeps outliers bounded
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            plummer(0)
+
+
+class TestGeometry:
+    def test_octant_covers_all_8(self):
+        center = (0.0, 0.0, 0.0)
+        seen = set()
+        for dx in (-1, 1):
+            for dy in (-1, 1):
+                for dz in (-1, 1):
+                    seen.add(octant(center, (dx, dy, dz)))
+        assert seen == set(range(8))
+
+    @given(
+        st.tuples(*[st.floats(-10, 10) for _ in range(3)]),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_child_center_roundtrip(self, center, o):
+        """A child's center lies in the parent's octant ``o``."""
+        cc = child_center(center, 2.0, o)
+        assert octant(center, cc) == o
+
+    def test_bounding_cube_contains_everything(self):
+        bodies = plummer(100, seed=5)
+        center, half = bounding_cube([b.pos for b in bodies])
+        for b in bodies:
+            for k in range(3):
+                assert abs(b.pos[k] - center[k]) <= half
+
+    def test_pairwise_force_points_toward_source(self):
+        f = pairwise_force((0.0, 0.0, 0.0), 1.0, (1.0, 0.0, 0.0), eps=0.0)
+        assert f[0] > 0 and f[1] == 0 and f[2] == 0
+        assert f[0] == pytest.approx(1.0)  # G=m=r=1
+
+    def test_softening_bounds_close_encounters(self):
+        f = pairwise_force((0.0, 0.0, 0.0), 1.0, (1e-12, 0.0, 0.0), eps=0.05)
+        assert abs(f[0]) < 1.0 / 0.05**2
+
+
+class TestReferenceTree:
+    def test_one_body_per_leaf(self):
+        bodies = plummer(64, seed=7)
+        root = build_reference_tree(bodies)
+        found = []
+
+        def walk(cell):
+            for ch in cell.children:
+                if ch is None:
+                    continue
+                if isinstance(ch, type(root)):
+                    walk(ch)
+                else:
+                    found.append(ch)
+
+        walk(root)
+        assert sorted(found) == list(range(64))
+
+    def test_root_mass_and_com(self):
+        bodies = plummer(64, seed=7)
+        root = build_reference_tree(bodies)
+        assert root.mass == pytest.approx(1.0)
+        for k in range(3):
+            com = sum(b.mass * b.pos[k] for b in bodies)
+            assert root.com[k] == pytest.approx(com, abs=1e-12)
+
+    def test_forces_match_direct_sum_at_small_theta(self):
+        """With theta -> 0 every cell is opened: Barnes-Hut equals the
+        direct O(n^2) sum exactly."""
+        bodies = plummer(40, seed=9)
+        accs, counts = reference_forces(bodies, theta=1e-9)
+        for i, b in enumerate(bodies):
+            ax = ay = az = 0.0
+            for j, o in enumerate(bodies):
+                if i == j:
+                    continue
+                fx, fy, fz = pairwise_force(b.pos, o.mass, o.pos)
+                ax += fx
+                ay += fy
+                az += fz
+            assert accs[i][0] == pytest.approx(ax, rel=1e-9)
+            assert accs[i][1] == pytest.approx(ay, rel=1e-9)
+            assert accs[i][2] == pytest.approx(az, rel=1e-9)
+            assert counts[i] == len(bodies) - 1
+
+    def test_theta_one_close_to_direct_sum(self):
+        """At the paper's theta the approximation error is small."""
+        bodies = plummer(120, seed=11)
+        approx, _ = reference_forces(bodies, theta=1.0)
+        exact, _ = reference_forces(bodies, theta=1e-9)
+        err = []
+        for a, e in zip(approx, exact):
+            mag = math.sqrt(sum(c * c for c in e)) or 1.0
+            err.append(math.sqrt(sum((x - y) ** 2 for x, y in zip(a, e))) / mag)
+        assert np.median(err) < 0.05
+
+    def test_theta_one_saves_interactions(self):
+        bodies = plummer(120, seed=11)
+        _, approx_counts = reference_forces(bodies, theta=1.0)
+        assert np.mean(approx_counts) < 0.8 * 119
+
+    def test_energy_roughly_conserved(self):
+        """A few leapfrog steps keep |dE/E| small."""
+        bodies = plummer(60, seed=13)
+        e0 = total_energy(bodies)
+        cur = bodies
+        for _ in range(5):
+            accs, counts = reference_forces(cur, theta=0.8)
+            cur = [advance(b, a, dt=0.0125) for b, a in zip(cur, accs)]
+        e1 = total_energy(cur)
+        assert abs((e1 - e0) / e0) < 0.05
+
+
+class TestDistributedApp:
+    @pytest.mark.parametrize("strategy", ["4-ary", "fixed-home"])
+    def test_matches_reference_bit_for_bit(self, strategy):
+        mesh = Mesh2D(4, 4)
+        res = barneshut.run(
+            mesh, make_strategy(strategy, mesh), n_bodies=96, steps=2, warm=1, verify=True
+        )
+        assert res.extra["verified"]
+
+    def test_all_phases_present(self):
+        mesh = Mesh2D(2, 2)
+        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        names = {p.name for p in res.phases}
+        assert set(barneshut.PHASES) <= names
+
+    def test_force_phase_dominates_time(self):
+        mesh = Mesh2D(2, 2)
+        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=64, steps=2, warm=1)
+        force = res.phase("force")
+        assert force.time > 0.3 * res.time
+
+    def test_strategies_agree_on_physics(self):
+        """Data management must not change the computation: both strategies
+        produce identical final body states."""
+        mesh = Mesh2D(2, 2)
+        r1 = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=48, steps=2, warm=1)
+        r2 = barneshut.run(mesh, make_strategy("fixed-home", mesh), n_bodies=48, steps=2, warm=1)
+        assert r1.extra["final_bodies"] == r2.extra["final_bodies"]
+
+    def test_access_tree_beats_fixed_home(self):
+        mesh = Mesh2D(4, 4)
+        at = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=160, steps=2, warm=1)
+        fh = barneshut.run(mesh, make_strategy("fixed-home", mesh), n_bodies=160, steps=2, warm=1)
+        assert at.congestion_msgs < fh.congestion_msgs
+        assert at.time < fh.time
+
+    def test_high_cache_hit_ratio(self):
+        """The paper reports ~99% hit ratios in the force phase; the whole
+        run stays high once the tree is warm."""
+        mesh = Mesh2D(2, 2)
+        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=128, steps=2, warm=1)
+        assert res.hit_ratio > 0.85
+
+    def test_locks_are_used_for_tree_building(self):
+        mesh = Mesh2D(2, 2)
+        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        assert res.lock_acquisitions >= 32  # at least one lock per insert
+
+    def test_interactions_counted(self):
+        mesh = Mesh2D(2, 2)
+        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        inter = res.extra["interactions_by_step"]
+        assert all(i > 32 for i in inter)
+
+    def test_warm_validation(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=8, steps=2, warm=2)
+        with pytest.raises(ValueError):
+            barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=1, steps=2, warm=1)
+
+    def test_deterministic(self):
+        mesh = Mesh2D(2, 2)
+        a = barneshut.run(mesh, make_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
+        b = barneshut.run(mesh, make_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
+        assert a.time == b.time
+        assert a.congestion_msgs == b.congestion_msgs

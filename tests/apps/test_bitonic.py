@@ -1,0 +1,123 @@
+"""Bitonic sorting application tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import bitonic
+from repro.core.strategy import make_strategy
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+
+
+class TestSchedule:
+    def test_depth_is_log_sum(self):
+        """log P phases; phase i has i steps: total depth = logP(logP+1)/2."""
+        for p, depth in ((2, 1), (4, 3), (8, 6), (16, 10), (64, 21)):
+            assert len(bitonic.comparator_schedule(p)) == depth
+
+    def test_each_wire_once_per_step(self):
+        for step in bitonic.comparator_schedule(16):
+            wires = [w for lo, hi, _ in step for w in (lo, hi)]
+            assert sorted(wires) == list(range(16))
+
+    def test_comparators_pair_distinct_wires(self):
+        for step in bitonic.comparator_schedule(8):
+            for lo, hi, _ in step:
+                assert lo < hi
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            bitonic.comparator_schedule(12)
+        with pytest.raises(ValueError):
+            bitonic.comparator_schedule(1)
+
+    @given(st.sampled_from([2, 4, 8, 16, 32, 64]), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_circuit_sorts_scalars(self, p, seed):
+        """Property: simulating the comparator schedule on arbitrary scalar
+        inputs yields a sorted sequence (the circuit itself is correct
+        independent of the distributed machinery)."""
+        rng = np.random.default_rng(seed)
+        vals = list(rng.integers(0, 1000, size=p))
+        for step in bitonic.comparator_schedule(p):
+            for lo, hi, ascending in step:
+                a, b = vals[lo], vals[hi]
+                if ascending:
+                    vals[lo], vals[hi] = min(a, b), max(a, b)
+                else:
+                    vals[lo], vals[hi] = max(a, b), min(a, b)
+        assert vals == sorted(vals)
+
+
+class TestWireAssignment:
+    def test_is_permutation(self):
+        for shape in ((4, 4), (2, 8), (8, 8)):
+            wires = bitonic.wire_assignment(Mesh2D(*shape))
+            assert sorted(wires) == list(range(shape[0] * shape[1]))
+
+    def test_neighbour_wires_are_close(self):
+        """Decomposition leaf order keeps wire neighbourhoods in submeshes:
+        adjacent wires sit at Manhattan distance 1 most of the time."""
+        mesh = Mesh2D(4, 4)
+        wires = bitonic.wire_assignment(mesh)
+        dists = [mesh.manhattan(a, b) for a, b in zip(wires, wires[1:])]
+        assert np.mean(dists) < 2.0
+        # first half of the wires covers one half of the mesh
+        assert len({mesh.coord(p)[0] for p in wires[:8]}) <= 2
+
+
+@pytest.mark.parametrize("strategy", ["2-ary", "2-4-ary", "4-ary", "fixed-home"])
+def test_diva_sorts_on_all_strategies(strategy):
+    mesh = Mesh2D(4, 4)
+    res = bitonic.run_diva(mesh, make_strategy(strategy, mesh), keys_per_wire=32)
+    assert res.extra["verified"]
+
+
+def test_handopt_sorts():
+    res = bitonic.run_handopt(Mesh2D(4, 4), keys_per_wire=32)
+    assert res.extra["verified"]
+
+
+def test_final_runs_are_globally_ordered():
+    mesh = Mesh2D(4, 4)
+    res = bitonic.run_diva(mesh, make_strategy("4-ary", mesh), keys_per_wire=16)
+    rt = res.extra["runtime"]
+    runs = [None] * 16
+    for var in rt.registry:
+        w = int(var.name[2:-1])
+        runs[w] = rt.registry.get(var)
+    flat = np.concatenate(runs)
+    assert np.array_equal(flat, np.sort(flat))
+
+
+class TestTraffic:
+    def test_access_tree_beats_fixed_home(self):
+        mesh = Mesh2D(8, 8)
+        at = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh), 256)
+        fh = bitonic.run_diva(mesh, make_strategy("fixed-home", mesh), 256)
+        assert at.congestion_bytes < fh.congestion_bytes
+        assert at.time < fh.time
+
+    def test_handopt_two_messages_per_comparator(self):
+        q = 4
+        p = q * q
+        mesh = Mesh2D(q, q)
+        res = bitonic.run_handopt(mesh, 64, machine=GCEL)
+        steps = len(bitonic.comparator_schedule(p))
+        assert res.stats.data_msgs == steps * p  # 2 per comparator pair
+
+    def test_congestion_grows_linearly_in_keys(self):
+        mesh = Mesh2D(4, 4)
+        c = {}
+        for m in (64, 128, 256):
+            c[m] = bitonic.run_handopt(mesh, m, machine=GCEL).congestion_bytes
+        assert c[128] / c[64] == pytest.approx(2.0, rel=0.15)
+        assert c[256] / c[128] == pytest.approx(2.0, rel=0.15)
+
+    def test_deterministic(self):
+        mesh = Mesh2D(4, 4)
+        a = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
+        b = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
+        assert a.time == b.time and a.stats.total_msgs == b.stats.total_msgs

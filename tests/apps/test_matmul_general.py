@@ -1,0 +1,55 @@
+"""General matrix multiplication (C := A*B) tests -- the paper's contrast
+case: reads only, no invalidations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import matmul
+from repro.core.strategy import make_strategy
+from repro.network.machine import GCEL
+from repro.network.mesh import Mesh2D
+
+
+@pytest.mark.parametrize("strategy", ["4-ary", "2-4-ary", "fixed-home"])
+def test_general_multiply_verifies(strategy):
+    mesh = Mesh2D(4, 4)
+    res = matmul.run_diva_general(mesh, make_strategy(strategy, mesh), block_entries=16)
+    assert res.extra["verified"]
+
+
+def test_general_uses_different_b_matrix():
+    """A and B must be independent inputs (otherwise it degenerates to the
+    square and the contrast is meaningless)."""
+    mesh = Mesh2D(2, 2)
+    a = matmul.make_blocks(mesh, 16, seed=0)
+    b = matmul.make_blocks(mesh, 16, seed=0 + 104729)
+    assert not all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def test_general_sends_fewer_invalidations_than_square():
+    """The whole point: squaring invalidates the copies created in the read
+    phase; general multiplication writes fresh variables instead."""
+    mesh = Mesh2D(4, 4)
+    sq = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
+    gen = matmul.run_diva_general(mesh, make_strategy("4-ary", mesh), 256)
+    assert gen.stats.ctrl_msgs < sq.stats.ctrl_msgs
+
+    # In the general variant the write phase is almost silent.
+    sq_write = sq.phase("write")
+    gen_write = gen.phase("write")
+    assert gen_write.stats.total_msgs < sq_write.stats.total_msgs
+
+
+def test_general_write_phase_has_no_remote_writes():
+    mesh = Mesh2D(4, 4)
+    strat = make_strategy("4-ary", mesh)
+    res = matmul.run_diva_general(mesh, strat, 64)
+    # C variables are created and written by their own processor only.
+    assert strat.write_remote == 0
+
+
+def test_square_write_phase_has_remote_effects():
+    mesh = Mesh2D(4, 4)
+    strat = make_strategy("4-ary", mesh)
+    matmul.run_diva(mesh, strat, 64)
+    assert strat.write_remote > 0

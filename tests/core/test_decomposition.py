@@ -1,0 +1,205 @@
+"""Hierarchical mesh decomposition tests."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import build_tree, parse_arity
+from repro.network.mesh import Mesh2D
+
+mesh_shapes = st.tuples(
+    st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=10)
+)
+strides = st.sampled_from([1, 2, 4])
+
+
+class TestParseArity:
+    @pytest.mark.parametrize(
+        "name,expect",
+        [
+            ("2-ary", (1, 1)),
+            ("4-ary", (2, 1)),
+            ("16-ary", (4, 1)),
+            ("2-4-ary", (1, 4)),
+            ("4-8-ary", (2, 8)),
+            ("4-16-ary", (2, 16)),
+            ("2-32-ary", (1, 32)),
+            ("16-64-ary", (4, 64)),
+        ],
+    )
+    def test_known_names(self, name, expect):
+        assert parse_arity(name) == expect
+
+    @pytest.mark.parametrize("bad", ["3-ary", "4-2-ary", "foo", "2-ary-4", "ary"])
+    def test_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_arity(bad)
+
+
+class TestBinaryTree:
+    def test_paper_example_m43(self):
+        """Figure 1 of the paper: M(4,3) decomposes over 4 levels."""
+        tree = build_tree(Mesh2D(4, 3), stride=1)
+        assert tree.height == 4
+        root = tree.nodes[tree.root]
+        assert (root.rows, root.cols) == (4, 3)
+        # Level 1: two 2x3 submeshes (rows split first since rows >= cols).
+        kids = [tree.nodes[c] for c in root.children]
+        assert [(k.rows, k.cols) for k in kids] == [(2, 3), (2, 3)]
+        # Level 2 splits columns of 2x3 into 2x2 and 2x1.
+        gkids = [tree.nodes[c] for c in kids[0].children]
+        assert [(g.rows, g.cols) for g in gkids] == [(2, 2), (2, 1)]
+
+    def test_every_proc_has_unique_leaf(self):
+        tree = build_tree(Mesh2D(5, 7), stride=1)
+        assert sorted(tree.leaf_of_proc) == sorted(
+            {tree.leaf_of_proc[p] for p in range(35)}
+        )
+
+    def test_binary_node_count(self):
+        # A decomposition into single processors has exactly 2P-1 nodes.
+        tree = build_tree(Mesh2D(4, 4), stride=1)
+        assert len(tree) == 2 * 16 - 1
+
+    def test_single_processor_mesh(self):
+        tree = build_tree(Mesh2D(1, 1), stride=1)
+        assert len(tree) == 1
+        assert tree.height == 0
+
+
+@given(mesh_shapes, strides)
+@settings(max_examples=40, deadline=None)
+def test_children_tile_parent(shape, stride):
+    """Every node's children partition exactly the parent's submesh."""
+    tree = build_tree(Mesh2D(*shape), stride=stride)
+    for node in tree.nodes:
+        if node.is_leaf:
+            assert node.size == 1
+            continue
+        cells = set()
+        for c in node.children:
+            ch = tree.nodes[c]
+            for r in range(ch.row0, ch.row0 + ch.rows):
+                for k in range(ch.col0, ch.col0 + ch.cols):
+                    assert (r, k) not in cells, "overlapping children"
+                    cells.add((r, k))
+        expect = {
+            (r, k)
+            for r in range(node.row0, node.row0 + node.rows)
+            for k in range(node.col0, node.col0 + node.cols)
+        }
+        assert cells == expect
+
+
+@given(mesh_shapes, strides, st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_terminal_variant_leaf_structure(shape, stride, terminal):
+    """l-k-ary variants: internal nodes sitting just above leaves cover at
+    most ``terminal`` processors (or are binary-split products)."""
+    tree = build_tree(Mesh2D(*shape), stride=stride, terminal=terminal)
+    for p in range(tree.mesh.n_nodes):
+        leaf = tree.nodes[tree.leaf_of_proc[p]]
+        assert leaf.size == 1
+        assert tree.mesh.node(leaf.row0, leaf.col0) == p
+
+
+class TestArityVariants:
+    def test_4ary_skips_odd_levels(self):
+        t2 = build_tree(Mesh2D(8, 8), stride=1)
+        t4 = build_tree(Mesh2D(8, 8), stride=2)
+        assert t4.height * 2 == t2.height
+        assert t4.max_degree == 4
+
+    def test_16ary_degree(self):
+        t16 = build_tree(Mesh2D(8, 8), stride=4)
+        assert t16.max_degree == 16
+        # 8x8 has binary depth 6, so 16-ary height is ceil(6/4) = 2.
+        assert t16.height == 2
+
+    def test_2_4_ary_terminal_children(self):
+        tree = build_tree(Mesh2D(4, 4), stride=1, terminal=4)
+        # Terminal nodes represent 4-processor submeshes with 4 leaf kids.
+        terminals = [
+            n for n in tree.nodes if not n.is_leaf and all(tree.nodes[c].is_leaf for c in n.children)
+        ]
+        assert terminals
+        for t in terminals:
+            assert t.size <= 4
+            assert len(t.children) == t.size
+
+    def test_labels(self):
+        assert build_tree(Mesh2D(4, 4), 1, 1).label == "2-ary"
+        assert build_tree(Mesh2D(4, 4), 2, 1).label == "4-ary"
+        assert build_tree(Mesh2D(4, 4), 4, 1).label == "16-ary"
+        assert build_tree(Mesh2D(4, 4), 2, 8).label == "4-8-ary"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_tree(Mesh2D(4, 4), stride=3)
+        with pytest.raises(ValueError):
+            build_tree(Mesh2D(4, 4), stride=1, terminal=0)
+
+    def test_flatter_trees_are_shorter(self):
+        m = Mesh2D(8, 8)
+        h2 = build_tree(m, 1, 1).height
+        h4 = build_tree(m, 2, 1).height
+        h16 = build_tree(m, 4, 1).height
+        h24 = build_tree(m, 1, 4).height
+        assert h2 > h4 > h16
+        assert h24 < h2
+
+
+class TestTreePaths:
+    @given(mesh_shapes, strides)
+    @settings(max_examples=25, deadline=None)
+    def test_tree_path_matches_networkx(self, shape, stride):
+        tree = build_tree(Mesh2D(*shape), stride=stride)
+        g = nx.Graph()
+        for n in tree.nodes:
+            for c in n.children:
+                g.add_edge(n.idx, c)
+        if len(tree) == 1:
+            assert tree.tree_path(0, 0) == [0]
+            return
+        import random
+
+        rng = random.Random(42)
+        nodes = [n.idx for n in tree.nodes]
+        for _ in range(10):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            expect = nx.shortest_path(g, a, b)
+            assert tree.tree_path(a, b) == expect
+
+    def test_tree_distance(self):
+        tree = build_tree(Mesh2D(4, 4), stride=1)
+        leaves = [tree.leaf_of_proc[p] for p in range(16)]
+        assert tree.tree_distance(leaves[0], leaves[0]) == 0
+        # Any two distinct leaves are connected through some ancestor.
+        assert tree.tree_distance(leaves[0], leaves[15]) == 2 * tree.depth[leaves[0]]
+
+
+class TestInorder:
+    def test_leaves_inorder_is_permutation(self):
+        tree = build_tree(Mesh2D(4, 4), stride=1)
+        procs = tree.procs_inorder()
+        assert sorted(procs) == list(range(16))
+
+    def test_inorder_locality(self):
+        """Consecutive in-order processors are close on the mesh: the first
+        half of the order covers one half of the decomposition."""
+        tree = build_tree(Mesh2D(4, 4), stride=1)
+        procs = tree.procs_inorder()
+        top = tree.nodes[tree.root].children[0]
+        first_half = set(tree.procs_under(top))
+        assert set(procs[:8]) == first_half
+
+    def test_procs_under_counts(self):
+        tree = build_tree(Mesh2D(4, 4), stride=2)
+        assert len(tree.procs_under(tree.root)) == 16
+        for c in tree.nodes[tree.root].children:
+            assert len(tree.procs_under(c)) == 4
+
+    def test_leaves_under(self):
+        tree = build_tree(Mesh2D(4, 4), stride=2)
+        assert len(list(tree.leaves_under(tree.root))) == 16

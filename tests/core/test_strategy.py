@@ -1,0 +1,54 @@
+"""Strategy factory and NullStrategy tests."""
+
+import pytest
+
+from repro.core.access_tree import AccessTreeStrategy
+from repro.core.fixed_home import FixedHomeStrategy
+from repro.core.strategy import STRATEGY_NAMES, NullStrategy, make_strategy
+from repro.network.machine import ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.runtime.launcher import Runtime
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", [n for n in STRATEGY_NAMES if n not in ("fixed-home", "handopt")])
+    def test_tree_variants(self, name):
+        s = make_strategy(name, Mesh2D(4, 4))
+        assert isinstance(s, AccessTreeStrategy)
+        assert s.name == name
+
+    def test_fixed_home(self):
+        s = make_strategy("fixed-home", Mesh2D(4, 4))
+        assert isinstance(s, FixedHomeStrategy)
+
+    def test_handopt(self):
+        assert isinstance(make_strategy("handopt", Mesh2D(4, 4)), NullStrategy)
+
+    def test_general_lk_pattern(self):
+        s = make_strategy("4-32-ary", Mesh2D(8, 8))
+        assert s.tree.label == "4-32-ary"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_strategy("5-ary", Mesh2D(4, 4))
+
+    def test_embedding_option(self):
+        s = make_strategy("4-ary", Mesh2D(4, 4), embedding="random")
+        assert s.embedding.name == "random"
+
+
+class TestNullStrategy:
+    def test_everything_raises(self):
+        mesh = Mesh2D(2, 2)
+        s = NullStrategy()
+        rt = Runtime(mesh, s, ZERO_COST)
+        with pytest.raises(RuntimeError):
+            rt.create_var("x", 8, 0, None)
+        with pytest.raises(RuntimeError):
+            s.read(0, None, 0.0)
+        with pytest.raises(RuntimeError):
+            s.write(0, None, 1, 0.0)
+        with pytest.raises(RuntimeError):
+            s.lock(0, None, 0.0, lambda t: None)
+        with pytest.raises(RuntimeError):
+            s.unlock(0, None, 0.0)

@@ -1,0 +1,38 @@
+"""Link heatmap rendering tests."""
+
+from repro.network.mesh import Mesh2D
+from repro.network.routing import route_links
+from repro.network.stats import LinkStats
+
+
+def test_idle_mesh_renders_dots():
+    s = LinkStats(Mesh2D(2, 2))
+    out = s.render_heatmap()
+    assert out.count("+") == 4
+    assert ".." in out
+
+
+def test_hot_wire_shows_100():
+    m = Mesh2D(2, 2)
+    s = LinkStats(m)
+    s.record(route_links(m, 0, 1), 1000, 0, 1, True)
+    out = s.render_heatmap()
+    assert "100" in out
+
+
+def test_relative_scaling():
+    m = Mesh2D(1, 3)
+    s = LinkStats(m)
+    s.record(route_links(m, 0, 1), 1000, 0, 1, True)
+    s.record(route_links(m, 1, 2), 500, 1, 2, True)
+    out = s.render_heatmap()
+    assert "100" in out and "50" in out
+
+
+def test_rows_and_columns_render():
+    m = Mesh2D(3, 4)
+    s = LinkStats(m)
+    out = s.render_heatmap()
+    # 3 node rows + 2 vertical rows.
+    assert len(out.splitlines()) == 5
+    assert out.splitlines()[0].count("+") == 4

@@ -1,0 +1,51 @@
+"""Machine cost model tests."""
+
+import pytest
+
+from repro.network.machine import GCEL, ZERO_COST, MachineModel
+
+
+class TestGCel:
+    def test_paper_calibration(self):
+        assert GCEL.link_bandwidth == 1.0e6  # ~1 Mbyte/s
+        assert abs(GCEL.int_op_time - 1e-6 / 0.29) < 1e-12  # 0.29 adds/us
+        assert GCEL.word_bytes == 4
+
+    def test_link_processor_speed_ratio(self):
+        """The paper derives a link/processor speed ratio of about 0.86
+        from 1 MB/s links and 0.29 int-adds/us on 4-byte words."""
+        words_per_sec_link = GCEL.link_bandwidth / GCEL.word_bytes
+        adds_per_sec = 1.0 / GCEL.int_op_time
+        assert abs(words_per_sec_link / adds_per_sec - 0.86) < 0.01
+
+    def test_nic_overhead_grows_with_size(self):
+        small = GCEL.nic_overhead(GCEL.ctrl_bytes)
+        large = GCEL.nic_overhead(16 * 1024)
+        assert large > 10 * small  # data startups "a lot larger" than control
+
+    def test_transfer_time(self):
+        assert GCEL.transfer_time(1_000_000) == pytest.approx(1.0)
+
+    def test_compute_time(self):
+        assert GCEL.compute_time(0.29e6) == pytest.approx(1.0)
+
+    def test_data_bytes_adds_header(self):
+        assert GCEL.data_bytes(100) == 100 + GCEL.header_bytes
+
+    def test_with_override(self):
+        m = GCEL.with_(link_bandwidth=2e6)
+        assert m.link_bandwidth == 2e6
+        assert m.int_op_time == GCEL.int_op_time
+        assert GCEL.link_bandwidth == 1e6  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GCEL.link_bandwidth = 5  # type: ignore[misc]
+
+
+class TestZeroCost:
+    def test_everything_free(self):
+        assert ZERO_COST.nic_overhead(10_000) == 0
+        assert ZERO_COST.transfer_time(10_000) == 0
+        assert ZERO_COST.compute_time(1e9) == 0
+        assert ZERO_COST.local_overhead == 0

@@ -1,0 +1,127 @@
+"""Unit and property tests for the mesh topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.mesh import Mesh2D
+
+meshes = st.builds(
+    Mesh2D, st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12)
+)
+
+
+class TestBasics:
+    def test_n_nodes(self):
+        assert Mesh2D(4, 3).n_nodes == 12
+
+    def test_invalid_sides(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D(4, -1)
+
+    def test_single_node_mesh(self):
+        m = Mesh2D(1, 1)
+        assert m.n_nodes == 1
+        assert m.n_links == 0
+        assert m.coord(0) == (0, 0)
+
+    def test_row_major_numbering(self):
+        m = Mesh2D(3, 4)
+        assert m.node(0, 0) == 0
+        assert m.node(0, 3) == 3
+        assert m.node(1, 0) == 4
+        assert m.node(2, 3) == 11
+
+    def test_node_bounds_checked(self):
+        m = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            m.node(3, 0)
+        with pytest.raises(ValueError):
+            m.node(0, -1)
+        with pytest.raises(ValueError):
+            m.coord(9)
+
+    def test_manhattan(self):
+        m = Mesh2D(4, 4)
+        assert m.manhattan(m.node(0, 0), m.node(3, 3)) == 6
+        assert m.manhattan(5, 5) == 0
+
+    def test_link_count(self):
+        m = Mesh2D(4, 3)
+        # 4 rows x 2 horizontal wires + 3 rows x 3 vertical wires, both dirs.
+        assert m.n_links == 2 * (4 * 2 + 3 * 3)
+
+    def test_line_mesh_links(self):
+        m = Mesh2D(1, 5)
+        assert m.n_links == 2 * 4
+        m = Mesh2D(5, 1)
+        assert m.n_links == 2 * 4
+
+
+class TestLinkIds:
+    @given(meshes)
+    def test_link_endpoints_bijection(self, m: Mesh2D):
+        seen = set()
+        for link, src, dst in m.iter_links():
+            assert (src, dst) not in seen
+            seen.add((src, dst))
+            assert m.manhattan(src, dst) == 1
+        assert len(seen) == m.n_links
+
+    @given(meshes)
+    def test_every_neighbour_pair_has_link(self, m: Mesh2D):
+        pairs = {(s, d) for _, s, d in m.iter_links()}
+        for node in m.nodes():
+            r, c = m.coord(node)
+            for rr, cc in ((r + 1, c), (r - 1, c), (r, c + 1), (r, c - 1)):
+                if 0 <= rr < m.rows and 0 <= cc < m.cols:
+                    assert (node, m.node(rr, cc)) in pairs
+
+    def test_h_link_directions(self):
+        m = Mesh2D(2, 3)
+        east = m.h_link(0, 0, eastbound=True)
+        west = m.h_link(0, 0, eastbound=False)
+        assert m.link_endpoints(east) == (m.node(0, 0), m.node(0, 1))
+        assert m.link_endpoints(west) == (m.node(0, 1), m.node(0, 0))
+
+    def test_v_link_directions(self):
+        m = Mesh2D(3, 2)
+        south = m.v_link(1, 1, southbound=True)
+        north = m.v_link(1, 1, southbound=False)
+        assert m.link_endpoints(south) == (m.node(1, 1), m.node(2, 1))
+        assert m.link_endpoints(north) == (m.node(2, 1), m.node(1, 1))
+
+    def test_link_bounds_checked(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            m.h_link(0, 1, True)  # no wire to the right of the last column
+        with pytest.raises(ValueError):
+            m.v_link(1, 0, True)
+        with pytest.raises(ValueError):
+            m.link_endpoints(m.n_links)
+
+    @given(meshes)
+    def test_coord_node_roundtrip(self, m: Mesh2D):
+        for node in m.nodes():
+            r, c = m.coord(node)
+            assert m.node(r, c) == node
+
+
+class TestSubmesh:
+    def test_submesh_nodes(self):
+        m = Mesh2D(4, 4)
+        nodes = m.submesh_nodes(1, 1, 2, 2)
+        assert nodes == [m.node(1, 1), m.node(1, 2), m.node(2, 1), m.node(2, 2)]
+
+    def test_submesh_full(self):
+        m = Mesh2D(3, 2)
+        assert m.submesh_nodes(0, 0, 3, 2) == list(m.nodes())
+
+    def test_submesh_bounds(self):
+        m = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            m.submesh_nodes(2, 2, 2, 2)
+        with pytest.raises(ValueError):
+            m.submesh_nodes(0, 0, 0, 1)

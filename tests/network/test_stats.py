@@ -1,0 +1,85 @@
+"""LinkStats accounting tests."""
+
+import pytest
+
+from repro.network.mesh import Mesh2D
+from repro.network.routing import route_links
+from repro.network.stats import LinkStats
+
+
+def make():
+    m = Mesh2D(3, 3)
+    return m, LinkStats(m)
+
+
+class TestRecord:
+    def test_congestion_is_max_over_links(self):
+        m, s = make()
+        path1 = route_links(m, 0, 2)  # two east links in row 0
+        s.record(path1, 100, 0, 2, True)
+        s.record(path1[:1], 50, 0, 1, True)
+        assert s.congestion_bytes == 150
+        assert s.congestion_msgs == 2
+        assert s.total_bytes == 100 * 2 + 50
+
+    def test_local_message_counts_no_link(self):
+        m, s = make()
+        s.record((), 100, 4, 4, True)
+        assert s.congestion_bytes == 0
+        assert s.local_msgs == 1
+        assert s.total_msgs == 1
+        assert s.startups[4] == 1
+        assert s.receives[4] == 1
+
+    def test_data_vs_ctrl_counts(self):
+        m, s = make()
+        s.record(route_links(m, 0, 1), 10, 0, 1, True)
+        s.record(route_links(m, 0, 1), 10, 0, 1, False)
+        assert s.data_msgs == 1
+        assert s.ctrl_msgs == 1
+
+    def test_startups_per_processor(self):
+        m, s = make()
+        for _ in range(3):
+            s.record(route_links(m, 0, 1), 1, 0, 1, False)
+        s.record(route_links(m, 1, 0), 1, 1, 0, False)
+        snap = s.snapshot()
+        assert snap.max_startups == 3
+        assert snap.total_startups == 4
+
+    def test_hottest_links(self):
+        m, s = make()
+        s.record(route_links(m, 0, 2), 500, 0, 2, True)
+        top = s.hottest_links(1)[0]
+        assert top[3] == 500
+
+    def test_empty_stats(self):
+        m, s = make()
+        snap = s.snapshot()
+        assert snap.congestion_bytes == 0
+        assert snap.total_msgs == 0
+
+
+class TestCheckpointDelta:
+    def test_delta_isolates_interval(self):
+        m, s = make()
+        s.record(route_links(m, 0, 2), 100, 0, 2, True)
+        ck = s.checkpoint()
+        s.record(route_links(m, 0, 2), 40, 0, 2, False)
+        d = s.delta(ck)
+        assert d.total_msgs == 1
+        assert d.ctrl_msgs == 1
+        assert d.data_msgs == 0
+        assert d.congestion_bytes == 40
+
+    def test_delta_of_nothing(self):
+        m, s = make()
+        ck = s.checkpoint()
+        d = s.delta(ck)
+        assert d.total_bytes == 0
+        assert d.max_startups == 0
+
+    def test_snapshot_as_dict(self):
+        m, s = make()
+        d = s.snapshot().as_dict()
+        assert "congestion_bytes" in d and "total_msgs" in d

@@ -1,0 +1,89 @@
+"""Program API tests: request objects, Env helpers, MarkReq plumbing."""
+
+import pytest
+
+from repro.core.strategy import make_strategy
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.runtime.api import (
+    BarrierReq,
+    ComputeReq,
+    LockReq,
+    MarkReq,
+    ReadReq,
+    RecvReq,
+    SendReq,
+    UnlockReq,
+    WriteReq,
+)
+from repro.runtime.launcher import Runtime
+
+
+class TestRequestObjects:
+    def test_slots_prevent_extra_attrs(self):
+        r = ComputeReq(seconds=1.0)
+        with pytest.raises(AttributeError):
+            r.extra = 1  # type: ignore[attr-defined]
+
+    def test_defaults(self):
+        b = BarrierReq()
+        assert b.phase is None and b.reset is False
+        c = ComputeReq()
+        assert c.seconds == 0.0 and c.ops == 0.0
+
+    def test_send_fields(self):
+        s = SendReq(3, 128, "tag", value=[1, 2])
+        assert (s.dst, s.payload_bytes, s.tag, s.value) == (3, 128, "tag", [1, 2])
+
+
+class TestMarkReq:
+    def test_reset_measurement_from_program(self):
+        """env.reset_measurement() zeroes traffic/time from that instant
+        (the explicit variant of barrier(reset=True))."""
+        mesh = Mesh2D(2, 2)
+        rt = Runtime(mesh, make_strategy("4-ary", mesh), GCEL)
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["v"] = env.create("x", 1024, value=7)
+            yield from env.barrier()
+            yield from env.read(shared["v"])  # warm-up traffic
+            yield from env.barrier()
+            if env.rank == 0:
+                yield from env.reset_measurement()
+            yield from env.barrier()
+            yield from env.compute(seconds=0.125)
+
+        res = rt.run(program)
+        assert res.stats.data_msgs == 0  # warm-up discarded
+        assert res.time == pytest.approx(0.125, rel=0.15)
+
+    def test_unknown_mark_rejected(self):
+        mesh = Mesh2D(2, 2)
+        rt = Runtime(mesh, make_strategy("4-ary", mesh), ZERO_COST)
+
+        def program(env):
+            yield MarkReq("frobnicate")
+
+        with pytest.raises(ValueError):
+            rt.run(program)
+
+
+class TestEnvCreate:
+    def test_create_registers_with_strategy(self):
+        mesh = Mesh2D(2, 2)
+        strat = make_strategy("4-ary", mesh)
+        rt = Runtime(mesh, strat, ZERO_COST)
+        made = {}
+
+        def program(env):
+            if env.rank == 2:
+                made["var"] = env.create("mine", 64, value="v")
+            yield from env.barrier()
+
+        rt.run(program)
+        var = made["var"]
+        assert var.creator == 2
+        assert strat.copy_procs(var) == {2}
+        assert rt.registry.get(var) == "v"

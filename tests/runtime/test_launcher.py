@@ -1,0 +1,308 @@
+"""Launcher / Runtime tests: dispatch, phases, message passing, deadlocks."""
+
+import pytest
+
+from repro.core.strategy import NullStrategy, make_strategy
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.runtime.launcher import Runtime, run_spmd
+from repro.sim.engine import SimDeadlock
+
+
+def mk(strategy="4-ary", mesh=None, machine=ZERO_COST, **kw):
+    mesh = mesh or Mesh2D(2, 2)
+    return Runtime(mesh, make_strategy(strategy, mesh), machine, **kw)
+
+
+class TestBasicDispatch:
+    def test_program_return_values_collected(self):
+        rt = mk()
+
+        def program(env):
+            yield from env.barrier()
+            return env.rank * 10
+
+        rt.run(program)
+        assert rt.program_results == [0, 10, 20, 30]
+
+    def test_read_write_roundtrip(self):
+        rt = mk()
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["v"] = env.create("x", 8, value=5)
+            yield from env.barrier()
+            val = yield from env.read(shared["v"])
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.write(shared["v"], val + 1)
+            yield from env.barrier()
+
+        rt.run(program)
+        assert rt.registry.get(shared["v"]) == 6
+
+    def test_unexpected_yield_rejected(self):
+        rt = mk()
+
+        def program(env):
+            yield "not a request"
+
+        with pytest.raises(TypeError):
+            rt.run(program)
+
+    def test_env_properties(self):
+        rt = mk()
+        seen = {}
+
+        def program(env):
+            if env.rank == 3:
+                seen["coord"] = env.coord
+                seen["nprocs"] = env.nprocs
+                seen["machine"] = env.machine
+            yield from env.barrier()
+
+        rt.run(program)
+        assert seen == {"coord": (1, 1), "nprocs": 4, "machine": ZERO_COST}
+
+
+class TestCompute:
+    def test_compute_advances_time(self):
+        rt = mk(machine=GCEL)
+
+        def program(env):
+            yield from env.compute(ops=0.29e6)  # exactly 1 virtual second
+
+        res = rt.run(program)
+        assert res.time == pytest.approx(1.0)
+        assert res.compute_time == pytest.approx(1.0)
+
+    def test_charge_compute_false_makes_compute_free(self):
+        rt = mk(machine=GCEL, charge_compute=False)
+
+        def program(env):
+            yield from env.compute(ops=1e9, seconds=50.0)
+
+        res = rt.run(program)
+        assert res.time == 0.0
+
+    def test_compute_seconds(self):
+        rt = mk(machine=GCEL)
+
+        def program(env):
+            yield from env.compute(seconds=0.5)
+
+        assert rt.run(program).time == pytest.approx(0.5)
+
+
+class TestPhases:
+    def test_phase_accounting(self):
+        rt = mk(machine=GCEL)
+
+        def program(env):
+            yield from env.barrier(phase="alpha")
+            yield from env.compute(seconds=0.1)
+            yield from env.barrier(phase="beta")
+            yield from env.compute(seconds=0.2)
+            yield from env.barrier(phase="end")
+
+        res = rt.run(program)
+        names = [p.name for p in res.phases]
+        assert names[:3] == ["main", "alpha", "beta"]
+        alpha = res.phase("alpha")
+        beta = res.phase("beta")
+        assert alpha.time == pytest.approx(0.1, rel=0.05)
+        assert beta.time == pytest.approx(0.2, rel=0.05)
+
+    def test_repeated_phase_labels_accumulate(self):
+        rt = mk(machine=GCEL)
+
+        def program(env):
+            for _ in range(3):
+                yield from env.barrier(phase="work")
+                yield from env.compute(seconds=0.1)
+                yield from env.barrier(phase="idle")
+            yield from env.barrier(phase="end")
+
+        res = rt.run(program)
+        work = res.phase("work")
+        assert work.time == pytest.approx(0.3, rel=0.05)
+
+    def test_inconsistent_phase_labels_rejected(self):
+        rt = mk()
+
+        def program(env):
+            yield from env.barrier(phase="a" if env.rank == 0 else "b")
+
+        with pytest.raises(RuntimeError):
+            rt.run(program)
+
+    def test_measurement_reset_at_barrier(self):
+        rt = mk(machine=GCEL)
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["v"] = env.create("x", 1024, value=1)
+            yield from env.barrier()
+            yield from env.read(shared["v"])  # warm-up traffic
+            yield from env.compute(seconds=0.5)
+            yield from env.barrier(phase="measured", reset=True)
+            yield from env.compute(seconds=0.25)
+            yield from env.barrier(phase="end")
+
+        res = rt.run(program)
+        # Warm-up read traffic and time are discarded.
+        assert res.time == pytest.approx(0.25, rel=0.1)
+        assert res.stats.data_msgs == 0
+        assert [p.name for p in res.phases][0] == "measured"
+
+
+class TestMessagePassing:
+    def test_fifo_per_tag(self):
+        rt = mk(strategy="handopt")
+        got = {}
+
+        def program(env):
+            if env.rank == 0:
+                for i in range(5):
+                    yield from env.send(1, i, 64, tag="seq")
+            elif env.rank == 1:
+                vals = []
+                for _ in range(5):
+                    v = yield from env.recv(tag="seq")
+                    vals.append(v)
+                got["vals"] = vals
+            yield from env.barrier()
+
+        rt.run(program)
+        assert got["vals"] == [0, 1, 2, 3, 4]
+
+    def test_tags_demultiplex(self):
+        rt = mk(strategy="handopt")
+        got = {}
+
+        def program(env):
+            if env.rank == 0:
+                yield from env.send(1, "A", 8, tag="a")
+                yield from env.send(1, "B", 8, tag="b")
+            elif env.rank == 1:
+                got["b"] = yield from env.recv(tag="b")
+                got["a"] = yield from env.recv(tag="a")
+            yield from env.barrier()
+
+        rt.run(program)
+        assert got == {"b": "B", "a": "A"}
+
+    def test_recv_before_send_blocks_until_arrival(self):
+        rt = mk(strategy="handopt", machine=GCEL)
+        times = {}
+
+        def program(env):
+            if env.rank == 1:
+                v = yield from env.recv(tag=0)
+                times["recv_done"] = rt.sim.now
+            elif env.rank == 0:
+                yield from env.compute(seconds=0.3)
+                yield from env.send(1, 42, 64, tag=0)
+            yield from env.barrier()
+
+        rt.run(program)
+        assert times["recv_done"] > 0.3
+
+    def test_send_is_asynchronous(self):
+        rt = mk(strategy="handopt", machine=GCEL)
+        times = {}
+
+        def program(env):
+            if env.rank == 0:
+                yield from env.send(3, "x", 10**6, tag=0)  # ~1s transfer
+                times["send_done"] = rt.sim.now
+            elif env.rank == 3:
+                yield from env.recv(tag=0)
+                times["recv_done"] = rt.sim.now
+            yield from env.barrier()
+
+        rt.run(program)
+        assert times["send_done"] < 0.5  # injection only
+        assert times["recv_done"] > 1.0  # full transfer
+
+    def test_self_send(self):
+        rt = mk(strategy="handopt")
+        got = {}
+
+        def program(env):
+            if env.rank == 0:
+                yield from env.send(0, "self", 8, tag="t")
+                got["v"] = yield from env.recv(tag="t")
+            yield from env.barrier()
+
+        rt.run(program)
+        assert got["v"] == "self"
+
+
+class TestDeadlocks:
+    def test_missing_sender_is_deadlock(self):
+        rt = mk(strategy="handopt")
+
+        def program(env):
+            if env.rank == 0:
+                yield from env.recv(tag="never")
+            yield from env.barrier()
+
+        with pytest.raises(SimDeadlock) as e:
+            rt.run(program)
+        assert "recv" in str(e.value)
+
+    def test_partial_barrier_is_deadlock(self):
+        rt = mk(strategy="handopt")
+
+        def program(env):
+            if env.rank != 0:
+                yield from env.barrier()
+            return None
+            yield  # pragma: no cover - makes this a generator
+
+        with pytest.raises(SimDeadlock) as e:
+            rt.run(program)
+        assert "barrier" in str(e.value)
+
+    def test_lock_never_released_is_deadlock(self):
+        rt = mk()
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["v"] = env.create("x", 8, value=0)
+            yield from env.barrier()
+            yield from env.lock(shared["v"])  # nobody ever unlocks
+            if False:
+                yield from env.unlock(shared["v"])
+
+        with pytest.raises(SimDeadlock) as e:
+            rt.run(program)
+        assert "lock" in str(e.value)
+
+
+class TestRunSpmd:
+    def test_one_shot_helper(self):
+        mesh = Mesh2D(2, 2)
+
+        def program(env):
+            yield from env.barrier()
+
+        res = run_spmd(mesh, make_strategy("4-ary", mesh), program, ZERO_COST)
+        assert res.strategy == "4-ary"
+        assert res.mesh == "2x2"
+        assert "runtime" in res.extra
+
+    def test_result_as_dict(self):
+        mesh = Mesh2D(2, 2)
+
+        def program(env):
+            yield from env.barrier()
+
+        res = run_spmd(mesh, make_strategy("4-ary", mesh), program, ZERO_COST)
+        d = res.as_dict()
+        assert d["strategy"] == "4-ary"
+        assert "congestion_bytes" in d

@@ -1,0 +1,179 @@
+"""Lock manager tests: Raymond tree lock and home lock.
+
+The key property is mutual exclusion *in virtual time*: no two critical
+sections may overlap.  The SPMD harness runs contended increment programs
+and records (grant, release) intervals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.runtime.launcher import Runtime
+from repro.core.strategy import make_strategy
+
+
+def run_contended(strategy_name, rounds=3, mesh=None, machine=GCEL, cs_ops=100.0, seed=0):
+    """All processors repeatedly lock/increment/unlock one shared variable;
+    returns (final_value, intervals, result)."""
+    mesh = mesh or Mesh2D(4, 4)
+    strategy = make_strategy(strategy_name, mesh, seed=seed)
+    rt = Runtime(mesh, strategy, machine, seed=seed)
+    intervals = []
+    shared = {}
+
+    def program(env):
+        if env.rank == 0:
+            shared["var"] = env.create("counter", 16, value=0)
+        yield from env.barrier()
+        var = shared["var"]
+        for _ in range(rounds):
+            yield from env.lock(var)
+            t0 = rt.sim.now
+            val = yield from env.read(var)
+            yield from env.compute(ops=cs_ops)
+            yield from env.write(var, val + 1)
+            t1 = rt.sim.now
+            yield from env.unlock(var)
+            intervals.append((t0, t1, env.rank))
+        yield from env.barrier()
+
+    result = rt.run(program)
+    return rt.registry.get(shared["var"]), intervals, result
+
+
+def assert_mutual_exclusion(intervals):
+    ordered = sorted(intervals)
+    for (s1, e1, p1), (s2, e2, p2) in zip(ordered, ordered[1:]):
+        assert e1 <= s2 + 1e-12, f"critical sections overlap: p{p1}[{s1},{e1}] vs p{p2}[{s2},{e2}]"
+
+
+@pytest.mark.parametrize("strategy", ["4-ary", "2-ary", "fixed-home"])
+class TestMutualExclusion:
+    def test_counter_is_exact(self, strategy):
+        value, intervals, res = run_contended(strategy, rounds=3)
+        assert value == 16 * 3
+        assert res.lock_acquisitions == 16 * 3
+
+    def test_critical_sections_disjoint(self, strategy):
+        _, intervals, _ = run_contended(strategy, rounds=2)
+        assert_mutual_exclusion(intervals)
+
+    def test_every_processor_served(self, strategy):
+        _, intervals, _ = run_contended(strategy, rounds=2)
+        ranks = {p for _, _, p in intervals}
+        assert ranks == set(range(16))
+
+
+class TestRaymondProperties:
+    def test_uncontended_lock_is_cheap_for_creator(self):
+        """The token starts at the creator: its lock/unlock sends nothing."""
+        mesh = Mesh2D(4, 4)
+        strategy = make_strategy("4-ary", mesh, seed=0)
+        rt = Runtime(mesh, strategy, GCEL)
+        shared = {}
+
+        def program(env):
+            if env.rank == 3:
+                shared["var"] = env.create("x", 16, value=0)
+            yield from env.barrier()
+            if env.rank == 3:
+                before = rt.sim.stats.total_msgs
+                yield from env.lock(shared["var"])
+                yield from env.unlock(shared["var"])
+                shared["msgs"] = rt.sim.stats.total_msgs - before
+            yield from env.barrier()
+
+        rt.run(program)
+        assert shared["msgs"] == 0
+
+    def test_token_stays_at_last_holder(self):
+        """Re-acquiring by the last holder needs no messages (token rests)."""
+        mesh = Mesh2D(4, 4)
+        strategy = make_strategy("4-ary", mesh, seed=0)
+        rt = Runtime(mesh, strategy, GCEL)
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["var"] = env.create("x", 16, value=0)
+            yield from env.barrier()
+            if env.rank == 9:
+                yield from env.lock(shared["var"])
+                yield from env.unlock(shared["var"])
+            yield from env.barrier()
+            if env.rank == 9:
+                before = rt.sim.stats.total_msgs
+                yield from env.lock(shared["var"])
+                yield from env.unlock(shared["var"])
+                shared["msgs"] = rt.sim.stats.total_msgs - before
+            yield from env.barrier()
+
+        rt.run(program)
+        assert shared["msgs"] == 0
+
+    def test_unlock_without_hold_rejected(self):
+        mesh = Mesh2D(2, 2)
+        strategy = make_strategy("4-ary", mesh, seed=0)
+        rt = Runtime(mesh, strategy, ZERO_COST)
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["var"] = env.create("x", 16, value=0)
+            yield from env.barrier()
+            if env.rank == 1:
+                yield from env.unlock(shared["var"])
+            yield from env.barrier()
+
+        with pytest.raises(RuntimeError):
+            rt.run(program)
+
+    def test_combining_reduces_hotspot_startups(self):
+        """Under heavy contention, Raymond's combining keeps the busiest
+        processor's message count well below the home-lock's centralized
+        queue, on larger meshes."""
+        _, _, res_tree = run_contended("4-ary", rounds=2, mesh=Mesh2D(8, 8))
+        _, _, res_home = run_contended("fixed-home", rounds=2, mesh=Mesh2D(8, 8))
+        assert res_tree.stats.max_startups < res_home.stats.max_startups
+
+
+class TestHomeLock:
+    def test_fifo_grant_order(self):
+        """Home lock grants in arrival order at the home."""
+        mesh = Mesh2D(4, 4)
+        strategy = make_strategy("fixed-home", mesh, seed=1)
+        rt = Runtime(mesh, strategy, ZERO_COST)
+        order = []
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["var"] = env.create("x", 16, value=0)
+            yield from env.barrier()
+            yield from env.lock(shared["var"])
+            order.append(env.rank)
+            yield from env.unlock(shared["var"])
+            yield from env.barrier()
+
+        rt.run(program)
+        assert sorted(order) == list(range(16))
+
+    def test_double_unlock_rejected(self):
+        mesh = Mesh2D(2, 2)
+        strategy = make_strategy("fixed-home", mesh, seed=0)
+        rt = Runtime(mesh, strategy, ZERO_COST)
+        shared = {}
+
+        def program(env):
+            if env.rank == 0:
+                shared["var"] = env.create("x", 16, value=0)
+                yield from env.lock(shared["var"])
+                yield from env.unlock(shared["var"])
+                yield from env.unlock(shared["var"])
+            yield from env.barrier()
+
+        with pytest.raises(RuntimeError):
+            rt.run(program)

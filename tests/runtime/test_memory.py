@@ -1,0 +1,145 @@
+"""LocalMemory / MemoryBook LRU tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.memory import LocalMemory, MemoryBook
+
+
+def always(key):
+    return True
+
+
+def never(key):
+    return False
+
+
+class TestLocalMemory:
+    def test_unbounded_never_evicts(self):
+        m = LocalMemory(None)
+        for i in range(100):
+            assert m.insert(i, 10, never) == []
+        assert len(m) == 100
+        assert m.used_bytes == 1000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LocalMemory(0)
+        with pytest.raises(ValueError):
+            LocalMemory(-5)
+
+    def test_lru_eviction_order(self):
+        m = LocalMemory(30)
+        m.insert("a", 10, always)
+        m.insert("b", 10, always)
+        m.insert("c", 10, always)
+        evicted = m.insert("d", 10, always)
+        assert evicted == ["a"]  # least recently used
+
+    def test_touch_refreshes_lru_position(self):
+        m = LocalMemory(30)
+        m.insert("a", 10, always)
+        m.insert("b", 10, always)
+        m.insert("c", 10, always)
+        m.touch("a")
+        evicted = m.insert("d", 10, always)
+        assert evicted == ["b"]
+
+    def test_reinsert_touches(self):
+        m = LocalMemory(30)
+        m.insert("a", 10, always)
+        m.insert("b", 10, always)
+        m.insert("c", 10, always)
+        m.insert("a", 10, always)  # refresh
+        assert m.insert("d", 10, always) == ["b"]
+
+    def test_non_evictable_entries_skipped(self):
+        m = LocalMemory(30)
+        m.insert("pinned", 10, always)
+        m.insert("b", 10, always)
+        m.insert("c", 10, always)
+        evicted = m.insert("d", 10, lambda k: k != "pinned")
+        assert evicted == ["b"]
+        assert "pinned" in m
+
+    def test_overflow_allowed_when_nothing_evictable(self):
+        m = LocalMemory(20)
+        m.insert("a", 10, never)
+        m.insert("b", 10, never)
+        assert m.insert("c", 10, never) == []
+        assert m.used_bytes == 30  # soft capacity
+
+    def test_on_evict_called_immediately_per_eviction(self):
+        """on_evict must fire before the next candidate is examined, so the
+        evictability predicate can depend on already-applied evictions.
+        With batch semantics both 'a' and 'b' would be evicted here."""
+        m = LocalMemory(25)
+        m.insert("a", 10, always)
+        m.insert("b", 10, always)
+        state = {"dropped": []}
+
+        def evictable(k):
+            # once anything is gone, nothing else may go
+            return not state["dropped"]
+
+        def on_evict(k):
+            state["dropped"].append(k)
+
+        m.insert("c", 20, evictable, on_evict)  # 40 > 25: wants evictions
+        assert state["dropped"] == ["a"]
+        assert "b" in m
+        assert m.used_bytes == 30  # allowed overflow after predicate stop
+
+    def test_large_entry_evicts_several(self):
+        m = LocalMemory(30)
+        for k in "abc":
+            m.insert(k, 10, always)
+        evicted = m.insert("big", 20, always)  # 50 -> evict a, b -> 30
+        assert evicted == ["a", "b"]
+        assert m.used_bytes == 10 + 20
+
+    def test_remove(self):
+        m = LocalMemory(None)
+        m.insert("a", 7, always)
+        m.remove("a")
+        assert "a" not in m
+        assert m.used_bytes == 0
+
+    def test_eviction_counter(self):
+        m = LocalMemory(10)
+        m.insert("a", 10, always)
+        m.insert("b", 10, always)
+        assert m.evictions == 1
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(1, 15)), min_size=1, max_size=60),
+    st.integers(20, 60),
+)
+@settings(max_examples=50, deadline=None)
+def test_capacity_respected_when_everything_evictable(inserts, cap):
+    """Property: with all entries evictable, used_bytes never exceeds the
+    capacity by more than the newest entry's size."""
+    m = LocalMemory(cap)
+    for key, size in inserts:
+        m.insert(key, size, always)
+        assert m.used_bytes <= max(cap, size)
+        # internal consistency
+        assert m.used_bytes == sum(m._entries.values())
+
+
+class TestMemoryBook:
+    def test_per_processor_isolation(self):
+        book = MemoryBook(4, capacity_bytes=100)
+        book[0].insert("x", 50, always)
+        assert "x" not in book[1]
+        assert book.max_used_bytes == 50
+
+    def test_total_evictions(self):
+        book = MemoryBook(2, capacity_bytes=10)
+        book[0].insert("a", 10, always)
+        book[0].insert("b", 10, always)
+        book[1].insert("c", 10, always)
+        book[1].insert("d", 10, always)
+        assert book.total_evictions == 2

@@ -1,0 +1,59 @@
+"""RunResult container tests."""
+
+import pytest
+
+from repro.network.stats import PhaseStats, StatsSnapshot
+from repro.runtime.results import RunResult
+
+
+def snap(**kw):
+    base = dict(
+        congestion_bytes=0.0,
+        congestion_msgs=0,
+        total_bytes=0.0,
+        total_msgs=0,
+        max_startups=0,
+        total_startups=0,
+        data_msgs=0,
+        ctrl_msgs=0,
+        local_msgs=0,
+    )
+    base.update(kw)
+    return StatsSnapshot(**base)
+
+
+def make_result(**kw):
+    base = dict(
+        strategy="4-ary",
+        mesh="4x4",
+        time=1.5,
+        end_time=1.5,
+        stats=snap(congestion_bytes=100.0, congestion_msgs=7, total_bytes=1000.0),
+    )
+    base.update(kw)
+    return RunResult(**base)
+
+
+class TestRunResult:
+    def test_congestion_properties(self):
+        res = make_result()
+        assert res.congestion_bytes == 100.0
+        assert res.congestion_msgs == 7
+        assert res.total_bytes == 1000.0
+
+    def test_hit_ratio(self):
+        assert make_result(hits=3, misses=1).hit_ratio == 0.75
+        assert make_result().hit_ratio == 0.0  # no accesses -> 0, not NaN
+
+    def test_phase_lookup(self):
+        ph = PhaseStats(name="force", stats=snap(), time=0.5)
+        res = make_result(phases=[ph])
+        assert res.phase("force") is ph
+        assert res.phase("nope") is None
+
+    def test_as_dict_roundtrips_key_fields(self):
+        ph = PhaseStats(name="force", stats=snap(), time=0.5)
+        d = make_result(phases=[ph], hits=2, misses=2).as_dict()
+        assert d["strategy"] == "4-ary"
+        assert d["hit_ratio"] == 0.5
+        assert d["phases"][0]["name"] == "force"

@@ -1,0 +1,55 @@
+"""Variable registry tests."""
+
+import pytest
+
+from repro.runtime.variables import GlobalVariable, VariableRegistry
+
+
+class TestRegistry:
+    def test_create_and_get(self):
+        reg = VariableRegistry()
+        v = reg.create("x", 64, creator=3, value=42)
+        assert isinstance(v, GlobalVariable)
+        assert v.vid == 0
+        assert v.payload_bytes == 64
+        assert v.creator == 3
+        assert reg.get(v) == 42
+
+    def test_dense_ids(self):
+        reg = VariableRegistry()
+        vs = [reg.create(f"v{i}", 8, 0, i) for i in range(10)]
+        assert [v.vid for v in vs] == list(range(10))
+        assert len(reg) == 10
+
+    def test_set_get_roundtrip(self):
+        reg = VariableRegistry()
+        v = reg.create("x", 8, 0, None)
+        reg.set(v, {"a": 1})
+        assert reg.get(v) == {"a": 1}
+
+    def test_by_id(self):
+        reg = VariableRegistry()
+        v = reg.create("x", 8, 0, 7)
+        assert reg.by_id(0) is v
+
+    def test_negative_size_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError):
+            reg.create("x", -1, 0, None)
+
+    def test_zero_size_allowed(self):
+        reg = VariableRegistry()
+        v = reg.create("flag", 0, 0, True)
+        assert v.payload_bytes == 0
+
+    def test_iteration(self):
+        reg = VariableRegistry()
+        for i in range(3):
+            reg.create(f"v{i}", 8, 0, i)
+        assert [v.name for v in reg] == ["v0", "v1", "v2"]
+
+    def test_handle_is_frozen(self):
+        reg = VariableRegistry()
+        v = reg.create("x", 8, 0, None)
+        with pytest.raises(Exception):
+            v.vid = 5  # type: ignore[misc]

@@ -1,0 +1,135 @@
+"""Event engine and message-leg timing tests."""
+
+import pytest
+
+from repro.network.machine import GCEL, ZERO_COST, MachineModel
+from repro.network.mesh import Mesh2D
+from repro.sim.engine import Simulator
+
+
+def sim(machine=GCEL, rows=4, cols=4):
+    return Simulator(Mesh2D(rows, cols), machine)
+
+
+class TestEventHeap:
+    def test_events_run_in_time_order(self):
+        s = sim()
+        order = []
+        s.schedule(2.0, order.append, "b")
+        s.schedule(1.0, order.append, "a")
+        s.schedule(3.0, order.append, "c")
+        s.run()
+        assert order == ["a", "b", "c"]
+        assert s.now == 3.0
+
+    def test_ties_broken_fifo(self):
+        s = sim()
+        order = []
+        for i in range(5):
+            s.schedule(1.0, order.append, i)
+        s.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_into_past_rejected(self):
+        s = sim()
+        s.schedule(5.0, lambda: s.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            s.run()
+
+    def test_nested_scheduling(self):
+        s = sim()
+        seen = []
+
+        def outer():
+            seen.append(("outer", s.now))
+            s.schedule(s.now + 1.0, inner)
+
+        def inner():
+            seen.append(("inner", s.now))
+
+        s.schedule(1.0, outer)
+        s.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestSendLeg:
+    def test_local_leg_costs_local_overhead(self):
+        s = sim()
+        done = s.send_leg(3, 3, 1000, ready=0.0, is_data=True)
+        assert done == pytest.approx(GCEL.local_overhead)
+        assert s.stats.local_msgs == 1
+        assert s.stats.congestion_bytes == 0
+
+    def test_remote_leg_time_components(self):
+        s = sim()
+        payload = 1000
+        wire = payload + GCEL.header_bytes
+        done = s.send_leg(0, 1, payload, ready=0.0, is_data=True)
+        oh = GCEL.nic_overhead(wire)
+        expected = oh + wire / GCEL.link_bandwidth + GCEL.hop_latency + oh
+        assert done == pytest.approx(expected)
+
+    def test_ctrl_leg_uses_ctrl_size(self):
+        s = sim()
+        s.send_leg(0, 1, 12345, ready=0.0, is_data=False)  # payload ignored
+        assert s.stats.link_bytes[
+            [l for l, a, b in s.mesh.iter_links() if (a, b) == (0, 1)][0]
+        ] == GCEL.ctrl_bytes
+
+    def test_nic_serializes_sends(self):
+        s = sim()
+        t1 = s.send_leg(0, 1, 1000, ready=0.0, is_data=True)
+        t2 = s.send_leg(0, 2, 1000, ready=0.0, is_data=True)
+        # The second message waits for the sender's NIC.
+        assert t2 > t1
+
+    def test_link_serializes_messages(self):
+        zero_nic = GCEL.with_(nic_fixed_overhead=0.0, nic_byte_overhead=0.0, hop_latency=0.0)
+        s = sim(zero_nic)
+        wire = 1000 + zero_nic.header_bytes
+        t1 = s.send_leg(0, 3, 1000, ready=0.0, is_data=True)
+        t2 = s.send_leg(1, 3, 1000, ready=0.0, is_data=True)  # shares link 1->2->3
+        assert t1 == pytest.approx(3 * 0 + wire / 1e6)
+        assert t2 == pytest.approx(2 * wire / 1e6)
+
+    def test_disjoint_paths_parallel(self):
+        zero_nic = GCEL.with_(nic_fixed_overhead=0.0, nic_byte_overhead=0.0, hop_latency=0.0)
+        s = sim(zero_nic)
+        t1 = s.send_leg(0, 1, 1000, ready=0.0, is_data=True)
+        t2 = s.send_leg(4, 5, 1000, ready=0.0, is_data=True)
+        assert t1 == pytest.approx(t2)
+
+    def test_ready_time_respected(self):
+        s = sim(ZERO_COST)
+        done = s.send_leg(0, 1, 10, ready=7.5, is_data=True)
+        assert done == pytest.approx(7.5)
+
+    def test_zero_cost_machine_instant(self):
+        s = sim(ZERO_COST)
+        assert s.send_leg(0, 15, 10**9, ready=0.0, is_data=True) == 0.0
+
+    def test_traffic_recorded_on_every_path_link(self):
+        s = sim(ZERO_COST)
+        s.send_leg(0, 15, 100, ready=0.0, is_data=True)
+        # path (0,0)->(3,3): 6 links
+        assert sum(1 for b in s.stats.link_bytes if b > 0) == 6
+
+    def test_count_false_times_without_recording(self):
+        s = sim()
+        s.send_leg(0, 1, 100, ready=0.0, is_data=True, count=False)
+        assert s.stats.total_msgs == 0
+
+
+class TestSendChain:
+    def test_chain_equals_sequential_legs(self):
+        s1 = sim()
+        t_chain = s1.send_chain([0, 1, 2], 500, ready=0.0, is_data=True)
+        s2 = sim()
+        t1 = s2.send_leg(0, 1, 500, ready=0.0, is_data=True)
+        t2 = s2.send_leg(1, 2, 500, ready=t1, is_data=True)
+        assert t_chain == pytest.approx(t2)
+
+    def test_single_host_chain_is_noop(self):
+        s = sim()
+        assert s.send_chain([3], 100, ready=1.0, is_data=True) == 1.0
+        assert s.stats.total_msgs == 0

@@ -1,0 +1,113 @@
+"""Flow executor tests: chains and multicast-with-acks through the heap."""
+
+import pytest
+
+from repro.network.machine import GCEL, ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.sim.engine import Simulator
+from repro.sim.flows import chain, multicast_acks
+
+
+def sim(machine=GCEL):
+    return Simulator(Mesh2D(4, 4), machine)
+
+
+class TestChain:
+    def test_empty_chain_completes_immediately(self):
+        s = sim()
+        done = []
+        chain(s, [], 3.0, done.append)
+        s.run()
+        assert done == [3.0]
+
+    def test_chain_matches_synchronous_timing_when_alone(self):
+        s1 = sim()
+        done = []
+        legs = [(0, 1, 500, True), (1, 2, 500, True)]
+        chain(s1, legs, 0.0, done.append)
+        s1.run()
+        s2 = sim()
+        t = s2.send_chain([0, 1, 2], 500, ready=0.0, is_data=True)
+        assert done[0] == pytest.approx(t)
+
+    def test_chain_records_traffic(self):
+        s = sim(ZERO_COST)
+        chain(s, [(0, 1, 100, True), (1, 2, 0, False)], 0.0, lambda t: None)
+        s.run()
+        assert s.stats.data_msgs == 1
+        assert s.stats.ctrl_msgs == 1
+
+    def test_legs_fire_in_time_order_across_chains(self):
+        """Two chains through a shared NIC: legs interleave FCFS in time,
+        not in initiation order of whole chains (no phantom convoys)."""
+        s = sim()
+        done = []
+        # Chain A: long first leg 3->0, then 0->1.  Chain B: direct 0->2.
+        chain(s, [(3, 0, 4000, True), (0, 1, 4000, True)], 0.0, lambda t: done.append(("A", t)))
+        chain(s, [(0, 2, 100, True)], 0.0, lambda t: done.append(("B", t)))
+        s.run()
+        a = dict(done)["A"]
+        b = dict(done)["B"]
+        # B's single small leg must not wait behind A's *second* leg, which
+        # only starts after A's first leg arrives.
+        assert b < a
+
+    def test_mixed_local_and_remote_legs(self):
+        s = sim()
+        done = []
+        chain(s, [(0, 0, 100, True), (0, 1, 100, True)], 0.0, done.append)
+        s.run()
+        assert done and done[0] > 0
+
+
+class TestMulticastAcks:
+    def test_no_children_completes_immediately(self):
+        s = sim()
+        done = []
+        multicast_acks(s, 0, {0: []}, {0: 5}, 2.0, done.append)
+        s.run()
+        assert done == [2.0]
+
+    def test_star_multicast_counts_messages(self):
+        s = sim(ZERO_COST)
+        children = {0: [1, 2, 3]}
+        hosts = {0: 0, 1: 5, 2: 6, 3: 7}
+        done = []
+        multicast_acks(s, 0, children, hosts, 0.0, done.append)
+        s.run()
+        # 3 invalidations + 3 acks, all control.
+        assert s.stats.ctrl_msgs == 6
+        assert done == [0.0]
+
+    def test_deep_tree_ack_combining(self):
+        s = sim(GCEL)
+        children = {0: [1], 1: [2], 2: []}
+        hosts = {0: 0, 1: 1, 2: 2}
+        done = []
+        multicast_acks(s, 0, children, hosts, 0.0, done.append)
+        s.run()
+        # Completion must cover the full down+up round trip: 4 legs.
+        leg = GCEL.nic_overhead(GCEL.ctrl_bytes) * 2 + GCEL.ctrl_bytes / GCEL.link_bandwidth + GCEL.hop_latency
+        assert done[0] >= 4 * leg * 0.99
+
+    def test_completion_waits_for_slowest_branch(self):
+        s = sim(GCEL)
+        # Branch to host 3 (3 hops) vs host 1 (1 hop): completion is
+        # bounded below by the far branch's round trip.
+        children = {0: [1, 2]}
+        hosts = {0: 0, 1: 1, 2: 3}
+        done_far = []
+        multicast_acks(s, 0, children, hosts, 0.0, done_far.append)
+        s.run()
+        s2 = sim(GCEL)
+        done_near = []
+        multicast_acks(s2, 0, {0: [1]}, {0: 0, 1: 1}, 0.0, done_near.append)
+        s2.run()
+        assert done_far[0] > done_near[0]
+
+    def test_payload_marks_data(self):
+        s = sim(ZERO_COST)
+        multicast_acks(s, 0, {0: [1]}, {0: 0, 1: 1}, 0.0, lambda t: None, payload=100)
+        s.run()
+        assert s.stats.data_msgs == 1  # downward leg is data, ack is ctrl
+        assert s.stats.ctrl_msgs == 1

@@ -1,0 +1,98 @@
+"""Simulator-wide property tests: causality and accounting conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.machine import GCEL
+from repro.network.mesh import Mesh2D
+from repro.network.routing import route_links
+from repro.sim.engine import Simulator
+from repro.sim.flows import chain
+
+legs_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 15),  # src
+        st.integers(0, 15),  # dst
+        st.integers(0, 4096),  # payload
+        st.booleans(),  # is_data
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(legs_strategy)
+@settings(max_examples=50, deadline=None)
+def test_send_leg_causality(legs):
+    """Every delivery completes at or after its ready time, and resource
+    availability times never move backwards."""
+    sim = Simulator(Mesh2D(4, 4), GCEL)
+    ready = 0.0
+    for src, dst, payload, is_data in legs:
+        before_nic = list(sim.nic_free)
+        before_links = list(sim.link_free)
+        done = sim.send_leg(src, dst, payload, ready, is_data)
+        assert done >= ready
+        assert all(a >= b for a, b in zip(sim.nic_free, before_nic))
+        assert all(a >= b for a, b in zip(sim.link_free, before_links))
+        ready = done / 2  # next leg may be ready earlier: still must hold
+
+
+@given(legs_strategy)
+@settings(max_examples=40, deadline=None)
+def test_traffic_conservation(legs):
+    """Total per-link bytes equal the sum over messages of wire size times
+    path length; message counts add up."""
+    mesh = Mesh2D(4, 4)
+    sim = Simulator(mesh, GCEL)
+    expect_bytes = 0.0
+    expect_msgs = 0
+    for src, dst, payload, is_data in legs:
+        sim.send_leg(src, dst, payload, 0.0, is_data)
+        path = route_links(mesh, src, dst)
+        wire = payload + GCEL.header_bytes if is_data else GCEL.ctrl_bytes
+        expect_bytes += wire * len(path)
+        expect_msgs += len(path)
+    assert sim.stats.total_bytes == pytest.approx(expect_bytes)
+    assert sim.stats.total_link_msgs == expect_msgs
+    assert sim.stats.total_msgs == len(legs)
+
+
+@given(legs_strategy)
+@settings(max_examples=30, deadline=None)
+def test_chain_completion_after_all_legs(legs):
+    """A chain's completion time dominates every leg's earliest possible
+    time and the chain records exactly its legs."""
+    mesh = Mesh2D(4, 4)
+    sim = Simulator(mesh, GCEL)
+    done = []
+    chain(sim, legs, 0.0, done.append)
+    sim.run()
+    assert len(done) == 1
+    assert done[0] >= 0.0
+    assert sim.stats.total_msgs == len(legs)
+    # Lower bound: sum of pure NIC overheads along the chain (no link or
+    # queueing term can make it faster).
+    lower = 0.0
+    for src, dst, payload, is_data in legs:
+        if src == dst:
+            lower += GCEL.local_overhead
+        else:
+            wire = payload + GCEL.header_bytes if is_data else GCEL.ctrl_bytes
+            lower += 2 * GCEL.nic_overhead(wire) + wire / GCEL.link_bandwidth
+    assert done[0] >= lower * (1 - 1e-9)
+
+
+def test_heatmap_of_real_run():
+    """The heatmap renders for real application traffic and highlights at
+    least one saturated wire."""
+    from repro.apps import matmul
+    from repro.core.strategy import make_strategy
+
+    mesh = Mesh2D(4, 4)
+    res = matmul.run_diva(mesh, make_strategy("fixed-home", mesh), 64)
+    rt = res.extra["runtime"]
+    out = rt.sim.stats.render_heatmap()
+    assert "100" in out
+    assert out.count("+") == 16

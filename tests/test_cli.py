@@ -1,0 +1,37 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-home" in out and "4-ary" in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "congestion_ratio" in out
+        assert "handopt" in out
+
+    def test_ablation_embedding(self, capsys):
+        assert main(["ablation-embedding", "--app", "matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "modified" in out and "random" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5"])  # the paper has no figure 5 (circuit picture)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "enormous"])
