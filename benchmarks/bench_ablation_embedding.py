@@ -14,13 +14,16 @@ from repro.analysis import ablation_embedding, format_table
 
 def test_ablation_embedding_matmul(benchmark):
     rows = once(benchmark, lambda: ablation_embedding(app="matmul", side=8, size=1024))
+    columns = ["embedding", "congestion_bytes", "total_bytes", "time"]
     emit(
         "ablation_embedding_matmul",
         format_table(
             rows,
-            ["embedding", "congestion_bytes", "total_bytes", "time"],
+            columns,
             title="Embedding ablation, matmul 8x8 block 1024 (4-ary tree)",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {r["embedding"]: r for r in rows}
     # Shorter tree edges => less total traffic and time.
@@ -30,13 +33,16 @@ def test_ablation_embedding_matmul(benchmark):
 
 def test_ablation_embedding_bitonic(benchmark):
     rows = once(benchmark, lambda: ablation_embedding(app="bitonic", side=8, size=1024))
+    columns = ["embedding", "congestion_bytes", "total_bytes", "time"]
     emit(
         "ablation_embedding_bitonic",
         format_table(
             rows,
-            ["embedding", "congestion_bytes", "total_bytes", "time"],
+            columns,
             title="Embedding ablation, bitonic 8x8, 1024 keys/proc (4-ary tree)",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {r["embedding"]: r for r in rows}
     assert d["modified"]["total_bytes"] < d["random"]["total_bytes"]

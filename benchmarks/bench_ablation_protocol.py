@@ -18,13 +18,16 @@ from repro.analysis import ablation_invalidation, ablation_remapping, format_tab
 
 def test_ablation_invalidation(benchmark):
     rows = once(benchmark, lambda: ablation_invalidation(side=8, block_entries=1024))
+    columns = ["strategy", "variant", "congestion_bytes", "ctrl_msgs", "time"]
     emit(
         "ablation_invalidation",
         format_table(
             rows,
-            ["strategy", "variant", "congestion_bytes", "ctrl_msgs", "time"],
+            columns,
             title="Matrix square (invalidating) vs general multiply (read-only), 8x8",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {(r["strategy"], r["variant"]): r for r in rows}
     # Invalidation is control traffic: the square variant sends clearly
@@ -37,14 +40,17 @@ def test_ablation_remapping(benchmark):
     rows = once(
         benchmark, lambda: ablation_remapping(side=8, thresholds=(None, 16, 4))
     )
+    columns = ["remap_threshold", "remaps", "congestion_bytes", "time"]
     emit(
         "ablation_remapping",
         format_table(
             rows,
-            ["remap_threshold", "remaps", "congestion_bytes", "time"],
+            columns,
             title="Access-tree node remapping on a hot broadcast variable "
             "(paper: omitted; 4-ary, 8x8)",
         ),
+        rows=rows,
+        columns=columns,
     )
     off = rows[0]
     aggressive = rows[-1]

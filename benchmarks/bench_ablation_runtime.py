@@ -15,13 +15,16 @@ from repro.analysis import ablation_barrier, bounded_memory_experiment, format_t
 
 def test_ablation_barrier(benchmark):
     rows = once(benchmark, lambda: ablation_barrier(side=8, keys=1024))
+    columns = ["barrier", "congestion_bytes", "time", "max_startups"]
     emit(
         "ablation_barrier",
         format_table(
             rows,
-            ["barrier", "congestion_bytes", "time", "max_startups"],
+            columns,
             title="Barrier ablation, bitonic 8x8 (2-4-ary tree)",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {r["barrier"]: r for r in rows}
     # The central coordinator concentrates startups on one processor.
@@ -30,13 +33,16 @@ def test_ablation_barrier(benchmark):
 
 def test_bounded_memory_replacement(benchmark):
     rows = once(benchmark, lambda: bounded_memory_experiment(side=4, bodies=256))
+    columns = ["capacity_copies", "congestion_msgs", "evictions", "time"]
     emit(
         "bounded_memory",
         format_table(
             rows,
-            ["capacity_copies", "congestion_msgs", "evictions", "time"],
+            columns,
             title="LRU replacement under bounded memory (2-ary Barnes-Hut, 4x4)",
         ),
+        rows=rows,
+        columns=columns,
     )
     unbounded = rows[0]
     tightest = rows[-1]

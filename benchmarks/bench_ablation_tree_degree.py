@@ -20,13 +20,16 @@ def test_ablation_tree_degree_matmul(benchmark):
     rows = once(
         benchmark, lambda: ablation_tree_degree(app="matmul", side=8, size=1024, variants=VARIANTS)
     )
+    columns = ["strategy", "congestion_bytes", "time", "max_startups"]
     emit(
         "ablation_tree_degree_matmul",
         format_table(
             rows,
-            ["strategy", "congestion_bytes", "time", "max_startups"],
+            columns,
             title="Tree-degree ablation, matmul 8x8 block 1024",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {r["strategy"]: r for r in rows}
     # Congestion grows with the degree...
@@ -42,13 +45,16 @@ def test_ablation_tree_degree_bitonic(benchmark):
     rows = once(
         benchmark, lambda: ablation_tree_degree(app="bitonic", side=8, size=1024, variants=VARIANTS)
     )
+    columns = ["strategy", "congestion_bytes", "time", "max_startups"]
     emit(
         "ablation_tree_degree_bitonic",
         format_table(
             rows,
-            ["strategy", "congestion_bytes", "time", "max_startups"],
+            columns,
             title="Tree-degree ablation, bitonic 8x8, 1024 keys/proc",
         ),
+        rows=rows,
+        columns=columns,
     )
     d = {r["strategy"]: r for r in rows}
     # The bitonic circuit's locality matches the binary decomposition:

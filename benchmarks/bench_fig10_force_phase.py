@@ -16,13 +16,16 @@ def test_fig10_force_phase(benchmark, fig8_rows):
     p, rows = fig8_rows
     _, fig10 = once(benchmark, lambda: fig9_fig10_phase_views(rows))
 
+    columns = ["strategy", "bodies", "congestion_msgs", "time", "local_compute", "comm_share"]
     emit(
         "fig10",
         format_table(
             fig10,
-            ["strategy", "bodies", "congestion_msgs", "time", "local_compute", "comm_share"],
+            columns,
             title=f"Figure 10: force-computation phase ({PAPER['fig10']['note']})",
         ),
+        rows=fig10,
+        columns=columns,
     )
 
     n = max(r["bodies"] for r in fig10)

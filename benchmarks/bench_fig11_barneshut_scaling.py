@@ -22,17 +22,17 @@ def test_fig11_barneshut_scaling(benchmark):
             warm=p["warm"],
         ),
     )
-    for row in rows:
-        row.pop("result", None)
-
+    columns = ["strategy", "mesh", "procs", "bodies", "congestion_msgs", "time", "comm_time"]
     emit(
         "fig11",
         format_table(
             rows,
-            ["strategy", "mesh", "procs", "bodies", "congestion_msgs", "time", "comm_time"],
+            columns,
             title=f"Figure 11: Barnes-Hut scaling, N = {p['bodies_per_proc']}*P "
             f"({PAPER['fig11']['note']})",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     meshes = [f"{r}x{c}" for r, c in p["meshes"]]

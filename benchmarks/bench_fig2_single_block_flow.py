@@ -18,13 +18,16 @@ def test_fig2_single_block_flow(benchmark):
         benchmark, lambda: fig2_single_block_flow(side=p["side"], block_entries=p["block_entries"])
     )
 
+    columns = ["strategy", "mesh", "total_bytes", "congestion_bytes", "time"]
     emit(
         "fig2",
         format_table(
             rows,
-            ["strategy", "mesh", "total_bytes", "congestion_bytes", "time"],
+            columns,
             title="Figure 2: one block distributed to its row+column",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     fh = next(r for r in rows if r["strategy"] == "fixed-home")

@@ -23,14 +23,17 @@ def test_fig3_matmul_blocksize(benchmark):
             i = ref["x"].index(row["block"])
             row["paper_congestion_ratio"] = ref["congestion_ratio"][row["strategy"]][i]
             row["paper_time_ratio"] = ref["time_ratio"][row["strategy"]][i]
+    columns = ["strategy", "block", "congestion_ratio", "paper_congestion_ratio",
+               "time_ratio", "paper_time_ratio"]
     emit(
         "fig3",
         format_table(
             rows,
-            ["strategy", "block", "congestion_ratio", "paper_congestion_ratio",
-             "time_ratio", "paper_time_ratio"],
+            columns,
             title=f"Figure 3: matmul on {p['side']}x{p['side']}, ratios vs hand-optimized",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     # Shape assertions (paper's qualitative findings).

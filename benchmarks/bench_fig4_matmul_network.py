@@ -24,14 +24,17 @@ def test_fig4_matmul_network(benchmark):
             i = ref["x"].index(row["side"])
             row["paper_congestion_ratio"] = ref["congestion_ratio"][row["strategy"]][i]
             row["paper_time_ratio"] = ref["time_ratio"][row["strategy"]][i]
+    columns = ["strategy", "side", "congestion_ratio", "paper_congestion_ratio",
+               "time_ratio", "paper_time_ratio"]
     emit(
         "fig4",
         format_table(
             rows,
-            ["strategy", "side", "congestion_ratio", "paper_congestion_ratio",
-             "time_ratio", "paper_time_ratio"],
+            columns,
             title=f"Figure 4: matmul, block {p['block_entries']}, ratios vs network size",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     fh = {r["side"]: r for r in rows if r["strategy"] == "fixed-home"}

@@ -22,14 +22,17 @@ def test_fig6_bitonic_keys(benchmark):
             i = ref["x"].index(row["keys"])
             row["paper_congestion_ratio"] = ref["congestion_ratio"][row["strategy"]][i]
             row["paper_time_ratio"] = ref["time_ratio"][row["strategy"]][i]
+    columns = ["strategy", "keys", "congestion_ratio", "paper_congestion_ratio",
+               "time_ratio", "paper_time_ratio"]
     emit(
         "fig6",
         format_table(
             rows,
-            ["strategy", "keys", "congestion_ratio", "paper_congestion_ratio",
-             "time_ratio", "paper_time_ratio"],
+            columns,
             title=f"Figure 6: bitonic on {p['side']}x{p['side']}, ratios vs keys/processor",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     for m in p["keys"]:

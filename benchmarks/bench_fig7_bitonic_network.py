@@ -21,14 +21,17 @@ def test_fig7_bitonic_network(benchmark):
             i = ref["x"].index(row["side"])
             row["paper_congestion_ratio"] = ref["congestion_ratio"][row["strategy"]][i]
             row["paper_time_ratio"] = ref["time_ratio"][row["strategy"]][i]
+    columns = ["strategy", "side", "congestion_ratio", "paper_congestion_ratio",
+               "time_ratio", "paper_time_ratio"]
     emit(
         "fig7",
         format_table(
             rows,
-            ["strategy", "side", "congestion_ratio", "paper_congestion_ratio",
-             "time_ratio", "paper_time_ratio"],
+            columns,
             title=f"Figure 7: bitonic, {p['keys']} keys/proc, ratios vs network size",
         ),
+        rows=rows,
+        columns=columns,
     )
 
     sides = list(p["sides"])

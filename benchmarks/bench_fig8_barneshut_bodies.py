@@ -17,16 +17,19 @@ def test_fig8_barneshut_bodies(benchmark, fig8_rows):
     p, rows = fig8_rows
     rows = once(benchmark, lambda: rows)  # timing happened in the fixture
 
+    columns = ["strategy", "bodies", "congestion_msgs", "time", "hit_ratio"]
     emit(
         "fig8",
         format_table(
             rows,
-            ["strategy", "bodies", "congestion_msgs", "time", "hit_ratio"],
+            columns,
             title=(
                 f"Figure 8: Barnes-Hut on {p['side']}x{p['side']}, "
                 f"{p['steps'] - p['warm']} measured steps ({PAPER['fig8']['note']})"
             ),
         ),
+        rows=rows,
+        columns=columns,
     )
 
     n = max(r["bodies"] for r in rows)

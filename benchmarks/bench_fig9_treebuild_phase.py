@@ -15,13 +15,16 @@ def test_fig9_treebuild_phase(benchmark, fig8_rows):
     p, rows = fig8_rows
     fig9, _ = once(benchmark, lambda: fig9_fig10_phase_views(rows))
 
+    columns = ["strategy", "bodies", "congestion_msgs", "time"]
     emit(
         "fig9",
         format_table(
             fig9,
-            ["strategy", "bodies", "congestion_msgs", "time"],
+            columns,
             title=f"Figure 9: tree-building phase ({PAPER['fig9']['note']})",
         ),
+        rows=fig9,
+        columns=columns,
     )
 
     n = max(r["bodies"] for r in fig9)

@@ -4,26 +4,48 @@ Every benchmark regenerates one figure of the paper at the scale selected
 by ``REPRO_SCALE`` (``default`` if unset; ``paper`` for the paper's exact
 parameters -- slow in pure Python; ``quick`` for smoke runs), prints a
 paper-vs-measured table, asserts the figure's *shape*, and records the
-table under ``benchmarks/results/`` for EXPERIMENTS.md.
+table under ``benchmarks/results/`` for EXPERIMENTS.md.  When the caller
+passes the rows, the JSON form is persisted next to the text table as
+``<name>.<scale>.bench.json`` (same schema as ``python -m repro --json``,
+which owns the plain ``<name>.<scale>.json`` stem) so
+``benchmarks/results/`` doubles as the perf-trajectory source for
+BENCH_*.json gating.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+from typing import Mapping, Optional, Sequence
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a results table and persist it."""
+def emit(
+    name: str,
+    text: str,
+    rows: Optional[Sequence[Mapping[str, object]]] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Print a results table and persist it (text always, JSON when rows
+    are given).  Non-serializable row fields (e.g. attached RunResults)
+    are stripped by the emit layer; the rows themselves are not touched."""
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     scale = os.environ.get("REPRO_SCALE", "default")
     (RESULTS_DIR / f"{name}.{scale}.txt").write_text(text + "\n")
+    if rows is not None:
+        from repro.exp import result_payload, write_json
+
+        # Distinct .bench.json stem: the CLI's --json owns <name>.<scale>.json
+        # (with resolved params), so the harness must not overwrite it.
+        write_json(
+            RESULTS_DIR / f"{name}.{scale}.bench.json",
+            result_payload(name, scale, rows, columns or []),
+        )
 
 
 @pytest.fixture(scope="session")

@@ -4,120 +4,35 @@ Usage::
 
     python -m repro list
     python -m repro fig3 [--scale quick|default|paper]
-    python -m repro fig8 --scale quick
+    python -m repro fig8 --scale quick --jobs 4
     python -m repro ablation-tree-degree --app bitonic
+    python -m repro run-all --scale quick --jobs 4 --json
 
-Each command runs the corresponding experiment of
-:mod:`repro.analysis.experiments` and prints its table; the ``--scale``
-flag (or the ``REPRO_SCALE`` environment variable) selects the parameter
-set.
+Each command resolves the corresponding :class:`repro.exp.ExperimentSpec`
+from the registry, shards its independent cells across ``--jobs``
+processes, and prints the table; ``--json`` additionally writes the
+machine-readable result file (``benchmarks/results/<name>.<scale>.json``)
+that CI consumes.  Finished cells are cached content-addressed under
+``benchmarks/results/cache/`` so re-runs and resumed sweeps skip them;
+``--no-cache`` forces recomputation.  The ``--scale`` flag (or the
+``REPRO_SCALE`` environment variable) selects the parameter set; see
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
-from .analysis import (
-    ablation_barrier,
-    ablation_embedding,
-    ablation_invalidation,
-    ablation_remapping,
-    ablation_tree_degree,
-    bounded_memory_experiment,
-    fig2_single_block_flow,
-    fig3_matmul_blocksize,
-    fig4_matmul_network,
-    fig6_bitonic_keys,
-    fig7_bitonic_network,
-    fig8_barneshut_bodies,
-    fig9_fig10_phase_views,
-    fig11_barneshut_scaling,
-    format_table,
-    scale_params,
+from .exp import (
+    EXPERIMENTS,
+    MemoryCache,
+    ResultCache,
+    default_results_dir,
+    run_experiment,
 )
-
-_COLUMNS = {
-    "fig2": ["strategy", "mesh", "total_bytes", "congestion_bytes", "time"],
-    "fig3": ["strategy", "block", "congestion_ratio", "time_ratio"],
-    "fig4": ["strategy", "side", "congestion_ratio", "time_ratio"],
-    "fig6": ["strategy", "keys", "congestion_ratio", "time_ratio"],
-    "fig7": ["strategy", "side", "congestion_ratio", "time_ratio"],
-    "fig8": ["strategy", "bodies", "congestion_msgs", "time", "hit_ratio"],
-    "fig9": ["strategy", "bodies", "congestion_msgs", "time"],
-    "fig10": ["strategy", "bodies", "congestion_msgs", "time", "local_compute", "comm_share"],
-    "fig11": ["strategy", "mesh", "procs", "bodies", "congestion_msgs", "time", "comm_time"],
-}
-
-EXPERIMENTS = sorted(
-    ["fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-     "ablation-tree-degree", "ablation-embedding", "ablation-barrier",
-     "ablation-invalidation", "ablation-remapping", "bounded-memory"]
-)
-
-
-def _run(name: str, scale: Optional[str], app: str) -> str:
-    if name == "fig2":
-        p = scale_params("fig2", scale)
-        rows = fig2_single_block_flow(**p)
-    elif name == "fig3":
-        p = scale_params("fig3", scale)
-        rows = fig3_matmul_blocksize(side=p["side"], blocks=p["blocks"])
-    elif name == "fig4":
-        p = scale_params("fig4", scale)
-        rows = fig4_matmul_network(sides=p["sides"], block_entries=p["block_entries"])
-    elif name == "fig6":
-        p = scale_params("fig6", scale)
-        rows = fig6_bitonic_keys(side=p["side"], keys=p["keys"])
-    elif name == "fig7":
-        p = scale_params("fig7", scale)
-        rows = fig7_bitonic_network(sides=p["sides"], keys=p["keys"])
-    elif name in ("fig8", "fig9", "fig10"):
-        p = scale_params("fig8", scale)
-        rows8 = fig8_barneshut_bodies(
-            side=p["side"], bodies=p["bodies"], steps=p["steps"], warm=p["warm"]
-        )
-        if name == "fig8":
-            rows = rows8
-        else:
-            fig9, fig10 = fig9_fig10_phase_views(rows8)
-            rows = fig9 if name == "fig9" else fig10
-    elif name == "fig11":
-        p = scale_params("fig11", scale)
-        rows = fig11_barneshut_scaling(
-            meshes=p["meshes"], bodies_per_proc=p["bodies_per_proc"],
-            steps=p["steps"], warm=p["warm"],
-        )
-    elif name == "ablation-tree-degree":
-        rows = ablation_tree_degree(app=app)
-        return format_table(rows, ["strategy", "congestion_bytes", "time", "max_startups"],
-                            title=f"tree-degree ablation ({app})")
-    elif name == "ablation-embedding":
-        rows = ablation_embedding(app=app)
-        return format_table(rows, ["embedding", "congestion_bytes", "total_bytes", "time"],
-                            title=f"embedding ablation ({app})")
-    elif name == "ablation-invalidation":
-        rows = ablation_invalidation()
-        return format_table(rows, ["strategy", "variant", "congestion_bytes", "ctrl_msgs", "time"],
-                            title="invalidation ablation (square vs general multiply)")
-    elif name == "ablation-remapping":
-        rows = ablation_remapping()
-        return format_table(rows, ["remap_threshold", "remaps", "congestion_bytes", "time"],
-                            title="node remapping ablation (hot broadcast variable)")
-    elif name == "ablation-barrier":
-        rows = ablation_barrier()
-        return format_table(rows, ["barrier", "congestion_bytes", "time", "max_startups"],
-                            title="barrier ablation")
-    elif name == "bounded-memory":
-        rows = bounded_memory_experiment()
-        return format_table(rows, ["capacity_copies", "congestion_msgs", "evictions", "time"],
-                            title="bounded-memory / LRU replacement")
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(name)
-    for row in rows:
-        row.pop("result", None)
-    return format_table(rows, _COLUMNS[name], title=f"{name} ({scale or 'default'} scale)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -125,17 +40,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro",
         description="Regenerate the paper's figures on the simulated GCel.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS + ["list"],
-                        help="figure / ablation to run, or 'list'")
+    parser.add_argument("experiment", choices=EXPERIMENTS + ["list", "run-all"],
+                        help="figure / ablation to run, 'run-all', or 'list'")
     parser.add_argument("--scale", choices=["quick", "default", "paper"], default=None,
                         help="parameter scale (default: $REPRO_SCALE or 'default')")
     parser.add_argument("--app", choices=["matmul", "bitonic"], default="matmul",
                         help="application for the ablations")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="shard independent cells across N worker processes")
+    parser.add_argument("--json", action="store_true",
+                        help="also write benchmarks/results/<name>.<scale>.json")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell, ignoring cached results")
+    parser.add_argument("--results-dir", default=None, metavar="DIR",
+                        help="result/cache root (default: $REPRO_RESULTS_DIR "
+                             "or benchmarks/results)")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))
         return 0
-    print(_run(args.experiment, args.scale, args.app))
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    results_dir = (
+        pathlib.Path(args.results_dir) if args.results_dir else default_results_dir()
+    )
+    names = EXPERIMENTS if args.experiment == "run-all" else [args.experiment]
+    if args.no_cache:
+        # run-all still dedups cells shared across experiments (Figures
+        # 8/9/10) in memory; single experiments recompute everything.
+        cache = MemoryCache() if args.experiment == "run-all" else None
+    else:
+        cache = ResultCache(results_dir / "cache")
+    for i, name in enumerate(names):
+        run = run_experiment(
+            name, scale=args.scale, app=args.app, jobs=args.jobs, cache=cache
+        )
+        if i:
+            print()
+        print(run.table())
+        if args.json:
+            path = run.write_json(results_dir)
+            print(
+                f"[{name}] wrote {path} "
+                f"({run.cells_cached}/{run.cells_total} cells cached)",
+                file=sys.stderr,
+            )
     return 0
 
 

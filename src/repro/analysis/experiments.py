@@ -4,6 +4,15 @@ Every runner returns a list of row dicts (strategy, sweep parameter,
 congestion, time, ratios) ready for :func:`repro.analysis.tables.format_table`
 and for the benchmark harness's shape assertions.
 
+Structure: each runner is a thin loop over module-level **cell functions**
+(``*_cell``) -- pure functions of JSON-serializable parameters that each
+perform one independent simulation run (or one tightly coupled group such
+as a hand-optimized baseline plus the strategies measured against it) and
+return serializable rows.  The cell functions are the unit of work of the
+:mod:`repro.exp` orchestrator: they are what gets sharded across the
+``multiprocessing`` pool and content-addressed by the result cache, so a
+runner must never hide a loop inside a cell.
+
 Scaling: the runners take explicit parameters with defaults chosen so the
 whole suite finishes in minutes of pure Python; :func:`scale_params`
 resolves the ``REPRO_SCALE`` environment variable (``quick`` / ``default``
@@ -39,6 +48,20 @@ __all__ = [
     "ablation_invalidation",
     "ablation_remapping",
     "bounded_memory_experiment",
+    # cell functions (the repro.exp orchestrator's unit of work)
+    "fig2_cell",
+    "matmul_cell",
+    "bitonic_cell",
+    "barneshut_cell",
+    "barneshut_scaling_cell",
+    "fig9_rows_from_cells",
+    "fig10_rows_from_cells",
+    "tree_degree_cell",
+    "embedding_cell",
+    "invalidation_cell",
+    "remapping_cell",
+    "barrier_cell",
+    "bounded_memory_cell",
 ]
 
 Row = Dict[str, object]
@@ -104,6 +127,46 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------- fig 2
+def fig2_cell(
+    strategy: str,
+    side: int = 16,
+    block_entries: int = 1024,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One Figure 2 cell: distribute ONE block to its row and column under
+    ``strategy`` and report total load / congestion / time."""
+    from ..runtime.launcher import Runtime
+
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed)
+    owner = mesh.node(side // 2, side // 2)
+    handles: Dict[str, object] = {}
+
+    def program(env):
+        if env.rank == owner:
+            handles["x"] = env.create("block", block_entries * machine.word_bytes, value=42)
+        yield from env.barrier(phase="distribute")
+        r, c = env.coord
+        ro, co = env.mesh.coord(owner)
+        if (r == ro or c == co) and env.rank != owner:
+            v = yield from env.read(handles["x"])
+            assert v == 42
+        yield from env.barrier(phase="done")
+
+    rt = Runtime(mesh, strat, machine, seed=seed)
+    res = rt.run(program)
+    return [
+        {
+            "strategy": strategy,
+            "mesh": f"{side}x{side}",
+            "total_bytes": res.stats.total_bytes,
+            "congestion_bytes": res.stats.congestion_bytes,
+            "time": res.time,
+        }
+    ]
+
+
 def fig2_single_block_flow(
     side: int = 16,
     block_entries: int = 1024,
@@ -115,49 +178,26 @@ def fig2_single_block_flow(
     vs Theta(m*sqrtP*logP) for the access tree.  We create a single
     variable on a center processor and let every processor of its row and
     column read it once; total load and congestion are reported."""
-    from ..runtime.launcher import Runtime
-
     rows: List[Row] = []
     for name in ("fixed-home", "4-ary"):
-        mesh = Mesh2D(side, side)
-        strategy = make_strategy(name, mesh, seed=seed)
-        owner = mesh.node(side // 2, side // 2)
-        handles = {}
-
-        def program(env):
-            if env.rank == owner:
-                handles["x"] = env.create("block", block_entries * machine.word_bytes, value=42)
-            yield from env.barrier(phase="distribute")
-            r, c = env.coord
-            ro, co = env.mesh.coord(owner)
-            if (r == ro or c == co) and env.rank != owner:
-                v = yield from env.read(handles["x"])
-                assert v == 42
-            yield from env.barrier(phase="done")
-
-        rt = Runtime(mesh, strategy, machine, seed=seed)
-        res = rt.run(program)
-        rows.append(
-            {
-                "strategy": name,
-                "mesh": f"{side}x{side}",
-                "total_bytes": res.stats.total_bytes,
-                "congestion_bytes": res.stats.congestion_bytes,
-                "time": res.time,
-            }
+        rows.extend(
+            fig2_cell(name, side=side, block_entries=block_entries, machine=machine, seed=seed)
         )
     return rows
 
 
 # --------------------------------------------------------------------- fig 3
-def _matmul_rows(
+def matmul_cell(
     side: int,
     block_entries: int,
     strategies: Sequence[str],
-    machine: MachineModel,
-    seed: int,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
     embedding: str = "modified",
 ) -> List[Row]:
+    """One matmul cell: the hand-optimized baseline plus every strategy in
+    ``strategies`` on one (mesh side, block size) point.  Baseline and
+    measurements stay in one cell because the ratios need the baseline."""
     mesh = Mesh2D(side, side)
     base = matmul.run_handopt(mesh, block_entries, machine=machine, seed=seed)
     rows: List[Row] = [
@@ -199,7 +239,7 @@ def fig3_matmul_blocksize(
     on a fixed mesh (communication time: compute charges disabled)."""
     rows: List[Row] = []
     for block in blocks:
-        rows.extend(_matmul_rows(side, block, strategies, machine, seed))
+        rows.extend(matmul_cell(side, block, strategies, machine, seed))
     return rows
 
 
@@ -213,19 +253,21 @@ def fig4_matmul_network(
     """Figure 4: matmul ratios vs network size at a fixed block size."""
     rows: List[Row] = []
     for side in sides:
-        rows.extend(_matmul_rows(side, block_entries, strategies, machine, seed))
+        rows.extend(matmul_cell(side, block_entries, strategies, machine, seed))
     return rows
 
 
 # --------------------------------------------------------------------- fig 6
-def _bitonic_rows(
+def bitonic_cell(
     side: int,
     keys: int,
     strategies: Sequence[str],
-    machine: MachineModel,
-    seed: int,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
     embedding: str = "modified",
 ) -> List[Row]:
+    """One bitonic cell: hand-optimized baseline plus every strategy in
+    ``strategies`` on one (mesh side, keys/processor) point."""
     mesh = Mesh2D(side, side)
     base = bitonic.run_handopt(mesh, keys, machine=machine, seed=seed)
     rows: List[Row] = [
@@ -266,7 +308,7 @@ def fig6_bitonic_keys(
     """Figure 6: bitonic congestion/execution-time ratios vs keys/processor."""
     rows: List[Row] = []
     for m in keys:
-        rows.extend(_bitonic_rows(side, m, strategies, machine, seed))
+        rows.extend(bitonic_cell(side, m, strategies, machine, seed))
     return rows
 
 
@@ -280,12 +322,67 @@ def fig7_bitonic_network(
     """Figure 7: bitonic ratios vs network size at fixed keys/processor."""
     rows: List[Row] = []
     for side in sides:
-        rows.extend(_bitonic_rows(side, keys, strategies, machine, seed))
+        rows.extend(bitonic_cell(side, keys, strategies, machine, seed))
     return rows
 
 
 # --------------------------------------------------------------------- fig 8
 FIG8_STRATEGIES = ("fixed-home", "16-ary", "4-16-ary", "4-ary", "2-ary")
+
+
+def _barneshut_row(
+    mesh: Mesh2D,
+    strategy: str,
+    bodies: int,
+    steps: int,
+    warm: int,
+    machine: MachineModel,
+    seed: int,
+) -> Tuple[Row, RunResult]:
+    """One Barnes-Hut run with its serializable row, including the phase
+    breakdown (tree building / force computation) that Figures 9/10 and the
+    Figure 11 communication time derive from."""
+    strat = make_strategy(strategy, mesh, seed=seed)
+    res = barneshut.run(
+        mesh, strat, bodies, steps=steps, warm=warm, machine=machine, seed=seed
+    )
+    row: Row = {
+        "strategy": strategy,
+        "bodies": bodies,
+        "congestion_msgs": res.congestion_msgs,
+        "time": res.time,
+        "hit_ratio": res.hit_ratio,
+    }
+    tb = res.phase("treebuild")
+    fc = res.phase("force")
+    rt = res.extra.get("runtime")
+    acc = rt._phase_acc.get("force") if rt is not None else None
+    compute = float(acc.compute.max()) if acc is not None else 0.0
+    if tb is not None:
+        row["treebuild_congestion_msgs"] = tb.stats.congestion_msgs
+        row["treebuild_time"] = tb.time
+    if fc is not None:
+        row["force_congestion_msgs"] = fc.stats.congestion_msgs
+        row["force_time"] = fc.time
+        row["force_comm_share"] = 1.0 - (compute / fc.time if fc.time else 0.0)
+    row["force_local_compute"] = compute
+    return row, res
+
+
+def barneshut_cell(
+    strategy: str,
+    bodies: int,
+    side: int = 8,
+    steps: int = 3,
+    warm: int = 1,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One Figure 8 cell: a single (strategy, body count) Barnes-Hut run,
+    phase breakdown included so Figures 9/10 are pure projections of the
+    same cell (and share its cache entry)."""
+    row, _ = _barneshut_row(Mesh2D(side, side), strategy, bodies, steps, warm, machine, seed)
+    return [row]
 
 
 def fig8_barneshut_bodies(
@@ -305,57 +402,77 @@ def fig8_barneshut_bodies(
     mesh = Mesh2D(side, side)
     for n in bodies:
         for name in strategies:
-            strat = make_strategy(name, mesh, seed=seed)
-            res = barneshut.run(
-                mesh, strat, n, steps=steps, warm=warm, machine=machine, seed=seed
-            )
-            rows.append(
-                {
-                    "strategy": name,
-                    "bodies": n,
-                    "congestion_msgs": res.congestion_msgs,
-                    "time": res.time,
-                    "hit_ratio": res.hit_ratio,
-                    "result": res,
-                }
-            )
+            row, res = _barneshut_row(mesh, name, n, steps, warm, machine, seed)
+            row["result"] = res
+            rows.append(row)
     return rows
+
+
+def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
+    """Figure 9 (tree-building phase) projected from Barnes-Hut cell rows."""
+    return [
+        {
+            "strategy": r["strategy"],
+            "bodies": r["bodies"],
+            "congestion_msgs": r["treebuild_congestion_msgs"],
+            "time": r["treebuild_time"],
+        }
+        for r in rows
+        if "treebuild_congestion_msgs" in r
+    ]
+
+
+def fig10_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
+    """Figure 10 (force phase) projected from Barnes-Hut cell rows."""
+    return [
+        {
+            "strategy": r["strategy"],
+            "bodies": r["bodies"],
+            "congestion_msgs": r["force_congestion_msgs"],
+            "time": r["force_time"],
+            "local_compute": r["force_local_compute"],
+            "comm_share": r["force_comm_share"],
+        }
+        for r in rows
+        if "force_congestion_msgs" in r
+    ]
 
 
 def fig9_fig10_phase_views(fig8_rows: Iterable[Row]) -> Tuple[List[Row], List[Row]]:
     """Figures 9 and 10: per-phase views (tree building / force
     computation) of the Figure 8 runs, including the force phase's local
     computation time (the extra line in Figure 10)."""
-    fig9: List[Row] = []
-    fig10: List[Row] = []
-    for row in fig8_rows:
-        res: RunResult = row["result"]  # type: ignore[assignment]
-        tb = res.phase("treebuild")
-        fc = res.phase("force")
-        if tb is not None:
-            fig9.append(
-                {
-                    "strategy": row["strategy"],
-                    "bodies": row["bodies"],
-                    "congestion_msgs": tb.stats.congestion_msgs,
-                    "time": tb.time,
-                }
-            )
-        if fc is not None:
-            rt = res.extra.get("runtime")
-            acc = rt._phase_acc.get("force") if rt is not None else None
-            compute = float(acc.compute.max()) if acc is not None else 0.0
-            fig10.append(
-                {
-                    "strategy": row["strategy"],
-                    "bodies": row["bodies"],
-                    "congestion_msgs": fc.stats.congestion_msgs,
-                    "time": fc.time,
-                    "local_compute": compute,
-                    "comm_share": 1.0 - (compute / fc.time if fc.time else 0.0),
-                }
-            )
-    return fig9, fig10
+    rows = list(fig8_rows)
+    return fig9_rows_from_cells(rows), fig10_rows_from_cells(rows)
+
+
+def barneshut_scaling_cell(
+    strategy: str,
+    mesh_rows: int,
+    mesh_cols: int,
+    bodies_per_proc: int,
+    steps: int = 3,
+    warm: int = 1,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One Figure 11 cell: Barnes-Hut with N = bodies_per_proc * P on one
+    (mesh, strategy) point; reports congestion, execution time and
+    communication time (execution minus force-phase local computation)."""
+    mesh = Mesh2D(mesh_rows, mesh_cols)
+    n = bodies_per_proc * mesh.n_nodes
+    row, res = _barneshut_row(mesh, strategy, n, steps, warm, machine, seed)
+    return [
+        {
+            "strategy": strategy,
+            "mesh": f"{mesh_rows}x{mesh_cols}",
+            "procs": mesh.n_nodes,
+            "bodies": n,
+            "congestion_msgs": res.congestion_msgs,
+            "time": res.time,
+            "comm_time": res.time - row["force_local_compute"],
+        }
+    ]
 
 
 def fig11_barneshut_scaling(
@@ -375,13 +492,7 @@ def fig11_barneshut_scaling(
         mesh = Mesh2D(r, c)
         n = bodies_per_proc * mesh.n_nodes
         for name in strategies:
-            strat = make_strategy(name, mesh, seed=seed)
-            res = barneshut.run(
-                mesh, strat, n, steps=steps, warm=warm, machine=machine, seed=seed
-            )
-            rt = res.extra.get("runtime")
-            acc = rt._phase_acc.get("force") if rt is not None else None
-            compute = float(acc.compute.max()) if acc is not None else 0.0
+            row, res = _barneshut_row(mesh, name, n, steps, warm, machine, seed)
             rows.append(
                 {
                     "strategy": name,
@@ -390,7 +501,7 @@ def fig11_barneshut_scaling(
                     "bodies": n,
                     "congestion_msgs": res.congestion_msgs,
                     "time": res.time,
-                    "comm_time": res.time - compute,
+                    "comm_time": res.time - row["force_local_compute"],
                     "result": res,
                 }
             )
@@ -398,6 +509,34 @@ def fig11_barneshut_scaling(
 
 
 # ----------------------------------------------------------------- ablations
+def tree_degree_cell(
+    strategy: str,
+    app: str = "matmul",
+    side: int = 8,
+    size: int = 1024,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One tree-degree ablation cell: one access-tree variant on one app."""
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed)
+    if app == "matmul":
+        res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+    elif app == "bitonic":
+        res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+    else:
+        raise ValueError(f"unknown app {app!r}")
+    return [
+        {
+            "strategy": strategy,
+            "app": app,
+            "congestion_bytes": res.congestion_bytes,
+            "time": res.time,
+            "max_startups": res.stats.max_startups,
+        }
+    ]
+
+
 def ablation_tree_degree(
     app: str = "matmul",
     side: int = 8,
@@ -409,26 +548,38 @@ def ablation_tree_degree(
     """Tree-degree ablation (Sections 3.1/3.2): smaller degree gives
     smaller congestion, but flat trees save startups; 4-ary wins matmul
     time, 2-ary/2-4-ary win bitonic."""
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for name in variants:
-        strat = make_strategy(name, mesh, seed=seed)
-        if app == "matmul":
-            res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
-        elif app == "bitonic":
-            res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
-        else:
-            raise ValueError(f"unknown app {app!r}")
-        rows.append(
-            {
-                "strategy": name,
-                "app": app,
-                "congestion_bytes": res.congestion_bytes,
-                "time": res.time,
-                "max_startups": res.stats.max_startups,
-            }
-        )
+        rows.extend(tree_degree_cell(name, app=app, side=side, size=size,
+                                     machine=machine, seed=seed))
     return rows
+
+
+def embedding_cell(
+    embedding: str,
+    app: str = "matmul",
+    side: int = 8,
+    size: int = 1024,
+    strategy: str = "4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One embedding ablation cell: one embedding variant on one app."""
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed, embedding=embedding)
+    if app == "matmul":
+        res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+    else:
+        res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+    return [
+        {
+            "embedding": embedding,
+            "app": app,
+            "congestion_bytes": res.congestion_bytes,
+            "total_bytes": res.stats.total_bytes,
+            "time": res.time,
+        }
+    ]
 
 
 def ablation_embedding(
@@ -441,24 +592,35 @@ def ablation_embedding(
 ) -> List[Row]:
     """Modified vs random embedding (Section 2's practical improvement):
     the modified embedding shortens expected tree-edge distances."""
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for embedding in ("modified", "random"):
-        strat = make_strategy(strategy, mesh, seed=seed, embedding=embedding)
-        if app == "matmul":
-            res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
-        else:
-            res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
-        rows.append(
-            {
-                "embedding": embedding,
-                "app": app,
-                "congestion_bytes": res.congestion_bytes,
-                "total_bytes": res.stats.total_bytes,
-                "time": res.time,
-            }
-        )
+        rows.extend(embedding_cell(embedding, app=app, side=side, size=size,
+                                   strategy=strategy, machine=machine, seed=seed))
     return rows
+
+
+def invalidation_cell(
+    strategy: str,
+    variant: str,
+    side: int = 8,
+    block_entries: int = 1024,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One invalidation ablation cell: one (strategy, multiply variant)."""
+    mesh = Mesh2D(side, side)
+    runner = matmul.run_diva if variant == "square" else matmul.run_diva_general
+    strat = make_strategy(strategy, mesh, seed=seed)
+    res = runner(mesh, strat, block_entries, machine=machine, seed=seed)
+    return [
+        {
+            "strategy": strategy,
+            "variant": variant,
+            "congestion_bytes": res.congestion_bytes,
+            "ctrl_msgs": res.stats.ctrl_msgs,
+            "time": res.time,
+        }
+    ]
 
 
 def ablation_invalidation(
@@ -473,22 +635,55 @@ def ablation_invalidation(
     create and invalidate copies whereas the general matrix multiplication
     does not".  This ablation quantifies the consistency-maintenance share
     of the dynamic strategies' traffic."""
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for name in strategies:
-        for variant, runner in (("square", matmul.run_diva), ("general", matmul.run_diva_general)):
-            strat = make_strategy(name, mesh, seed=seed)
-            res = runner(mesh, strat, block_entries, machine=machine, seed=seed)
-            rows.append(
-                {
-                    "strategy": name,
-                    "variant": variant,
-                    "congestion_bytes": res.congestion_bytes,
-                    "ctrl_msgs": res.stats.ctrl_msgs,
-                    "time": res.time,
-                }
-            )
+        for variant in ("square", "general"):
+            rows.extend(invalidation_cell(name, variant, side=side,
+                                          block_entries=block_entries,
+                                          machine=machine, seed=seed))
     return rows
+
+
+def remapping_cell(
+    threshold: Optional[int],
+    side: int = 8,
+    payload: int = 1024,
+    rounds: int = 8,
+    strategy: str = "4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One remapping ablation cell: one remap threshold on the hot
+    broadcast-variable pattern."""
+    from ..runtime.launcher import Runtime
+
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed, remap_threshold=threshold)
+    handles: Dict[str, object] = {}
+
+    def program(env):
+        if env.rank == 0:
+            handles["x"] = env.create("hot", payload, value=0)
+        yield from env.barrier(phase="rounds")
+        for r in range(rounds):
+            v = yield from env.read(handles["x"])
+            assert v == r
+            yield from env.barrier()
+            if env.rank == 0:
+                yield from env.write(handles["x"], r + 1)
+            yield from env.barrier()
+        yield from env.barrier(phase="done")
+
+    rt = Runtime(mesh, strat, machine, seed=seed)
+    res = rt.run(program)
+    return [
+        {
+            "remap_threshold": threshold if threshold is not None else "off",
+            "remaps": strat.remaps,
+            "congestion_bytes": res.stats.congestion_bytes,
+            "time": res.time,
+        }
+    ]
 
 
 def ablation_remapping(
@@ -510,38 +705,34 @@ def ablation_remapping(
     by its owner (the Barnes-Hut root-cell pattern).  The paper's
     conjecture -- "the constant overhead induced by this procedure will
     not be retained in practice" -- can then be checked on measured time."""
-    from ..runtime.launcher import Runtime
-
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for threshold in thresholds:
-        strat = make_strategy(strategy, mesh, seed=seed, remap_threshold=threshold)
-        handles = {}
-
-        def program(env):
-            if env.rank == 0:
-                handles["x"] = env.create("hot", payload, value=0)
-            yield from env.barrier(phase="rounds")
-            for r in range(rounds):
-                v = yield from env.read(handles["x"])
-                assert v == r
-                yield from env.barrier()
-                if env.rank == 0:
-                    yield from env.write(handles["x"], r + 1)
-                yield from env.barrier()
-            yield from env.barrier(phase="done")
-
-        rt = Runtime(mesh, strat, machine, seed=seed)
-        res = rt.run(program)
-        rows.append(
-            {
-                "remap_threshold": threshold if threshold is not None else "off",
-                "remaps": strat.remaps,
-                "congestion_bytes": res.stats.congestion_bytes,
-                "time": res.time,
-            }
-        )
+        rows.extend(remapping_cell(threshold, side=side, payload=payload,
+                                   rounds=rounds, strategy=strategy,
+                                   machine=machine, seed=seed))
     return rows
+
+
+def barrier_cell(
+    kind: str,
+    side: int = 8,
+    keys: int = 1024,
+    strategy: str = "2-4-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One barrier ablation cell: one synchronization service variant."""
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed)
+    res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed, barrier=kind)
+    return [
+        {
+            "barrier": kind,
+            "congestion_bytes": res.congestion_bytes,
+            "time": res.time,
+            "max_startups": res.stats.max_startups,
+        }
+    ]
 
 
 def ablation_barrier(
@@ -552,20 +743,45 @@ def ablation_barrier(
     seed: int = 0,
 ) -> List[Row]:
     """Tree-combining vs central barrier (DIVA synchronization service)."""
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for kind in ("tree", "central"):
-        strat = make_strategy(strategy, mesh, seed=seed)
-        res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed, barrier=kind)
-        rows.append(
-            {
-                "barrier": kind,
-                "congestion_bytes": res.congestion_bytes,
-                "time": res.time,
-                "max_startups": res.stats.max_startups,
-            }
-        )
+        rows.extend(barrier_cell(kind, side=side, keys=keys, strategy=strategy,
+                                 machine=machine, seed=seed))
     return rows
+
+
+def bounded_memory_cell(
+    cap: Optional[float],
+    side: int = 4,
+    bodies: int = 256,
+    strategy: str = "2-ary",
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One bounded-memory cell: one per-processor copy-capacity setting."""
+    from ..apps.barneshut import CELL_BYTES
+
+    mesh = Mesh2D(side, side)
+    strat = make_strategy(strategy, mesh, seed=seed)
+    capacity_bytes = None if cap is None else cap * CELL_BYTES
+    res = barneshut.run(
+        mesh,
+        strat,
+        bodies,
+        steps=2,
+        warm=1,
+        machine=machine,
+        seed=seed,
+        capacity_bytes=capacity_bytes,
+    )
+    return [
+        {
+            "capacity_copies": cap if cap is not None else "unbounded",
+            "congestion_msgs": res.congestion_msgs,
+            "evictions": res.evictions,
+            "time": res.time,
+        }
+    ]
 
 
 def bounded_memory_experiment(
@@ -579,29 +795,8 @@ def bounded_memory_experiment(
     """LRU replacement under bounded memory (the Figure 8 kink of the 2-ary
     tree at 60,000 bodies): shrinking capacity forces copy replacement,
     raising congestion."""
-    from ..apps.barneshut import CELL_BYTES
-
-    mesh = Mesh2D(side, side)
     rows: List[Row] = []
     for cap in capacity_copies:
-        strat = make_strategy(strategy, mesh, seed=seed)
-        capacity_bytes = None if cap is None else cap * CELL_BYTES
-        res = barneshut.run(
-            mesh,
-            strat,
-            bodies,
-            steps=2,
-            warm=1,
-            machine=machine,
-            seed=seed,
-            capacity_bytes=capacity_bytes,
-        )
-        rows.append(
-            {
-                "capacity_copies": cap if cap is not None else "unbounded",
-                "congestion_msgs": res.congestion_msgs,
-                "evictions": res.evictions,
-                "time": res.time,
-            }
-        )
+        rows.extend(bounded_memory_cell(cap, side=side, bodies=bodies,
+                                        strategy=strategy, machine=machine, seed=seed))
     return rows

@@ -1,0 +1,105 @@
+"""Content-addressed result cache for experiment cells.
+
+Each finished :class:`repro.exp.spec.Cell` is stored as one JSON file
+under ``benchmarks/results/cache/`` named by the cell's content address
+(:func:`repro.exp.spec.cell_key`: a SHA-256 over the cell function's
+import path, its parameters, and a cache-key version).  Any parameter
+change produces a different key, so the cache never needs explicit
+invalidation -- stale entries are simply never addressed again.  A
+corrupt or mismatched file is treated as a miss.
+
+This is what makes re-runs and resumed sweeps cheap: ``python -m repro
+run-all`` skips every cell whose result is already on disk, and Figures
+9/10 hit the Figure 8 cells' entries outright because they share cell
+functions and parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional
+
+from .emit import write_json
+from .spec import Cell
+
+__all__ = ["MemoryCache", "ResultCache", "default_cache_dir"]
+
+Row = Dict[str, object]
+
+#: Format version of the cache files themselves (not the key).
+_FILE_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_RESULTS_DIR/cache`` (see :func:`repro.exp.emit.default_results_dir`)."""
+    from .emit import default_results_dir
+
+    return default_results_dir() / "cache"
+
+
+class MemoryCache:
+    """In-process cell cache (same get/put surface as :class:`ResultCache`).
+
+    Used by ``run-all --no-cache``: nothing touches disk, but experiments
+    that share cells within one invocation (Figures 8/9/10) still compute
+    each cell once.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, List[Row]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, cell: Cell) -> Optional[List[Row]]:
+        rows = self._store.get(cell.key)
+        if rows is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rows
+
+    def put(self, cell: Cell, rows: List[Row]) -> None:
+        self._store[cell.key] = rows
+
+
+class ResultCache:
+    """JSON file cache keyed by cell content address."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, cell: Cell) -> pathlib.Path:
+        return self.root / f"{cell.key}.json"
+
+    def get(self, cell: Cell) -> Optional[List[Row]]:
+        """Cached rows for ``cell``, or ``None`` on miss/corruption."""
+        path = self.path(cell)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("file_version") != _FILE_VERSION
+            or payload.get("key") != cell.key
+            or not isinstance(payload.get("rows"), list)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["rows"]
+
+    def put(self, cell: Cell, rows: List[Row]) -> pathlib.Path:
+        """Persist ``rows`` for ``cell`` (atomic write)."""
+        payload = {
+            "file_version": _FILE_VERSION,
+            "key": cell.key,
+            "cell": cell.describe(),
+            "rows": rows,
+        }
+        return write_json(self.path(cell), payload)

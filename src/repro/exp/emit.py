@@ -1,0 +1,149 @@
+"""JSON emitter: machine-readable experiment results for CI and tooling.
+
+The text tables of :func:`repro.analysis.tables.format_table` stay the
+human-facing output; this module produces the parallel JSON form that the
+CI pipeline diffs and archives.  One file per (experiment, scale) under
+``benchmarks/results/`` -- e.g. ``fig3.default.json`` -- with a
+schema-versioned payload::
+
+    {
+      "schema_version": 1,
+      "experiment": "fig3",
+      "scale": "default",
+      "app": "matmul",
+      "params": {...},          # the resolved scale parameters
+      "columns": [...],         # display column order
+      "rows": [{...}, ...]      # every row field that is JSON-serializable
+    }
+
+Sanitization policy: non-serializable row fields (e.g. the ``result``
+:class:`~repro.runtime.results.RunResult` objects some legacy runners
+attach) are stripped **here**, at the emit layer -- formatting and
+emission must never mutate the rows the experiment produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "default_results_dir",
+    "json_path",
+    "result_payload",
+    "sanitize_rows",
+    "sanitize_value",
+    "write_json",
+]
+
+Row = Dict[str, object]
+
+#: Version of the result-file schema consumed by CI.
+SCHEMA_VERSION = 1
+
+_DROP = object()  # sentinel: value is not JSON-serializable
+
+
+def default_results_dir() -> pathlib.Path:
+    """Where result files live.
+
+    ``$REPRO_RESULTS_DIR`` if set; else ``benchmarks/results`` anchored at
+    the repository root when running from a checkout, falling back to the
+    current working directory for installed copies.
+    """
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return pathlib.Path(env)
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results"
+    return pathlib.Path("benchmarks") / "results"
+
+
+def json_path(name: str, scale: str, results_dir: Optional[os.PathLike] = None) -> pathlib.Path:
+    """Canonical result-file path: ``<results>/<name>.<scale>.json``."""
+    root = pathlib.Path(results_dir) if results_dir is not None else default_results_dir()
+    return root / f"{name}.{scale}.json"
+
+
+def sanitize_value(value: Any) -> Any:
+    """JSON-serializable form of ``value``, or the drop sentinel."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        out = [sanitize_value(v) for v in value]
+        return _DROP if any(v is _DROP for v in out) else out
+    if isinstance(value, Mapping):
+        out = {str(k): sanitize_value(v) for k, v in value.items()}
+        return _DROP if any(v is _DROP for v in out.values()) else out
+    return _DROP
+
+
+def sanitize_rows(rows: Sequence[Mapping[str, object]]) -> List[Row]:
+    """Copy ``rows`` with every non-serializable field stripped.
+
+    Never mutates the input: the simulation rows (which may carry live
+    ``RunResult`` objects for phase-view derivation) stay intact.
+    """
+    out: List[Row] = []
+    for row in rows:
+        clean: Row = {}
+        for k, v in row.items():
+            sv = sanitize_value(v)
+            if sv is not _DROP:
+                clean[str(k)] = sv
+        out.append(clean)
+    return out
+
+
+def result_payload(
+    experiment: str,
+    scale: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    params: Optional[Mapping[str, object]] = None,
+    app: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Schema-versioned result payload (rows/params sanitized)."""
+    clean_params: Dict[str, Any] = {}
+    for k, v in dict(params or {}).items():
+        sv = sanitize_value(v)
+        if sv is not _DROP:
+            clean_params[str(k)] = sv
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "app": app,
+        "params": clean_params,
+        "columns": list(columns),
+        "rows": sanitize_rows(rows),
+    }
+
+
+def write_json(path: os.PathLike, payload: Mapping[str, Any]) -> pathlib.Path:
+    """Atomically write ``payload`` as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        # mkstemp creates 0600; give result files normal umask-governed
+        # permissions like the .txt tables written beside them.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

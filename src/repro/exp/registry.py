@@ -1,0 +1,314 @@
+"""The experiment registry: one declarative spec per figure / ablation.
+
+This replaces the historic ``if/elif`` dispatch chain of
+``repro.__main__`` and its duplicated column tables.  Each spec resolves
+CLI-level knobs (scale, app) into parameters, expands them into
+independent :class:`~repro.exp.spec.Cell`\\ s for the parallel runner,
+and carries the presentation metadata (columns, title) the CLI and the
+JSON emitter share.
+
+Figures 9 and 10 are *projections* of the Figure 8 runs (the paper
+derives them from the same executions), so their specs expand to the
+same cells as Figure 8 -- under a warm cache they cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis import experiments as E
+from .spec import Cell, ExperimentSpec
+
+__all__ = ["REGISTRY", "EXPERIMENTS", "get_spec"]
+
+Params = Dict[str, Any]
+
+#: Strategies measured per figure (the paper's selections).
+FIG3_STRATEGIES = ("fixed-home", "4-ary")
+FIG6_STRATEGIES = ("fixed-home", "2-4-ary")
+FIG11_STRATEGIES = ("fixed-home", "4-8-ary")
+TREE_DEGREE_VARIANTS = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary")
+
+
+def _scale_title(name: str) -> Callable[[Params, Optional[str], str], str]:
+    def title(params: Params, scale: Optional[str], app: str) -> str:
+        return f"{name} ({scale or 'default'} scale)"
+
+    return title
+
+
+def _fixed_title(text: str) -> Callable[[Params, Optional[str], str], str]:
+    return lambda params, scale, app: text
+
+
+def _scaled_params(figure: str) -> Callable[[Optional[str], str], Params]:
+    def make(scale: Optional[str], app: str) -> Params:
+        return E.scale_params(figure, scale)
+
+    return make
+
+
+def _app_params(**defaults: Any) -> Callable[[Optional[str], str], Params]:
+    def make(scale: Optional[str], app: str) -> Params:
+        return dict(defaults, app=app)
+
+    return make
+
+
+def _fixed_params(**defaults: Any) -> Callable[[Optional[str], str], Params]:
+    def make(scale: Optional[str], app: str) -> Params:
+        return dict(defaults)
+
+    return make
+
+
+# ------------------------------------------------------------- cell builders
+def _fig2_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.fig2_cell, strategy=name, side=p["side"],
+                  block_entries=p["block_entries"], seed=0)
+        for name in ("fixed-home", "4-ary")
+    ]
+
+
+def _fig3_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.matmul_cell, side=p["side"], block_entries=block,
+                  strategies=FIG3_STRATEGIES, seed=0)
+        for block in p["blocks"]
+    ]
+
+
+def _fig4_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.matmul_cell, side=side, block_entries=p["block_entries"],
+                  strategies=FIG3_STRATEGIES, seed=0)
+        for side in p["sides"]
+    ]
+
+
+def _fig6_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.bitonic_cell, side=p["side"], keys=keys,
+                  strategies=FIG6_STRATEGIES, seed=0)
+        for keys in p["keys"]
+    ]
+
+
+def _fig7_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.bitonic_cell, side=side, keys=p["keys"],
+                  strategies=FIG6_STRATEGIES, seed=0)
+        for side in p["sides"]
+    ]
+
+
+def _fig8_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.barneshut_cell, strategy=name, bodies=n, side=p["side"],
+                  steps=p["steps"], warm=p["warm"], seed=0)
+        for n in p["bodies"]
+        for name in E.FIG8_STRATEGIES
+    ]
+
+
+def _fig11_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.barneshut_scaling_cell, strategy=name, mesh_rows=r, mesh_cols=c,
+                  bodies_per_proc=p["bodies_per_proc"], steps=p["steps"],
+                  warm=p["warm"], seed=0)
+        for r, c in p["meshes"]
+        for name in FIG11_STRATEGIES
+    ]
+
+
+def _tree_degree_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.tree_degree_cell, strategy=name, app=p["app"],
+                  side=p["side"], size=p["size"], seed=0)
+        for name in TREE_DEGREE_VARIANTS
+    ]
+
+
+def _embedding_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.embedding_cell, embedding=embedding, app=p["app"],
+                  side=p["side"], size=p["size"], strategy=p["strategy"], seed=0)
+        for embedding in ("modified", "random")
+    ]
+
+
+def _invalidation_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.invalidation_cell, strategy=name, variant=variant,
+                  side=p["side"], block_entries=p["block_entries"], seed=0)
+        for name in p["strategies"]
+        for variant in ("square", "general")
+    ]
+
+
+def _remapping_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.remapping_cell, threshold=threshold, side=p["side"],
+                  payload=p["payload"], rounds=p["rounds"],
+                  strategy=p["strategy"], seed=0)
+        for threshold in p["thresholds"]
+    ]
+
+
+def _barrier_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.barrier_cell, kind=kind, side=p["side"], keys=p["keys"],
+                  strategy=p["strategy"], seed=0)
+        for kind in ("tree", "central")
+    ]
+
+
+def _bounded_memory_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.bounded_memory_cell, cap=cap, side=p["side"],
+                  bodies=p["bodies"], strategy=p["strategy"], seed=0)
+        for cap in p["capacity_copies"]
+    ]
+
+
+def _derive_fig9(rows, params):
+    return E.fig9_rows_from_cells(rows)
+
+
+def _derive_fig10(rows, params):
+    return E.fig10_rows_from_cells(rows)
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in [
+        ExperimentSpec(
+            name="fig2",
+            columns=("strategy", "mesh", "total_bytes", "congestion_bytes", "time"),
+            make_params=_scaled_params("fig2"),
+            make_cells=_fig2_cells,
+            title=_scale_title("fig2"),
+        ),
+        ExperimentSpec(
+            name="fig3",
+            columns=("strategy", "block", "congestion_ratio", "time_ratio"),
+            make_params=_scaled_params("fig3"),
+            make_cells=_fig3_cells,
+            title=_scale_title("fig3"),
+        ),
+        ExperimentSpec(
+            name="fig4",
+            columns=("strategy", "side", "congestion_ratio", "time_ratio"),
+            make_params=_scaled_params("fig4"),
+            make_cells=_fig4_cells,
+            title=_scale_title("fig4"),
+        ),
+        ExperimentSpec(
+            name="fig6",
+            columns=("strategy", "keys", "congestion_ratio", "time_ratio"),
+            make_params=_scaled_params("fig6"),
+            make_cells=_fig6_cells,
+            title=_scale_title("fig6"),
+        ),
+        ExperimentSpec(
+            name="fig7",
+            columns=("strategy", "side", "congestion_ratio", "time_ratio"),
+            make_params=_scaled_params("fig7"),
+            make_cells=_fig7_cells,
+            title=_scale_title("fig7"),
+        ),
+        ExperimentSpec(
+            name="fig8",
+            columns=("strategy", "bodies", "congestion_msgs", "time", "hit_ratio"),
+            make_params=_scaled_params("fig8"),
+            make_cells=_fig8_cells,
+            title=_scale_title("fig8"),
+        ),
+        ExperimentSpec(
+            name="fig9",
+            columns=("strategy", "bodies", "congestion_msgs", "time"),
+            make_params=_scaled_params("fig8"),
+            make_cells=_fig8_cells,
+            title=_scale_title("fig9"),
+            derive=_derive_fig9,
+        ),
+        ExperimentSpec(
+            name="fig10",
+            columns=("strategy", "bodies", "congestion_msgs", "time",
+                     "local_compute", "comm_share"),
+            make_params=_scaled_params("fig8"),
+            make_cells=_fig8_cells,
+            title=_scale_title("fig10"),
+            derive=_derive_fig10,
+        ),
+        ExperimentSpec(
+            name="fig11",
+            columns=("strategy", "mesh", "procs", "bodies", "congestion_msgs",
+                     "time", "comm_time"),
+            make_params=_scaled_params("fig11"),
+            make_cells=_fig11_cells,
+            title=_scale_title("fig11"),
+        ),
+        ExperimentSpec(
+            name="ablation-tree-degree",
+            columns=("strategy", "congestion_bytes", "time", "max_startups"),
+            make_params=_app_params(side=8, size=1024),
+            make_cells=_tree_degree_cells,
+            title=lambda params, scale, app: f"tree-degree ablation ({app})",
+            uses_app=True,
+        ),
+        ExperimentSpec(
+            name="ablation-embedding",
+            columns=("embedding", "congestion_bytes", "total_bytes", "time"),
+            make_params=_app_params(side=8, size=1024, strategy="4-ary"),
+            make_cells=_embedding_cells,
+            title=lambda params, scale, app: f"embedding ablation ({app})",
+            uses_app=True,
+        ),
+        ExperimentSpec(
+            name="ablation-invalidation",
+            columns=("strategy", "variant", "congestion_bytes", "ctrl_msgs", "time"),
+            make_params=_fixed_params(side=8, block_entries=1024,
+                                      strategies=("4-ary", "fixed-home")),
+            make_cells=_invalidation_cells,
+            title=_fixed_title("invalidation ablation (square vs general multiply)"),
+        ),
+        ExperimentSpec(
+            name="ablation-remapping",
+            columns=("remap_threshold", "remaps", "congestion_bytes", "time"),
+            make_params=_fixed_params(side=8, payload=1024, rounds=8,
+                                      thresholds=(None, 64, 16, 4), strategy="4-ary"),
+            make_cells=_remapping_cells,
+            title=_fixed_title("node remapping ablation (hot broadcast variable)"),
+        ),
+        ExperimentSpec(
+            name="ablation-barrier",
+            columns=("barrier", "congestion_bytes", "time", "max_startups"),
+            make_params=_fixed_params(side=8, keys=1024, strategy="2-4-ary"),
+            make_cells=_barrier_cells,
+            title=_fixed_title("barrier ablation"),
+        ),
+        ExperimentSpec(
+            name="bounded-memory",
+            columns=("capacity_copies", "congestion_msgs", "evictions", "time"),
+            make_params=_fixed_params(side=4, bodies=256,
+                                      capacity_copies=(None, 64, 24), strategy="2-ary"),
+            make_cells=_bounded_memory_cells,
+            title=_fixed_title("bounded-memory / LRU replacement"),
+        ),
+    ]
+}
+
+#: Stable CLI listing (sorted, like the historic dispatch chain's list).
+EXPERIMENTS: List[str] = sorted(REGISTRY)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Spec for ``name``; raises ``KeyError`` listing valid names."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; valid: {', '.join(EXPERIMENTS)}"
+        ) from None

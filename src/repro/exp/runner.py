@@ -1,0 +1,174 @@
+"""Parallel experiment runner.
+
+Runs a spec's independent cells, optionally sharded across a
+``multiprocessing`` pool (``jobs > 1``) and optionally backed by the
+content-addressed :class:`~repro.exp.cache.ResultCache`.  Determinism
+contract: results are reassembled **in cell order**, and every fresh cell
+result is sanitized to its JSON form before use, so
+
+* ``jobs=N`` output is identical to serial output, and
+* a warm-cache run is byte-identical to the cold run that filled it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from ..analysis.tables import format_table
+from .cache import ResultCache
+from .emit import json_path, result_payload, sanitize_rows, write_json
+from .spec import Cell, ExperimentSpec, concat
+
+__all__ = ["ExperimentRun", "run_cells", "run_experiment"]
+
+Row = Dict[str, object]
+
+
+def _run_cell(cell: Cell) -> List[Row]:
+    """Pool worker: execute one cell, return its sanitized (JSON-form) rows."""
+    return sanitize_rows(cell.run())
+
+
+def _pool(jobs: int):
+    # Prefer fork on Linux so workers inherit sys.path (PYTHONPATH=src
+    # checkouts); elsewhere use the platform default (fork is unsafe on
+    # macOS, which is why CPython switched its default to spawn there).
+    # Cell functions are module-level, so spawn works too.
+    use_fork = (
+        sys.platform == "linux"
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    ctx = multiprocessing.get_context("fork" if use_fork else None)
+    return ctx.Pool(processes=jobs)
+
+
+def run_cells(
+    cells: List[Cell],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[List[Row]]:
+    """Run ``cells``, returning one row list per cell, in cell order.
+
+    Cells with a cache entry are skipped; the remainder run serially
+    (``jobs <= 1``) or on a process pool.  Fresh results are written back
+    to the cache.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: List[Optional[List[Row]]] = [None] * len(cells)
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        hit = cache.get(cell) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+    if pending:
+        todo = [cells[i] for i in pending]
+        # Cache writes happen per cell as results arrive (imap), so an
+        # interrupted or failed sweep keeps every finished cell -- that is
+        # what makes paper-scale runs resumable.
+        if jobs > 1 and len(todo) > 1:
+            with _pool(min(jobs, len(todo))) as pool:
+                for i, rows in zip(pending, pool.imap(_run_cell, todo, chunksize=1)):
+                    if cache is not None:
+                        cache.put(cells[i], rows)
+                    results[i] = rows
+        else:
+            for i, cell in zip(pending, todo):
+                rows = _run_cell(cell)
+                if cache is not None:
+                    cache.put(cell, rows)
+                results[i] = rows
+    # Every index is filled by the cache pass or the pending loop; a hole
+    # would mean lost results, which must fail loudly, not render as an
+    # empty table section.
+    assert all(rows is not None for rows in results)
+    return [rows for rows in results if rows is not None]
+
+
+@dataclass
+class ExperimentRun:
+    """One resolved, executed experiment: rows plus presentation metadata."""
+
+    spec: ExperimentSpec
+    params: Dict[str, Any]
+    rows: List[Row]
+    scale: Optional[str]
+    app: str
+    cells_total: int = 0
+    cells_cached: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def scale_label(self) -> str:
+        """Effective scale for result-file naming (mirrors scale_params)."""
+        return self.scale or os.environ.get("REPRO_SCALE", "default")
+
+    @property
+    def file_stem(self) -> str:
+        """Result-file stem; a non-default app gets its own file so the
+        two apps of an app-sensitive ablation don't overwrite each other."""
+        if self.spec.uses_app and self.app != "matmul":
+            return f"{self.name}.{self.app}"
+        return self.name
+
+    @property
+    def title(self) -> str:
+        return self.spec.title(self.params, self.scale, self.app)
+
+    def table(self) -> str:
+        return format_table(self.rows, list(self.spec.columns), title=self.title)
+
+    def payload(self) -> Dict[str, Any]:
+        return result_payload(
+            self.name,
+            self.scale_label,
+            self.rows,
+            self.spec.columns,
+            params=self.params,
+            app=self.app,
+        )
+
+    def write_json(self, results_dir: Optional[os.PathLike] = None):
+        """Emit the JSON result file; returns its path."""
+        return write_json(
+            json_path(self.file_stem, self.scale_label, results_dir), self.payload()
+        )
+
+
+def run_experiment(
+    spec: Union[str, ExperimentSpec],
+    scale: Optional[str] = None,
+    app: str = "matmul",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentRun:
+    """Resolve, shard, run, and reassemble one experiment."""
+    if isinstance(spec, str):
+        from .registry import get_spec
+
+        spec = get_spec(spec)
+    params = spec.make_params(scale, app)
+    cells = spec.make_cells(params)
+    hits_before = cache.hits if cache is not None else 0
+    cell_rows = run_cells(cells, jobs=jobs, cache=cache)
+    rows = concat(cell_rows)
+    if spec.derive is not None:
+        rows = spec.derive(rows, params)
+    return ExperimentRun(
+        spec=spec,
+        params=params,
+        rows=rows,
+        scale=scale,
+        app=app,
+        cells_total=len(cells),
+        cells_cached=(cache.hits - hits_before) if cache is not None else 0,
+    )

@@ -123,7 +123,6 @@ class TestFig8Family:
         assert cong["2-ary"] <= 1.15 * cong["4-ary"]
 
     def test_congestion_grows_with_n(self, fig8_rows):
-        ns = sorted({r["bodies"] for r in fig8_rows})
         for name in ("fixed-home", "4-ary"):
             series = [r["congestion_msgs"] for r in fig8_rows if r["strategy"] == name]
             assert series == sorted(series) or series[-1] > series[0]

@@ -1,0 +1,73 @@
+"""Content-addressed result cache: hit/miss, invalidation, corruption."""
+
+import json
+
+from repro.exp import Cell, ResultCache, cell_key
+
+
+def _cell_fn(x=0, label="a"):
+    return [{"x": x, "label": label}]
+
+
+def make_cell(**kw):
+    return Cell.make(_cell_fn, **kw)
+
+
+class TestCellKey:
+    def test_stable(self):
+        assert cell_key(_cell_fn, {"x": 1}) == cell_key(_cell_fn, {"x": 1})
+
+    def test_kwarg_order_irrelevant(self):
+        assert cell_key(_cell_fn, {"x": 1, "label": "b"}) == cell_key(
+            _cell_fn, {"label": "b", "x": 1}
+        )
+
+    def test_parameter_change_changes_key(self):
+        assert cell_key(_cell_fn, {"x": 1}) != cell_key(_cell_fn, {"x": 2})
+        assert cell_key(_cell_fn, {"x": 1}) != cell_key(_cell_fn, {"x": 1, "label": "b"})
+
+    def test_tuple_and_list_parameters_equivalent(self):
+        # Canonicalization: a sweep given as tuple or list is the same cell.
+        assert cell_key(_cell_fn, {"x": (1, 2)}) == cell_key(_cell_fn, {"x": [1, 2]})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell(x=1)
+        assert cache.get(cell) is None
+        rows = cell.run()
+        cache.put(cell, rows)
+        assert cache.get(cell) == rows
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell(x=1)
+        cache.put(cell, cell.run())
+        assert cache.get(make_cell(x=2)) is None
+        assert cache.get(make_cell(x=1, label="b")) is None
+        assert cache.get(cell) is not None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell(x=3)
+        path = cache.put(cell, cell.run())
+        path.write_text("{ not json")
+        assert cache.get(cell) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        """A file renamed/copied to the wrong address must not be served."""
+        cache = ResultCache(tmp_path)
+        a, b = make_cell(x=1), make_cell(x=2)
+        path_a = cache.put(a, a.run())
+        payload = json.loads(path_a.read_text())
+        cache.path(b).write_text(json.dumps(payload))
+        assert cache.get(b) is None
+
+    def test_rows_round_trip_json_types(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell(x=4)
+        rows = [{"f": 1.5, "i": 2, "s": "x", "n": None, "b": True}]
+        cache.put(cell, rows)
+        assert cache.get(cell) == rows

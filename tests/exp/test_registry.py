@@ -1,0 +1,89 @@
+"""Registry completeness and spec invariants."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main  # noqa: F401  (ensures CLI imports the registry)
+from repro.exp import EXPERIMENTS, REGISTRY, get_spec
+
+#: The historic CLI surface -- every name must stay resolvable.
+LEGACY_NAMES = sorted(
+    ["fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+     "ablation-tree-degree", "ablation-embedding", "ablation-barrier",
+     "ablation-invalidation", "ablation-remapping", "bounded-memory"]
+)
+
+
+class TestRegistryCompleteness:
+    def test_every_legacy_name_has_a_spec(self):
+        for name in LEGACY_NAMES:
+            spec = get_spec(name)
+            assert spec.name == name
+
+    def test_experiments_listing_matches_registry(self):
+        assert EXPERIMENTS == sorted(REGISTRY)
+        assert EXPERIMENTS == LEGACY_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="fig5"):
+            get_spec("fig5")
+
+
+class TestSpecInvariants:
+    @pytest.mark.parametrize("name", LEGACY_NAMES)
+    def test_quick_cells_nonempty_and_serializable(self, name):
+        spec = get_spec(name)
+        assert spec.columns, f"{name}: no columns"
+        cells = spec.cells(scale="quick")
+        assert cells, f"{name}: no cells at quick scale"
+        for cell in cells:
+            # Cell kwargs must be JSON-serializable (cache + pool contract).
+            json.dumps(dict(cell.kwargs))
+            assert len(cell.key) == 64  # sha256 hex
+
+    def test_cell_keys_unique_within_experiment(self):
+        for name in LEGACY_NAMES:
+            cells = get_spec(name).cells(scale="quick")
+            keys = [c.key for c in cells]
+            assert len(set(keys)) == len(keys), f"{name}: duplicate cell keys"
+
+    def test_fig9_fig10_share_fig8_cells(self):
+        """Figures 9/10 are projections of the Figure 8 runs: identical
+        cells, so a warm cache makes them free."""
+        fig8 = {c.key for c in get_spec("fig8").cells(scale="quick")}
+        assert {c.key for c in get_spec("fig9").cells(scale="quick")} == fig8
+        assert {c.key for c in get_spec("fig10").cells(scale="quick")} == fig8
+
+    def test_titles_match_legacy_cli(self):
+        p3 = get_spec("fig3").make_params("quick", "matmul")
+        assert get_spec("fig3").title(p3, None, "matmul") == "fig3 (default scale)"
+        assert get_spec("fig3").title(p3, "quick", "matmul") == "fig3 (quick scale)"
+        td = get_spec("ablation-tree-degree")
+        assert td.title(td.make_params(None, "bitonic"), None, "bitonic") == (
+            "tree-degree ablation (bitonic)"
+        )
+        assert get_spec("bounded-memory").title({}, None, "matmul") == (
+            "bounded-memory / LRU replacement"
+        )
+
+    def test_ablations_ignore_scale(self):
+        for name in LEGACY_NAMES:
+            if not (name.startswith("ablation-") or name == "bounded-memory"):
+                continue
+            spec = get_spec(name)
+            quick = [c.key for c in spec.cells(scale="quick")]
+            paper = [c.key for c in spec.cells(scale="paper")]
+            assert quick == paper, f"{name}: scale changed ablation cells"
+
+    def test_app_sensitivity_flags(self):
+        """Only the tree-degree and embedding ablations respond to --app
+        (their result files get app-suffixed names for non-default apps)."""
+        for name in LEGACY_NAMES:
+            spec = get_spec(name)
+            matmul = [c.key for c in spec.cells(scale="quick", app="matmul")]
+            bitonic = [c.key for c in spec.cells(scale="quick", app="bitonic")]
+            if spec.uses_app:
+                assert matmul != bitonic, f"{name}: uses_app but app ignored"
+            else:
+                assert matmul == bitonic, f"{name}: app changed cells unexpectedly"

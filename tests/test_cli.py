@@ -1,8 +1,20 @@
 """CLI tests (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+from repro.exp import SCHEMA_VERSION, get_spec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results_dir(tmp_path, monkeypatch):
+    """Keep CLI-driven cache/result files out of the repository, and pin
+    the scale so result-file names don't depend on the caller's env."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    return tmp_path / "results"
 
 
 class TestCli:
@@ -35,3 +47,79 @@ class TestCli:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig3", "--scale", "enormous"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--scale", "quick", "--jobs", "0"])
+
+
+class TestOrchestratorCli:
+    def test_json_flag_writes_schema_valid_file(self, _isolated_results_dir, capsys):
+        assert main(["fig2", "--scale", "quick", "--json"]) == 0
+        path = _isolated_results_dir / "fig2.quick.json"
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "fig2"
+        assert payload["scale"] == "quick"
+        assert payload["columns"] == list(get_spec("fig2").columns)
+        assert payload["rows"], "empty rows"
+        for row in payload["rows"]:
+            for col in get_spec("fig2").columns:
+                assert col in row
+
+    def test_cached_rerun_identical_output(self, capsys):
+        assert main(["fig2", "--scale", "quick"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["fig2", "--scale", "quick"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_no_cache_flag(self, _isolated_results_dir, capsys):
+        assert main(["fig2", "--scale", "quick", "--no-cache"]) == 0
+        assert not (_isolated_results_dir / "cache").exists()
+        assert main(["fig2", "--scale", "quick"]) == 0
+        assert (_isolated_results_dir / "cache").is_dir()
+
+    def test_jobs_flag_identical_output(self, capsys):
+        assert main(["fig2", "--scale", "quick", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig2", "--scale", "quick", "--no-cache", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_results_dir_flag_overrides_env(self, tmp_path, capsys):
+        override = tmp_path / "elsewhere"
+        assert main(["fig2", "--scale", "quick", "--json",
+                     "--results-dir", str(override)]) == 0
+        assert (override / "fig2.quick.json").is_file()
+
+    def test_app_sensitive_ablation_gets_own_file(self, _isolated_results_dir, capsys):
+        """--app bitonic must not overwrite the matmul result file."""
+        assert main(["ablation-embedding", "--app", "matmul", "--json"]) == 0
+        assert main(["ablation-embedding", "--app", "bitonic", "--json"]) == 0
+        matmul = _isolated_results_dir / "ablation-embedding.default.json"
+        bitonic = _isolated_results_dir / "ablation-embedding.bitonic.default.json"
+        assert matmul.is_file() and bitonic.is_file()
+        assert json.loads(matmul.read_text())["app"] == "matmul"
+        assert json.loads(bitonic.read_text())["app"] == "bitonic"
+
+    @pytest.mark.slow
+    def test_run_all_quick_writes_every_result(self, _isolated_results_dir, capsys):
+        """The CI smoke contract: every registered experiment produces a
+        non-empty, schema-valid JSON result file."""
+        assert main(["run-all", "--scale", "quick", "--jobs", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            path = _isolated_results_dir / f"{name}.quick.json"
+            assert path.is_file(), f"missing {path}"
+            payload = json.loads(path.read_text())
+            assert payload["experiment"] == name
+            assert payload["rows"], f"{name}: empty rows"
+            spec = get_spec(name)
+            for row in payload["rows"]:
+                for col in spec.columns:
+                    assert col in row, f"{name}: row missing {col}"
+            assert get_spec(name).title(
+                spec.make_params("quick", "matmul"), "quick", "matmul"
+            ) in out
