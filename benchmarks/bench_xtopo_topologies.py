@@ -1,0 +1,72 @@
+"""Cross-topology comparison: bitonic on mesh vs torus vs hypercube.
+
+The paper's evaluation is mesh-only, but the access tree strategy is
+topology-generic; related data-grid/P2P evaluations report that strategy
+rankings can flip with the interconnect.  This benchmark runs the bitonic
+workload at a matched node count (256: mesh/torus 16x16, hypercube dim 8)
+on all three topologies and checks the structural expectations:
+
+* the torus never congests a strategy *substantially* more than the mesh
+  (same decomposition tree, strictly more links, every route at most the
+  mesh route -- but shorter routes bound total load, not max-link load:
+  rerouting can concentrate traffic on wrap wires, hence the tolerance in
+  the assertion below);
+* the hypercube's richer wiring cuts absolute congestion well below the
+  mesh's;
+* on every topology the access tree keeps beating fixed home on
+  congestion -- the paper's central claim carries over.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.analysis.experiments import bitonic_cell, scale_params
+
+TOPOLOGIES = ("mesh", "torus", "hypercube")
+STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
+
+
+def test_xtopo_topologies(benchmark):
+    p = scale_params("xtopo")
+
+    def run():
+        rows = []
+        for topology in TOPOLOGIES:
+            rows.extend(
+                bitonic_cell(
+                    side=p["side"], keys=p["keys"], strategies=STRATEGIES,
+                    topology=topology, seed=0,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    columns = ["topology", "network", "strategy", "congestion_ratio",
+               "time_ratio", "congestion_bytes", "time"]
+    emit(
+        "xtopo",
+        format_table(
+            rows,
+            columns,
+            title=(
+                f"cross-topology: bitonic, {p['keys']} keys/proc, "
+                f"{p['side'] * p['side']} nodes"
+            ),
+        ),
+        rows=rows,
+        columns=columns,
+    )
+
+    cong = {
+        (r["topology"], r["strategy"]): r["congestion_bytes"] for r in rows
+    }
+    for strategy in STRATEGIES:
+        # Torus within tolerance of the mesh (see module docstring: route
+        # shortening does not bound max-link load exactly).
+        assert cong[("torus", strategy)] <= cong[("mesh", strategy)] * 1.25
+        # The hypercube's wiring cuts absolute congestion well below the mesh.
+        assert cong[("hypercube", strategy)] < cong[("mesh", strategy)]
+    for topology in TOPOLOGIES:
+        # The paper's central claim carries over to every interconnect.
+        assert cong[(topology, "2-4-ary")] < cong[(topology, "fixed-home")]
+        assert cong[(topology, "4-ary")] < cong[(topology, "fixed-home")]

@@ -27,13 +27,28 @@ from .core import (
     build_tree,
     make_strategy,
 )
-from .network import GCEL, ZERO_COST, MachineModel, Mesh2D
+from .network import (
+    GCEL,
+    TOPOLOGY_KINDS,
+    ZERO_COST,
+    Hypercube,
+    MachineModel,
+    Mesh2D,
+    Topology,
+    Torus2D,
+    make_topology,
+)
 from .runtime import Env, RunResult, Runtime, run_spmd
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Topology",
     "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "make_topology",
+    "TOPOLOGY_KINDS",
     "MachineModel",
     "GCEL",
     "ZERO_COST",

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig3 [--scale quick|default|paper]
     python -m repro fig8 --scale quick --jobs 4
     python -m repro ablation-tree-degree --app bitonic
+    python -m repro fig6 --topology torus
+    python -m repro xtopo-hypercube --json
     python -m repro run-all --scale quick --jobs 4 --json
 
 Each command resolves the corresponding :class:`repro.exp.ExperimentSpec`
@@ -31,8 +33,10 @@ from .exp import (
     MemoryCache,
     ResultCache,
     default_results_dir,
+    get_spec,
     run_experiment,
 )
+from .network import TOPOLOGY_KINDS
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -46,6 +50,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="parameter scale (default: $REPRO_SCALE or 'default')")
     parser.add_argument("--app", choices=["matmul", "bitonic"], default="matmul",
                         help="application for the ablations")
+    parser.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default="mesh",
+                        help="interconnect for topology-sensitive experiments "
+                             "(bitonic figures and ablations); the xtopo-* "
+                             "experiments sweep topologies themselves")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="shard independent cells across N worker processes")
     parser.add_argument("--json", action="store_true",
@@ -73,9 +81,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         cache = ResultCache(results_dir / "cache")
     for i, name in enumerate(names):
-        run = run_experiment(
-            name, scale=args.scale, app=args.app, jobs=args.jobs, cache=cache
-        )
+        if args.topology != "mesh" and not get_spec(name).uses_topology:
+            why = (
+                "sweeps its topologies internally"
+                if name.startswith("xtopo-")
+                else "experiment is mesh-bound"
+            )
+            print(
+                f"[{name}] note: {why}; --topology {args.topology} has no effect",
+                file=sys.stderr,
+            )
+        try:
+            run = run_experiment(
+                name, scale=args.scale, app=args.app, jobs=args.jobs, cache=cache,
+                topology=args.topology,
+            )
+        except ValueError as exc:
+            # run-all must not abort the sweep over one incompatible axis
+            # combination (e.g. --topology hypercube with a matmul-app
+            # ablation); a single named experiment still fails loudly.
+            if args.experiment != "run-all":
+                raise
+            print(f"[{name}] skipped: {exc}", file=sys.stderr)
+            continue
         if i:
             print()
         print(run.table())

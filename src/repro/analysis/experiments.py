@@ -30,6 +30,7 @@ from ..apps import barneshut, bitonic, matmul
 from ..core.strategy import make_strategy
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
+from ..network.topology import Topology, make_topology
 from ..runtime.results import RunResult
 
 __all__ = [
@@ -63,6 +64,17 @@ __all__ = [
     "barrier_cell",
     "bounded_memory_cell",
 ]
+
+
+def _grid_topology(kind: str, side: int, app: str = "bitonic") -> Topology:
+    """Resolve a topology family + side for a cell, rejecting combinations
+    the application cannot run on (matmul needs 2-D grid coordinates)."""
+    if kind == "hypercube" and app == "matmul":
+        raise ValueError(
+            "matmul needs a 2-D grid topology (mesh or torus); "
+            "combine --topology hypercube with --app bitonic"
+        )
+    return make_topology(kind, side)
 
 Row = Dict[str, object]
 
@@ -109,6 +121,15 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
                 steps=7,
                 warm=2,
             ),
+        },
+        # Cross-topology experiments: the node count is pinned at 256 (the
+        # paper's machine scale: mesh/torus 16x16, hypercube dim 8) at
+        # every scale so topology comparisons never degrade to toy sizes;
+        # only the per-processor load varies.
+        "xtopo": {
+            "quick": dict(side=16, keys=64),
+            "default": dict(side=16, keys=256),
+            "paper": dict(side=16, keys=4096),
         },
         "fig11": {
             "quick": dict(meshes=((2, 4), (4, 4)), bodies_per_proc=24, steps=2, warm=1),
@@ -265,14 +286,25 @@ def bitonic_cell(
     machine: MachineModel = GCEL,
     seed: int = 0,
     embedding: str = "modified",
+    topology: str = "mesh",
 ) -> List[Row]:
     """One bitonic cell: hand-optimized baseline plus every strategy in
-    ``strategies`` on one (mesh side, keys/processor) point."""
-    mesh = Mesh2D(side, side)
-    base = bitonic.run_handopt(mesh, keys, machine=machine, seed=seed)
+    ``strategies`` on one (topology, side, keys/processor) point.
+
+    ``topology`` selects the interconnect family at ``side * side``
+    processors (``"mesh"``, ``"torus"``, ``"hypercube"``); bitonic only
+    depends on the decomposition-tree leaf numbering, so it runs unchanged
+    on every topology -- the workload behind the cross-topology
+    experiments.
+    """
+    topo = _grid_topology(topology, side, app="bitonic")
+    base = bitonic.run_handopt(topo, keys, machine=machine, seed=seed)
     rows: List[Row] = [
         {
             "strategy": "handopt",
+            "topology": topology,
+            "network": topo.label,
+            "nodes": topo.n_nodes,
             "side": side,
             "keys": keys,
             "congestion_bytes": base.congestion_bytes,
@@ -282,11 +314,14 @@ def bitonic_cell(
         }
     ]
     for name in strategies:
-        strat = make_strategy(name, mesh, seed=seed, embedding=embedding)
-        res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed)
+        strat = make_strategy(name, topo, seed=seed, embedding=embedding)
+        res = bitonic.run_diva(topo, strat, keys, machine=machine, seed=seed)
         rows.append(
             {
                 "strategy": name,
+                "topology": topology,
+                "network": topo.label,
+                "nodes": topo.n_nodes,
                 "side": side,
                 "keys": keys,
                 "congestion_bytes": res.congestion_bytes,
@@ -516,20 +551,22 @@ def tree_degree_cell(
     size: int = 1024,
     machine: MachineModel = GCEL,
     seed: int = 0,
+    topology: str = "mesh",
 ) -> List[Row]:
     """One tree-degree ablation cell: one access-tree variant on one app."""
-    mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed)
+    topo = _grid_topology(topology, side, app=app)
+    strat = make_strategy(strategy, topo, seed=seed)
     if app == "matmul":
-        res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        res = matmul.run_diva(topo, strat, size, machine=machine, seed=seed)
     elif app == "bitonic":
-        res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        res = bitonic.run_diva(topo, strat, size, machine=machine, seed=seed)
     else:
         raise ValueError(f"unknown app {app!r}")
     return [
         {
             "strategy": strategy,
             "app": app,
+            "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,
@@ -563,18 +600,20 @@ def embedding_cell(
     strategy: str = "4-ary",
     machine: MachineModel = GCEL,
     seed: int = 0,
+    topology: str = "mesh",
 ) -> List[Row]:
     """One embedding ablation cell: one embedding variant on one app."""
-    mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed, embedding=embedding)
+    topo = _grid_topology(topology, side, app=app)
+    strat = make_strategy(strategy, topo, seed=seed, embedding=embedding)
     if app == "matmul":
-        res = matmul.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        res = matmul.run_diva(topo, strat, size, machine=machine, seed=seed)
     else:
-        res = bitonic.run_diva(mesh, strat, size, machine=machine, seed=seed)
+        res = bitonic.run_diva(topo, strat, size, machine=machine, seed=seed)
     return [
         {
             "embedding": embedding,
             "app": app,
+            "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
             "time": res.time,
@@ -720,14 +759,16 @@ def barrier_cell(
     strategy: str = "2-4-ary",
     machine: MachineModel = GCEL,
     seed: int = 0,
+    topology: str = "mesh",
 ) -> List[Row]:
     """One barrier ablation cell: one synchronization service variant."""
-    mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed)
-    res = bitonic.run_diva(mesh, strat, keys, machine=machine, seed=seed, barrier=kind)
+    topo = _grid_topology(topology, side, app="bitonic")
+    strat = make_strategy(strategy, topo, seed=seed)
+    res = bitonic.run_diva(topo, strat, keys, machine=machine, seed=seed, barrier=kind)
     return [
         {
             "barrier": kind,
+            "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,

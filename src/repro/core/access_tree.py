@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..network.mesh import Mesh2D
+from ..network.topology import Topology
 from ..runtime.locks import RaymondTreeLock
 from ..runtime.variables import GlobalVariable
 from ..sim.flows import chain, multicast_acks
@@ -64,28 +64,32 @@ class AccessTreeStrategy(DataManagementStrategy):
 
     Parameters
     ----------
-    mesh:
-        Topology (fixes the decomposition tree).
+    topology:
+        Any :class:`~repro.network.topology.Topology` (fixes the
+        decomposition tree: submeshes on mesh/torus, subcubes on the
+        hypercube).
     arity:
         ``"2-ary"``, ``"4-ary"``, ``"16-ary"`` or the terminated
         ``"<l>-<k>-ary"`` variants (see
         :func:`repro.core.decomposition.parse_arity`).
     embedding:
-        ``"modified"`` (the paper's practical embedding, default) or
-        ``"random"`` (the theoretical analysis).
+        ``"modified"`` (the paper's practical embedding, default;
+        per-topology variant selected automatically) or ``"random"``
+        (the theoretical analysis).
     """
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         arity: str = "4-ary",
         seed: int = 0,
         embedding: str = "modified",
         remap_threshold: Optional[int] = None,
     ):
         stride, terminal = parse_arity(arity)
-        self.mesh = mesh
-        self.tree: DecompositionTree = build_tree(mesh, stride=stride, terminal=terminal)
+        self.topology = topology
+        self.mesh = topology  # historic alias
+        self.tree: DecompositionTree = build_tree(topology, stride=stride, terminal=terminal)
         self.embedding = make_embedding(embedding, self.tree, seed=seed)
         self.name = arity
         self.arity = arity
@@ -393,4 +397,4 @@ class AccessTreeStrategy(DataManagementStrategy):
         self.write_remote = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"AccessTreeStrategy({self.arity}, {self.embedding.name}, {self.mesh!r})"
+        return f"AccessTreeStrategy({self.arity}, {self.embedding.name}, {self.topology!r})"

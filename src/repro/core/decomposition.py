@@ -23,6 +23,17 @@ each processor has a unique leaf (``leaf_of_proc``), and the processor
 numbering induced by reading the leaves left to right is exactly the
 numbering the paper uses for its locality-preserving assignment of bitonic
 wires and Barnes-Hut costzones.
+
+Topologies
+----------
+The builder works on any :class:`~repro.network.topology.Topology` through
+its *grid view* (``rows``/``cols``/``node``/``submesh_nodes``).  On the
+mesh and the torus the view is the physical grid, so the decomposition is
+the paper's.  On the hypercube the view is the ``P x 1`` column of node
+ids: halving the aligned id range ``[base, base + size)`` is exactly
+fixing the next-highest address bit, so the same builder produces the
+classic **subcube decomposition** -- every tree node is an aligned
+subcube, every leaf a single processor.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..network.mesh import Mesh2D
+from ..network.topology import Topology
 
 __all__ = ["DecompNode", "DecompositionTree", "build_tree", "parse_arity"]
 
@@ -75,8 +86,11 @@ class DecompositionTree:
     only the embedding (node -> hosting processor) differs per variable.
     """
 
-    def __init__(self, mesh: Mesh2D, nodes: List[DecompNode], label: str):
+    def __init__(self, mesh: Topology, nodes: List[DecompNode], label: str):
+        # ``mesh`` is the historic attribute name; any grid-view topology
+        # fits (``self.topology`` is the neutral alias).
         self.mesh = mesh
+        self.topology = mesh
         self.nodes = nodes
         self.label = label
         self.root = 0
@@ -193,12 +207,12 @@ def _binary_children(
 
 
 def build_tree(
-    mesh: Mesh2D,
+    mesh: Topology,
     stride: int = 2,
     terminal: int = 1,
     label: Optional[str] = None,
 ) -> DecompositionTree:
-    """Build a decomposition tree.
+    """Build a decomposition tree over any grid-view topology.
 
     Parameters
     ----------

@@ -1,8 +1,9 @@
-"""Embeddings of access trees into the mesh.
+"""Embeddings of access trees into the network.
 
 For each global variable the access tree (a copy of the decomposition tree)
-is embedded into the mesh: every tree node is hosted by a processor of the
-submesh it represents.  Two embeddings are implemented:
+is embedded into the topology: every tree node is hosted by a processor of
+the region (submesh / subring / subcube) it represents.  Two embeddings are
+implemented for the paper's mesh:
 
 * :class:`RandomEmbedding` -- the theoretical version analysed in Maggs et
   al.: each node is mapped *independently and uniformly at random* to a
@@ -22,8 +23,23 @@ are computed lazily, node by node: Barnes-Hut creates hundreds of thousands
 of variables, and only the tree nodes actually touched by the protocol ever
 need a host.
 
-A leaf's submesh is a single processor, so every leaf is hosted by "its"
-processor under both embeddings -- requests enter and answers leave the
+Per-topology variants (selected by :func:`make_embedding` from the tree's
+topology; the mesh classes above are untouched so mesh results stay
+byte-identical):
+
+* :class:`TorusModifiedEmbedding` -- the modified embedding with
+  **wrap-aware subtree placement**: the child is hosted at the position of
+  its box nearest to the parent's host around each ring (wrap included),
+  so parent-child tree edges are as short as the torus allows instead of
+  inheriting the mesh's reflection a half-box away.
+* :class:`SubcubeEmbedding` -- the hypercube's **subcube-recursive**
+  analogue of the modified embedding: a child subcube's host agrees with
+  its parent's host on all free (low-order) address bits of the child;
+  only the newly fixed dimensions change, so the parent-child hop count is
+  at most the number of dimensions fixed between the two tree levels.
+
+A leaf's region is a single processor, so every leaf is hosted by "its"
+processor under every embedding -- requests enter and answers leave the
 tree at the requesting processor, as the protocol requires.
 """
 
@@ -34,7 +50,14 @@ from typing import Dict, List
 
 from .decomposition import DecompositionTree
 
-__all__ = ["Embedding", "RandomEmbedding", "ModifiedEmbedding", "make_embedding"]
+__all__ = [
+    "Embedding",
+    "RandomEmbedding",
+    "ModifiedEmbedding",
+    "TorusModifiedEmbedding",
+    "SubcubeEmbedding",
+    "make_embedding",
+]
 
 _MIX1 = 0x9E3779B97F4A7C15
 _MIX2 = 1000003
@@ -117,10 +140,98 @@ class ModifiedEmbedding(Embedding):
         return tree.mesh.node(r, c)
 
 
+def _nearest_in_ring(p: int, lo: int, size: int, ring: int) -> int:
+    """The coordinate of ``[lo, lo + size)`` nearest to ``p`` around a ring
+    of circumference ``ring`` (``p`` itself when it lies inside; ties go to
+    the low edge)."""
+    off = (p - lo) % ring
+    if off < size:
+        return lo + off
+    # Outside the box: the low edge is (ring - off) away going one way
+    # around, the high edge (off - size + 1) the other way.
+    return lo if (ring - off) <= (off - size + 1) else lo + size - 1
+
+
+class TorusModifiedEmbedding(ModifiedEmbedding):
+    """The modified embedding with wrap-aware subtree placement.
+
+    The mesh's modified embedding inherits the parent's *submesh-local
+    coordinates* modulo the child's box size.  On a torus that formula
+    ignores the wraparound: a parent hosted in the far half of its box is
+    reflected a half-box away from the child's boundary even when the
+    child's box is one wrap hop from the parent.  Here the child is
+    instead hosted at the position of its box **nearest to the parent's
+    host around each ring** -- a parent inside the child's box keeps its
+    exact position, a parent outside maps to the nearer box edge, wrap
+    included.  Parent-child tree edges are therefore as short as the torus
+    allows given the decomposition, at the price of edge positions being
+    favoured for faraway parents (the same correlated-placement trade the
+    paper accepts for the mesh embedding).
+    """
+
+    name = "modified"
+
+    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+        tree = self.tree
+        n = tree.nodes[node]
+        if n.size == 1:
+            return tree.mesh.node(n.row0, n.col0)
+        if n.parent is None:  # root: random in the whole torus
+            rng = random.Random(_key(self.seed, vid, node))
+            r = n.row0 + rng.randrange(n.rows)
+            c = n.col0 + rng.randrange(n.cols)
+            return tree.mesh.node(r, c)
+        parent_host = self.host(vid, n.parent)  # memoized recursion
+        topo = tree.mesh
+        pr, pc = topo.coord(parent_host)
+        r = _nearest_in_ring(pr, n.row0, n.rows, topo.rows)
+        c = _nearest_in_ring(pc, n.col0, n.cols, topo.cols)
+        return topo.node(r, c)
+
+
+class SubcubeEmbedding(Embedding):
+    """Subcube-recursive embedding for hypercubes.
+
+    Decomposition-tree nodes are aligned subcubes ``[base, base + size)``
+    (see :mod:`repro.core.decomposition`); the child's host keeps the
+    parent host's low ``log2(size)`` address bits and adopts the child's
+    fixed high bits: ``host = base | (parent_host & (size - 1))``.  The
+    parent-child distance is therefore the Hamming weight of the newly
+    fixed bits alone -- the hypercube analogue of the paper's "child
+    inherits the parent's submesh-local coordinates".  Only the root is
+    random.
+    """
+
+    name = "subcube"
+
+    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+        tree = self.tree
+        n = tree.nodes[node]
+        if n.size == 1:
+            return tree.mesh.node(n.row0, n.col0)
+        if n.parent is None:  # root: random in the whole cube
+            rng = random.Random(_key(self.seed, vid, node))
+            return tree.mesh.node(n.row0 + rng.randrange(n.rows), 0)
+        parent_host = self.host(vid, n.parent)  # memoized recursion
+        # Grid view: the subcube is the id range [row0, row0 + rows).
+        return n.row0 + ((parent_host - n.row0) % n.rows)
+
+
 def make_embedding(kind: str, tree: DecompositionTree, seed: int = 0) -> Embedding:
-    """Factory: ``"modified"`` (paper default) or ``"random"`` (theoretical)."""
-    if kind == "modified":
-        return ModifiedEmbedding(tree, seed)
+    """Factory: ``"modified"`` (paper default) or ``"random"`` (theoretical).
+
+    ``"modified"`` resolves to the topology-appropriate variant -- the
+    paper's mesh embedding (unchanged), the wrap-aware torus embedding, or
+    the hypercube's subcube-recursive embedding.  ``"random"`` is
+    topology-agnostic (uniform over the region's grid view).
+    """
     if kind == "random":
         return RandomEmbedding(tree, seed)
+    if kind == "modified":
+        topo_kind = getattr(tree.mesh, "kind", "mesh")
+        if topo_kind == "torus":
+            return TorusModifiedEmbedding(tree, seed)
+        if topo_kind == "hypercube":
+            return SubcubeEmbedding(tree, seed)
+        return ModifiedEmbedding(tree, seed)
     raise ValueError(f"unknown embedding {kind!r}; expected 'modified' or 'random'")

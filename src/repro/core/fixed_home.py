@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..network.mesh import Mesh2D
+from ..network.topology import Topology
 from ..runtime.locks import HomeLock
 from ..runtime.variables import GlobalVariable
 from ..sim.flows import chain, multicast_acks
@@ -56,8 +56,9 @@ class FixedHomeStrategy(DataManagementStrategy):
 
     name = "fixed-home"
 
-    def __init__(self, mesh: Mesh2D, seed: int = 0):
-        self.mesh = mesh
+    def __init__(self, topology: Topology, seed: int = 0):
+        self.topology = topology
+        self.mesh = topology  # historic alias
         self.seed = seed
         self._states: Dict[int, _VarState] = {}
         self.write_local = 0
@@ -110,7 +111,7 @@ class FixedHomeStrategy(DataManagementStrategy):
     # ------------------------------------------------------------------ API
     def register(self, var: GlobalVariable) -> None:
         rng = random.Random((self.seed * 1000003 + var.vid) ^ 0x5EED)
-        home = rng.randrange(self.mesh.n_nodes)
+        home = rng.randrange(self.topology.n_nodes)
         st = _VarState(home, var.creator)
         self._states[var.vid] = st
         if self._track_mem:
@@ -206,4 +207,4 @@ class FixedHomeStrategy(DataManagementStrategy):
         self.write_remote = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"FixedHomeStrategy(seed={self.seed}, {self.mesh!r})"
+        return f"FixedHomeStrategy(seed={self.seed}, {self.topology!r})"

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Tuple
 
-from ..network.mesh import Mesh2D
+from ..network.topology import Topology
 from ..runtime.variables import GlobalVariable
 
 __all__ = ["DataManagementStrategy", "NullStrategy", "make_strategy", "STRATEGY_NAMES"]
@@ -109,17 +109,18 @@ STRATEGY_NAMES = (
 
 def make_strategy(
     name: str,
-    mesh: Mesh2D,
+    topology: Topology,
     seed: int = 0,
     embedding: str = "modified",
     remap_threshold=None,
 ):
-    """Build a strategy by paper name.
+    """Build a strategy by paper name, on any topology.
 
     ``name`` is one of the access-tree variants (``"2-ary"``, ``"4-ary"``,
     ``"16-ary"``, ``"2-4-ary"``, ``"4-8-ary"``, ``"4-16-ary"``, or any
     ``"<l>-<k>-ary"``), ``"fixed-home"``, or ``"handopt"``.
-    ``embedding`` selects ``"modified"`` (paper default) or ``"random"``
+    ``embedding`` selects ``"modified"`` (paper default; the
+    topology-appropriate variant is chosen automatically) or ``"random"``
     (the theoretical analysis) for access trees; ``remap_threshold``
     enables the theoretical strategy's node remapping (the paper omits it;
     ``None`` = off) after that many stops at the same tree node.
@@ -127,11 +128,11 @@ def make_strategy(
     if name == "fixed-home":
         from .fixed_home import FixedHomeStrategy
 
-        return FixedHomeStrategy(mesh, seed=seed)
+        return FixedHomeStrategy(topology, seed=seed)
     if name == "handopt":
         return NullStrategy()
     from .access_tree import AccessTreeStrategy
 
     return AccessTreeStrategy(
-        mesh, arity=name, seed=seed, embedding=embedding, remap_threshold=remap_threshold
+        topology, arity=name, seed=seed, embedding=embedding, remap_threshold=remap_threshold
     )

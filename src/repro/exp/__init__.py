@@ -29,6 +29,7 @@ from .emit import (
     json_path,
     result_payload,
     sanitize_rows,
+    topology_union,
     write_json,
 )
 from .registry import EXPERIMENTS, REGISTRY, get_spec
@@ -53,5 +54,6 @@ __all__ = [
     "json_path",
     "result_payload",
     "sanitize_rows",
+    "topology_union",
     "write_json",
 ]

@@ -7,14 +7,19 @@ CI pipeline diffs and archives.  One file per (experiment, scale) under
 schema-versioned payload::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "experiment": "fig3",
       "scale": "default",
       "app": "matmul",
+      "topology": "mesh",       # --topology axis value, or the union an
+                                # internal sweep covered ("mesh+torus")
       "params": {...},          # the resolved scale parameters
       "columns": [...],         # display column order
       "rows": [{...}, ...]      # every row field that is JSON-serializable
     }
+
+Schema history: version 2 added the top-level ``topology`` field (the
+cross-topology experiments additionally carry a per-row ``topology``).
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -37,13 +42,14 @@ __all__ = [
     "result_payload",
     "sanitize_rows",
     "sanitize_value",
+    "topology_union",
     "write_json",
 ]
 
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 
@@ -100,6 +106,19 @@ def sanitize_rows(rows: Sequence[Mapping[str, object]]) -> List[Row]:
     return out
 
 
+def topology_union(rows: Sequence[Mapping[str, object]], default: str = "mesh") -> str:
+    """The schema-v2 ``topology`` label for a row set: the distinct per-row
+    ``"topology"`` values joined with ``+`` in first-seen order (the
+    cross-topology sweeps span several), or ``default`` when no row carries
+    one."""
+    kinds: List[str] = []
+    for row in rows:
+        k = row.get("topology")
+        if isinstance(k, str) and k not in kinds:
+            kinds.append(k)
+    return "+".join(kinds) if kinds else default
+
+
 def result_payload(
     experiment: str,
     scale: str,
@@ -107,6 +126,7 @@ def result_payload(
     columns: Sequence[str],
     params: Optional[Mapping[str, object]] = None,
     app: Optional[str] = None,
+    topology: str = "mesh",
 ) -> Dict[str, Any]:
     """Schema-versioned result payload (rows/params sanitized)."""
     clean_params: Dict[str, Any] = {}
@@ -119,6 +139,7 @@ def result_payload(
         "experiment": experiment,
         "scale": scale,
         "app": app,
+        "topology": topology,
         "params": clean_params,
         "columns": list(columns),
         "rows": sanitize_rows(rows),

@@ -28,6 +28,8 @@ FIG3_STRATEGIES = ("fixed-home", "4-ary")
 FIG6_STRATEGIES = ("fixed-home", "2-4-ary")
 FIG11_STRATEGIES = ("fixed-home", "4-8-ary")
 TREE_DEGREE_VARIANTS = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary")
+#: Strategies compared at matched node counts across interconnects.
+XTOPO_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
 
 
 def _scale_title(name: str) -> Callable[[Params, Optional[str], str], str]:
@@ -90,7 +92,8 @@ def _fig4_cells(p: Params) -> List[Cell]:
 def _fig6_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.bitonic_cell, side=p["side"], keys=keys,
-                  strategies=FIG6_STRATEGIES, seed=0)
+                  strategies=FIG6_STRATEGIES, seed=0,
+                  topology=p.get("topology", "mesh"))
         for keys in p["keys"]
     ]
 
@@ -98,9 +101,28 @@ def _fig6_cells(p: Params) -> List[Cell]:
 def _fig7_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.bitonic_cell, side=side, keys=p["keys"],
-                  strategies=FIG6_STRATEGIES, seed=0)
+                  strategies=FIG6_STRATEGIES, seed=0,
+                  topology=p.get("topology", "mesh"))
         for side in p["sides"]
     ]
+
+
+def _xtopo_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.bitonic_cell, side=p["side"], keys=p["keys"],
+                  strategies=p["strategies"], seed=0, topology=topology)
+        for topology in p["topologies"]
+    ]
+
+
+def _xtopo_params(*topologies: str) -> Callable[[Optional[str], str], Params]:
+    def make(scale: Optional[str], app: str) -> Params:
+        params = E.scale_params("xtopo", scale)
+        params["topologies"] = list(topologies)
+        params["strategies"] = XTOPO_STRATEGIES
+        return params
+
+    return make
 
 
 def _fig8_cells(p: Params) -> List[Cell]:
@@ -125,7 +147,8 @@ def _fig11_cells(p: Params) -> List[Cell]:
 def _tree_degree_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.tree_degree_cell, strategy=name, app=p["app"],
-                  side=p["side"], size=p["size"], seed=0)
+                  side=p["side"], size=p["size"], seed=0,
+                  topology=p.get("topology", "mesh"))
         for name in TREE_DEGREE_VARIANTS
     ]
 
@@ -133,7 +156,8 @@ def _tree_degree_cells(p: Params) -> List[Cell]:
 def _embedding_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.embedding_cell, embedding=embedding, app=p["app"],
-                  side=p["side"], size=p["size"], strategy=p["strategy"], seed=0)
+                  side=p["side"], size=p["size"], strategy=p["strategy"], seed=0,
+                  topology=p.get("topology", "mesh"))
         for embedding in ("modified", "random")
     ]
 
@@ -159,7 +183,8 @@ def _remapping_cells(p: Params) -> List[Cell]:
 def _barrier_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.barrier_cell, kind=kind, side=p["side"], keys=p["keys"],
-                  strategy=p["strategy"], seed=0)
+                  strategy=p["strategy"], seed=0,
+                  topology=p.get("topology", "mesh"))
         for kind in ("tree", "central")
     ]
 
@@ -210,6 +235,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             make_params=_scaled_params("fig6"),
             make_cells=_fig6_cells,
             title=_scale_title("fig6"),
+            uses_topology=True,
         ),
         ExperimentSpec(
             name="fig7",
@@ -217,6 +243,23 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             make_params=_scaled_params("fig7"),
             make_cells=_fig7_cells,
             title=_scale_title("fig7"),
+            uses_topology=True,
+        ),
+        ExperimentSpec(
+            name="xtopo-torus",
+            columns=("topology", "network", "strategy", "congestion_ratio",
+                     "time_ratio", "congestion_bytes", "time"),
+            make_params=_xtopo_params("mesh", "torus"),
+            make_cells=_xtopo_cells,
+            title=_fixed_title("cross-topology: bitonic on mesh vs torus (256 nodes)"),
+        ),
+        ExperimentSpec(
+            name="xtopo-hypercube",
+            columns=("topology", "network", "strategy", "congestion_ratio",
+                     "time_ratio", "congestion_bytes", "time"),
+            make_params=_xtopo_params("mesh", "hypercube"),
+            make_cells=_xtopo_cells,
+            title=_fixed_title("cross-topology: bitonic on mesh vs hypercube (256 nodes)"),
         ),
         ExperimentSpec(
             name="fig8",
@@ -257,6 +300,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             make_cells=_tree_degree_cells,
             title=lambda params, scale, app: f"tree-degree ablation ({app})",
             uses_app=True,
+            uses_topology=True,
         ),
         ExperimentSpec(
             name="ablation-embedding",
@@ -265,6 +309,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             make_cells=_embedding_cells,
             title=lambda params, scale, app: f"embedding ablation ({app})",
             uses_app=True,
+            uses_topology=True,
         ),
         ExperimentSpec(
             name="ablation-invalidation",
@@ -288,6 +333,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             make_params=_fixed_params(side=8, keys=1024, strategy="2-4-ary"),
             make_cells=_barrier_cells,
             title=_fixed_title("barrier ablation"),
+            uses_topology=True,
         ),
         ExperimentSpec(
             name="bounded-memory",

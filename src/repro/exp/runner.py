@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..analysis.tables import format_table
 from .cache import ResultCache
-from .emit import json_path, result_payload, sanitize_rows, write_json
+from .emit import json_path, result_payload, sanitize_rows, topology_union, write_json
 from .spec import Cell, ExperimentSpec, concat
 
 __all__ = ["ExperimentRun", "run_cells", "run_experiment"]
@@ -100,6 +100,7 @@ class ExperimentRun:
     rows: List[Row]
     scale: Optional[str]
     app: str
+    topology: str = "mesh"
     cells_total: int = 0
     cells_cached: int = 0
 
@@ -114,11 +115,22 @@ class ExperimentRun:
 
     @property
     def file_stem(self) -> str:
-        """Result-file stem; a non-default app gets its own file so the
-        two apps of an app-sensitive ablation don't overwrite each other."""
+        """Result-file stem; non-default app / topology axes get their own
+        files so axis values don't overwrite each other."""
+        stem = self.name
         if self.spec.uses_app and self.app != "matmul":
-            return f"{self.name}.{self.app}"
-        return self.name
+            stem = f"{stem}.{self.app}"
+        if self.spec.uses_topology and self.topology != "mesh":
+            stem = f"{stem}.{self.topology}"
+        return stem
+
+    @property
+    def topology_label(self) -> str:
+        """Topology recorded in the JSON payload: the topologies the rows
+        actually cover (``"mesh+torus"`` for an internal sweep), falling
+        back to the axis value."""
+        default = self.topology if self.spec.uses_topology else "mesh"
+        return topology_union(self.rows, default=default)
 
     @property
     def title(self) -> str:
@@ -135,6 +147,7 @@ class ExperimentRun:
             self.spec.columns,
             params=self.params,
             app=self.app,
+            topology=self.topology_label,
         )
 
     def write_json(self, results_dir: Optional[os.PathLike] = None):
@@ -150,13 +163,14 @@ def run_experiment(
     app: str = "matmul",
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    topology: str = "mesh",
 ) -> ExperimentRun:
     """Resolve, shard, run, and reassemble one experiment."""
     if isinstance(spec, str):
         from .registry import get_spec
 
         spec = get_spec(spec)
-    params = spec.make_params(scale, app)
+    params = spec.params_for(scale, app, topology)
     cells = spec.make_cells(params)
     hits_before = cache.hits if cache is not None else 0
     cell_rows = run_cells(cells, jobs=jobs, cache=cache)
@@ -169,6 +183,7 @@ def run_experiment(
         rows=rows,
         scale=scale,
         app=app,
+        topology=topology,
         cells_total=len(cells),
         cells_cached=(cache.hits - hits_before) if cache is not None else 0,
     )

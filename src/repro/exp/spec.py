@@ -146,6 +146,12 @@ class ExperimentSpec:
         Whether ``--app`` changes the experiment (the tree-degree and
         embedding ablations); result files for a non-default app get an
         app-suffixed name so the apps don't overwrite each other.
+    uses_topology:
+        Whether the ``--topology`` CLI axis changes the experiment: the
+        resolved parameters gain a ``"topology"`` key the cell builder
+        forwards into its cells.  Result files for a non-mesh topology get
+        a topology-suffixed name.  (The cross-topology sweeps ``xtopo-*``
+        iterate topologies *internally* and therefore do **not** set this.)
     """
 
     name: str
@@ -155,9 +161,24 @@ class ExperimentSpec:
     title: Callable[[Dict[str, Any], Optional[str], str], str]
     derive: Optional[Callable[[List[Row], Dict[str, Any]], List[Row]]] = None
     uses_app: bool = field(default=False)
+    uses_topology: bool = field(default=False)
 
-    def cells(self, scale: Optional[str] = None, app: str = "matmul") -> List[Cell]:
-        return self.make_cells(self.make_params(scale, app))
+    def params_for(
+        self, scale: Optional[str] = None, app: str = "matmul", topology: str = "mesh"
+    ) -> Dict[str, Any]:
+        """Resolve CLI-level knobs (scale, app, topology) into parameters."""
+        params = self.make_params(scale, app)
+        if self.uses_topology:
+            params["topology"] = topology
+        return params
+
+    def cells(
+        self,
+        scale: Optional[str] = None,
+        app: str = "matmul",
+        topology: str = "mesh",
+    ) -> List[Cell]:
+        return self.make_cells(self.params_for(scale, app, topology))
 
 
 def concat(cell_rows: Sequence[Optional[List[Row]]]) -> List[Row]:

@@ -1,12 +1,19 @@
-"""Mesh network substrate: topology, routing, traffic statistics, cost model."""
+"""Network substrate: topologies, routing, traffic statistics, cost model."""
 
 from .machine import GCEL, ZERO_COST, MachineModel
 from .mesh import Coord, Mesh2D
 from .routing import path_length, route_links, route_nodes
 from .stats import LinkStats, PhaseStats, StatsSnapshot
+from .topology import TOPOLOGY_KINDS, Hypercube, Topology, make_topology
+from .torus import Torus2D
 
 __all__ = [
+    "Topology",
     "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "make_topology",
+    "TOPOLOGY_KINDS",
     "Coord",
     "route_links",
     "route_nodes",

@@ -33,7 +33,9 @@ than computing ids by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
+
+from .topology import Topology
 
 __all__ = ["Mesh2D", "Coord"]
 
@@ -41,7 +43,7 @@ Coord = Tuple[int, int]
 
 
 @dataclass(frozen=True)
-class Mesh2D:
+class Mesh2D(Topology):
     """A ``rows x cols`` mesh of processors.
 
     Parameters
@@ -63,6 +65,8 @@ class Mesh2D:
 
     rows: int
     cols: int
+
+    kind = "mesh"
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1:
@@ -91,10 +95,31 @@ class Mesh2D:
         return range(self.n_nodes)
 
     def manhattan(self, a: int, b: int) -> int:
-        """Hop distance between two nodes under minimal (dimension-order) routing."""
+        """Manhattan distance on the (non-wrapping) grid.  For the plain
+        mesh this is also the routing distance; subclasses with extra links
+        (:class:`repro.network.torus.Torus2D`) override :meth:`distance`
+        but keep ``manhattan`` with this fixed meaning."""
         ra, ca = self.coord(a)
         rb, cb = self.coord(b)
         return abs(ra - rb) + abs(ca - cb)
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance under minimal (dimension-order) routing."""
+        return self.manhattan(a, b)
+
+    def neighbors(self, node: int) -> List[int]:
+        """Grid neighbours in E, W, S, N order."""
+        r, c = self.coord(node)
+        out: List[int] = []
+        if c + 1 < self.cols:
+            out.append(self.node(r, c + 1))
+        if c > 0:
+            out.append(self.node(r, c - 1))
+        if r + 1 < self.rows:
+            out.append(self.node(r + 1, c))
+        if r > 0:
+            out.append(self.node(r - 1, c))
+        return out
 
     # ------------------------------------------------------------------ links
     @property
@@ -152,6 +177,41 @@ class Mesh2D:
         for link in range(self.n_links):
             src, dst = self.link_endpoints(link)
             yield link, src, dst
+
+    # ---------------------------------------------------------------- routing
+    def compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Dimension-order (x-first) path ``src -> dst`` (uncached; use
+        :func:`repro.network.routing.route_links`)."""
+        r1, c1 = self.coord(src)
+        r2, c2 = self.coord(dst)
+        links: List[int] = []
+        # dimension 1: columns (x-first)
+        if c2 > c1:
+            links.extend(self.h_link(r1, c, eastbound=True) for c in range(c1, c2))
+        elif c2 < c1:
+            links.extend(self.h_link(r1, c - 1, eastbound=False) for c in range(c1, c2, -1))
+        # dimension 2: rows
+        if r2 > r1:
+            links.extend(self.v_link(r, c2, southbound=True) for r in range(r1, r2))
+        elif r2 < r1:
+            links.extend(self.v_link(r - 1, c2, southbound=False) for r in range(r1, r2, -1))
+        return tuple(links)
+
+    # --------------------------------------------------------------- metadata
+    @property
+    def label(self) -> str:
+        """Table/JSON identity; the historic ``RxC`` form is kept so mesh
+        results stay byte-identical."""
+        return f"{self.rows}x{self.cols}"
+
+    @property
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+    @property
+    def bisection_links(self) -> int:
+        """Directed links crossing the halving cut of the longer side."""
+        return 2 * min(self.rows, self.cols)
 
     # --------------------------------------------------------------- regions
     def submesh_nodes(self, row0: int, col0: int, rows: int, cols: int) -> list[int]:

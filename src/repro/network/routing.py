@@ -1,15 +1,20 @@
-"""Dimension-by-dimension order routing.
+"""Deterministic routing, one cached entry point for every topology.
 
-The GCel's wormhole router transmits messages along *dimension-order* paths:
-the unique shortest path that first travels along dimension 1 and then along
-dimension 2.  The theoretical analysis of the access tree strategy assumes
-exactly these paths, and both the DIVA protocols and the hand-optimized
-baselines in the paper route every message this way.
+The GCel's wormhole router transmits messages along *dimension-order*
+paths: the unique shortest path that first travels along dimension 1 and
+then along dimension 2.  The theoretical analysis of the access tree
+strategy assumes exactly these deterministic oblivious paths, and both the
+DIVA protocols and the hand-optimized baselines route every message this
+way.  The topology-generic analogues keep that discipline: shortest-wrap
+dimension-order on the torus, e-cube on the hypercube.
 
-We fix dimension 1 = columns (horizontal, "x-first") and dimension 2 = rows.
-The choice is symmetric for the congestion bounds; it only has to be applied
-consistently, which this module guarantees by being the single source of
-routes for the whole package.
+Each :class:`~repro.network.topology.Topology` implements the raw path
+computation (:meth:`~repro.network.topology.Topology.compute_route`); this
+module adds the memoization and is the single source of routes for the
+whole package -- simulations route the same processor pairs over and over
+(tree edges, home round-trips), and path computation dominated the profile
+before caching.  Topologies are small frozen dataclasses, so they key the
+cache directly.
 """
 
 from __future__ import annotations
@@ -17,57 +22,37 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, Tuple
 
-from .mesh import Mesh2D
+from .topology import Topology
 
 __all__ = ["route_links", "route_nodes", "path_length"]
 
 
-def path_length(mesh: Mesh2D, src: int, dst: int) -> int:
-    """Number of links on the dimension-order path (== Manhattan distance)."""
-    return mesh.manhattan(src, dst)
-
-
-def _route_links_uncached(mesh: Mesh2D, src: int, dst: int) -> Tuple[int, ...]:
-    r1, c1 = mesh.coord(src)
-    r2, c2 = mesh.coord(dst)
-    links: List[int] = []
-    # dimension 1: columns (x-first)
-    if c2 > c1:
-        links.extend(mesh.h_link(r1, c, eastbound=True) for c in range(c1, c2))
-    elif c2 < c1:
-        links.extend(mesh.h_link(r1, c - 1, eastbound=False) for c in range(c1, c2, -1))
-    # dimension 2: rows
-    if r2 > r1:
-        links.extend(mesh.v_link(r, c2, southbound=True) for r in range(r1, r2))
-    elif r2 < r1:
-        links.extend(mesh.v_link(r - 1, c2, southbound=False) for r in range(r1, r2, -1))
-    return tuple(links)
+def path_length(topology: Topology, src: int, dst: int) -> int:
+    """Number of links on the deterministic path (== routing distance)."""
+    return topology.distance(src, dst)
 
 
 @lru_cache(maxsize=1 << 20)
-def _route_cache(rows: int, cols: int, src: int, dst: int) -> Tuple[int, ...]:
-    return _route_links_uncached(Mesh2D(rows, cols), src, dst)
+def _route_cache(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
+    return topology.compute_route(src, dst)
 
 
-def route_links(mesh: Mesh2D, src: int, dst: int) -> Tuple[int, ...]:
-    """Directed link ids of the dimension-order (x-first) path ``src -> dst``.
+def route_links(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
+    """Directed link ids of the deterministic path ``src -> dst``.
 
-    The result is cached: simulations route the same processor pairs over and
-    over (tree edges, home round-trips), and path computation dominated the
-    profile before caching.
-
+    >>> from .mesh import Mesh2D
     >>> m = Mesh2D(2, 3)
     >>> len(route_links(m, m.node(0, 0), m.node(1, 2)))
     3
     >>> route_links(m, 4, 4)
     ()
     """
-    return _route_cache(mesh.rows, mesh.cols, src, dst)
+    return _route_cache(topology, src, dst)
 
 
-def route_nodes(mesh: Mesh2D, src: int, dst: int) -> List[int]:
-    """Node ids visited by the dimension-order path, endpoints included."""
+def route_nodes(topology: Topology, src: int, dst: int) -> List[int]:
+    """Node ids visited by the deterministic path, endpoints included."""
     nodes = [src]
-    for link in route_links(mesh, src, dst):
-        nodes.append(mesh.link_endpoints(link)[1])
+    for link in route_links(topology, src, dst):
+        nodes.append(topology.link_endpoints(link)[1])
     return nodes

@@ -31,7 +31,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from .mesh import Mesh2D
+from .topology import Topology
 
 __all__ = ["LinkStats", "StatsSnapshot", "PhaseStats"]
 
@@ -77,12 +77,15 @@ class LinkStats:
     separately so hit-ratio style statistics remain possible.
     """
 
-    def __init__(self, mesh: Mesh2D):
-        self.mesh = mesh
-        n = mesh.n_links
+    def __init__(self, topology: Topology):
+        # Historic attribute name: the stats object predates the topology
+        # abstraction, and ``.mesh`` is part of its public surface.
+        self.mesh = topology
+        self.topology = topology
+        n = topology.n_links
         self.link_bytes = [0.0] * n
         self.link_msgs = [0] * n
-        p = mesh.n_nodes
+        p = topology.n_nodes
         self.startups = [0] * p  # message sends per processor
         self.receives = [0] * p
         self.total_msgs = 0
@@ -149,25 +152,46 @@ class LinkStats:
             out.append((int(link), s, d, float(lb[link]), int(self.link_msgs[link])))
         return out
 
+    def render(self, width: int = 4) -> str:
+        """Topology-appropriate traffic picture: the grid heatmap for
+        meshes (plus a wraparound-wire section for tori), the per-dimension
+        link table for hypercubes."""
+        kind = getattr(self.topology, "kind", "mesh")
+        if kind in ("mesh", "torus"):
+            return self.render_heatmap(width=width)
+        return self.render_link_table()
+
     def render_heatmap(self, width: int = 4) -> str:
         """ASCII heatmap of per-link byte load (both directions of each wire
         summed), for eyeballing where a strategy congests the mesh.
 
         Nodes are ``+``; the number between two nodes is the wire's load as
-        a percentage of the most loaded wire (``..`` = idle)."""
+        a percentage of the most loaded wire (``..`` = idle).  On a torus
+        the wraparound wires cannot be drawn inside the grid; they are
+        appended as per-row / per-column lines below it, normalized against
+        the same peak."""
         m = self.mesh
+        interior = getattr(m, "_mesh_links", m.n_links)
         wire_load: Dict[Tuple[int, int], float] = {}
-        for link in range(m.n_links):
+        for link in range(interior):
             a, b = m.link_endpoints(link)
             key = (min(a, b), max(a, b))
             wire_load[key] = wire_load.get(key, 0.0) + self.link_bytes[link]
-        peak = max(wire_load.values(), default=0.0)
+        lb = self.link_bytes
+        wrap_pairs: list[float] = []
+        if interior < m.n_links:
+            wrap_pairs = [lb[m.h_wrap(r, True)] + lb[m.h_wrap(r, False)] for r in range(m.rows)]
+            wrap_pairs += [lb[m.v_wrap(c, True)] + lb[m.v_wrap(c, False)] for c in range(m.cols)]
+        peak = max(max(wire_load.values(), default=0.0), max(wrap_pairs, default=0.0))
+
+        def fmt(load: float) -> str:
+            if peak <= 0:
+                return "..".center(width)
+            pct = 100.0 * load / peak
+            return (".." if pct < 0.5 else f"{pct:.0f}").center(width)
 
         def cell(a: int, b: int) -> str:
-            if peak <= 0:
-                return ".." .center(width)
-            pct = 100.0 * wire_load[(min(a, b), max(a, b))] / peak
-            return (".." if pct < 0.5 else f"{pct:.0f}").center(width)
+            return fmt(wire_load[(min(a, b), max(a, b))])
 
         lines = []
         for r in range(m.rows):
@@ -184,6 +208,41 @@ class LinkStats:
                     if c + 1 < m.cols:
                         vert.append(" ")
                 lines.append("".join(v for v in vert))
+        if interior < m.n_links:
+            lines.append("wrap wires (both directions summed):")
+            row_loads = " ".join(
+                fmt(lb[m.h_wrap(r, True)] + lb[m.h_wrap(r, False)]) for r in range(m.rows)
+            )
+            col_loads = " ".join(
+                fmt(lb[m.v_wrap(c, True)] + lb[m.v_wrap(c, False)]) for c in range(m.cols)
+            )
+            lines.append(f"rows: {row_loads}")
+            lines.append(f"cols: {col_loads}")
+        return "\n".join(lines)
+
+    def render_link_table(self, k: int = 10) -> str:
+        """Per-dimension load table (hypercubes) or hottest-link table.
+
+        A hypercube has no planar drawing worth ASCII art; what matters is
+        which *dimension* carries the load (e-cube routing fixes dimensions
+        in order, so imbalance shows up here) and which individual links
+        run hottest."""
+        topo = self.topology
+        lines = []
+        dim = getattr(topo, "dim", None)
+        if dim is not None:
+            lines.append("per-dimension directed-link load:")
+            lines.append("dim  total_bytes  max_bytes  msgs")
+            for d in range(dim):
+                ids = range(d, topo.n_links, dim)
+                total = sum(self.link_bytes[i] for i in ids)
+                peak = max(self.link_bytes[i] for i in ids)
+                msgs = sum(self.link_msgs[i] for i in ids)
+                lines.append(f"{d:<4d} {total:<12.0f} {peak:<10.0f} {msgs}")
+        lines.append(f"hottest {k} directed links:")
+        lines.append("link  src  dst  bytes  msgs")
+        for link, s, d, b, msgs in self.hottest_links(k):
+            lines.append(f"{link:<5d} {s:<4d} {d:<4d} {b:<6.0f} {msgs}")
         return "\n".join(lines)
 
     def snapshot(self) -> StatsSnapshot:

@@ -1,0 +1,183 @@
+"""2-D torus topology: the mesh plus wraparound links.
+
+A ``rows x cols`` torus is the mesh of :class:`repro.network.mesh.Mesh2D`
+with every row and every column closed into a ring.  Node numbering, grid
+coordinates and the directed-link ids of all *interior* wires are inherited
+unchanged from the mesh; the wraparound wires get fresh dense ids appended
+after the mesh block, so mesh-trained tooling (heatmaps, link tables,
+cached routes) keeps working and torus-specific state is purely additive.
+
+Directed link id layout (``M`` = number of mesh link ids)::
+
+    [0, M)               : the mesh's interior links, unchanged
+    [M,        M +   R)  : east wrap   (r, C-1) -> (r, 0)
+    [M +   R,  M + 2*R)  : west wrap   (r, 0)   -> (r, C-1)
+    [M + 2*R,  M + 2*R + C)    : south wrap (R-1, c) -> (0, c)
+    [M + 2*R + C, M + 2*R + 2*C) : north wrap (0, c) -> (R-1, c)
+
+Routing is shortest-wrap dimension-order: x-first like the mesh, but each
+dimension independently travels the shorter way around its ring.  When the
+direct way is strictly shorter the route coincides with the mesh's, link
+for link; a tie at exactly half the ring is resolved east/south, which may
+take the wrap where the mesh goes the direct way (same length).  A torus
+route is therefore never longer than the mesh route between the same
+endpoints -- one of the shared routing invariants the property tests pin
+down.
+
+Both sides must be at least 2.  On a side of exactly 2 the wrap wire
+doubles an existing interior wire (two independent physical channels
+between the same node pair), which is how small machine tori are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .mesh import Mesh2D
+
+__all__ = ["Torus2D"]
+
+
+@dataclass(frozen=True)
+class Torus2D(Mesh2D):
+    """A ``rows x cols`` torus (mesh with wraparound links).
+
+    >>> t = Torus2D(4, 4)
+    >>> t.n_links - Mesh2D(4, 4).n_links   # 2*R + 2*C wrap links
+    16
+    >>> t.distance(t.node(0, 0), t.node(0, 3))  # one wrap hop, not three
+    1
+    """
+
+    kind = "torus"
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError(f"torus sides must be >= 2, got {self.rows}x{self.cols}")
+
+    # ------------------------------------------------------------------ links
+    @property
+    def _mesh_links(self) -> int:
+        """Number of inherited interior (mesh) link ids."""
+        return 2 * (self.n_h_links_per_dir + self.n_v_links_per_dir)
+
+    @property
+    def n_links(self) -> int:
+        return self._mesh_links + 2 * self.rows + 2 * self.cols
+
+    def h_wrap(self, row: int, eastbound: bool) -> int:
+        """Directed id of row ``row``'s wraparound wire; ``eastbound``
+        selects the ``(row, cols-1) -> (row, 0)`` direction."""
+        if not (0 <= row < self.rows):
+            raise ValueError(f"no row {row} in {self.rows}x{self.cols} torus")
+        base = self._mesh_links + row
+        return base if eastbound else base + self.rows
+
+    def v_wrap(self, col: int, southbound: bool) -> int:
+        """Directed id of column ``col``'s wraparound wire; ``southbound``
+        selects the ``(rows-1, col) -> (0, col)`` direction."""
+        if not (0 <= col < self.cols):
+            raise ValueError(f"no column {col} in {self.rows}x{self.cols} torus")
+        base = self._mesh_links + 2 * self.rows + col
+        return base if southbound else base + self.cols
+
+    def link_endpoints(self, link: int) -> Tuple[int, int]:
+        m = self._mesh_links
+        if link < m:
+            return super().link_endpoints(link)
+        if not (0 <= link < self.n_links):
+            raise ValueError(f"link {link} outside 0..{self.n_links - 1}")
+        off = link - m
+        if off < self.rows:  # east wrap
+            return self.node(off, self.cols - 1), self.node(off, 0)
+        off -= self.rows
+        if off < self.rows:  # west wrap
+            return self.node(off, 0), self.node(off, self.cols - 1)
+        off -= self.rows
+        if off < self.cols:  # south wrap
+            return self.node(self.rows - 1, off), self.node(0, off)
+        off -= self.cols  # north wrap
+        return self.node(0, off), self.node(self.rows - 1, off)
+
+    # ------------------------------------------------------------------ nodes
+    def distance(self, a: int, b: int) -> int:
+        """Wraparound Manhattan distance (per-axis shorter ring way)."""
+        ra, ca = self.coord(a)
+        rb, cb = self.coord(b)
+        dr = abs(ra - rb)
+        dc = abs(ca - cb)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def neighbors(self, node: int) -> List[int]:
+        """Ring neighbours in E, W, S, N order (duplicates on side 2)."""
+        r, c = self.coord(node)
+        return [
+            self.node(r, (c + 1) % self.cols),
+            self.node(r, (c - 1) % self.cols),
+            self.node((r + 1) % self.rows, c),
+            self.node((r - 1) % self.rows, c),
+        ]
+
+    # ---------------------------------------------------------------- routing
+    def _ring_steps(self, start: int, dist: int, size: int, positive: bool) -> List[int]:
+        """Ring coordinates visited leaving ``start``: ``dist`` steps in the
+        ``positive`` (east/south) or negative direction, start included."""
+        step = 1 if positive else -1
+        return [(start + i * step) % size for i in range(dist + 1)]
+
+    def compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Shortest-wrap dimension-order path: x-first; per axis the
+        strictly shorter ring way (then the route matches the mesh's) or,
+        on a half-ring tie, east/south."""
+        r1, c1 = self.coord(src)
+        r2, c2 = self.coord(dst)
+        links: List[int] = []
+        # dimension 1: columns
+        dc = (c2 - c1) % self.cols
+        if dc:
+            east = dc <= self.cols - dc
+            dist = dc if east else self.cols - dc
+            cs = self._ring_steps(c1, dist, self.cols, positive=east)
+            for c, cn in zip(cs, cs[1:]):
+                if east:
+                    links.append(
+                        self.h_link(r1, c, True) if c < self.cols - 1 else self.h_wrap(r1, True)
+                    )
+                else:
+                    links.append(
+                        self.h_link(r1, cn, False) if c > 0 else self.h_wrap(r1, False)
+                    )
+        # dimension 2: rows
+        dr = (r2 - r1) % self.rows
+        if dr:
+            south = dr <= self.rows - dr
+            dist = dr if south else self.rows - dr
+            rs = self._ring_steps(r1, dist, self.rows, positive=south)
+            for r, rn in zip(rs, rs[1:]):
+                if south:
+                    links.append(
+                        self.v_link(r, c2, True) if r < self.rows - 1 else self.v_wrap(c2, True)
+                    )
+                else:
+                    links.append(
+                        self.v_link(rn, c2, False) if r > 0 else self.v_wrap(c2, False)
+                    )
+        return tuple(links)
+
+    # --------------------------------------------------------------- metadata
+    @property
+    def label(self) -> str:
+        return f"torus-{self.rows}x{self.cols}"
+
+    @property
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2
+
+    @property
+    def bisection_links(self) -> int:
+        """Halving the longer dimension cuts its ring at two places."""
+        return 4 * min(self.rows, self.cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Torus2D({self.rows}x{self.cols}, P={self.n_nodes})"

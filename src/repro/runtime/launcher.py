@@ -15,8 +15,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..network.machine import GCEL, MachineModel
-from ..network.mesh import Mesh2D
 from ..network.stats import LinkStats, PhaseStats, StatsSnapshot
+from ..network.topology import Topology
 from ..sim.engine import SimDeadlock, Simulator
 from .api import (
     BarrierReq,
@@ -100,8 +100,9 @@ class Runtime:
 
     Parameters
     ----------
-    mesh, strategy, machine:
-        Topology, data-management strategy and cost model.
+    topology, strategy, machine:
+        Topology (mesh, torus, hypercube, ...), data-management strategy
+        and cost model.
     charge_compute:
         ``False`` reproduces the paper's *communication time* measurements
         ("we have simply removed the code for local computations"): all
@@ -115,7 +116,7 @@ class Runtime:
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         strategy,
         machine: MachineModel = GCEL,
         *,
@@ -124,16 +125,16 @@ class Runtime:
         seed: int = 0,
         capacity_bytes: Optional[float] = None,
     ):
-        self.sim = Simulator(mesh, machine)
+        self.sim = Simulator(topology, machine)
         self.registry = VariableRegistry()
-        self.memory = MemoryBook(mesh.n_nodes, capacity_bytes)
+        self.memory = MemoryBook(topology.n_nodes, capacity_bytes)
         self.charge_compute = charge_compute
         self.seed = seed
         self.strategy = strategy
         strategy.attach(self)
         self.barrier = make_barrier(barrier, self.sim, seed)
 
-        p = mesh.n_nodes
+        p = topology.n_nodes
         self._gens: List[Any] = [None] * p
         self._blocked_on: List[str] = ["start"] * p
         self._finished = 0
@@ -193,7 +194,7 @@ class Runtime:
         locks = getattr(self.strategy, "lock_acquisitions", 0)
         return RunResult(
             strategy=self.strategy.name,
-            mesh=f"{mesh.rows}x{mesh.cols}",
+            mesh=mesh.label,
             time=end - self.measure_start,
             end_time=end,
             stats=stats,
@@ -400,14 +401,14 @@ class Runtime:
 
 
 def run_spmd(
-    mesh: Mesh2D,
+    topology: Topology,
     strategy,
     program: ProgramFactory,
     machine: MachineModel = GCEL,
     **kwargs,
 ) -> RunResult:
     """Convenience one-shot: build a :class:`Runtime`, run, return the result."""
-    rt = Runtime(mesh, strategy, machine, **kwargs)
+    rt = Runtime(topology, strategy, machine, **kwargs)
     result = rt.run(program)
     result.extra["runtime"] = rt
     return result

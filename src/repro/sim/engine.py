@@ -34,9 +34,9 @@ import itertools
 from typing import Callable, List, Sequence, Tuple
 
 from ..network.machine import MachineModel
-from ..network.mesh import Mesh2D
 from ..network.routing import route_links
 from ..network.stats import LinkStats
+from ..network.topology import Topology
 
 __all__ = ["Simulator", "SimDeadlock"]
 
@@ -50,19 +50,23 @@ class Simulator:
 
     Parameters
     ----------
-    mesh:
-        The network topology.
+    topology:
+        The network topology (mesh, torus, hypercube, ...); fixes the
+        flat-array sizes of the link/NIC resources and the routes.
     machine:
         Cost model (use :data:`repro.network.machine.ZERO_COST` in tests that
         only check traffic).
     """
 
-    def __init__(self, mesh: Mesh2D, machine: MachineModel):
-        self.mesh = mesh
+    def __init__(self, topology: Topology, machine: MachineModel):
+        self.topology = topology
+        # Historic alias: the simulator predates the topology abstraction
+        # and the whole package (runtime, apps, tests) reads ``sim.mesh``.
+        self.mesh = topology
         self.machine = machine
-        self.stats = LinkStats(mesh)
-        self.link_free: List[float] = [0.0] * mesh.n_links
-        self.nic_free: List[float] = [0.0] * mesh.n_nodes
+        self.stats = LinkStats(topology)
+        self.link_free: List[float] = [0.0] * topology.num_links
+        self.nic_free: List[float] = [0.0] * topology.n_nodes
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = itertools.count()
@@ -138,7 +142,7 @@ class Simulator:
         nic[src] = t_send + overhead
         depart = t_send + overhead
 
-        links = route_links(self.mesh, src, dst)
+        links = route_links(self.topology, src, dst)
         lf = self.link_free
         start = depart
         for link in links:

@@ -1,0 +1,167 @@
+"""Per-topology access-tree embeddings: decomposition + embedding
+invariants on torus and hypercube, and the mesh byte-identity guard."""
+
+import pytest
+
+from repro.core.decomposition import build_tree
+from repro.core.embedding import (
+    ModifiedEmbedding,
+    SubcubeEmbedding,
+    TorusModifiedEmbedding,
+    make_embedding,
+)
+from repro.network.mesh import Mesh2D
+from repro.network.topology import Hypercube
+from repro.network.torus import Torus2D
+
+
+def _in_region(tree, node, proc):
+    n = tree.nodes[node]
+    return proc in tree.mesh.submesh_nodes(n.row0, n.col0, n.rows, n.cols)
+
+
+@pytest.mark.parametrize("topo", [Mesh2D(8, 8), Torus2D(8, 8), Hypercube(6)])
+@pytest.mark.parametrize("kind", ["modified", "random"])
+def test_hosts_stay_in_their_region(topo, kind):
+    tree = build_tree(topo, stride=2)
+    emb = make_embedding(kind, tree, seed=3)
+    for node in range(len(tree)):
+        host = emb.host(vid=7, node=node)
+        assert 0 <= host < topo.n_nodes
+        assert _in_region(tree, node, host)
+
+
+@pytest.mark.parametrize("topo", [Mesh2D(4, 4), Torus2D(4, 4), Hypercube(4)])
+def test_leaves_pinned_to_their_processor(topo):
+    tree = build_tree(topo, stride=1)
+    emb = make_embedding("modified", tree, seed=0)
+    for proc in topo.nodes():
+        assert emb.host(vid=0, node=tree.leaf_of_proc[proc]) == proc
+
+
+def test_factory_selects_per_topology_variant():
+    mesh_tree = build_tree(Mesh2D(4, 4))
+    torus_tree = build_tree(Torus2D(4, 4))
+    cube_tree = build_tree(Hypercube(4))
+    assert type(make_embedding("modified", mesh_tree)) is ModifiedEmbedding
+    assert type(make_embedding("modified", torus_tree)) is TorusModifiedEmbedding
+    assert type(make_embedding("modified", cube_tree)) is SubcubeEmbedding
+
+
+def test_mesh_modified_embedding_unchanged():
+    """Byte-identity guard: the paper's mesh embedding must keep producing
+    the exact hosts it produced in the seed (same RNG keying, same
+    inheritance formula)."""
+    tree = build_tree(Mesh2D(4, 4), stride=1)
+    emb = make_embedding("modified", tree, seed=0)
+    hosts = [emb.host(0, n) for n in range(len(tree))]
+    # Recompute the expectation from the documented formula.
+    expect = []
+    for n in range(len(tree)):
+        tn = tree.nodes[n]
+        if tn.size == 1:
+            expect.append(tree.mesh.node(tn.row0, tn.col0))
+        elif tn.parent is None:
+            expect.append(hosts[0])  # root: random draw, self-consistent
+        else:
+            p = tree.nodes[tn.parent]
+            pr, pc = tree.mesh.coord(hosts[tn.parent])
+            li, lj = pr - p.row0, pc - p.col0
+            expect.append(tree.mesh.node(tn.row0 + li % tn.rows, tn.col0 + lj % tn.cols))
+    assert hosts == expect
+
+
+def _ring_dist(a, b, ring):
+    d = abs(a - b)
+    return min(d, ring - d)
+
+
+def test_torus_embedding_is_wrap_aware():
+    """The child hosts at the ring-nearest position of its box to the
+    parent's host, per axis: no position of the child box is closer, and a
+    parent inside the box stays put."""
+    topo = Torus2D(8, 8)
+    tree = build_tree(topo, stride=1)
+    emb = TorusModifiedEmbedding(tree, seed=0)
+    for vid in range(6):
+        for node in range(len(tree)):
+            n = tree.nodes[node]
+            if n.parent is None or n.size == 1:
+                continue
+            host = emb.host(vid, node)
+            parent_host = emb.host(vid, n.parent)
+            pr, pc = topo.coord(parent_host)
+            hr, hc = topo.coord(host)
+            assert _ring_dist(hr, pr, topo.rows) == min(
+                _ring_dist(r, pr, topo.rows) for r in range(n.row0, n.row0 + n.rows)
+            )
+            assert _ring_dist(hc, pc, topo.cols) == min(
+                _ring_dist(c, pc, topo.cols) for c in range(n.col0, n.col0 + n.cols)
+            )
+            # A parent inside the child box stays put.
+            if n.row0 <= pr < n.row0 + n.rows and n.col0 <= pc < n.col0 + n.cols:
+                assert (hr, hc) == (pr, pc)
+
+
+def test_torus_embedding_beats_mesh_formula_across_the_wrap():
+    """The case the mesh formula gets wrong on a torus: a parent in the far
+    half of its box is one wrap hop from the child's box; the wrap-aware
+    embedding must host the child within that hop count, not reflect it a
+    half-box away."""
+    topo = Torus2D(8, 8)
+    tree = build_tree(topo, stride=1)
+    emb = TorusModifiedEmbedding(tree, seed=0)
+    improved = 0
+    for vid in range(20):
+        for node in range(len(tree)):
+            n = tree.nodes[node]
+            if n.parent is None or n.size == 1:
+                continue
+            p = tree.nodes[n.parent]
+            host = emb.host(vid, node)
+            parent_host = emb.host(vid, n.parent)
+            d_wrap = topo.distance(host, parent_host)
+            # The mesh formula's choice for the same parent host.
+            pr, pc = topo.coord(parent_host)
+            li, lj = pr - p.row0, pc - p.col0
+            mesh_choice = topo.node(n.row0 + li % n.rows, n.col0 + lj % n.cols)
+            d_mesh = topo.distance(mesh_choice, parent_host)
+            assert d_wrap <= d_mesh
+            if d_wrap < d_mesh:
+                improved += 1
+    assert improved > 0, "wrap-aware placement never differed from the mesh formula"
+
+
+def test_subcube_embedding_keeps_free_bits():
+    """The hypercube embedding preserves the parent host's low (free)
+    address bits: parent-child distance is bounded by the number of newly
+    fixed dimensions."""
+    topo = Hypercube(6)
+    tree = build_tree(topo, stride=2)  # 4-ary: two bits fixed per level
+    emb = SubcubeEmbedding(tree, seed=1)
+    for vid in range(6):
+        for node in range(len(tree)):
+            n = tree.nodes[node]
+            if n.parent is None or n.size == 1:
+                continue
+            host = emb.host(vid, node)
+            parent_host = emb.host(vid, n.parent)
+            size = n.size
+            assert host & (size - 1) == parent_host & (size - 1)
+            assert n.row0 <= host < n.row0 + size
+            p = tree.nodes[n.parent]
+            fixed_bits = (p.size // size).bit_length() - 1
+            assert topo.distance(host, parent_host) <= fixed_bits
+
+
+@pytest.mark.parametrize("topo", [Torus2D(8, 8), Hypercube(6)])
+def test_embedding_deterministic_in_seed_and_vid(topo):
+    tree = build_tree(topo, stride=2)
+    a = make_embedding("modified", tree, seed=5)
+    b = make_embedding("modified", tree, seed=5)
+    c = make_embedding("modified", tree, seed=6)
+    hosts_a = [a.host(3, n) for n in range(len(tree))]
+    hosts_b = [b.host(3, n) for n in range(len(tree))]
+    hosts_c = [c.host(3, n) for n in range(len(tree))]
+    assert hosts_a == hosts_b
+    assert hosts_a != hosts_c  # the root draw depends on the seed

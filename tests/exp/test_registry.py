@@ -14,6 +14,11 @@ LEGACY_NAMES = sorted(
      "ablation-invalidation", "ablation-remapping", "bounded-memory"]
 )
 
+#: Cross-topology experiments added with the topology-generic network layer.
+XTOPO_NAMES = ["xtopo-hypercube", "xtopo-torus"]
+
+ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES)
+
 
 class TestRegistryCompleteness:
     def test_every_legacy_name_has_a_spec(self):
@@ -23,7 +28,7 @@ class TestRegistryCompleteness:
 
     def test_experiments_listing_matches_registry(self):
         assert EXPERIMENTS == sorted(REGISTRY)
-        assert EXPERIMENTS == LEGACY_NAMES
+        assert EXPERIMENTS == ALL_NAMES
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError, match="fig5"):
@@ -31,7 +36,7 @@ class TestRegistryCompleteness:
 
 
 class TestSpecInvariants:
-    @pytest.mark.parametrize("name", LEGACY_NAMES)
+    @pytest.mark.parametrize("name", ALL_NAMES)
     def test_quick_cells_nonempty_and_serializable(self, name):
         spec = get_spec(name)
         assert spec.columns, f"{name}: no columns"
@@ -43,7 +48,7 @@ class TestSpecInvariants:
             assert len(cell.key) == 64  # sha256 hex
 
     def test_cell_keys_unique_within_experiment(self):
-        for name in LEGACY_NAMES:
+        for name in ALL_NAMES:
             cells = get_spec(name).cells(scale="quick")
             keys = [c.key for c in cells]
             assert len(set(keys)) == len(keys), f"{name}: duplicate cell keys"
@@ -79,7 +84,7 @@ class TestSpecInvariants:
     def test_app_sensitivity_flags(self):
         """Only the tree-degree and embedding ablations respond to --app
         (their result files get app-suffixed names for non-default apps)."""
-        for name in LEGACY_NAMES:
+        for name in ALL_NAMES:
             spec = get_spec(name)
             matmul = [c.key for c in spec.cells(scale="quick", app="matmul")]
             bitonic = [c.key for c in spec.cells(scale="quick", app="bitonic")]
@@ -87,3 +92,33 @@ class TestSpecInvariants:
                 assert matmul != bitonic, f"{name}: uses_app but app ignored"
             else:
                 assert matmul == bitonic, f"{name}: app changed cells unexpectedly"
+
+    def test_topology_sensitivity_flags(self):
+        """--topology changes exactly the topology-flagged experiments;
+        everything else (including the internal xtopo sweeps) ignores it."""
+        for name in ALL_NAMES:
+            spec = get_spec(name)
+            app = "bitonic" if spec.uses_app else "matmul"
+            mesh = [c.key for c in spec.cells(scale="quick", app=app)]
+            torus = [c.key for c in spec.cells(scale="quick", app=app, topology="torus")]
+            if spec.uses_topology:
+                assert mesh != torus, f"{name}: uses_topology but topology ignored"
+            else:
+                assert mesh == torus, f"{name}: topology changed cells unexpectedly"
+
+    def test_xtopo_experiments_cover_mesh_and_target_at_256_nodes(self):
+        """The cross-topology sweeps compare against the mesh at matched
+        node counts (>= 256) at every scale."""
+        for name, target in (("xtopo-torus", "torus"), ("xtopo-hypercube", "hypercube")):
+            spec = get_spec(name)
+            for scale in ("quick", "default", "paper"):
+                params = spec.params_for(scale=scale)
+                assert params["side"] * params["side"] >= 256
+                assert list(params["topologies"]) == ["mesh", target]
+
+    def test_xtopo_shares_mesh_cell(self):
+        """Both xtopo sweeps run the identical mesh reference cell, so a
+        warm cache computes it once."""
+        torus = {c.key for c in get_spec("xtopo-torus").cells(scale="quick")}
+        hcube = {c.key for c in get_spec("xtopo-hypercube").cells(scale="quick")}
+        assert torus & hcube, "no shared mesh reference cell"

@@ -1,8 +1,10 @@
-"""Link heatmap rendering tests."""
+"""Link heatmap / link table rendering tests."""
 
 from repro.network.mesh import Mesh2D
 from repro.network.routing import route_links
 from repro.network.stats import LinkStats
+from repro.network.topology import Hypercube
+from repro.network.torus import Torus2D
 
 
 def test_idle_mesh_renders_dots():
@@ -36,3 +38,35 @@ def test_rows_and_columns_render():
     # 3 node rows + 2 vertical rows.
     assert len(out.splitlines()) == 5
     assert out.splitlines()[0].count("+") == 4
+
+
+def test_torus_heatmap_appends_wrap_section():
+    t = Torus2D(3, 3)
+    s = LinkStats(t)
+    # Load one wrap wire only: route (0,2) -> (0,0) goes east over the wrap.
+    s.record(route_links(t, t.node(0, 2), t.node(0, 0)), 800, 2, 0, True)
+    out = s.render_heatmap()
+    assert "wrap wires" in out
+    rows_line = next(line for line in out.splitlines() if line.startswith("rows:"))
+    assert "100" in rows_line  # the loaded wrap wire is the peak
+    # The grid section stays idle (no interior link was crossed).
+    assert "100" not in out.split("wrap wires")[0]
+
+
+def test_torus_render_dispatches_to_heatmap():
+    t = Torus2D(2, 2)
+    s = LinkStats(t)
+    assert s.render() == s.render_heatmap()
+
+
+def test_hypercube_render_is_a_link_table():
+    h = Hypercube(3)
+    s = LinkStats(h)
+    # One e-cube route 0 -> 0b011 crosses dims 0 and 1 exactly once each.
+    s.record(route_links(h, 0, 0b011), 500, 0, 3, True)
+    out = s.render()
+    assert "per-dimension directed-link load:" in out
+    dim_section = out.split("hottest")[0].splitlines()
+    table = {line.split()[0]: line.split() for line in dim_section if line[:1].isdigit()}
+    assert table["0"][1] == "500" and table["1"][1] == "500" and table["2"][1] == "0"
+    assert "hottest" in out

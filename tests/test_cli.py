@@ -104,6 +104,41 @@ class TestOrchestratorCli:
         assert json.loads(matmul.read_text())["app"] == "matmul"
         assert json.loads(bitonic.read_text())["app"] == "bitonic"
 
+    def test_topology_axis_gets_own_file(self, _isolated_results_dir, capsys):
+        """--topology torus must not overwrite the mesh result file, and
+        the payload must record the topology."""
+        assert main(["ablation-barrier", "--topology", "torus", "--json"]) == 0
+        path = _isolated_results_dir / "ablation-barrier.torus.default.json"
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["topology"] == "torus"
+        assert all(row["topology"] == "torus" for row in payload["rows"])
+
+    def test_topology_ignored_note_for_mesh_bound_experiment(self, capsys):
+        assert main(["fig2", "--scale", "quick", "--topology", "torus"]) == 0
+        err = capsys.readouterr().err
+        assert "mesh-bound" in err
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--scale", "quick", "--topology", "ring"])
+
+    @pytest.mark.slow
+    def test_xtopo_experiments_json_contract(self, _isolated_results_dir, capsys):
+        """Acceptance contract: the cross-topology experiments emit
+        schema-valid JSON with a topology field, comparing torus and
+        hypercube against the mesh at >= 256 nodes."""
+        for name, target in (("xtopo-torus", "torus"), ("xtopo-hypercube", "hypercube")):
+            assert main([name, "--scale", "quick", "--jobs", "2", "--json"]) == 0
+            payload = json.loads(
+                (_isolated_results_dir / f"{name}.quick.json").read_text()
+            )
+            assert payload["schema_version"] == SCHEMA_VERSION
+            assert payload["topology"] == f"mesh+{target}"
+            kinds = {row["topology"] for row in payload["rows"]}
+            assert kinds == {"mesh", target}
+            assert all(row["nodes"] >= 256 for row in payload["rows"])
+
     @pytest.mark.slow
     def test_run_all_quick_writes_every_result(self, _isolated_results_dir, capsys):
         """The CI smoke contract: every registered experiment produces a

@@ -1,0 +1,39 @@
+"""Documentation contract: relative links resolve and the quickstart
+commands exist (the CI docs job additionally *runs* them; see
+tools/check_docs.py)."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_docs_exist():
+    for doc in check_docs.DOCS:
+        assert (REPO_ROOT / doc).is_file(), f"missing {doc}"
+
+
+def test_relative_links_resolve():
+    assert check_docs.check_links(REPO_ROOT) == []
+
+
+def test_quickstart_commands_present():
+    """The README's quickstart must keep offering the canonical commands
+    (these are what the docs CI job smokes)."""
+    commands = {cmd for _, cmd in check_docs.extract_commands(REPO_ROOT)}
+    assert "python -m repro list" in commands
+    assert "python -m repro fig3" in commands
+    assert any(cmd.startswith("python -m repro run-all") for cmd in commands)
+    assert any("--topology" in cmd for cmd in commands)
+
+
+def test_extracted_commands_are_repro_invocations_only():
+    for doc, cmd in check_docs.extract_commands(REPO_ROOT):
+        assert cmd.startswith("python -m repro"), (doc, cmd)
+        assert "pip" not in cmd and "pytest" not in cmd, (doc, cmd)

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Docs checker: the CI docs job's single entry point.
+
+Two checks over README.md, EXPERIMENTS.md and docs/ARCHITECTURE.md:
+
+1. **Relative links resolve** -- every ``[text](path)`` markdown link that
+   is not absolute (``http(s)://``, ``mailto:``) or a pure fragment
+   (``#...``) must point at an existing file, resolved relative to the
+   document that contains it.
+2. **Code fences actually run** -- every ``repro`` / ``python -m repro``
+   command inside a ``bash``/``console``/``sh`` fence is executed with
+   ``REPRO_SCALE=quick`` and an isolated results directory, so the
+   quickstart never rots.  ``pip`` and ``pytest`` lines are setup/test
+   commands, not doc examples to smoke, and are skipped (CI runs the test
+   suite in its own jobs).
+
+Usage::
+
+    python tools/check_docs.py             # links + command smoke
+    python tools/check_docs.py --no-smoke  # links only (fast)
+
+Exit status 0 when everything passes; failures are listed on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+from typing import List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: The documents under contract.
+DOCS = ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+#: Fence languages whose lines are shell commands.
+_SHELL_LANGS = {"bash", "console", "sh", "shell"}
+
+
+def check_links(root: pathlib.Path = REPO_ROOT) -> List[str]:
+    """Return one error string per broken relative link."""
+    errors: List[str] = []
+    for doc in DOCS:
+        path = root / doc
+        if not path.is_file():
+            errors.append(f"{doc}: document missing")
+            continue
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).resolve().exists():
+                errors.append(f"{doc}: broken relative link -> {target}")
+    return errors
+
+
+def extract_commands(root: pathlib.Path = REPO_ROOT) -> List[Tuple[str, str]]:
+    """``(doc, command)`` pairs for every runnable fence line, in document
+    order, de-duplicated (the docs repeat the quickstart commands)."""
+    seen = set()
+    commands: List[Tuple[str, str]] = []
+    for doc in DOCS:
+        path = root / doc
+        if not path.is_file():
+            continue
+        for lang, body in _FENCE.findall(path.read_text()):
+            if lang.lower() not in _SHELL_LANGS:
+                continue
+            for line in body.splitlines():
+                line = line.strip()
+                if line.startswith("$ "):
+                    line = line[2:]
+                if not line or line.startswith("#"):
+                    continue
+                line = line.split(" #", 1)[0].strip()  # inline comments
+                # Strip leading VAR=value assignments (REPRO_SCALE=... etc.;
+                # the smoke environment pins its own).
+                words = line.split()
+                while words and re.fullmatch(r"[A-Z_][A-Z0-9_]*=\S*", words[0]):
+                    words.pop(0)
+                line = " ".join(words)
+                # The console-script alias needs no install to smoke.
+                if line.startswith("repro "):
+                    line = "python -m " + line
+                if not line.startswith("python -m repro"):
+                    continue  # pip installs, pytest runs: not doc examples
+                if line not in seen:
+                    seen.add(line)
+                    commands.append((doc, line))
+    return commands
+
+
+def smoke_commands(commands: List[Tuple[str, str]]) -> List[str]:
+    """Run each command at quick scale in a shared isolated results dir
+    (shared so ``run-all`` warms the cache for the rest).  Returns one
+    error string per failing command."""
+    errors: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as tmp:
+        env = dict(os.environ)
+        env["REPRO_SCALE"] = "quick"
+        env["REPRO_RESULTS_DIR"] = tmp
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        for doc, cmd in commands:
+            print(f"[docs-smoke] {doc}: {cmd}", flush=True)
+            proc = subprocess.run(
+                cmd.split(), cwd=REPO_ROOT, env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            if proc.returncode != 0:
+                tail = "\n".join(proc.stdout.splitlines()[-15:])
+                errors.append(f"{doc}: `{cmd}` exited {proc.returncode}\n{tail}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-smoke", action="store_true",
+                        help="only link-check; skip running the code fences")
+    args = parser.parse_args(argv)
+
+    errors = check_links()
+    commands = extract_commands()
+    if not commands:
+        errors.append("no runnable `repro` commands found in any doc fence "
+                      "(quickstart contract broken?)")
+    if not args.no_smoke and commands:
+        errors.extend(smoke_commands(commands))
+
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    n = len(commands) if not args.no_smoke else 0
+    print(f"docs ok: {len(DOCS)} documents link-checked, {n} commands smoked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
