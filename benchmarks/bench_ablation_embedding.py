@@ -13,7 +13,7 @@ from repro.analysis import ablation_embedding, format_table
 
 
 def test_ablation_embedding_matmul(benchmark):
-    rows = once(benchmark, lambda: ablation_embedding(app="matmul", side=8, size=1024))
+    rows = once(benchmark, lambda: ablation_embedding(workload="matmul", side=8, size=1024))
     columns = ["embedding", "congestion_bytes", "total_bytes", "time"]
     emit(
         "ablation_embedding_matmul",
@@ -32,7 +32,7 @@ def test_ablation_embedding_matmul(benchmark):
 
 
 def test_ablation_embedding_bitonic(benchmark):
-    rows = once(benchmark, lambda: ablation_embedding(app="bitonic", side=8, size=1024))
+    rows = once(benchmark, lambda: ablation_embedding(workload="bitonic", side=8, size=1024))
     columns = ["embedding", "congestion_bytes", "total_bytes", "time"]
     emit(
         "ablation_embedding_bitonic",

@@ -18,7 +18,7 @@ VARIANTS = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary")
 
 def test_ablation_tree_degree_matmul(benchmark):
     rows = once(
-        benchmark, lambda: ablation_tree_degree(app="matmul", side=8, size=1024, variants=VARIANTS)
+        benchmark, lambda: ablation_tree_degree(workload="matmul", side=8, size=1024, variants=VARIANTS)
     )
     columns = ["strategy", "congestion_bytes", "time", "max_startups"]
     emit(
@@ -43,7 +43,7 @@ def test_ablation_tree_degree_matmul(benchmark):
 
 def test_ablation_tree_degree_bitonic(benchmark):
     rows = once(
-        benchmark, lambda: ablation_tree_degree(app="bitonic", side=8, size=1024, variants=VARIANTS)
+        benchmark, lambda: ablation_tree_degree(workload="bitonic", side=8, size=1024, variants=VARIANTS)
     )
     columns = ["strategy", "congestion_bytes", "time", "max_startups"]
     emit(

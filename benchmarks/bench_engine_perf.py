@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Engine throughput benchmark: the repo's wall-clock perf trajectory.
+
+Runs a *pinned* synthetic workload cell (Zipf hotspot kernel, 8x8 mesh,
+4-ary access tree -- parameters frozen below; changing them breaks the
+trajectory, bump ``BENCH_VERSION`` if you must) several times and reports
+the best wall-clock rate in **cells/sec** plus the finer-grained
+**accesses/sec**.  The result is written to
+``benchmarks/results/BENCH_engine.json`` so CI archives one comparable
+perf point per commit.
+
+Run standalone (CI does) or via pytest::
+
+    python benchmarks/bench_engine_perf.py
+    REPRO_SCALE=default python -m pytest benchmarks/bench_engine_perf.py -q
+
+Simulated quantities are deterministic, so the only run-to-run variance
+is host speed: best-of-N is the honest estimator.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Bump when the pinned configuration changes (breaks rate comparability).
+BENCH_VERSION = 1
+
+#: The pinned cell: one zipf run, 64 processors, 4096 accesses.
+PINNED = dict(
+    workload="zipf",
+    strategy="4-ary",
+    topology="mesh",
+    side=8,
+    seed=0,
+    params={"n_vars": 64, "ops": 64, "alpha": 0.8, "read_frac": 0.9},
+)
+REPEATS = 5
+
+
+def run_once():
+    from repro.analysis.experiments import synthetic_cell
+
+    return synthetic_cell(**PINNED)
+
+
+def measure(repeats: int = REPEATS) -> dict:
+    """Best-of-``repeats`` wall time of the pinned cell (plus one untimed
+    warm-up for imports and route caches)."""
+    rows = run_once()  # warm-up; also sanity-checks the cell
+    assert rows and rows[0]["total_msgs"] > 0
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_once()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    accesses = PINNED["params"]["ops"] * PINNED["side"] * PINNED["side"]
+    return {
+        "bench": "engine",
+        "bench_version": BENCH_VERSION,
+        "pinned": PINNED,
+        "repeats": repeats,
+        "best_wall_seconds": best,
+        "cells_per_sec": 1.0 / best,
+        "accesses_per_sec": accesses / best,
+        "simulated_msgs": rows[0]["total_msgs"],
+        "simulated_time": rows[0]["time"],
+    }
+
+
+def emit(result: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_engine_throughput():
+    """Pytest entry point: one repeat keeps the harness fast; the JSON is
+    still emitted so local bench runs leave a perf point behind."""
+    result = measure(repeats=1)
+    assert result["cells_per_sec"] > 0
+    emit(result)
+    print(f"\nengine: {result['cells_per_sec']:.2f} cells/sec "
+          f"({result['accesses_per_sec']:.0f} accesses/sec)")
+
+
+def main() -> int:
+    result = measure()
+    path = emit(result)
+    print(f"engine: {result['cells_per_sec']:.2f} cells/sec "
+          f"({result['accesses_per_sec']:.0f} accesses/sec, "
+          f"best of {result['repeats']}) -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,13 +38,14 @@ def emit(
     scale = os.environ.get("REPRO_SCALE", "default")
     (RESULTS_DIR / f"{name}.{scale}.txt").write_text(text + "\n")
     if rows is not None:
-        from repro.exp import result_payload, topology_union, write_json
+        from repro.exp import field_union, result_payload, topology_union, write_json
 
         # Distinct .bench.json stem: the CLI's --json owns <name>.<scale>.json
         # (with resolved params), so the harness must not overwrite it.
         write_json(
             RESULTS_DIR / f"{name}.{scale}.bench.json",
             result_payload(name, scale, rows, columns or [],
+                           workload=field_union(rows, "workload", None),
                            topology=topology_union(rows)),
         )
 

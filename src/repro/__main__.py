@@ -5,20 +5,28 @@ Usage::
     python -m repro list
     python -m repro fig3 [--scale quick|default|paper]
     python -m repro fig8 --scale quick --jobs 4
-    python -m repro ablation-tree-degree --app bitonic
+    python -m repro ablation-tree-degree --workload bitonic
+    python -m repro ablation-embedding --workload zipf
     python -m repro fig6 --topology torus
-    python -m repro xtopo-hypercube --json
+    python -m repro xwork-zipf --json
     python -m repro run-all --scale quick --jobs 4 --json
+    python -m repro trace-record --workload bitonic --strategy 2-4-ary \
+        --side 4 --trace /tmp/bitonic.trace.gz
+    python -m repro trace-replay --trace /tmp/bitonic.trace.gz --strategy fixed-home
 
-Each command resolves the corresponding :class:`repro.exp.ExperimentSpec`
-from the registry, shards its independent cells across ``--jobs``
-processes, and prints the table; ``--json`` additionally writes the
-machine-readable result file (``benchmarks/results/<name>.<scale>.json``)
-that CI consumes.  Finished cells are cached content-addressed under
-``benchmarks/results/cache/`` so re-runs and resumed sweeps skip them;
-``--no-cache`` forces recomputation.  The ``--scale`` flag (or the
-``REPRO_SCALE`` environment variable) selects the parameter set; see
-EXPERIMENTS.md.
+Each experiment command resolves the corresponding
+:class:`repro.exp.ExperimentSpec` from the registry, shards its
+independent cells across ``--jobs`` processes, and prints the table;
+``--json`` additionally writes the machine-readable result file
+(``benchmarks/results/<name>.<scale>.json``) that CI consumes.  Finished
+cells are cached content-addressed under ``benchmarks/results/cache/`` so
+re-runs and resumed sweeps skip them; ``--no-cache`` forces
+recomputation.  The ``--scale`` flag (or the ``REPRO_SCALE`` environment
+variable) selects the parameter set; see EXPERIMENTS.md.
+
+``trace-record`` runs one workload with access-trace recording and saves
+the trace; ``trace-replay`` re-simulates a saved trace under any strategy
+× topology (every axis defaults to the recorded configuration).
 """
 
 from __future__ import annotations
@@ -38,22 +46,98 @@ from .exp import (
 )
 from .network import TOPOLOGY_KINDS
 
+_TRACE_COMMANDS = ("trace-record", "trace-replay")
+
+
+def _trace_main(args: argparse.Namespace) -> int:
+    """The trace-record / trace-replay commands (lazy imports: the trace
+    machinery is not needed for figure regeneration)."""
+    from .analysis.tables import format_table
+    from .core.strategy import STRATEGY_NAMES
+    from .network.topology import make_topology
+    from .workloads import get_workload, record, replay
+    from .workloads.trace import Trace
+
+    if args.trace is None:
+        print("error: --trace PATH is required for trace commands", file=sys.stderr)
+        return 2
+    if args.strategy is not None and args.strategy not in STRATEGY_NAMES:
+        valid = ", ".join(STRATEGY_NAMES)
+        print(f"error: unknown strategy {args.strategy!r}; valid: {valid}", file=sys.stderr)
+        return 2
+
+    if args.experiment == "trace-record":
+        wl = get_workload(args.workload)
+        topo = make_topology(args.topology or "mesh", args.side)
+        params = None
+        if args.size is not None:
+            if wl.size_param is None:
+                print(f"error: workload {wl.name!r} has no size parameter", file=sys.stderr)
+                return 2
+            params = {wl.size_param: args.size}
+        result, trace = record(
+            wl, topo, args.strategy or "4-ary", seed=args.seed, params=params,
+            path=args.trace,
+        )
+        n_ops = sum(len(stream) for stream in trace.ops)
+        print(f"recorded {wl.name} on {topo.label} under {result.strategy}: "
+              f"{n_ops} ops, {len(trace.creates())} variables -> {args.trace}",
+              file=sys.stderr)
+        rows = [_summary_row(result)]
+    else:
+        from .workloads.trace import retarget_topology
+
+        trace = Trace.load(args.trace)
+        topo = None
+        if args.topology is not None:
+            try:
+                topo = retarget_topology(trace.header["topology"], args.topology)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        result = replay(trace, topology=topo, strategy=args.strategy)
+        rows = [_summary_row(result)]
+    print(format_table(rows, list(rows[0]), title=args.experiment))
+    return 0
+
+
+def _summary_row(result):
+    return {
+        "strategy": result.strategy,
+        "network": result.mesh,
+        "time": result.time,
+        "congestion_bytes": result.congestion_bytes,
+        "congestion_msgs": result.congestion_msgs,
+        "total_bytes": result.total_bytes,
+        "total_msgs": result.stats.total_msgs,
+    }
+
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .workloads import workload_names
+
+    workloads = workload_names()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures on the simulated GCel.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS + ["list", "run-all"],
-                        help="figure / ablation to run, 'run-all', or 'list'")
+    parser.add_argument("experiment",
+                        choices=EXPERIMENTS + ["list", "run-all", *_TRACE_COMMANDS],
+                        help="figure / ablation to run, 'run-all', 'list', "
+                             "or a trace command")
     parser.add_argument("--scale", choices=["quick", "default", "paper"], default=None,
                         help="parameter scale (default: $REPRO_SCALE or 'default')")
-    parser.add_argument("--app", choices=["matmul", "bitonic"], default="matmul",
-                        help="application for the ablations")
-    parser.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default="mesh",
+    parser.add_argument("--workload", "--app", choices=workloads, default="matmul",
+                        dest="workload", metavar="NAME",
+                        help="workload for the workload-sensitive experiments "
+                             f"and trace-record ({', '.join(workloads)}; "
+                             "--app is the deprecated alias)")
+    parser.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default=None,
                         help="interconnect for topology-sensitive experiments "
-                             "(bitonic figures and ablations); the xtopo-* "
-                             "experiments sweep topologies themselves")
+                             "(bitonic figures, ablations, xwork-readfrac; "
+                             "default mesh) and the trace commands; the "
+                             "xtopo-*/xwork-zipf experiments sweep topologies "
+                             "themselves")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="shard independent cells across N worker processes")
     parser.add_argument("--json", action="store_true",
@@ -63,12 +147,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--results-dir", default=None, metavar="DIR",
                         help="result/cache root (default: $REPRO_RESULTS_DIR "
                              "or benchmarks/results)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="trace file to write (trace-record) or read "
+                             "(trace-replay); .gz compresses")
+    parser.add_argument("--strategy", default=None, metavar="NAME",
+                        help="strategy for the trace commands "
+                             "(trace-replay default: the recorded one)")
+    parser.add_argument("--side", type=int, default=4, metavar="N",
+                        help="grid side for trace-record (default 4)")
+    parser.add_argument("--size", type=int, default=None, metavar="N",
+                        help="workload size for trace-record (its size "
+                             "parameter, e.g. keys/ops)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for trace-record")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))
         return 0
+    if args.experiment in _TRACE_COMMANDS:
+        return _trace_main(args)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    topology = args.topology or "mesh"
 
     results_dir = (
         pathlib.Path(args.results_dir) if args.results_dir else default_results_dir()
@@ -81,24 +181,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         cache = ResultCache(results_dir / "cache")
     for i, name in enumerate(names):
-        if args.topology != "mesh" and not get_spec(name).uses_topology:
+        if topology != "mesh" and not get_spec(name).uses_topology:
             why = (
                 "sweeps its topologies internally"
-                if name.startswith("xtopo-")
+                if name.startswith(("xtopo-", "xwork-"))
                 else "experiment is mesh-bound"
             )
             print(
-                f"[{name}] note: {why}; --topology {args.topology} has no effect",
+                f"[{name}] note: {why}; --topology {topology} has no effect",
                 file=sys.stderr,
             )
         try:
             run = run_experiment(
-                name, scale=args.scale, app=args.app, jobs=args.jobs, cache=cache,
-                topology=args.topology,
+                name, scale=args.scale, workload=args.workload, jobs=args.jobs,
+                cache=cache, topology=topology,
             )
         except ValueError as exc:
             # run-all must not abort the sweep over one incompatible axis
-            # combination (e.g. --topology hypercube with a matmul-app
+            # combination (e.g. --topology hypercube with a matmul-workload
             # ablation); a single named experiment still fails loudly.
             if args.experiment != "run-all":
                 raise

@@ -26,12 +26,12 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..apps import barneshut, bitonic, matmul
 from ..core.strategy import make_strategy
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
-from ..network.topology import Topology, make_topology
+from ..network.topology import make_topology
 from ..runtime.results import RunResult
+from ..workloads import get_workload
 
 __all__ = [
     "scale_params",
@@ -63,18 +63,8 @@ __all__ = [
     "remapping_cell",
     "barrier_cell",
     "bounded_memory_cell",
+    "synthetic_cell",
 ]
-
-
-def _grid_topology(kind: str, side: int, app: str = "bitonic") -> Topology:
-    """Resolve a topology family + side for a cell, rejecting combinations
-    the application cannot run on (matmul needs 2-D grid coordinates)."""
-    if kind == "hypercube" and app == "matmul":
-        raise ValueError(
-            "matmul needs a 2-D grid topology (mesh or torus); "
-            "combine --topology hypercube with --app bitonic"
-        )
-    return make_topology(kind, side)
 
 Row = Dict[str, object]
 
@@ -131,6 +121,15 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
             "default": dict(side=16, keys=256),
             "paper": dict(side=16, keys=4096),
         },
+        # Cross-workload experiments (synthetic kernels): the node count
+        # is pinned at 64 (mesh/torus 8x8, hypercube dim 6) so the three
+        # topology families stay comparable at every scale; only the
+        # per-processor operation count grows.
+        "xwork": {
+            "quick": dict(side=8, ops=16),
+            "default": dict(side=8, ops=64),
+            "paper": dict(side=8, ops=256),
+        },
         "fig11": {
             "quick": dict(meshes=((2, 4), (4, 4)), bodies_per_proc=24, steps=2, warm=1),
             "default": dict(
@@ -180,6 +179,7 @@ def fig2_cell(
     return [
         {
             "strategy": strategy,
+            "workload": "fig2-flow",
             "mesh": f"{side}x{side}",
             "total_bytes": res.stats.total_bytes,
             "congestion_bytes": res.stats.congestion_bytes,
@@ -219,11 +219,14 @@ def matmul_cell(
     """One matmul cell: the hand-optimized baseline plus every strategy in
     ``strategies`` on one (mesh side, block size) point.  Baseline and
     measurements stay in one cell because the ratios need the baseline."""
+    wl = get_workload("matmul")
     mesh = Mesh2D(side, side)
-    base = matmul.run_handopt(mesh, block_entries, machine=machine, seed=seed)
+    params = {"block_entries": block_entries}
+    base = wl.run(mesh, "handopt", machine=machine, seed=seed, params=params)
     rows: List[Row] = [
         {
             "strategy": "handopt",
+            "workload": "matmul",
             "side": side,
             "block": block_entries,
             "congestion_bytes": base.congestion_bytes,
@@ -233,11 +236,13 @@ def matmul_cell(
         }
     ]
     for name in strategies:
-        strat = make_strategy(name, mesh, seed=seed, embedding=embedding)
-        res = matmul.run_diva(mesh, strat, block_entries, machine=machine, seed=seed)
+        res = wl.run(
+            mesh, name, machine=machine, seed=seed, embedding=embedding, params=params
+        )
         rows.append(
             {
                 "strategy": name,
+                "workload": "matmul",
                 "side": side,
                 "block": block_entries,
                 "congestion_bytes": res.congestion_bytes,
@@ -297,11 +302,14 @@ def bitonic_cell(
     on every topology -- the workload behind the cross-topology
     experiments.
     """
-    topo = _grid_topology(topology, side, app="bitonic")
-    base = bitonic.run_handopt(topo, keys, machine=machine, seed=seed)
+    wl = get_workload("bitonic")
+    topo = make_topology(topology, side)
+    params = {"keys": keys}
+    base = wl.run(topo, "handopt", machine=machine, seed=seed, params=params)
     rows: List[Row] = [
         {
             "strategy": "handopt",
+            "workload": "bitonic",
             "topology": topology,
             "network": topo.label,
             "nodes": topo.n_nodes,
@@ -314,11 +322,13 @@ def bitonic_cell(
         }
     ]
     for name in strategies:
-        strat = make_strategy(name, topo, seed=seed, embedding=embedding)
-        res = bitonic.run_diva(topo, strat, keys, machine=machine, seed=seed)
+        res = wl.run(
+            topo, name, machine=machine, seed=seed, embedding=embedding, params=params
+        )
         rows.append(
             {
                 "strategy": name,
+                "workload": "bitonic",
                 "topology": topology,
                 "network": topo.label,
                 "nodes": topo.n_nodes,
@@ -377,12 +387,16 @@ def _barneshut_row(
     """One Barnes-Hut run with its serializable row, including the phase
     breakdown (tree building / force computation) that Figures 9/10 and the
     Figure 11 communication time derive from."""
-    strat = make_strategy(strategy, mesh, seed=seed)
-    res = barneshut.run(
-        mesh, strat, bodies, steps=steps, warm=warm, machine=machine, seed=seed
+    res = get_workload("barneshut").run(
+        mesh,
+        strategy,
+        machine=machine,
+        seed=seed,
+        params={"bodies": bodies, "steps": steps, "warm": warm},
     )
     row: Row = {
         "strategy": strategy,
+        "workload": "barneshut",
         "bodies": bodies,
         "congestion_msgs": res.congestion_msgs,
         "time": res.time,
@@ -448,6 +462,7 @@ def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
     return [
         {
             "strategy": r["strategy"],
+            "workload": "barneshut",
             "bodies": r["bodies"],
             "congestion_msgs": r["treebuild_congestion_msgs"],
             "time": r["treebuild_time"],
@@ -462,6 +477,7 @@ def fig10_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
     return [
         {
             "strategy": r["strategy"],
+            "workload": "barneshut",
             "bodies": r["bodies"],
             "congestion_msgs": r["force_congestion_msgs"],
             "time": r["force_time"],
@@ -500,6 +516,7 @@ def barneshut_scaling_cell(
     return [
         {
             "strategy": strategy,
+            "workload": "barneshut",
             "mesh": f"{mesh_rows}x{mesh_cols}",
             "procs": mesh.n_nodes,
             "bodies": n,
@@ -531,6 +548,7 @@ def fig11_barneshut_scaling(
             rows.append(
                 {
                     "strategy": name,
+                    "workload": "barneshut",
                     "mesh": f"{r}x{c}",
                     "procs": mesh.n_nodes,
                     "bodies": n,
@@ -544,28 +562,48 @@ def fig11_barneshut_scaling(
 
 
 # ----------------------------------------------------------------- ablations
+def _sized_workload_run(
+    workload: str,
+    topology: str,
+    side: int,
+    strategy: str,
+    size: Optional[int],
+    machine: MachineModel,
+    seed: int,
+    embedding: str = "modified",
+) -> RunResult:
+    """Run any registered workload for an ablation cell, mapping the
+    generic ``size`` knob onto the workload's own size parameter
+    (``block_entries`` for matmul, ``keys`` for bitonic, ``ops`` for the
+    synthetic kernels, ...)."""
+    wl = get_workload(workload)
+    topo = make_topology(topology, side)
+    params: Dict[str, object] = {}
+    if size is not None:
+        if wl.size_param is None:
+            raise ValueError(f"workload {workload!r} has no size parameter")
+        params[wl.size_param] = size
+    return wl.run(topo, strategy, machine=machine, seed=seed,
+                  embedding=embedding, params=params)
+
+
 def tree_degree_cell(
     strategy: str,
-    app: str = "matmul",
+    workload: str = "matmul",
     side: int = 8,
     size: int = 1024,
     machine: MachineModel = GCEL,
     seed: int = 0,
     topology: str = "mesh",
 ) -> List[Row]:
-    """One tree-degree ablation cell: one access-tree variant on one app."""
-    topo = _grid_topology(topology, side, app=app)
-    strat = make_strategy(strategy, topo, seed=seed)
-    if app == "matmul":
-        res = matmul.run_diva(topo, strat, size, machine=machine, seed=seed)
-    elif app == "bitonic":
-        res = bitonic.run_diva(topo, strat, size, machine=machine, seed=seed)
-    else:
-        raise ValueError(f"unknown app {app!r}")
+    """One tree-degree ablation cell: one access-tree variant on one
+    workload."""
+    res = _sized_workload_run(workload, topology, side, strategy, size, machine, seed)
     return [
         {
             "strategy": strategy,
-            "app": app,
+            "workload": workload,
+            "app": workload,
             "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
@@ -575,7 +613,7 @@ def tree_degree_cell(
 
 
 def ablation_tree_degree(
-    app: str = "matmul",
+    workload: str = "matmul",
     side: int = 8,
     size: int = 1024,
     variants: Sequence[str] = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary"),
@@ -587,14 +625,14 @@ def ablation_tree_degree(
     time, 2-ary/2-4-ary win bitonic."""
     rows: List[Row] = []
     for name in variants:
-        rows.extend(tree_degree_cell(name, app=app, side=side, size=size,
+        rows.extend(tree_degree_cell(name, workload=workload, side=side, size=size,
                                      machine=machine, seed=seed))
     return rows
 
 
 def embedding_cell(
     embedding: str,
-    app: str = "matmul",
+    workload: str = "matmul",
     side: int = 8,
     size: int = 1024,
     strategy: str = "4-ary",
@@ -602,17 +640,14 @@ def embedding_cell(
     seed: int = 0,
     topology: str = "mesh",
 ) -> List[Row]:
-    """One embedding ablation cell: one embedding variant on one app."""
-    topo = _grid_topology(topology, side, app=app)
-    strat = make_strategy(strategy, topo, seed=seed, embedding=embedding)
-    if app == "matmul":
-        res = matmul.run_diva(topo, strat, size, machine=machine, seed=seed)
-    else:
-        res = bitonic.run_diva(topo, strat, size, machine=machine, seed=seed)
+    """One embedding ablation cell: one embedding variant on one workload."""
+    res = _sized_workload_run(workload, topology, side, strategy, size, machine, seed,
+                              embedding=embedding)
     return [
         {
             "embedding": embedding,
-            "app": app,
+            "workload": workload,
+            "app": workload,
             "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
@@ -622,7 +657,7 @@ def embedding_cell(
 
 
 def ablation_embedding(
-    app: str = "matmul",
+    workload: str = "matmul",
     side: int = 8,
     size: int = 1024,
     strategy: str = "4-ary",
@@ -633,7 +668,7 @@ def ablation_embedding(
     the modified embedding shortens expected tree-edge distances."""
     rows: List[Row] = []
     for embedding in ("modified", "random"):
-        rows.extend(embedding_cell(embedding, app=app, side=side, size=size,
+        rows.extend(embedding_cell(embedding, workload=workload, side=side, size=size,
                                    strategy=strategy, machine=machine, seed=seed))
     return rows
 
@@ -648,12 +683,17 @@ def invalidation_cell(
 ) -> List[Row]:
     """One invalidation ablation cell: one (strategy, multiply variant)."""
     mesh = Mesh2D(side, side)
-    runner = matmul.run_diva if variant == "square" else matmul.run_diva_general
-    strat = make_strategy(strategy, mesh, seed=seed)
-    res = runner(mesh, strat, block_entries, machine=machine, seed=seed)
+    res = get_workload("matmul").run(
+        mesh,
+        strategy,
+        machine=machine,
+        seed=seed,
+        params={"block_entries": block_entries, "variant": variant},
+    )
     return [
         {
             "strategy": strategy,
+            "workload": "matmul",
             "variant": variant,
             "congestion_bytes": res.congestion_bytes,
             "ctrl_msgs": res.stats.ctrl_msgs,
@@ -718,6 +758,7 @@ def remapping_cell(
     return [
         {
             "remap_threshold": threshold if threshold is not None else "off",
+            "workload": "hot-broadcast",
             "remaps": strat.remaps,
             "congestion_bytes": res.stats.congestion_bytes,
             "time": res.time,
@@ -762,12 +803,14 @@ def barrier_cell(
     topology: str = "mesh",
 ) -> List[Row]:
     """One barrier ablation cell: one synchronization service variant."""
-    topo = _grid_topology(topology, side, app="bitonic")
-    strat = make_strategy(strategy, topo, seed=seed)
-    res = bitonic.run_diva(topo, strat, keys, machine=machine, seed=seed, barrier=kind)
+    topo = make_topology(topology, side)
+    res = get_workload("bitonic").run(
+        topo, strategy, machine=machine, seed=seed, params={"keys": keys}, barrier=kind
+    )
     return [
         {
             "barrier": kind,
+            "workload": "bitonic",
             "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
@@ -803,26 +846,62 @@ def bounded_memory_cell(
     from ..apps.barneshut import CELL_BYTES
 
     mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed)
     capacity_bytes = None if cap is None else cap * CELL_BYTES
-    res = barneshut.run(
+    res = get_workload("barneshut").run(
         mesh,
-        strat,
-        bodies,
-        steps=2,
-        warm=1,
+        strategy,
         machine=machine,
         seed=seed,
+        params={"bodies": bodies, "steps": 2, "warm": 1},
         capacity_bytes=capacity_bytes,
     )
     return [
         {
             "capacity_copies": cap if cap is not None else "unbounded",
+            "workload": "barneshut",
             "congestion_msgs": res.congestion_msgs,
             "evictions": res.evictions,
             "time": res.time,
         }
     ]
+
+
+def synthetic_cell(
+    workload: str,
+    strategy: str,
+    topology: str = "mesh",
+    side: int = 8,
+    params: Optional[Dict[str, object]] = None,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+    embedding: str = "modified",
+) -> List[Row]:
+    """One synthetic-workload cell: one (workload, strategy, topology)
+    point with absolute congestion/traffic/time (the synthetic kernels
+    have no hand-optimized baseline, so there are no ratio columns; swept
+    parameters appear as row fields)."""
+    wl = get_workload(workload)
+    topo = make_topology(topology, side)
+    res = wl.run(topo, strategy, machine=machine, seed=seed,
+                 embedding=embedding, params=params)
+    row: Row = {
+        "workload": workload,
+        "strategy": strategy,
+        "topology": topology,
+        "network": topo.label,
+        "nodes": topo.n_nodes,
+    }
+    row.update(params or {})
+    row.update(
+        congestion_bytes=res.congestion_bytes,
+        congestion_msgs=res.congestion_msgs,
+        total_bytes=res.stats.total_bytes,
+        total_msgs=res.stats.total_msgs,
+        time=res.time,
+        hit_ratio=res.hit_ratio,
+        lock_acquisitions=res.lock_acquisitions,
+    )
+    return [row]
 
 
 def bounded_memory_experiment(

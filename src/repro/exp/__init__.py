@@ -26,6 +26,7 @@ from .cache import MemoryCache, ResultCache, default_cache_dir
 from .emit import (
     SCHEMA_VERSION,
     default_results_dir,
+    field_union,
     json_path,
     result_payload,
     sanitize_rows,
@@ -51,6 +52,7 @@ __all__ = [
     "default_cache_dir",
     "SCHEMA_VERSION",
     "default_results_dir",
+    "field_union",
     "json_path",
     "result_payload",
     "sanitize_rows",

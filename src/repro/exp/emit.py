@@ -7,10 +7,12 @@ CI pipeline diffs and archives.  One file per (experiment, scale) under
 schema-versioned payload::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "experiment": "fig3",
       "scale": "default",
-      "app": "matmul",
+      "workload": "matmul",     # --workload axis value (registry name)
+      "app": "matmul",          # legacy alias of "workload" (v2 name),
+                                # kept for one schema cycle
       "topology": "mesh",       # --topology axis value, or the union an
                                 # internal sweep covered ("mesh+torus")
       "params": {...},          # the resolved scale parameters
@@ -19,7 +21,11 @@ schema-versioned payload::
     }
 
 Schema history: version 2 added the top-level ``topology`` field (the
-cross-topology experiments additionally carry a per-row ``topology``).
+cross-topology experiments additionally carry a per-row ``topology``);
+version 3 added the top-level ``workload`` field (the ``--app`` axis
+generalized to the workload registry; ``app`` stays as an alias for one
+cycle, and workload-sweeping rows additionally carry a per-row
+``workload``).
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -38,6 +44,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 __all__ = [
     "SCHEMA_VERSION",
     "default_results_dir",
+    "field_union",
     "json_path",
     "result_payload",
     "sanitize_rows",
@@ -49,7 +56,7 @@ __all__ = [
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 
@@ -106,17 +113,24 @@ def sanitize_rows(rows: Sequence[Mapping[str, object]]) -> List[Row]:
     return out
 
 
-def topology_union(rows: Sequence[Mapping[str, object]], default: str = "mesh") -> str:
-    """The schema-v2 ``topology`` label for a row set: the distinct per-row
-    ``"topology"`` values joined with ``+`` in first-seen order (the
-    cross-topology sweeps span several), or ``default`` when no row carries
-    one."""
-    kinds: List[str] = []
+def field_union(
+    rows: Sequence[Mapping[str, object]], key: str, default: Optional[str]
+) -> Optional[str]:
+    """The distinct per-row string values of ``key`` joined with ``+`` in
+    first-seen order (internal sweeps span several), or ``default`` when
+    no row carries one.  Used for the payload-level ``topology`` and
+    ``workload`` labels."""
+    values: List[str] = []
     for row in rows:
-        k = row.get("topology")
-        if isinstance(k, str) and k not in kinds:
-            kinds.append(k)
-    return "+".join(kinds) if kinds else default
+        v = row.get(key)
+        if isinstance(v, str) and v not in values:
+            values.append(v)
+    return "+".join(values) if values else default
+
+
+def topology_union(rows: Sequence[Mapping[str, object]], default: str = "mesh") -> str:
+    """The ``topology`` label for a row set (see :func:`field_union`)."""
+    return field_union(rows, "topology", default)
 
 
 def result_payload(
@@ -125,10 +139,17 @@ def result_payload(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str],
     params: Optional[Mapping[str, object]] = None,
-    app: Optional[str] = None,
+    workload: Optional[str] = None,
     topology: str = "mesh",
+    app: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Schema-versioned result payload (rows/params sanitized)."""
+    """Schema-versioned result payload (rows/params sanitized).
+
+    ``app`` is the deprecated v2 name of ``workload``; the payload always
+    carries both keys with the same value.
+    """
+    if workload is None:
+        workload = app
     clean_params: Dict[str, Any] = {}
     for k, v in dict(params or {}).items():
         sv = sanitize_value(v)
@@ -138,7 +159,8 @@ def result_payload(
         "schema_version": SCHEMA_VERSION,
         "experiment": experiment,
         "scale": scale,
-        "app": app,
+        "workload": workload,
+        "app": workload,
         "topology": topology,
         "params": clean_params,
         "columns": list(columns),

@@ -30,35 +30,53 @@ FIG11_STRATEGIES = ("fixed-home", "4-8-ary")
 TREE_DEGREE_VARIANTS = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary")
 #: Strategies compared at matched node counts across interconnects.
 XTOPO_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
+#: Strategies swept over the synthetic-workload axes.
+XWORK_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
+#: Zipf skew exponents of the xwork-zipf sweep (0 = uniform).
+XWORK_ZIPF_ALPHAS = (0.0, 0.8, 1.5)
+#: Read fractions of the xwork-readfrac sweep (1.0 = read-only).
+XWORK_READ_FRACS = (0.5, 0.8, 0.95, 1.0)
 
 
 def _scale_title(name: str) -> Callable[[Params, Optional[str], str], str]:
-    def title(params: Params, scale: Optional[str], app: str) -> str:
+    def title(params: Params, scale: Optional[str], workload: str) -> str:
         return f"{name} ({scale or 'default'} scale)"
 
     return title
 
 
 def _fixed_title(text: str) -> Callable[[Params, Optional[str], str], str]:
-    return lambda params, scale, app: text
+    return lambda params, scale, workload: text
 
 
 def _scaled_params(figure: str) -> Callable[[Optional[str], str], Params]:
-    def make(scale: Optional[str], app: str) -> Params:
+    def make(scale: Optional[str], workload: str) -> Params:
         return E.scale_params(figure, scale)
 
     return make
 
 
-def _app_params(**defaults: Any) -> Callable[[Optional[str], str], Params]:
-    def make(scale: Optional[str], app: str) -> Params:
-        return dict(defaults, app=app)
+def _workload_params(**defaults: Any) -> Callable[[Optional[str], str], Params]:
+    """Parameters for the ``--workload``-sensitive ablations: the generic
+    ``size`` knob keeps its historic value for the paper apps and falls
+    back to the workload's own default size otherwise (a synthetic kernel
+    sized like a matrix block would run for minutes)."""
+
+    def make(scale: Optional[str], workload: str) -> Params:
+        params = dict(defaults, workload=workload)
+        if workload not in ("matmul", "bitonic"):
+            from ..workloads import get_workload
+
+            wl = get_workload(workload)
+            if wl.size_param is not None:
+                params["size"] = wl.defaults[wl.size_param]
+        return params
 
     return make
 
 
 def _fixed_params(**defaults: Any) -> Callable[[Optional[str], str], Params]:
-    def make(scale: Optional[str], app: str) -> Params:
+    def make(scale: Optional[str], workload: str) -> Params:
         return dict(defaults)
 
     return make
@@ -146,7 +164,7 @@ def _fig11_cells(p: Params) -> List[Cell]:
 
 def _tree_degree_cells(p: Params) -> List[Cell]:
     return [
-        Cell.make(E.tree_degree_cell, strategy=name, app=p["app"],
+        Cell.make(E.tree_degree_cell, strategy=name, workload=p["workload"],
                   side=p["side"], size=p["size"], seed=0,
                   topology=p.get("topology", "mesh"))
         for name in TREE_DEGREE_VARIANTS
@@ -155,10 +173,52 @@ def _tree_degree_cells(p: Params) -> List[Cell]:
 
 def _embedding_cells(p: Params) -> List[Cell]:
     return [
-        Cell.make(E.embedding_cell, embedding=embedding, app=p["app"],
+        Cell.make(E.embedding_cell, embedding=embedding, workload=p["workload"],
                   side=p["side"], size=p["size"], strategy=p["strategy"], seed=0,
                   topology=p.get("topology", "mesh"))
         for embedding in ("modified", "random")
+    ]
+
+
+def _xwork_zipf_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xwork", scale)
+    params["topologies"] = ["mesh", "torus", "hypercube"]
+    params["alphas"] = list(XWORK_ZIPF_ALPHAS)
+    params["read_frac"] = 0.9
+    params["strategies"] = list(XWORK_STRATEGIES)
+    return params
+
+
+def _xwork_zipf_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.synthetic_cell, workload="zipf", strategy=name,
+                  topology=topology, side=p["side"],
+                  params={"alpha": alpha, "ops": p["ops"],
+                          "read_frac": p["read_frac"]},
+                  seed=0)
+        for topology in p["topologies"]
+        for alpha in p["alphas"]
+        for name in p["strategies"]
+    ]
+
+
+def _xwork_readfrac_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xwork", scale)
+    params["read_fracs"] = list(XWORK_READ_FRACS)
+    params["alpha"] = 0.8
+    params["strategies"] = list(XWORK_STRATEGIES)
+    return params
+
+
+def _xwork_readfrac_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.synthetic_cell, workload="zipf", strategy=name,
+                  topology=p.get("topology", "mesh"), side=p["side"],
+                  params={"alpha": p["alpha"], "ops": p["ops"],
+                          "read_frac": read_frac},
+                  seed=0)
+        for read_frac in p["read_fracs"]
+        for name in p["strategies"]
     ]
 
 
@@ -262,6 +322,28 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             title=_fixed_title("cross-topology: bitonic on mesh vs hypercube (256 nodes)"),
         ),
         ExperimentSpec(
+            name="xwork-zipf",
+            columns=("topology", "alpha", "strategy", "congestion_bytes",
+                     "total_bytes", "time", "hit_ratio"),
+            make_params=_xwork_zipf_params,
+            make_cells=_xwork_zipf_cells,
+            title=_fixed_title(
+                "cross-workload: Zipf hotspot skew sweep "
+                "(64 nodes, mesh+torus+hypercube)"
+            ),
+        ),
+        ExperimentSpec(
+            name="xwork-readfrac",
+            columns=("read_frac", "strategy", "congestion_bytes",
+                     "total_bytes", "time", "hit_ratio"),
+            make_params=_xwork_readfrac_params,
+            make_cells=_xwork_readfrac_cells,
+            title=_fixed_title(
+                "cross-workload: read-fraction sweep (zipf hotspot, 64 nodes)"
+            ),
+            uses_topology=True,
+        ),
+        ExperimentSpec(
             name="fig8",
             columns=("strategy", "bodies", "congestion_msgs", "time", "hit_ratio"),
             make_params=_scaled_params("fig8"),
@@ -296,19 +378,19 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             name="ablation-tree-degree",
             columns=("strategy", "congestion_bytes", "time", "max_startups"),
-            make_params=_app_params(side=8, size=1024),
+            make_params=_workload_params(side=8, size=1024),
             make_cells=_tree_degree_cells,
-            title=lambda params, scale, app: f"tree-degree ablation ({app})",
-            uses_app=True,
+            title=lambda params, scale, workload: f"tree-degree ablation ({workload})",
+            uses_workload=True,
             uses_topology=True,
         ),
         ExperimentSpec(
             name="ablation-embedding",
             columns=("embedding", "congestion_bytes", "total_bytes", "time"),
-            make_params=_app_params(side=8, size=1024, strategy="4-ary"),
+            make_params=_workload_params(side=8, size=1024, strategy="4-ary"),
             make_cells=_embedding_cells,
-            title=lambda params, scale, app: f"embedding ablation ({app})",
-            uses_app=True,
+            title=lambda params, scale, workload: f"embedding ablation ({workload})",
+            uses_workload=True,
             uses_topology=True,
         ),
         ExperimentSpec(

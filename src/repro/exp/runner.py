@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..analysis.tables import format_table
 from .cache import ResultCache
-from .emit import json_path, result_payload, sanitize_rows, topology_union, write_json
+from .emit import field_union, json_path, result_payload, sanitize_rows, write_json
 from .spec import Cell, ExperimentSpec, concat
 
 __all__ = ["ExperimentRun", "run_cells", "run_experiment"]
@@ -99,7 +99,7 @@ class ExperimentRun:
     params: Dict[str, Any]
     rows: List[Row]
     scale: Optional[str]
-    app: str
+    workload: str
     topology: str = "mesh"
     cells_total: int = 0
     cells_cached: int = 0
@@ -109,17 +109,22 @@ class ExperimentRun:
         return self.spec.name
 
     @property
+    def app(self) -> str:
+        """Deprecated alias of :attr:`workload` (pre-workload name)."""
+        return self.workload
+
+    @property
     def scale_label(self) -> str:
         """Effective scale for result-file naming (mirrors scale_params)."""
         return self.scale or os.environ.get("REPRO_SCALE", "default")
 
     @property
     def file_stem(self) -> str:
-        """Result-file stem; non-default app / topology axes get their own
-        files so axis values don't overwrite each other."""
+        """Result-file stem; non-default workload / topology axes get
+        their own files so axis values don't overwrite each other."""
         stem = self.name
-        if self.spec.uses_app and self.app != "matmul":
-            stem = f"{stem}.{self.app}"
+        if self.spec.uses_workload and self.workload != "matmul":
+            stem = f"{stem}.{self.workload}"
         if self.spec.uses_topology and self.topology != "mesh":
             stem = f"{stem}.{self.topology}"
         return stem
@@ -130,11 +135,19 @@ class ExperimentRun:
         actually cover (``"mesh+torus"`` for an internal sweep), falling
         back to the axis value."""
         default = self.topology if self.spec.uses_topology else "mesh"
-        return topology_union(self.rows, default=default)
+        return field_union(self.rows, "topology", default)
+
+    @property
+    def workload_label(self) -> str:
+        """Workload recorded in the JSON payload: the workloads the rows
+        actually cover (``"zipf"`` for the xwork sweeps), falling back to
+        the axis value."""
+        default = self.workload if self.spec.uses_workload else "matmul"
+        return field_union(self.rows, "workload", default)
 
     @property
     def title(self) -> str:
-        return self.spec.title(self.params, self.scale, self.app)
+        return self.spec.title(self.params, self.scale, self.workload)
 
     def table(self) -> str:
         return format_table(self.rows, list(self.spec.columns), title=self.title)
@@ -146,7 +159,7 @@ class ExperimentRun:
             self.rows,
             self.spec.columns,
             params=self.params,
-            app=self.app,
+            workload=self.workload_label,
             topology=self.topology_label,
         )
 
@@ -160,7 +173,7 @@ class ExperimentRun:
 def run_experiment(
     spec: Union[str, ExperimentSpec],
     scale: Optional[str] = None,
-    app: str = "matmul",
+    workload: str = "matmul",
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     topology: str = "mesh",
@@ -170,7 +183,7 @@ def run_experiment(
         from .registry import get_spec
 
         spec = get_spec(spec)
-    params = spec.params_for(scale, app, topology)
+    params = spec.params_for(scale, workload, topology)
     cells = spec.make_cells(params)
     hits_before = cache.hits if cache is not None else 0
     cell_rows = run_cells(cells, jobs=jobs, cache=cache)
@@ -182,7 +195,7 @@ def run_experiment(
         params=params,
         rows=rows,
         scale=scale,
-        app=app,
+        workload=workload,
         topology=topology,
         cells_total=len(cells),
         cells_cached=(cache.hits - hits_before) if cache is not None else 0,

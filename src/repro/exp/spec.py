@@ -39,7 +39,7 @@ _FINGERPRINT: Optional[str] = None
 #: Subpackages whose code determines cell *results*.  Presentation-layer
 #: edits (CLI help text, this orchestration package, docstring-only
 #: modules) must not discard hours of cached paper-scale results.
-_SIMULATION_PACKAGES = ("core", "network", "runtime", "apps", "analysis", "sim")
+_SIMULATION_PACKAGES = ("core", "network", "runtime", "apps", "analysis", "sim", "workloads")
 
 
 def _source_fingerprint() -> str:
@@ -129,29 +129,33 @@ class ExperimentSpec:
     columns:
         Columns of the displayed table, in order.
     make_params:
-        ``(scale, app) -> params`` -- resolves the CLI-level knobs into the
-        concrete parameter dict (via :func:`repro.analysis.scale_params`
-        for the figures; fixed defaults for the ablations).
+        ``(scale, workload) -> params`` -- resolves the CLI-level knobs
+        into the concrete parameter dict (via
+        :func:`repro.analysis.scale_params` for the figures; fixed
+        defaults for the ablations).
     make_cells:
         ``params -> [Cell, ...]`` -- pure expansion of parameters into
         independent cells; the runner preserves this order.
     title:
-        ``(params, scale, app) -> str`` -- table title (byte-compatible
-        with the historic CLI output).
+        ``(params, scale, workload) -> str`` -- table title
+        (byte-compatible with the historic CLI output).
     derive:
         Optional ``(rows, params) -> rows`` applied to the concatenated
         cell rows (e.g. Figures 9/10 project phase columns out of the
         Figure 8 cells).
-    uses_app:
-        Whether ``--app`` changes the experiment (the tree-degree and
-        embedding ablations); result files for a non-default app get an
-        app-suffixed name so the apps don't overwrite each other.
+    uses_workload:
+        Whether the ``--workload`` CLI axis (historic alias ``--app``)
+        changes the experiment (the tree-degree and embedding ablations
+        run any registered workload); result files for a non-default
+        workload get a workload-suffixed name so axis values don't
+        overwrite each other.
     uses_topology:
         Whether the ``--topology`` CLI axis changes the experiment: the
         resolved parameters gain a ``"topology"`` key the cell builder
         forwards into its cells.  Result files for a non-mesh topology get
         a topology-suffixed name.  (The cross-topology sweeps ``xtopo-*``
-        iterate topologies *internally* and therefore do **not** set this.)
+        and ``xwork-zipf`` iterate topologies *internally* and therefore
+        do **not** set this.)
     """
 
     name: str
@@ -160,14 +164,20 @@ class ExperimentSpec:
     make_cells: Callable[[Dict[str, Any]], List[Cell]]
     title: Callable[[Dict[str, Any], Optional[str], str], str]
     derive: Optional[Callable[[List[Row], Dict[str, Any]], List[Row]]] = None
-    uses_app: bool = field(default=False)
+    uses_workload: bool = field(default=False)
     uses_topology: bool = field(default=False)
 
+    @property
+    def uses_app(self) -> bool:
+        """Deprecated alias of :attr:`uses_workload` (pre-workload name)."""
+        return self.uses_workload
+
     def params_for(
-        self, scale: Optional[str] = None, app: str = "matmul", topology: str = "mesh"
+        self, scale: Optional[str] = None, workload: str = "matmul", topology: str = "mesh"
     ) -> Dict[str, Any]:
-        """Resolve CLI-level knobs (scale, app, topology) into parameters."""
-        params = self.make_params(scale, app)
+        """Resolve CLI-level knobs (scale, workload, topology) into
+        parameters."""
+        params = self.make_params(scale, workload)
         if self.uses_topology:
             params["topology"] = topology
         return params
@@ -175,10 +185,10 @@ class ExperimentSpec:
     def cells(
         self,
         scale: Optional[str] = None,
-        app: str = "matmul",
+        workload: str = "matmul",
         topology: str = "mesh",
     ) -> List[Cell]:
-        return self.make_cells(self.params_for(scale, app, topology))
+        return self.make_cells(self.params_for(scale, workload, topology))
 
 
 def concat(cell_rows: Sequence[Optional[List[Row]]]) -> List[Row]:

@@ -130,15 +130,21 @@ class Env:
     # ------------------------------------------------------------- topology
     @property
     def nprocs(self) -> int:
-        return self._rt.sim.mesh.n_nodes
+        return self._rt.sim.topology.n_nodes
+
+    @property
+    def topology(self):
+        return self._rt.sim.topology
 
     @property
     def mesh(self):
-        return self._rt.sim.mesh
+        """The topology's grid view (historic name; same object as
+        :attr:`topology` -- every topology exposes grid coordinates)."""
+        return self._rt.sim.topology
 
     @property
     def coord(self):
-        return self._rt.sim.mesh.coord(self.rank)
+        return self._rt.sim.topology.coord(self.rank)
 
     @property
     def machine(self):

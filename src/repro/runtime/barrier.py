@@ -36,9 +36,11 @@ _BARRIER_VID = -1
 class TreeBarrier:
     """Combining-tree barrier over a decomposition tree."""
 
+    kind = "tree"
+
     def __init__(self, sim: Simulator, tree: Optional[DecompositionTree] = None, seed: int = 0):
         self.sim = sim
-        self.tree = tree if tree is not None else build_tree(sim.mesh, stride=2, terminal=1)
+        self.tree = tree if tree is not None else build_tree(sim.topology, stride=2, terminal=1)
         self.embedding = ModifiedEmbedding(self.tree, seed=seed ^ 0xBA221E2)
         self._arrivals: Dict[int, float] = {}
         self._callbacks: Dict[int, Callable[[int, float], None]] = {}
@@ -46,7 +48,7 @@ class TreeBarrier:
 
     @property
     def n_procs(self) -> int:
-        return self.sim.mesh.n_nodes
+        return self.sim.topology.n_nodes
 
     def _host(self, node: int) -> int:
         return self.embedding.host(_BARRIER_VID, node)
@@ -111,6 +113,8 @@ class CentralBarrier:
     """Central-coordinator barrier (ablation baseline): every processor
     sends an arrive message to one coordinator, which replies to each."""
 
+    kind = "central"
+
     def __init__(self, sim: Simulator, coordinator: int = 0):
         self.sim = sim
         self.coordinator = coordinator
@@ -120,7 +124,7 @@ class CentralBarrier:
 
     @property
     def n_procs(self) -> int:
-        return self.sim.mesh.n_nodes
+        return self.sim.topology.n_nodes
 
     def arrive(self, proc: int, t: float, callback: Callable[[int, float], None]) -> None:
         if proc in self._arrivals:

@@ -112,6 +112,11 @@ class Runtime:
     capacity_bytes:
         Per-processor memory capacity for cached copies (``None`` =
         unbounded, the paper's default situation).
+    recorder:
+        Optional trace recorder (:class:`repro.workloads.trace.TraceRecorder`
+        or anything with the same ``attach`` / ``record_create`` /
+        ``record_request`` surface): every variable creation and every
+        program request is logged, producing a replayable access trace.
     """
 
     def __init__(
@@ -124,6 +129,7 @@ class Runtime:
         barrier: str = "tree",
         seed: int = 0,
         capacity_bytes: Optional[float] = None,
+        recorder=None,
     ):
         self.sim = Simulator(topology, machine)
         self.registry = VariableRegistry()
@@ -133,6 +139,9 @@ class Runtime:
         self.strategy = strategy
         strategy.attach(self)
         self.barrier = make_barrier(barrier, self.sim, seed)
+        self._recorder = recorder
+        if recorder is not None:
+            recorder.attach(self)
 
         p = topology.n_nodes
         self._gens: List[Any] = [None] * p
@@ -165,24 +174,26 @@ class Runtime:
     def create_var(self, name: str, payload_bytes: int, creator: int, value: Any) -> GlobalVariable:
         var = self.registry.create(name, payload_bytes, creator, value)
         self.strategy.register(var)
+        if self._recorder is not None:
+            self._recorder.record_create(creator, var)
         return var
 
     # ------------------------------------------------------------------ run
     def run(self, program: ProgramFactory) -> RunResult:
         """Run ``program(env)`` on every processor to completion."""
-        mesh = self.sim.mesh
-        for p in range(mesh.n_nodes):
+        topo = self.sim.topology
+        for p in range(topo.n_nodes):
             self._gens[p] = program(Env(self, p))
             self.sim.schedule(0.0, self._step, p, None)
         self.sim.run()
-        if self._finished < mesh.n_nodes:
+        if self._finished < topo.n_nodes:
             blocked = [
                 f"p{p}:{_describe_block(self._blocked_on[p])}"
-                for p in range(mesh.n_nodes)
+                for p in range(topo.n_nodes)
                 if self._gens[p] is not None
             ]
             raise SimDeadlock(
-                f"{mesh.n_nodes - self._finished} processors never finished; "
+                f"{topo.n_nodes - self._finished} processors never finished; "
                 f"blocked: {', '.join(blocked[:10])}"
             )
         end = max(self._final_time)
@@ -194,7 +205,7 @@ class Runtime:
         locks = getattr(self.strategy, "lock_acquisitions", 0)
         return RunResult(
             strategy=self.strategy.name,
-            mesh=mesh.label,
+            mesh=topo.label,
             time=end - self.measure_start,
             end_time=end,
             stats=stats,
@@ -217,6 +228,8 @@ class Runtime:
         while True:
             try:
                 req = gen.send(value)
+                if self._recorder is not None:
+                    self._recorder.record_request(p, req)
             except StopIteration as stop:
                 self._gens[p] = None
                 self._finished += 1
@@ -335,7 +348,7 @@ class Runtime:
     # -------------------------------------------------------------- barriers
     def _on_barrier_release(self, proc: int, t: float) -> None:
         self._barrier_releases.append((proc, t))
-        if len(self._barrier_releases) == self.sim.mesh.n_nodes:
+        if len(self._barrier_releases) == self.sim.topology.n_nodes:
             releases = self._barrier_releases
             self._barrier_releases = []
             boundary = max(t for _, t in releases)
@@ -367,7 +380,9 @@ class Runtime:
         name = self._phase_name
         acc = self._phase_acc.get(name)
         if acc is None:
-            acc = self._phase_acc[name] = _PhaseAcc(self.sim.mesh.n_links, self.sim.mesh.n_nodes)
+            acc = self._phase_acc[name] = _PhaseAcc(
+                self.sim.topology.n_links, self.sim.topology.n_nodes
+            )
             self._phase_order.append(name)
         stats = self.sim.stats
         cur = stats.checkpoint()
@@ -387,7 +402,7 @@ class Runtime:
         """Zero all traffic and phase accounting from instant ``at``
         (default: now)."""
         t = self.sim.now if at is None else at
-        self.sim.stats = LinkStats(self.sim.mesh)
+        self.sim.stats = LinkStats(self.sim.topology)
         self.measure_start = t
         self._phase_order = []
         self._phase_acc = {}

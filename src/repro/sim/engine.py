@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from typing import Callable, List, Sequence, Tuple
 
 from ..network.machine import MachineModel
@@ -60,9 +61,6 @@ class Simulator:
 
     def __init__(self, topology: Topology, machine: MachineModel):
         self.topology = topology
-        # Historic alias: the simulator predates the topology abstraction
-        # and the whole package (runtime, apps, tests) reads ``sim.mesh``.
-        self.mesh = topology
         self.machine = machine
         self.stats = LinkStats(topology)
         self.link_free: List[float] = [0.0] * topology.num_links
@@ -70,6 +68,17 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = itertools.count()
+
+    @property
+    def mesh(self) -> Topology:
+        """Deprecated alias of :attr:`topology` (the simulator predates the
+        topology abstraction); scheduled for removal next release."""
+        warnings.warn(
+            "Simulator.mesh is deprecated, use Simulator.topology",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.topology
 
     # ------------------------------------------------------------ event heap
     def schedule(self, time: float, callback: Callable, *args) -> None:
@@ -117,8 +126,9 @@ class Simulator:
             Data messages carry the object value; control messages are
             requests/invalidations/acks.
         count:
-            Set ``False`` to time a hypothetical leg without recording
-            traffic (used nowhere in production code, but useful in tests).
+            Set ``False`` to time a *hypothetical* leg: no traffic is
+            recorded and no resource availability (NIC, links) changes --
+            the call is entirely side-effect-free.
 
         Returns
         -------
@@ -139,7 +149,6 @@ class Simulator:
         t_send = nic[src]
         if ready > t_send:
             t_send = ready
-        nic[src] = t_send + overhead
         depart = t_send + overhead
 
         links = route_links(self.topology, src, dst)
@@ -150,16 +159,17 @@ class Simulator:
                 start = lf[link]
         occupy = wire / m.link_bandwidth
         end = start + occupy
-        for link in links:
-            lf[link] = end
         arrive = end + len(links) * m.hop_latency
 
         t_recv = nic[dst]
         if arrive > t_recv:
             t_recv = arrive
-        nic[dst] = t_recv + overhead
 
         if count:
+            nic[src] = depart
+            for link in links:
+                lf[link] = end
+            nic[dst] = t_recv + overhead
             self.stats.record(links, wire, src, dst, is_data)
         return t_recv + overhead
 

@@ -1,0 +1,30 @@
+"""Workload layer: pluggable access-pattern generators + trace replay.
+
+* :mod:`repro.workloads.base` -- the :class:`Workload` abstraction and
+  the name registry behind the CLI's ``--workload`` axis.
+* :mod:`repro.workloads.paper` -- the paper's three applications
+  (``matmul``, ``bitonic``, ``barneshut``) as registered workloads.
+* :mod:`repro.workloads.synthetic` -- parameterized synthetic kernels
+  (``zipf``, ``uniform``, ``prodcons``, ``lock-contention``) sweeping the
+  access-pattern axes the paper's programs pin.
+* :mod:`repro.workloads.trace` -- record any run's access stream and
+  replay it under any strategy × topology.
+
+See EXPERIMENTS.md ("Workloads") for the user-facing tour.
+"""
+
+from . import paper, synthetic  # noqa: F401  (import-time registration)
+from .base import WORKLOADS, Workload, get_workload, register, workload_names
+from .trace import Trace, TraceRecorder, record, replay
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "register",
+    "get_workload",
+    "workload_names",
+    "Trace",
+    "TraceRecorder",
+    "record",
+    "replay",
+]

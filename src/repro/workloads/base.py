@@ -1,0 +1,160 @@
+"""The workload abstraction: what runs *on* a strategy × topology.
+
+The paper evaluates its data-management strategies through exactly three
+hand-written applications; this module turns "application" into a
+first-class axis next to strategy and topology.  A :class:`Workload` is a
+named, parameterized generator of one simulated execution: given a
+topology, a strategy name and a parameter dict, it produces the SPMD
+program(s), drives them through the runtime, and returns the
+:class:`~repro.runtime.results.RunResult` every experiment cell consumes.
+
+Workloads register by name (:func:`register`); the experiment layer, the
+CLI's ``--workload`` axis and the trace recorder all resolve them through
+:func:`get_workload`, so adding a workload is one subclass plus one
+``register`` call -- no edits to the cells, the registry, or the CLI.
+
+Three families ship in this package:
+
+* the paper's applications (:mod:`repro.workloads.paper`) -- thin adapters
+  over :mod:`repro.apps`;
+* parameterized synthetic kernels (:mod:`repro.workloads.synthetic`) --
+  the access-pattern axes (read/write ratio, skew, locality, lock
+  contention) the paper's three programs cannot sweep;
+* recorded traces (:mod:`repro.workloads.trace`) -- replay a recorded
+  access stream under any strategy × topology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.strategy import DataManagementStrategy, make_strategy
+from ..network.machine import GCEL, MachineModel
+from ..network.topology import Topology
+from ..runtime.results import RunResult
+
+__all__ = ["Workload", "register", "get_workload", "workload_names", "WORKLOADS"]
+
+
+class Workload:
+    """One named application / access-pattern generator.
+
+    Subclasses set :attr:`name`, :attr:`defaults` and implement
+    :meth:`run`.  The contract mirrors the experiment cells': ``run`` is a
+    pure function of ``(topology, strategy, machine, seed, params)`` --
+    same arguments, same :class:`RunResult` numbers -- so cells built on
+    workloads stay cacheable and pool-shardable.
+    """
+
+    #: Registry name (also the CLI ``--workload`` value).
+    name: str = "abstract"
+
+    #: One-line description for listings.
+    description: str = ""
+
+    #: Topology kinds the workload can run on (``None`` = any).  The
+    #: paper's matmul needs true 2-D grid coordinates, for example.
+    kinds: Optional[Tuple[str, ...]] = None
+
+    #: Parameter defaults; ``run`` rejects unknown parameter names.
+    defaults: Dict[str, Any] = {}
+
+    #: The parameter that scales the per-processor load (the generic
+    #: ``size`` knob of the ablation cells): ``block_entries`` for matmul,
+    #: ``keys`` for bitonic, ``ops`` for the synthetic kernels, ...
+    size_param: Optional[str] = None
+
+    #: Whether the workload supports the hand-optimized message-passing
+    #: baseline (``strategy="handopt"``).
+    has_handopt: bool = False
+
+    def check_topology(self, topology: Topology) -> None:
+        """Raise ``ValueError`` if the workload cannot run on ``topology``."""
+        if self.kinds is not None and topology.kind not in self.kinds:
+            raise ValueError(
+                f"workload {self.name!r} needs a topology in "
+                f"{'/'.join(self.kinds)}, got {topology.kind!r}"
+            )
+
+    def resolve_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Merge ``params`` over :attr:`defaults`, rejecting unknown keys."""
+        merged = dict(self.defaults)
+        for key, value in (params or {}).items():
+            if key not in merged:
+                raise ValueError(
+                    f"workload {self.name!r} has no parameter {key!r}; "
+                    f"valid: {', '.join(sorted(merged)) or '(none)'}"
+                )
+            merged[key] = value
+        return merged
+
+    def make_strategy(
+        self,
+        name: str,
+        topology: Topology,
+        seed: int = 0,
+        embedding: str = "modified",
+        remap_threshold: Optional[int] = None,
+    ) -> DataManagementStrategy:
+        """Build the strategy a run uses (overridable hook)."""
+        return make_strategy(
+            name, topology, seed=seed, embedding=embedding, remap_threshold=remap_threshold
+        )
+
+    def run(
+        self,
+        topology: Topology,
+        strategy: str = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        params: Optional[Dict[str, Any]] = None,
+        **runtime_kwargs: Any,
+    ) -> RunResult:
+        """Run the workload under ``strategy`` on ``topology``.
+
+        ``strategy`` is a :func:`repro.core.strategy.make_strategy` name
+        (``"handopt"`` selects the hand-optimized baseline where one
+        exists); ``params`` overrides :attr:`defaults`;
+        ``runtime_kwargs`` pass through to the
+        :class:`~repro.runtime.launcher.Runtime` (``barrier=``,
+        ``capacity_bytes=``, ``recorder=``, ...).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name}>"
+
+
+#: The global name -> workload registry.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Register ``workload`` under its name (idempotent for equal names
+    of the same class; re-registering a different class is a bug)."""
+    existing = WORKLOADS.get(workload.name)
+    if existing is not None and type(existing) is not type(workload):
+        raise ValueError(
+            f"workload name {workload.name!r} already registered by "
+            f"{type(existing).__name__}"
+        )
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Workload registered under ``name``; raises ``KeyError`` listing
+    the valid names."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; valid: {', '.join(workload_names())}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """Registered workload names, sorted (the CLI axis choices)."""
+    return sorted(WORKLOADS)

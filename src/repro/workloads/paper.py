@@ -1,0 +1,140 @@
+"""The paper's three applications as registered workloads.
+
+Thin adapters over :mod:`repro.apps`: the applications keep their
+programs, baselines and verification; this module only gives them the
+uniform :class:`~repro.workloads.base.Workload` surface (name, parameter
+dict, strategy-by-name, topology compatibility) that the experiment
+cells, the ``--workload`` CLI axis and the trace recorder consume.
+``strategy="handopt"`` selects the hand-optimized message-passing
+baseline where the paper provides one (matrix square and bitonic sort;
+Barnes-Hut has none, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..apps import barneshut, bitonic, matmul
+from ..network.machine import GCEL, MachineModel
+from ..network.topology import Topology
+from ..runtime.results import RunResult
+from .base import Workload, register
+
+__all__ = ["MatmulWorkload", "BitonicWorkload", "BarnesHutWorkload"]
+
+
+class MatmulWorkload(Workload):
+    """Matrix squaring (Section 3.1); ``variant="general"`` selects the
+    invalidation-free general multiplication used by the invalidation
+    ablation."""
+
+    name = "matmul"
+    description = "blocked matrix square (Section 3.1); variant=general for C := A*B"
+    kinds = ("mesh", "torus")  # needs true 2-D grid coordinates
+    defaults = {"block_entries": 256, "variant": "square"}
+    size_param = "block_entries"
+    has_handopt = True
+
+    def run(
+        self,
+        topology: Topology,
+        strategy: str = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        params: Optional[Dict[str, Any]] = None,
+        **runtime_kwargs: Any,
+    ) -> RunResult:
+        self.check_topology(topology)
+        p = self.resolve_params(params)
+        if p["variant"] not in ("square", "general"):
+            raise ValueError(f"matmul variant must be square/general, got {p['variant']!r}")
+        if strategy == "handopt":
+            if p["variant"] != "square":
+                raise ValueError("the hand-optimized matmul baseline only squares")
+            return matmul.run_handopt(
+                topology, p["block_entries"], machine=machine, seed=seed, **runtime_kwargs
+            )
+        strat = self.make_strategy(strategy, topology, seed=seed, embedding=embedding)
+        runner = matmul.run_diva if p["variant"] == "square" else matmul.run_diva_general
+        return runner(
+            topology, strat, p["block_entries"], machine=machine, seed=seed, **runtime_kwargs
+        )
+
+
+class BitonicWorkload(Workload):
+    """Bitonic sorting (Section 3.2); runs on every topology because it
+    only depends on the decomposition-tree leaf numbering."""
+
+    name = "bitonic"
+    description = "bitonic merge sort over decomposition-tree wires (Section 3.2)"
+    kinds = None
+    defaults = {"keys": 1024}
+    size_param = "keys"
+    has_handopt = True
+
+    def run(
+        self,
+        topology: Topology,
+        strategy: str = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        params: Optional[Dict[str, Any]] = None,
+        **runtime_kwargs: Any,
+    ) -> RunResult:
+        self.check_topology(topology)
+        p = self.resolve_params(params)
+        if strategy == "handopt":
+            return bitonic.run_handopt(
+                topology, p["keys"], machine=machine, seed=seed, **runtime_kwargs
+            )
+        strat = self.make_strategy(strategy, topology, seed=seed, embedding=embedding)
+        return bitonic.run_diva(
+            topology, strat, p["keys"], machine=machine, seed=seed, **runtime_kwargs
+        )
+
+
+class BarnesHutWorkload(Workload):
+    """Barnes-Hut N-body (Section 3.3, SPLASH-2 structure)."""
+
+    name = "barneshut"
+    description = "Barnes-Hut N-body with costzones partitioning (Section 3.3)"
+    kinds = None
+    defaults = {"bodies": 256, "steps": 3, "warm": 1}
+    size_param = "bodies"
+    has_handopt = False
+
+    def run(
+        self,
+        topology: Topology,
+        strategy: str = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        params: Optional[Dict[str, Any]] = None,
+        **runtime_kwargs: Any,
+    ) -> RunResult:
+        self.check_topology(topology)
+        p = self.resolve_params(params)
+        if strategy == "handopt":
+            raise ValueError("Barnes-Hut has no hand-optimized baseline (as in the paper)")
+        strat = self.make_strategy(strategy, topology, seed=seed, embedding=embedding)
+        return barneshut.run(
+            topology,
+            strat,
+            p["bodies"],
+            steps=p["steps"],
+            warm=p["warm"],
+            machine=machine,
+            seed=seed,
+            **runtime_kwargs,
+        )
+
+
+register(MatmulWorkload())
+register(BitonicWorkload())
+register(BarnesHutWorkload())

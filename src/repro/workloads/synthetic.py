@@ -1,0 +1,258 @@
+"""Parameterized synthetic access-pattern kernels.
+
+Workload-characterization studies of replication strategies identify
+read/write ratio and access skew as the axes that flip strategy rankings;
+the paper's three applications pin both.  These kernels expose the axes
+directly:
+
+* :class:`ZipfWorkload` (``"zipf"``) -- every processor issues ``ops``
+  accesses over ``n_vars`` shared variables; the target variable is drawn
+  from a Zipf distribution with exponent ``alpha`` (0 = uniform, larger =
+  hotter hotspot) and each access is a read with probability
+  ``read_frac``.  The one-knob hotspot/read-mix sweep.
+* :class:`UniformSweepWorkload` (``"uniform"``) -- every processor reads
+  the whole shared array each round (staggered start so the sweep fronts
+  don't stampede one variable), then owners write their slice back,
+  invalidating all copies.  The broadcast-then-invalidate extreme.
+* :class:`ProducerConsumerWorkload` (``"prodcons"``) -- a ring pipeline:
+  per round every processor writes its stage variable, then reads its
+  predecessor's.  Single-reader/single-writer locality, the access-tree
+  strategy's best case.
+* :class:`LockContentionWorkload` (``"lock-contention"``) -- processors
+  repeatedly lock/increment/unlock counters chosen Zipf-style from a
+  small set; stresses the lock service rather than the copy protocol.
+
+Determinism: all randomness derives from ``numpy`` generators seeded by
+``(seed, kernel-tag, rank)``, so the access stream -- and therefore every
+simulated quantity -- is a pure function of the parameters.  Each kernel
+asserts its own invariant after the run (e.g. the lock kernel checks the
+counters sum to the op count) so a broken generator fails loudly instead
+of producing plausible traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..network.machine import GCEL, MachineModel
+from ..network.topology import Topology
+from ..runtime.launcher import Runtime
+from ..runtime.results import RunResult
+from .base import Workload, register
+
+__all__ = [
+    "SyntheticWorkload",
+    "ZipfWorkload",
+    "UniformSweepWorkload",
+    "ProducerConsumerWorkload",
+    "LockContentionWorkload",
+    "zipf_weights",
+]
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Zipf probability vector over ``n`` items: ``p_i ∝ (i+1)^-alpha``
+    (``alpha=0`` is uniform)."""
+    if n < 1:
+        raise ValueError("need at least one item")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    w = np.arange(1, n + 1, dtype=float) ** -alpha
+    return w / w.sum()
+
+
+class SyntheticWorkload(Workload):
+    """Shared runner for the synthetic kernels: build strategy + runtime,
+    run the kernel's program factory, tag the result."""
+
+    has_handopt = False
+
+    def make_program(
+        self, topology: Topology, machine: MachineModel, seed: int, params: Dict[str, Any]
+    ) -> Callable:
+        """Return ``(program_factory, check)``; ``check(runtime)`` runs
+        the kernel's post-run invariant (may be ``None``)."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        topology: Topology,
+        strategy: str = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        params: Optional[Dict[str, Any]] = None,
+        **runtime_kwargs: Any,
+    ) -> RunResult:
+        self.check_topology(topology)
+        p = self.resolve_params(params)
+        if strategy == "handopt":
+            raise ValueError(f"synthetic workload {self.name!r} has no hand-optimized baseline")
+        strat = self.make_strategy(strategy, topology, seed=seed, embedding=embedding)
+        program, check = self.make_program(topology, machine, seed, p)
+        rt = Runtime(topology, strat, machine, seed=seed, **runtime_kwargs)
+        result = rt.run(program)
+        if check is not None:
+            check(rt)
+        result.extra["runtime"] = rt
+        result.extra["app"] = self.name
+        result.extra["workload"] = self.name
+        result.extra["params"] = dict(p)
+        return result
+
+
+class ZipfWorkload(SyntheticWorkload):
+    name = "zipf"
+    description = "Zipf-hotspot read/write mix (alpha = skew, read_frac = read share)"
+    defaults = {
+        "n_vars": 64,
+        "ops": 64,
+        "alpha": 1.0,
+        "read_frac": 0.9,
+        "payload": 256,
+        "think_ops": 0.0,
+    }
+    size_param = "ops"
+
+    def make_program(self, topology, machine, seed, params):
+        n_vars = int(params["n_vars"])
+        ops = int(params["ops"])
+        alpha = float(params["alpha"])
+        read_frac = float(params["read_frac"])
+        payload = int(params["payload"])
+        think_ops = float(params["think_ops"])
+        if not (0.0 <= read_frac <= 1.0):
+            raise ValueError(f"read_frac must be in [0, 1], got {read_frac}")
+        probs = zipf_weights(n_vars, alpha)
+        # One global rank->variable permutation so the hotspot's home
+        # processor varies with the seed instead of always being p0.
+        perm = np.random.default_rng((seed, 23)).permutation(n_vars)
+        handles: Dict[int, object] = {}
+
+        def program(env):
+            nprocs = env.nprocs
+            for i in range(env.rank, n_vars, nprocs):
+                handles[i] = env.create(f"z{i}", payload, value=0)
+            yield from env.barrier(phase="access")
+            rng = np.random.default_rng((seed, 17, env.rank))
+            targets = rng.choice(n_vars, size=ops, p=probs)
+            coins = rng.random(ops)
+            for k in range(ops):
+                var = handles[int(perm[targets[k]])]
+                if coins[k] < read_frac:
+                    yield from env.read(var)
+                else:
+                    yield from env.write(var, (env.rank, k))
+                if think_ops > 0.0:
+                    yield from env.compute(ops=think_ops)
+            yield from env.barrier(phase="done")
+
+        return program, None
+
+
+class UniformSweepWorkload(SyntheticWorkload):
+    name = "uniform"
+    description = "uniform shared-array sweep: all-read rounds + owner write-back"
+    defaults = {"n_vars": 64, "rounds": 2, "payload": 256, "write_back": True}
+    size_param = "rounds"
+
+    def make_program(self, topology, machine, seed, params):
+        n_vars = int(params["n_vars"])
+        rounds = int(params["rounds"])
+        payload = int(params["payload"])
+        write_back = bool(params["write_back"])
+        handles: Dict[int, object] = {}
+
+        def program(env):
+            nprocs = env.nprocs
+            mine = range(env.rank, n_vars, nprocs)
+            for i in mine:
+                handles[i] = env.create(f"u{i}", payload, value=0)
+            yield from env.barrier(phase="sweep")
+            for r in range(rounds):
+                for k in range(n_vars):
+                    yield from env.read(handles[(env.rank + k) % n_vars])
+                yield from env.barrier()
+                if write_back:
+                    for i in mine:
+                        yield from env.write(handles[i], r + 1)
+                yield from env.barrier()
+            yield from env.barrier(phase="done")
+
+        return program, None
+
+
+class ProducerConsumerWorkload(SyntheticWorkload):
+    name = "prodcons"
+    description = "ring pipeline: each stage writes its variable, reads its predecessor's"
+    defaults = {"rounds": 8, "payload": 1024}
+    size_param = "rounds"
+
+    def make_program(self, topology, machine, seed, params):
+        rounds = int(params["rounds"])
+        payload = int(params["payload"])
+        handles: Dict[int, object] = {}
+
+        def program(env):
+            handles[env.rank] = env.create(f"stage{env.rank}", payload, value=None)
+            yield from env.barrier(phase="pipeline")
+            pred = (env.rank - 1) % env.nprocs
+            for r in range(rounds):
+                yield from env.write(handles[env.rank], (env.rank, r))
+                yield from env.barrier()
+                got = yield from env.read(handles[pred])
+                assert got == (pred, r)
+                yield from env.barrier()
+            yield from env.barrier(phase="done")
+
+        return program, None
+
+
+class LockContentionWorkload(SyntheticWorkload):
+    name = "lock-contention"
+    description = "lock/increment/unlock over a few Zipf-chosen shared counters"
+    defaults = {"n_locks": 4, "ops": 16, "alpha": 1.0, "payload": 64}
+    size_param = "ops"
+
+    def make_program(self, topology, machine, seed, params):
+        n_locks = int(params["n_locks"])
+        ops = int(params["ops"])
+        alpha = float(params["alpha"])
+        payload = int(params["payload"])
+        probs = zipf_weights(n_locks, alpha)
+        handles: Dict[int, object] = {}
+
+        def program(env):
+            nprocs = env.nprocs
+            for i in range(env.rank, n_locks, nprocs):
+                handles[i] = env.create(f"ctr{i}", payload, value=0)
+            yield from env.barrier(phase="contend")
+            rng = np.random.default_rng((seed, 29, env.rank))
+            targets = rng.choice(n_locks, size=ops, p=probs)
+            for k in targets:
+                var = handles[int(k)]
+                yield from env.lock(var)
+                v = yield from env.read(var)
+                yield from env.write(var, v + 1)
+                yield from env.unlock(var)
+            yield from env.barrier(phase="done")
+
+        def check(rt):
+            total = sum(rt.registry.get(handles[i]) for i in range(n_locks))
+            expect = ops * rt.sim.topology.n_nodes
+            if total != expect:
+                raise AssertionError(
+                    f"lock-contention counters sum to {total}, expected {expect} "
+                    "(an increment was lost: mutual exclusion is broken)"
+                )
+
+        return program, check
+
+
+register(ZipfWorkload())
+register(UniformSweepWorkload())
+register(ProducerConsumerWorkload())
+register(LockContentionWorkload())

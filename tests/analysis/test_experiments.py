@@ -164,17 +164,17 @@ class TestFig11:
 
 class TestAblations:
     def test_tree_degree_congestion_monotone(self):
-        rows = ablation_tree_degree(app="matmul", side=4, size=256)
+        rows = ablation_tree_degree(workload="matmul", side=4, size=256)
         cong = {r["strategy"]: r["congestion_bytes"] for r in rows}
         assert cong["2-ary"] <= cong["4-ary"] <= cong["16-ary"]
 
     def test_flat_trees_fewer_startups(self):
-        rows = ablation_tree_degree(app="matmul", side=4, size=256)
+        rows = ablation_tree_degree(workload="matmul", side=4, size=256)
         st = {r["strategy"]: r["max_startups"] for r in rows}
         assert st["16-ary"] < st["2-ary"]
 
     def test_embedding_modified_beats_random(self):
-        rows = ablation_embedding(app="matmul", side=4, size=256)
+        rows = ablation_embedding(workload="matmul", side=4, size=256)
         d = {r["embedding"]: r for r in rows}
         assert d["modified"]["total_bytes"] < d["random"]["total_bytes"]
 

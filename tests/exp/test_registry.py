@@ -17,7 +17,10 @@ LEGACY_NAMES = sorted(
 #: Cross-topology experiments added with the topology-generic network layer.
 XTOPO_NAMES = ["xtopo-hypercube", "xtopo-torus"]
 
-ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES)
+#: Cross-workload experiments added with the workload layer.
+XWORK_NAMES = ["xwork-readfrac", "xwork-zipf"]
+
+ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES)
 
 
 class TestRegistryCompleteness:
@@ -81,26 +84,45 @@ class TestSpecInvariants:
             paper = [c.key for c in spec.cells(scale="paper")]
             assert quick == paper, f"{name}: scale changed ablation cells"
 
-    def test_app_sensitivity_flags(self):
-        """Only the tree-degree and embedding ablations respond to --app
-        (their result files get app-suffixed names for non-default apps)."""
+    def test_workload_sensitivity_flags(self):
+        """Only the tree-degree and embedding ablations respond to
+        --workload (their result files get workload-suffixed names for
+        non-default workloads)."""
         for name in ALL_NAMES:
             spec = get_spec(name)
-            matmul = [c.key for c in spec.cells(scale="quick", app="matmul")]
-            bitonic = [c.key for c in spec.cells(scale="quick", app="bitonic")]
-            if spec.uses_app:
-                assert matmul != bitonic, f"{name}: uses_app but app ignored"
+            matmul = [c.key for c in spec.cells(scale="quick", workload="matmul")]
+            bitonic = [c.key for c in spec.cells(scale="quick", workload="bitonic")]
+            if spec.uses_workload:
+                assert matmul != bitonic, f"{name}: uses_workload but workload ignored"
             else:
-                assert matmul == bitonic, f"{name}: app changed cells unexpectedly"
+                assert matmul == bitonic, f"{name}: workload changed cells unexpectedly"
+            assert spec.uses_app == spec.uses_workload  # deprecated alias
+
+    def test_workload_sensitive_specs_accept_synthetic_workloads(self):
+        """The --workload axis is the whole registry, not just the two
+        paper apps: the ablation specs expand cells for a synthetic
+        kernel, sized by the kernel's own default load."""
+        for name in ("ablation-tree-degree", "ablation-embedding"):
+            spec = get_spec(name)
+            cells = spec.cells(scale="quick", workload="zipf")
+            assert cells
+            for cell in cells:
+                kwargs = dict(cell.kwargs)
+                assert kwargs["workload"] == "zipf"
+                assert kwargs["size"] == 64  # zipf's own default ops
 
     def test_topology_sensitivity_flags(self):
         """--topology changes exactly the topology-flagged experiments;
-        everything else (including the internal xtopo sweeps) ignores it."""
+        everything else (including the internal xtopo/xwork sweeps)
+        ignores it."""
         for name in ALL_NAMES:
             spec = get_spec(name)
-            app = "bitonic" if spec.uses_app else "matmul"
-            mesh = [c.key for c in spec.cells(scale="quick", app=app)]
-            torus = [c.key for c in spec.cells(scale="quick", app=app, topology="torus")]
+            workload = "bitonic" if spec.uses_workload else "matmul"
+            mesh = [c.key for c in spec.cells(scale="quick", workload=workload)]
+            torus = [
+                c.key
+                for c in spec.cells(scale="quick", workload=workload, topology="torus")
+            ]
             if spec.uses_topology:
                 assert mesh != torus, f"{name}: uses_topology but topology ignored"
             else:
@@ -115,6 +137,26 @@ class TestSpecInvariants:
                 params = spec.params_for(scale=scale)
                 assert params["side"] * params["side"] >= 256
                 assert list(params["topologies"]) == ["mesh", target]
+
+    def test_xwork_zipf_covers_all_topologies(self):
+        """xwork-zipf sweeps the synthetic Zipf kernel over every
+        topology family internally, at every scale."""
+        spec = get_spec("xwork-zipf")
+        for scale in ("quick", "default", "paper"):
+            params = spec.params_for(scale=scale)
+            assert params["topologies"] == ["mesh", "torus", "hypercube"]
+        kinds = {dict(c.kwargs)["topology"] for c in spec.cells(scale="quick")}
+        assert kinds == {"mesh", "torus", "hypercube"}
+
+    def test_xwork_scales_ops(self):
+        """The xwork sweeps respond to --scale through the per-processor
+        op count (the node count stays pinned)."""
+        for name in XWORK_NAMES:
+            spec = get_spec(name)
+            quick = [c.key for c in spec.cells(scale="quick")]
+            paper = [c.key for c in spec.cells(scale="paper")]
+            assert quick != paper, f"{name}: scale ignored"
+            assert spec.params_for("quick")["side"] == spec.params_for("paper")["side"]
 
     def test_xtopo_shares_mesh_cell(self):
         """Both xtopo sweeps run the identical mesh reference cell, so a

@@ -149,3 +149,21 @@ class TestSanitize:
         assert clean == [{"a": 1, "nested": [1, 2]}]
         # Emit-layer stripping must never destroy the caller's rows.
         assert rows[0]["result"] is marker
+
+
+class TestWorkloadLabel:
+    """The schema-v3 payload ``workload`` must reflect what the rows
+    actually ran, not the CLI axis default (regression: fig6 payloads
+    once claimed workload=matmul)."""
+
+    def test_fig6_payload_labels_bitonic(self):
+        run = run_experiment("fig6", scale="quick")
+        assert run.payload()["workload"] == "bitonic"
+
+    def test_fig2_payload_labels_its_micro_kernel(self):
+        run = run_experiment("fig2", scale="quick")
+        assert run.payload()["workload"] == "fig2-flow"
+
+    def test_xwork_readfrac_payload_labels_zipf(self):
+        run = run_experiment("xwork-readfrac", scale="quick")
+        assert run.payload()["workload"] == "zipf"

@@ -11,7 +11,7 @@ from repro.sim.engine import Simulator
 def run_barrier(barrier_cls, machine=GCEL, arrivals=None, rows=4, cols=4, **kw):
     sim = Simulator(Mesh2D(rows, cols), machine)
     barrier = barrier_cls(sim, **kw)
-    p = sim.mesh.n_nodes
+    p = sim.topology.n_nodes
     arrivals = arrivals or {i: float(i) * 1e-4 for i in range(p)}
     releases = {}
     for proc, t in arrivals.items():
@@ -45,10 +45,10 @@ class TestBothBarriers:
         # second episode on the same object
         barrier = cls(sim)
         rel2 = {}
-        for proc in range(sim.mesh.n_nodes):
+        for proc in range(sim.topology.n_nodes):
             barrier.arrive(proc, 1.0, lambda p, t: rel2.__setitem__(p, t))
         sim.run()
-        assert len(rel2) == sim.mesh.n_nodes
+        assert len(rel2) == sim.topology.n_nodes
         assert barrier.episodes == 1
 
     def test_traffic_recorded(self, cls):

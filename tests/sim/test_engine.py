@@ -73,7 +73,7 @@ class TestSendLeg:
         s = sim()
         s.send_leg(0, 1, 12345, ready=0.0, is_data=False)  # payload ignored
         assert s.stats.link_bytes[
-            [l for l, a, b in s.mesh.iter_links() if (a, b) == (0, 1)][0]
+            [l for l, a, b in s.topology.iter_links() if (a, b) == (0, 1)][0]
         ] == GCEL.ctrl_bytes
 
     def test_nic_serializes_sends(self):
@@ -118,6 +118,35 @@ class TestSendLeg:
         s = sim()
         s.send_leg(0, 1, 100, ready=0.0, is_data=True, count=False)
         assert s.stats.total_msgs == 0
+
+    def test_count_false_is_side_effect_free(self):
+        """Regression: a hypothetical leg must not reserve resources --
+        historically it mutated nic_free/link_free, so 'timing' a leg
+        perturbed every later message."""
+        s = sim()
+        nic_before = list(s.nic_free)
+        links_before = list(s.link_free)
+        hypothetical = s.send_leg(0, 5, 1000, ready=0.0, is_data=True, count=False)
+        assert s.nic_free == nic_before
+        assert s.link_free == links_before
+        assert s.stats.total_msgs == 0
+        # Same leg timed for real on the untouched simulator: identical time.
+        real = s.send_leg(0, 5, 1000, ready=0.0, is_data=True)
+        assert real == pytest.approx(hypothetical)
+        assert s.stats.total_msgs == 1
+
+    def test_count_false_repeated_is_idempotent(self):
+        s = sim()
+        t1 = s.send_leg(0, 1, 500, ready=0.0, is_data=True, count=False)
+        t2 = s.send_leg(0, 1, 500, ready=0.0, is_data=True, count=False)
+        assert t1 == t2  # no hidden serialization between hypothetical legs
+
+
+class TestMeshAlias:
+    def test_mesh_alias_deprecated_but_working(self):
+        s = sim()
+        with pytest.warns(DeprecationWarning, match="Simulator.mesh is deprecated"):
+            assert s.mesh is s.topology
 
 
 class TestSendChain:

@@ -123,6 +123,76 @@ class TestOrchestratorCli:
         with pytest.raises(SystemExit):
             main(["fig6", "--scale", "quick", "--topology", "ring"])
 
+    def test_workload_axis_gets_own_file(self, _isolated_results_dir, capsys):
+        """--workload zipf must produce its own schema-v3 result file
+        carrying the workload name."""
+        assert main(["ablation-embedding", "--workload", "zipf", "--json"]) == 0
+        path = _isolated_results_dir / "ablation-embedding.zipf.default.json"
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["workload"] == "zipf"
+        assert payload["app"] == "zipf"  # deprecated alias kept in v3
+        assert all(row["workload"] == "zipf" for row in payload["rows"])
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablation-embedding", "--workload", "tetris"])
+
+    def test_xwork_readfrac_quick(self, _isolated_results_dir, capsys):
+        assert main(["xwork-readfrac", "--scale", "quick", "--json"]) == 0
+        payload = json.loads(
+            (_isolated_results_dir / "xwork-readfrac.quick.json").read_text()
+        )
+        assert payload["workload"] == "zipf"
+        fracs = {row["read_frac"] for row in payload["rows"]}
+        assert len(fracs) >= 3
+
+
+class TestTraceCli:
+    def test_record_then_replay_roundtrip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "bitonic.trace.gz")
+        assert main(["trace-record", "--workload", "bitonic", "--strategy", "2-4-ary",
+                     "--side", "4", "--size", "32", "--trace", trace_path]) == 0
+        recorded = capsys.readouterr()
+        assert "recorded bitonic" in recorded.err
+        assert main(["trace-replay", "--trace", trace_path]) == 0
+        replayed = capsys.readouterr().out
+        # Same config -> the summary row (time, congestion, totals) is
+        # identical to the recording run's.
+        assert recorded.out.splitlines()[-2:] == replayed.splitlines()[-2:]
+
+    def test_replay_under_other_strategy_and_topology(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace.gz")
+        assert main(["trace-record", "--workload", "zipf", "--side", "4",
+                     "--size", "8", "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["trace-replay", "--trace", trace_path,
+                     "--strategy", "fixed-home", "--topology", "hypercube"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-home" in out and "hypercube" in out
+
+    def test_replay_topology_equals_form(self, tmp_path, capsys):
+        """Regression: the --topology=kind spelling must count as an
+        override too (the CLI once scanned argv for the space-separated
+        form only)."""
+        trace_path = str(tmp_path / "t.trace.gz")
+        assert main(["trace-record", "--workload", "zipf", "--side", "4",
+                     "--size", "8", "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["trace-replay", "--trace", trace_path,
+                     "--topology=torus"]) == 0
+        assert "torus" in capsys.readouterr().out
+
+    def test_trace_flag_required(self, capsys):
+        assert main(["trace-replay"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected(self, tmp_path, capsys):
+        assert main(["trace-record", "--workload", "zipf", "--strategy", "octopus",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
     @pytest.mark.slow
     def test_xtopo_experiments_json_contract(self, _isolated_results_dir, capsys):
         """Acceptance contract: the cross-topology experiments emit
@@ -138,6 +208,24 @@ class TestOrchestratorCli:
             kinds = {row["topology"] for row in payload["rows"]}
             assert kinds == {"mesh", target}
             assert all(row["nodes"] >= 256 for row in payload["rows"])
+
+    @pytest.mark.slow
+    def test_xwork_zipf_all_topologies_contract(self, _isolated_results_dir, capsys):
+        """Acceptance contract: xwork-zipf emits schema-v3 cached results
+        covering all three topology families."""
+        assert main(["xwork-zipf", "--scale", "quick", "--jobs", "2", "--json"]) == 0
+        payload = json.loads(
+            (_isolated_results_dir / "xwork-zipf.quick.json").read_text()
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["workload"] == "zipf"
+        assert payload["topology"] == "mesh+torus+hypercube"
+        assert {row["topology"] for row in payload["rows"]} == {
+            "mesh", "torus", "hypercube"
+        }
+        # Cached: the immediate re-run hits every cell.
+        assert main(["xwork-zipf", "--scale", "quick", "--json"]) == 0
+        assert "27/27 cells cached" in capsys.readouterr().err
 
     @pytest.mark.slow
     def test_run_all_quick_writes_every_result(self, _isolated_results_dir, capsys):

@@ -1,0 +1,192 @@
+"""Trace record/replay tests.
+
+The acceptance contract: replaying a recorded run of each paper app under
+the *same* strategy × topology reproduces the live run's traffic totals
+and execution time exactly; replaying under a *different* strategy or
+topology re-simulates the identical access stream there.
+"""
+
+import pytest
+
+from repro.network.mesh import Mesh2D
+from repro.network.topology import Hypercube
+from repro.network.torus import Torus2D
+from repro.workloads import Trace, get_workload, record, replay
+from repro.workloads.trace import retarget_topology, topology_from_spec, topology_spec
+
+
+def totals(res):
+    return (
+        res.time,
+        res.stats.total_bytes,
+        res.stats.total_msgs,
+        res.stats.congestion_bytes,
+        res.stats.congestion_msgs,
+        res.stats.max_startups,
+        res.stats.total_startups,
+        res.stats.data_msgs,
+        res.stats.ctrl_msgs,
+        res.stats.local_msgs,
+    )
+
+
+#: One recording configuration per paper app (plus a handopt baseline and
+#: a synthetic kernel) -- small enough for tier-1, rich enough to cover
+#: reads, writes, locks, barriers with phases/resets, sends and receives.
+CASES = [
+    ("matmul", {"block_entries": 64}, "4-ary"),
+    ("matmul", {"block_entries": 64}, "handopt"),
+    ("bitonic", {"keys": 64}, "2-4-ary"),
+    ("barneshut", {"bodies": 64, "steps": 2, "warm": 1}, "4-ary"),
+    ("zipf", {"n_vars": 16, "ops": 8}, "fixed-home"),
+]
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("workload,params,strategy", CASES,
+                             ids=[f"{w}-{s}" for w, _, s in CASES])
+    def test_same_config_replay_is_exact(self, workload, params, strategy):
+        live, trace = record(workload, Mesh2D(4, 4), strategy, params=params, seed=0)
+        rep = replay(trace)
+        assert totals(rep) == totals(live)
+
+    def test_replay_preserves_phase_breakdown(self):
+        live, trace = record(
+            "barneshut", Mesh2D(2, 2), "2-ary", params={"bodies": 32, "steps": 2, "warm": 1}
+        )
+        rep = replay(trace)
+        assert [p.name for p in rep.phases] == [p.name for p in live.phases]
+        for lp, rp in zip(live.phases, rep.phases):
+            assert rp.time == lp.time
+            assert rp.stats.total_msgs == lp.stats.total_msgs
+
+    def test_replay_honors_measurement_reset(self):
+        """Barnes-Hut's warm-up window (reset at the warm barrier) must
+        replay: measured time < end-to-end time."""
+        _, trace = record(
+            "barneshut", Mesh2D(2, 2), "2-ary", params={"bodies": 32, "steps": 2, "warm": 1}
+        )
+        rep = replay(trace)
+        assert 0 < rep.time < rep.end_time
+
+
+class TestCrossReplay:
+    @pytest.fixture(scope="class")
+    def matmul_trace(self):
+        _, trace = record("matmul", Mesh2D(4, 4), "4-ary", params={"block_entries": 64})
+        return trace
+
+    def test_replay_under_other_strategies(self, matmul_trace):
+        results = {
+            name: replay(matmul_trace, strategy=name)
+            for name in ("fixed-home", "2-ary", "16-ary")
+        }
+        for name, res in results.items():
+            assert res.strategy == name
+            assert res.stats.total_msgs > 0
+        # Different strategies must actually produce different traffic.
+        assert len({r.stats.total_bytes for r in results.values()}) > 1
+
+    def test_replay_under_other_topologies(self, matmul_trace):
+        for topo in (Torus2D(4, 4), Hypercube(4)):
+            res = replay(matmul_trace, topology=topo)
+            assert res.mesh == topo.label
+            assert res.stats.total_msgs > 0
+
+    def test_replay_rejects_wrong_processor_count(self, matmul_trace):
+        with pytest.raises(ValueError, match="16 processors"):
+            replay(matmul_trace, topology=Mesh2D(2, 2))
+
+
+class TestTraceFile:
+    @pytest.mark.parametrize("suffix", [".json", ".json.gz"])
+    def test_save_load_roundtrip(self, tmp_path, suffix):
+        live, trace = record("bitonic", Mesh2D(2, 2), "2-ary", params={"keys": 32},
+                             path=tmp_path / f"t{suffix}")
+        loaded = Trace.load(tmp_path / f"t{suffix}")
+        assert loaded.header == trace.header
+        assert loaded.ops == trace.ops
+        assert totals(replay(loaded)) == totals(live)
+
+    def test_gzip_is_compact(self, tmp_path):
+        _, trace = record("bitonic", Mesh2D(4, 4), "2-ary", params={"keys": 64})
+        plain = trace.save(tmp_path / "t.json")
+        gz = trace.save(tmp_path / "t.json.gz")
+        assert gz.stat().st_size < plain.stat().st_size / 4
+
+    def test_non_trace_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"header": {"format": "something-else"}, "ops": []}')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            Trace.load(bad)
+
+    def test_counts_and_creates(self):
+        _, trace = record("matmul", Mesh2D(2, 2), "4-ary", params={"block_entries": 16})
+        counts = trace.counts()
+        assert counts["c"] == 4  # one block per processor
+        assert counts["r"] > 0 and counts["w"] > 0 and counts["b"] > 0
+        creates = trace.creates()
+        assert [vid for vid, _, _ in creates] == list(range(4))
+
+
+class TestTopologySpec:
+    @pytest.mark.parametrize(
+        "topo", [Mesh2D(2, 4), Torus2D(4, 4), Hypercube(3)],
+        ids=["mesh-rect", "torus", "hypercube"],
+    )
+    def test_spec_roundtrip(self, topo):
+        rebuilt = topology_from_spec(topology_spec(topo))
+        assert rebuilt.kind == topo.kind
+        assert rebuilt.n_nodes == topo.n_nodes
+        assert rebuilt.label == topo.label
+
+
+class TestRetarget:
+    def test_same_kind_keeps_exact_shape(self):
+        topo = retarget_topology(topology_spec(Torus2D(2, 8)), "torus")
+        assert (topo.rows, topo.cols) == (2, 8)
+
+    def test_grid_to_grid_preserves_shape(self):
+        """A 2x8 torus trace retargets to the 2x8 mesh, not a re-squared
+        4x4 (regression: the CLI used isqrt of the processor count)."""
+        topo = retarget_topology(topology_spec(Torus2D(2, 8)), "mesh")
+        assert topo.kind == "mesh"
+        assert (topo.rows, topo.cols) == (2, 8)
+
+    @pytest.mark.parametrize("dim", [3, 5])
+    def test_non_square_hypercube_retargets_to_hypercube(self, dim):
+        """Hypercube(3)/(5) have non-square processor counts; retargeting
+        hypercube->hypercube must still work (regression: isqrt check)."""
+        spec = topology_spec(Hypercube(dim))
+        assert retarget_topology(spec, "hypercube").n_nodes == 2**dim
+
+    def test_non_square_count_to_grid_rejected(self):
+        with pytest.raises(ValueError, match="square grid"):
+            retarget_topology(topology_spec(Hypercube(3)), "mesh")
+
+    def test_non_power_of_two_to_hypercube_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            retarget_topology(topology_spec(Mesh2D(3, 4)), "hypercube")
+
+    def test_grid_to_hypercube_matches_node_count(self):
+        topo = retarget_topology(topology_spec(Mesh2D(4, 4)), "hypercube")
+        assert topo.kind == "hypercube" and topo.n_nodes == 16
+
+
+class TestRecorderContract:
+    def test_recorder_is_single_use(self):
+        from repro.workloads.trace import TraceRecorder
+        from repro.runtime.launcher import Runtime
+        from repro.core.strategy import make_strategy
+
+        rec = TraceRecorder()
+        mesh = Mesh2D(2, 2)
+        Runtime(mesh, make_strategy("4-ary", mesh), recorder=rec)
+        with pytest.raises(RuntimeError, match="exactly one run"):
+            Runtime(mesh, make_strategy("4-ary", mesh), recorder=rec)
+
+    def test_recording_does_not_change_the_run(self):
+        wl = get_workload("bitonic")
+        plain = wl.run(Mesh2D(4, 4), "2-4-ary", params={"keys": 64})
+        recorded, _ = record("bitonic", Mesh2D(4, 4), "2-4-ary", params={"keys": 64})
+        assert totals(recorded) == totals(plain)

@@ -1,0 +1,109 @@
+"""Workload abstraction + registry tests."""
+
+import pytest
+
+from repro.apps import bitonic, matmul
+from repro.network.machine import GCEL
+from repro.network.mesh import Mesh2D
+from repro.network.topology import Hypercube
+from repro.core.strategy import make_strategy
+from repro.workloads import WORKLOADS, Workload, get_workload, register, workload_names
+
+EXPECTED_NAMES = {
+    "matmul", "bitonic", "barneshut",  # the paper's applications
+    "zipf", "uniform", "prodcons", "lock-contention",  # synthetic kernels
+}
+
+
+class TestRegistry:
+    def test_expected_workloads_registered(self):
+        assert EXPECTED_NAMES <= set(workload_names())
+
+    def test_names_sorted(self):
+        assert workload_names() == sorted(WORKLOADS)
+
+    def test_unknown_name_rejected_with_listing(self):
+        with pytest.raises(KeyError, match="zipf"):
+            get_workload("does-not-exist")
+
+    def test_conflicting_reregistration_rejected(self):
+        class Impostor(Workload):
+            name = "matmul"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(Impostor())
+
+    def test_reregistering_same_class_is_idempotent(self):
+        wl = get_workload("zipf")
+        assert register(type(wl)()) is not None
+        assert get_workload("zipf").name == "zipf"
+
+    def test_every_workload_has_size_param_in_defaults(self):
+        for name in workload_names():
+            wl = get_workload(name)
+            if wl.size_param is not None:
+                assert wl.size_param in wl.defaults, name
+
+
+class TestParams:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            get_workload("bitonic").resolve_params({"bogus": 1})
+
+    def test_defaults_merged(self):
+        p = get_workload("zipf").resolve_params({"alpha": 2.0})
+        assert p["alpha"] == 2.0
+        assert p["read_frac"] == 0.9  # untouched default
+
+
+class TestTopologyCompatibility:
+    def test_matmul_rejects_hypercube(self):
+        with pytest.raises(ValueError, match="mesh/torus"):
+            get_workload("matmul").run(Hypercube(4), "4-ary")
+
+    def test_bitonic_runs_on_hypercube(self):
+        res = get_workload("bitonic").run(Hypercube(4), "2-4-ary", params={"keys": 32})
+        assert res.time > 0
+
+
+class TestPaperAdapters:
+    """The workload layer must be a pure re-plumbing of the apps: same
+    arguments in, identical numbers out."""
+
+    def test_matmul_equals_direct_app_call(self):
+        mesh = Mesh2D(4, 4)
+        wl = get_workload("matmul").run(mesh, "4-ary", seed=1, params={"block_entries": 64})
+        direct = matmul.run_diva(
+            mesh, make_strategy("4-ary", mesh, seed=1), 64, machine=GCEL, seed=1
+        )
+        assert wl.time == direct.time
+        assert wl.total_bytes == direct.total_bytes
+        assert wl.stats.total_msgs == direct.stats.total_msgs
+
+    def test_bitonic_handopt_equals_direct_app_call(self):
+        mesh = Mesh2D(4, 4)
+        wl = get_workload("bitonic").run(mesh, "handopt", params={"keys": 64})
+        direct = bitonic.run_handopt(mesh, 64, machine=GCEL, seed=0)
+        assert wl.time == direct.time
+        assert wl.congestion_bytes == direct.congestion_bytes
+
+    def test_matmul_general_variant(self):
+        mesh = Mesh2D(4, 4)
+        res = get_workload("matmul").run(
+            mesh, "4-ary", params={"block_entries": 64, "variant": "general"}
+        )
+        assert res.extra["app"] == "matmul-general"
+
+    def test_matmul_handopt_general_rejected(self):
+        with pytest.raises(ValueError, match="only squares"):
+            get_workload("matmul").run(
+                Mesh2D(4, 4), "handopt", params={"variant": "general"}
+            )
+
+    def test_barneshut_has_no_handopt(self):
+        with pytest.raises(ValueError, match="no hand-optimized"):
+            get_workload("barneshut").run(Mesh2D(2, 2), "handopt")
+
+    def test_synthetic_has_no_handopt(self):
+        with pytest.raises(ValueError, match="no hand-optimized"):
+            get_workload("zipf").run(Mesh2D(2, 2), "handopt")
