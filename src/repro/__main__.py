@@ -184,7 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if topology != "mesh" and not get_spec(name).uses_topology:
             why = (
                 "sweeps its topologies internally"
-                if name.startswith(("xtopo-", "xwork-"))
+                if name.startswith(("xtopo-", "xwork-", "xscale"))
                 else "experiment is mesh-bound"
             )
             print(

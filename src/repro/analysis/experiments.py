@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.strategy import make_strategy
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
-from ..network.topology import make_topology
+from ..network.topology import make_topology, make_topology_nodes
 from ..runtime.results import RunResult
 from ..workloads import get_workload
 
@@ -64,6 +64,7 @@ __all__ = [
     "barrier_cell",
     "bounded_memory_cell",
     "synthetic_cell",
+    "xscale_cell",
 ]
 
 Row = Dict[str, object]
@@ -129,6 +130,16 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
             "quick": dict(side=8, ops=16),
             "default": dict(side=8, ops=64),
             "paper": dict(side=8, ops=256),
+        },
+        # Scale-axis experiment: thousands of nodes (the regime where the
+        # paper's asymptotic congestion guarantee is supposed to bite),
+        # reachable since the engine hot-path overhaul.  Quick keeps one
+        # large machine for smoke coverage; default/paper sweep the full
+        # axis with growing per-processor load.
+        "xscale": {
+            "quick": dict(nodes=(1024,), ops=4),
+            "default": dict(nodes=(1024, 2048, 4096), ops=16),
+            "paper": dict(nodes=(1024, 2048, 4096), ops=64),
         },
         "fig11": {
             "quick": dict(meshes=((2, 4), (4, 4)), bodies_per_proc=24, steps=2, warm=1),
@@ -603,7 +614,6 @@ def tree_degree_cell(
         {
             "strategy": strategy,
             "workload": workload,
-            "app": workload,
             "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
@@ -647,7 +657,6 @@ def embedding_cell(
         {
             "embedding": embedding,
             "workload": workload,
-            "app": workload,
             "topology": topology,
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
@@ -902,6 +911,48 @@ def synthetic_cell(
         lock_acquisitions=res.lock_acquisitions,
     )
     return [row]
+
+
+def xscale_cell(
+    nodes: int,
+    topology: str,
+    strategy: str,
+    ops: int = 16,
+    n_vars: int = 256,
+    alpha: float = 0.8,
+    read_frac: float = 0.9,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One ``xscale`` cell: the Zipf hotspot kernel on a ``nodes``-processor
+    machine (power of two; 1024/2048/4096 in the registry sweep).
+
+    The interesting question at this scale is whether the paper's
+    congestion ranking -- access trees beat the fixed home -- holds as the
+    machine grows: the guarantee is asymptotic, and the per-node
+    congestion column normalizes for direct cross-size comparison."""
+    wl = get_workload("zipf")
+    topo = make_topology_nodes(topology, nodes)
+    params = {"n_vars": n_vars, "ops": ops, "alpha": alpha, "read_frac": read_frac}
+    res = wl.run(topo, strategy, machine=machine, seed=seed, params=params)
+    return [
+        {
+            "workload": "zipf",
+            "strategy": strategy,
+            "topology": topology,
+            "network": topo.label,
+            "nodes": topo.n_nodes,
+            "ops": ops,
+            "alpha": alpha,
+            "read_frac": read_frac,
+            "congestion_bytes": res.congestion_bytes,
+            "congestion_per_node": res.congestion_bytes / topo.n_nodes,
+            "total_bytes": res.stats.total_bytes,
+            "total_msgs": res.stats.total_msgs,
+            "time": res.time,
+            "hit_ratio": res.hit_ratio,
+        }
+    ]
 
 
 def bounded_memory_experiment(

@@ -41,7 +41,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..network.topology import Topology
 from ..runtime.locks import RaymondTreeLock
 from ..runtime.variables import GlobalVariable
-from ..sim.flows import chain, multicast_acks
+from ..sim.flows import multicast_acks
 from .decomposition import DecompositionTree, build_tree, parse_arity
 from .embedding import make_embedding
 from .strategy import DataManagementStrategy, GrantCallback
@@ -90,7 +90,11 @@ class AccessTreeStrategy(DataManagementStrategy):
         self.topology = topology
         self.mesh = topology  # historic alias
         self.tree: DecompositionTree = build_tree(topology, stride=stride, terminal=terminal)
-        self.embedding = make_embedding(embedding, self.tree, seed=seed)
+        # The embedding memo is shared across runs (hosts are pure in
+        # (seed, vid, node)) unless remapping may mutate placements.
+        self.embedding = make_embedding(
+            embedding, self.tree, seed=seed, shared=remap_threshold is None
+        )
         self.name = arity
         self.arity = arity
         self.seed = seed
@@ -111,6 +115,11 @@ class AccessTreeStrategy(DataManagementStrategy):
         # LRU bookkeeping is only needed under bounded memory; the common
         # unbounded case (the paper's default) skips it on the hot paths.
         self._track_mem = self.memory.capacity is not None
+        self._leaf_of_proc = self.tree.leaf_of_proc
+        # Per-variable compiled leg cost shapes (request = control, reply =
+        # data), resolved once at registration for the engine's inline
+        # chain events: (cwire, cover, cocc, dwire, dover, docc).
+        self._leg_costs: Dict[int, Tuple[float, ...]] = {}
 
     # ----------------------------------------------------------- inspection
     def copy_nodes(self, var: GlobalVariable) -> Set[int]:
@@ -164,8 +173,7 @@ class AccessTreeStrategy(DataManagementStrategy):
         r = tn.row0 + rng.randrange(tn.rows)
         c = tn.col0 + rng.randrange(tn.cols)
         new_host = self.tree.mesh.node(r, c)
-        per_var = self.embedding._cache.setdefault(vid, {})
-        per_var[node] = new_host
+        self.embedding.override(vid, node, new_host)
         self.remaps += 1
         if new_host != old_host:
             var = self.registry.by_id(vid)
@@ -182,7 +190,7 @@ class AccessTreeStrategy(DataManagementStrategy):
 
     def _request_path(self, cs: _CopySet, leaf: int) -> List[int]:
         """Tree nodes from ``leaf`` to the nearest copy holder (inclusive)."""
-        path = self.tree.tree_path(leaf, cs.top)
+        path = self.tree.path_between(leaf, cs.top)
         nodes = cs.nodes
         out: List[int] = []
         for n in path:
@@ -273,6 +281,17 @@ class AccessTreeStrategy(DataManagementStrategy):
         leaf = self.tree.leaf_of_proc[var.creator]
         cs = _CopySet(leaf)
         self._copies[var.vid] = cs
+        sim = self.sim
+        cwire = sim._ctrl_bytes
+        dwire = var.payload_bytes + sim._header_bytes
+        self._leg_costs[var.vid] = (
+            cwire,
+            sim._nic_fixed + cwire * sim._nic_byte,
+            cwire / sim._bandwidth,
+            dwire,
+            sim._nic_fixed + dwire * sim._nic_byte,
+            dwire / sim._bandwidth,
+        )
         if self._track_mem:
             self._mem_insert(var, cs, leaf, 0.0)
 
@@ -281,7 +300,7 @@ class AccessTreeStrategy(DataManagementStrategy):
         launches the request/reply flow and returns ``None`` (the runtime is
         resumed at completion time with the value)."""
         cs = self._copies[var.vid]
-        leaf = self.tree.leaf_of_proc[proc]
+        leaf = self._leaf_of_proc[proc]
         if leaf in cs.nodes:
             self.hits += 1
             if self._track_mem:
@@ -291,19 +310,27 @@ class AccessTreeStrategy(DataManagementStrategy):
                     mem.touch(key)
             return t, self.registry.get(var)
         self.misses += 1
+        vid = var.vid
         path = self._request_path(cs, leaf)
         if self.remap_threshold is not None:
-            self._note_accesses(var.vid, path, t)
-        hosts = [self._host(var.vid, n) for n in path]
+            self._note_accesses(vid, path, t)
+        emb = self.embedding
+        per_var = emb.per_var_hosts(vid)
+        hosts = []
+        for n in path:
+            h = per_var[n]
+            hosts.append(h if h is not None else emb.host(vid, n))
         value = self.registry.get(var)  # the value the fetched copy carries
-        payload = var.payload_bytes
         self._add_copies(var, cs, path, t)
-        up = list(zip(hosts, hosts[1:]))
-        legs = [(a, b, 0, False) for a, b in up] + [
-            (b, a, payload, True) for a, b in reversed(up)
-        ]
+        # Compiled request/reply chain: the request climbs as control
+        # messages, the value descends as data -- the two cost shapes
+        # precomputed at registration.
+        cwire, cover, cocc, dwire, dover, docc = self._leg_costs[vid]
         runtime = self.runtime
-        chain(self.sim, legs, t, lambda td: runtime.resume(proc, td, value))
+        self.sim.push_updown(
+            t, hosts, cwire, cover, cocc, dwire, dover, docc,
+            resume_event=runtime.resume_event(proc, value),
+        )
         return None
 
     def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> Optional[float]:
@@ -311,7 +338,7 @@ class AccessTreeStrategy(DataManagementStrategy):
         at the writer); otherwise launches the invalidation flow and returns
         ``None``."""
         cs = self._copies[var.vid]
-        leaf = self.tree.leaf_of_proc[proc]
+        leaf = self._leaf_of_proc[proc]
         if leaf in cs.nodes and len(cs.nodes) == 1:
             self.write_local += 1
             self.registry.set(var, value)
@@ -332,18 +359,25 @@ class AccessTreeStrategy(DataManagementStrategy):
             u = path[-1]
         if self.remap_threshold is not None:
             self._note_accesses(vid, path, t)
-        hosts = [self._host(vid, n) for n in path]
+        emb = self.embedding
+        per_var = emb.per_var_hosts(vid)
+        hosts = []
+        for n in path:
+            h = per_var[n]
+            hosts.append(h if h is not None else emb.host(vid, n))
         payload = var.payload_bytes
 
         # Snapshot the component structure (rooted at u) for the
         # invalidation multicast before the state collapses.
         mc_children: Dict[int, List[int]] = {}
         mc_hosts: Dict[int, int] = {}
+        tree_nodes = self.tree.nodes
         stack = [(u, -1)]
         while stack:
             n, frm = stack.pop()
-            mc_hosts[n] = self._host(vid, n)
-            tn = self.tree.nodes[n]
+            h = per_var[n]
+            mc_hosts[n] = h if h is not None else emb.host(vid, n)
+            tn = tree_nodes[n]
             kids = []
             if tn.parent is not None and tn.parent in cs.nodes and tn.parent != frm:
                 kids.append(tn.parent)
@@ -368,20 +402,28 @@ class AccessTreeStrategy(DataManagementStrategy):
         # --- timing flow ---
         sim = self.sim
         runtime = self.runtime
-        up = list(zip(hosts, hosts[1:]))
-        # The write request carries the new value ("a message including the
-        # new value") to u ...
-        legs_to_u = [(a, b, payload, True) for a, b in up]
-        # ... and the modified copy travels back, leaving copies on the path.
-        legs_back = [(b, a, payload, True) for a, b in reversed(up)]
+        # Both chains carry the value ("a message including the new value"
+        # to u; the modified copy back, leaving copies on the path): the
+        # data cost shape precomputed at registration.
+        dwire, dover, docc = self._leg_costs[vid][3:]
+        single = len(hosts) == 1  # writer already at u: no request travel
 
         def after_request(t1: float) -> None:
             multicast_acks(sim, u, mc_children, mc_hosts, t1, after_inval)
 
         def after_inval(t2: float) -> None:
-            chain(sim, legs_back, t2, lambda t3: runtime.resume(proc, t3, None))
+            if single:
+                runtime.resume(proc, t2, None)
+                return
+            sim.push_path(
+                t2, hosts, dwire, dover, docc, True, True,
+                resume_event=runtime.resume_event(proc, None),
+            )
 
-        chain(sim, legs_to_u, t, after_request)
+        if single:
+            after_request(t)
+        else:
+            sim.push_path(t, hosts, dwire, dover, docc, True, False, after_request)
         return None
 
     # ---------------------------------------------------------------- locks

@@ -108,6 +108,10 @@ class DecompositionTree:
         self.depth = [n.depth for n in nodes]
         self.height = max(self.depth)
         self.max_degree = max((len(n.children) for n in nodes), default=0)
+        self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        # Shared-embedding memo, keyed (embedding kind, seed): see
+        # repro.core.embedding.make_embedding(shared=True).
+        self._embedding_memo: Dict[Tuple[str, int], object] = {}
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -136,6 +140,18 @@ class DecompositionTree:
         # x == y == LCA; up_a ends with LCA, up_b ends with LCA.
         up_b.pop()  # drop duplicate LCA
         return up_a + up_b[::-1]
+
+    def path_between(self, a: int, b: int) -> Tuple[int, ...]:
+        """Memoized :meth:`tree_path` as an immutable tuple.
+
+        Strategies resolve the same (leaf, component-top) pairs over and
+        over; the memo turns the repeat walks into one dict lookup.  The
+        tuple is shared -- callers must not mutate it."""
+        key = (a, b)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = self._path_cache[key] = tuple(self.tree_path(a, b))
+        return path
 
     def tree_distance(self, a: int, b: int) -> int:
         return len(self.tree_path(a, b)) - 1
@@ -206,13 +222,21 @@ def _binary_children(
     return frontier
 
 
+#: Memoized trees: a decomposition tree is a pure function of
+#: ``(topology, stride, terminal, label)``, is immutable after
+#: construction (the path memo inside only accumulates), and is shared by
+#: every access tree of a strategy anyway -- so strategies across runs of
+#: a sweep share one instance and its warmed-up path cache.
+_TREE_MEMO: Dict[Tuple[Topology, int, int, Optional[str]], "DecompositionTree"] = {}
+
+
 def build_tree(
     mesh: Topology,
     stride: int = 2,
     terminal: int = 1,
     label: Optional[str] = None,
 ) -> DecompositionTree:
-    """Build a decomposition tree over any grid-view topology.
+    """Build a decomposition tree over any grid-view topology (memoized).
 
     Parameters
     ----------
@@ -224,6 +248,21 @@ def build_tree(
         of ``<= k`` processors, which then get one child per processor.
         ``terminal=1`` reproduces the plain variants.
     """
+    key = (mesh, stride, terminal, label)
+    cached = _TREE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    tree = _build_tree_uncached(mesh, stride, terminal, label)
+    _TREE_MEMO[key] = tree
+    return tree
+
+
+def _build_tree_uncached(
+    mesh: Topology,
+    stride: int = 2,
+    terminal: int = 1,
+    label: Optional[str] = None,
+) -> DecompositionTree:
     if stride not in (1, 2, 4):
         raise ValueError(f"stride must be 1, 2 or 4 (2-, 4-, 16-ary); got {stride}")
     if terminal < 1:

@@ -46,7 +46,7 @@ tree at the requesting processor, as the protocol requires.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .decomposition import DecompositionTree
 
@@ -69,30 +69,48 @@ def _key(seed: int, vid: int, node: int) -> int:
 
 
 class Embedding:
-    """Base class: lazy per-variable ``host(vid, node) -> processor`` map."""
+    """Base class: lazy per-variable ``host(vid, node) -> processor`` map.
+
+    The per-variable memo is a flat ``None``-filled list indexed by tree
+    node id (trees are small and shared, and list indexing is the protocol
+    hot path) rather than a dict.
+    """
 
     name = "abstract"
 
     def __init__(self, tree: DecompositionTree, seed: int = 0):
         self.tree = tree
         self.seed = seed
-        self._cache: Dict[int, Dict[int, int]] = {}
+        self._n_tree_nodes = len(tree.nodes)
+        self._cache: Dict[int, List[Optional[int]]] = {}
 
     def host(self, vid: int, node: int) -> int:
         """Processor hosting tree ``node`` of variable ``vid``'s access tree."""
         per_var = self._cache.get(vid)
         if per_var is None:
-            per_var = self._cache[vid] = {}
-        h = per_var.get(node)
+            per_var = self._cache[vid] = [None] * self._n_tree_nodes
+        h = per_var[node]
         if h is None:
             h = self._compute(vid, node, per_var)
             per_var[node] = h
         return h
 
+    def per_var_hosts(self, vid: int) -> List[Optional[int]]:
+        """The variable's mutable host memo (hot-path accessor: strategies
+        index it directly and fall back to :meth:`host` on ``None``)."""
+        per_var = self._cache.get(vid)
+        if per_var is None:
+            per_var = self._cache[vid] = [None] * self._n_tree_nodes
+        return per_var
+
     def hosts_for(self, vid: int, nodes) -> List[int]:
         return [self.host(vid, n) for n in nodes]
 
-    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+    def override(self, vid: int, node: int, host: int) -> None:
+        """Pin ``node``'s host (the node-remapping feature)."""
+        self.per_var_hosts(vid)[node] = host
+
+    def _compute(self, vid: int, node: int, per_var: List[Optional[int]]) -> int:
         raise NotImplementedError
 
     def forget(self, vid: int) -> None:
@@ -105,7 +123,7 @@ class RandomEmbedding(Embedding):
 
     name = "random"
 
-    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+    def _compute(self, vid: int, node: int, per_var: List[Optional[int]]) -> int:
         n = self.tree.nodes[node]
         if n.size == 1:
             return self.tree.mesh.node(n.row0, n.col0)
@@ -121,7 +139,7 @@ class ModifiedEmbedding(Embedding):
 
     name = "modified"
 
-    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+    def _compute(self, vid: int, node: int, per_var: List[Optional[int]]) -> int:
         tree = self.tree
         n = tree.nodes[node]
         if n.size == 1:
@@ -171,7 +189,7 @@ class TorusModifiedEmbedding(ModifiedEmbedding):
 
     name = "modified"
 
-    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+    def _compute(self, vid: int, node: int, per_var: List[Optional[int]]) -> int:
         tree = self.tree
         n = tree.nodes[node]
         if n.size == 1:
@@ -204,7 +222,7 @@ class SubcubeEmbedding(Embedding):
 
     name = "subcube"
 
-    def _compute(self, vid: int, node: int, per_var: Dict[int, int]) -> int:
+    def _compute(self, vid: int, node: int, per_var: List[Optional[int]]) -> int:
         tree = self.tree
         n = tree.nodes[node]
         if n.size == 1:
@@ -217,21 +235,36 @@ class SubcubeEmbedding(Embedding):
         return n.row0 + ((parent_host - n.row0) % n.rows)
 
 
-def make_embedding(kind: str, tree: DecompositionTree, seed: int = 0) -> Embedding:
+def make_embedding(
+    kind: str, tree: DecompositionTree, seed: int = 0, shared: bool = False
+) -> Embedding:
     """Factory: ``"modified"`` (paper default) or ``"random"`` (theoretical).
 
     ``"modified"`` resolves to the topology-appropriate variant -- the
     paper's mesh embedding (unchanged), the wrap-aware torus embedding, or
     the hypercube's subcube-recursive embedding.  ``"random"`` is
     topology-agnostic (uniform over the region's grid view).
+
+    ``shared=True`` returns one instance per ``(kind, seed)`` memoized on
+    the (itself memoized) tree, so repeated runs and sweep cells reuse the
+    warmed host memo.  Hosts are pure functions of ``(seed, vid, node)``,
+    so sharing is invisible -- callers that *mutate* placements
+    (:meth:`Embedding.override`, the remapping feature) must request a
+    private instance.
     """
+    if kind not in ("random", "modified"):
+        raise ValueError(f"unknown embedding {kind!r}; expected 'modified' or 'random'")
+    if shared:
+        memo = tree._embedding_memo
+        hit = memo.get((kind, seed))
+        if hit is None:
+            hit = memo[(kind, seed)] = make_embedding(kind, tree, seed, shared=False)
+        return hit
     if kind == "random":
         return RandomEmbedding(tree, seed)
-    if kind == "modified":
-        topo_kind = getattr(tree.mesh, "kind", "mesh")
-        if topo_kind == "torus":
-            return TorusModifiedEmbedding(tree, seed)
-        if topo_kind == "hypercube":
-            return SubcubeEmbedding(tree, seed)
-        return ModifiedEmbedding(tree, seed)
-    raise ValueError(f"unknown embedding {kind!r}; expected 'modified' or 'random'")
+    topo_kind = getattr(tree.mesh, "kind", "mesh")
+    if topo_kind == "torus":
+        return TorusModifiedEmbedding(tree, seed)
+    if topo_kind == "hypercube":
+        return SubcubeEmbedding(tree, seed)
+    return ModifiedEmbedding(tree, seed)

@@ -130,22 +130,35 @@ class FixedHomeStrategy(DataManagementStrategy):
             return t, self.registry.get(var)
         self.misses += 1
         payload = var.payload_bytes
-        legs: List[tuple] = [(proc, st.home, 0, False)]
+        # Both read flows are request/reply chains: control up the host
+        # sequence, data back down (``proc -> home [-> owner]``), so they
+        # compile to the engine's up/down chain form.
+        hosts: List[int] = [proc, st.home]
         if st.owner != HOME:
             # The home first fetches the value from the current owner,
             # moving the ownership back to the main memory.
-            q = st.owner
-            legs.append((st.home, q, 0, False))
-            legs.append((q, st.home, payload, True))
+            hosts.append(st.owner)
             st.owner = HOME
             st.copies.add(st.home)
             self._mem_insert(st, var, st.home, t)
-        legs.append((st.home, proc, payload, True))
         st.copies.add(proc)
         self._mem_insert(st, var, proc, t)
         value = self.registry.get(var)
         runtime = self.runtime
-        chain(self.sim, legs, t, lambda td: runtime.resume(proc, td, value))
+        sim = self.sim
+        cwire = sim._ctrl_bytes
+        dwire = payload + sim._header_bytes
+        sim.push_updown(
+            t,
+            hosts,
+            cwire,
+            sim._nic_fixed + cwire * sim._nic_byte,
+            cwire / sim._bandwidth,
+            dwire,
+            sim._nic_fixed + dwire * sim._nic_byte,
+            dwire / sim._bandwidth,
+            resume_event=runtime.resume_event(proc, value),
+        )
         return None
 
     def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> Optional[float]:

@@ -7,12 +7,10 @@ CI pipeline diffs and archives.  One file per (experiment, scale) under
 schema-versioned payload::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "experiment": "fig3",
       "scale": "default",
       "workload": "matmul",     # --workload axis value (registry name)
-      "app": "matmul",          # legacy alias of "workload" (v2 name),
-                                # kept for one schema cycle
       "topology": "mesh",       # --topology axis value, or the union an
                                 # internal sweep covered ("mesh+torus")
       "params": {...},          # the resolved scale parameters
@@ -23,9 +21,9 @@ schema-versioned payload::
 Schema history: version 2 added the top-level ``topology`` field (the
 cross-topology experiments additionally carry a per-row ``topology``);
 version 3 added the top-level ``workload`` field (the ``--app`` axis
-generalized to the workload registry; ``app`` stays as an alias for one
-cycle, and workload-sweeping rows additionally carry a per-row
-``workload``).
+generalized to the workload registry; ``app`` was kept as an alias for
+one cycle); version 4 removed the ``app`` alias on schedule -- readers
+must use ``workload``.
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -56,7 +54,7 @@ __all__ = [
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 
@@ -141,15 +139,8 @@ def result_payload(
     params: Optional[Mapping[str, object]] = None,
     workload: Optional[str] = None,
     topology: str = "mesh",
-    app: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Schema-versioned result payload (rows/params sanitized).
-
-    ``app`` is the deprecated v2 name of ``workload``; the payload always
-    carries both keys with the same value.
-    """
-    if workload is None:
-        workload = app
+    """Schema-versioned result payload (rows/params sanitized)."""
     clean_params: Dict[str, Any] = {}
     for k, v in dict(params or {}).items():
         sv = sanitize_value(v)
@@ -160,7 +151,6 @@ def result_payload(
         "experiment": experiment,
         "scale": scale,
         "workload": workload,
-        "app": workload,
         "topology": topology,
         "params": clean_params,
         "columns": list(columns),

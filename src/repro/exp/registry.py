@@ -32,6 +32,9 @@ TREE_DEGREE_VARIANTS = ("2-ary", "2-4-ary", "4-ary", "4-16-ary", "16-ary")
 XTOPO_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
 #: Strategies swept over the synthetic-workload axes.
 XWORK_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
+#: Strategies compared on the thousands-of-nodes scale axis (the node
+#: counts live in analysis.scale_params("xscale", ...)).
+XSCALE_STRATEGIES = ("fixed-home", "2-4-ary")
 #: Zipf skew exponents of the xwork-zipf sweep (0 = uniform).
 XWORK_ZIPF_ALPHAS = (0.0, 0.8, 1.5)
 #: Read fractions of the xwork-readfrac sweep (1.0 = read-only).
@@ -222,6 +225,23 @@ def _xwork_readfrac_cells(p: Params) -> List[Cell]:
     ]
 
 
+def _xscale_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xscale", scale)
+    params["topologies"] = ["mesh", "torus", "hypercube"]
+    params["strategies"] = list(XSCALE_STRATEGIES)
+    return params
+
+
+def _xscale_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.xscale_cell, nodes=nodes, topology=topology, strategy=name,
+                  ops=p["ops"], seed=0)
+        for nodes in p["nodes"]
+        for topology in p["topologies"]
+        for name in p["strategies"]
+    ]
+
+
 def _invalidation_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.invalidation_cell, strategy=name, variant=variant,
@@ -342,6 +362,17 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                 "cross-workload: read-fraction sweep (zipf hotspot, 64 nodes)"
             ),
             uses_topology=True,
+        ),
+        ExperimentSpec(
+            name="xscale",
+            columns=("nodes", "topology", "strategy", "congestion_bytes",
+                     "congestion_per_node", "total_bytes", "time", "hit_ratio"),
+            make_params=_xscale_params,
+            make_cells=_xscale_cells,
+            title=_fixed_title(
+                "scale axis: zipf hotspot at 1024-4096 nodes "
+                "(mesh+torus+hypercube, fixed-home vs 2-4-ary)"
+            ),
         ),
         ExperimentSpec(
             name="fig8",

@@ -109,11 +109,6 @@ class ExperimentRun:
         return self.spec.name
 
     @property
-    def app(self) -> str:
-        """Deprecated alias of :attr:`workload` (pre-workload name)."""
-        return self.workload
-
-    @property
     def scale_label(self) -> str:
         """Effective scale for result-file naming (mirrors scale_params)."""
         return self.scale or os.environ.get("REPRO_SCALE", "default")

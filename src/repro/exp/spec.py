@@ -167,11 +167,6 @@ class ExperimentSpec:
     uses_workload: bool = field(default=False)
     uses_topology: bool = field(default=False)
 
-    @property
-    def uses_app(self) -> bool:
-        """Deprecated alias of :attr:`uses_workload` (pre-workload name)."""
-        return self.uses_workload
-
     def params_for(
         self, scale: Optional[str] = None, workload: str = "matmul", topology: str = "mesh"
     ) -> Dict[str, Any]:

@@ -1,4 +1,4 @@
-"""Deterministic routing, one cached entry point for every topology.
+"""Deterministic routing: per-topology route tables, one entry point.
 
 The GCel's wormhole router transmits messages along *dimension-order*
 paths: the unique shortest path that first travels along dimension 1 and
@@ -10,31 +10,110 @@ dimension-order on the torus, e-cube on the hypercube.
 
 Each :class:`~repro.network.topology.Topology` implements the raw path
 computation (:meth:`~repro.network.topology.Topology.compute_route`); this
-module adds the memoization and is the single source of routes for the
-whole package -- simulations route the same processor pairs over and over
-(tree edges, home round-trips), and path computation dominated the profile
-before caching.  Topologies are small frozen dataclasses, so they key the
-cache directly.
+module adds the caching and is the single source of routes for the whole
+package -- simulations route the same processor pairs over and over (tree
+edges, home round-trips), and path computation dominated the profile
+before caching.
+
+Caching lives in per-topology :class:`RouteTable` objects rather than one
+global ``lru_cache``: the simulator grabs its topology's table once and
+then resolves every route with a single integer-keyed dict lookup, instead
+of hashing the topology dataclass on every message leg (which was the
+second-largest cost of ``send_leg`` before the overhaul).  Tables for
+node counts up to :data:`DENSE_NODE_LIMIT` are unbounded (at most ``P**2``
+routed pairs ever materialize, and only pairs actually routed are stored);
+larger machines get a bounded table with deterministic FIFO eviction so
+memory stays flat on huge sweeps.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .topology import Topology
 
-__all__ = ["route_links", "route_nodes", "path_length"]
+__all__ = [
+    "DENSE_NODE_LIMIT",
+    "RouteTable",
+    "get_route_table",
+    "path_length",
+    "route_links",
+    "route_nodes",
+]
+
+#: Up to this many nodes a topology's table is unbounded ("dense"): every
+#: routed pair is kept for the life of the process.
+DENSE_NODE_LIMIT = 4096
+
+#: Entry bound of tables for topologies above :data:`DENSE_NODE_LIMIT`.
+_BOUNDED_ENTRIES = 1 << 20
+
+
+class RouteTable:
+    """Route cache of one topology: ``(src, dst) -> directed link ids``.
+
+    Keys are the dense scalars ``src * n_nodes + dst`` so lookups stay a
+    single int-keyed dict access on the simulator's hot path (the
+    :class:`~repro.sim.engine.Simulator` reads :attr:`routes` directly).
+    With ``max_entries`` set, insertion beyond the bound evicts the oldest
+    entry (FIFO -- deterministic, and correctness-neutral since entries
+    are pure functions of their key).
+    """
+
+    __slots__ = ("topology", "max_entries", "routes", "_n")
+
+    def __init__(self, topology: Topology, max_entries: Optional[int] = None):
+        if max_entries is None and topology.n_nodes > DENSE_NODE_LIMIT:
+            max_entries = _BOUNDED_ENTRIES
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.topology = topology
+        self.max_entries = max_entries
+        #: The raw cache; hot-path readers index it with ``src * n + dst``
+        #: and fall back to :meth:`lookup` on a miss.
+        self.routes: Dict[int, Tuple[int, ...]] = {}
+        self._n = topology.n_nodes
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def key(self, src: int, dst: int) -> int:
+        """Dense scalar cache key of the pair ``(src, dst)``."""
+        return src * self._n + dst
+
+    def lookup(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Directed link ids of the path ``src -> dst`` (cached)."""
+        routes = self.routes
+        key = src * self._n + dst
+        route = routes.get(key)
+        if route is None:
+            route = self.topology.compute_route(src, dst)
+            if self.max_entries is not None and len(routes) >= self.max_entries:
+                del routes[next(iter(routes))]
+            routes[key] = route
+        return route
+
+
+#: One table per topology value (equal topologies share; a torus never
+#: shares with the equal-sided mesh -- dataclass equality is class-exact).
+_TABLES: Dict[Topology, RouteTable] = {}
+
+
+def get_route_table(topology: Topology) -> RouteTable:
+    """The process-wide :class:`RouteTable` of ``topology``.
+
+    This is the one place that still hashes the topology; the simulator
+    calls it once at construction and keeps the table.
+    """
+    table = _TABLES.get(topology)
+    if table is None:
+        table = _TABLES[topology] = RouteTable(topology)
+    return table
 
 
 def path_length(topology: Topology, src: int, dst: int) -> int:
     """Number of links on the deterministic path (== routing distance)."""
     return topology.distance(src, dst)
-
-
-@lru_cache(maxsize=1 << 20)
-def _route_cache(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
-    return topology.compute_route(src, dst)
 
 
 def route_links(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
@@ -47,7 +126,7 @@ def route_links(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
     >>> route_links(m, 4, 4)
     ()
     """
-    return _route_cache(topology, src, dst)
+    return get_route_table(topology).lookup(src, dst)
 
 
 def route_nodes(topology: Topology, src: int, dst: int) -> List[int]:

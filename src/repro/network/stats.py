@@ -18,15 +18,22 @@ communication time of specific call types.  :class:`LinkStats` supports
 cheap snapshot/delta accounting so the runtime can attribute traffic to the
 currently executing phase.
 
-Implementation note: counters are plain Python lists because the hot path is
-scalar increments along short (<= mesh diameter) link paths, where list
-indexing beats numpy fancy indexing by a wide margin; aggregation converts
-to numpy once, at snapshot time.
+Implementation note: counters are preallocated numpy arrays fed through a
+**batched record path**.  The hot path (one :meth:`record` per message leg,
+millions per large run) only appends to flat Python buffers -- no per-leg
+array indexing at all; the buffers are folded into the arrays with
+``numpy.bincount`` whenever an aggregate is read (snapshot, checkpoint,
+render, or any counter property).  Reads flush first, so every externally
+visible value is exactly what the eager per-leg accounting used to produce:
+all byte sizes are integers, whose float64 sums are exact regardless of
+accumulation order, making snapshots and renders byte-identical to the
+pre-batching implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -77,21 +84,78 @@ class LinkStats:
     separately so hit-ratio style statistics remain possible.
     """
 
+    __slots__ = (
+        "mesh",
+        "topology",
+        "_link_bytes",
+        "_link_msgs",
+        "_startups",
+        "_receives",
+        "_total_msgs",
+        "_data_msgs",
+        "_local_msgs",
+        "_pending",
+        "_kern_lib",
+        "_kern_h",
+    )
+
     def __init__(self, topology: Topology):
         # Historic attribute name: the stats object predates the topology
         # abstraction, and ``.mesh`` is part of its public surface.
         self.mesh = topology
         self.topology = topology
         n = topology.n_links
-        self.link_bytes = [0.0] * n
-        self.link_msgs = [0] * n
         p = topology.n_nodes
-        self.startups = [0] * p  # message sends per processor
-        self.receives = [0] * p
-        self.total_msgs = 0
-        self.data_msgs = 0
-        self.ctrl_msgs = 0
-        self.local_msgs = 0
+        self._link_bytes = np.zeros(n, dtype=np.float64)
+        self._link_msgs = np.zeros(n, dtype=np.int64)
+        self._startups = np.zeros(p, dtype=np.int64)  # message sends per proc
+        self._receives = np.zeros(p, dtype=np.int64)
+        self._total_msgs = 0
+        self._data_msgs = 0
+        self._local_msgs = 0
+        # Batched record path: one (links, size, src, dst, is_data) tuple
+        # per leg, folded into the arrays by _flush().  The simulator
+        # appends to this buffer directly.
+        self._pending: list = []
+        # When the C event kernel is active it accumulates *eagerly* into
+        # the arrays above (shared memory) and keeps the scalar message
+        # counters on its side; see bind_kernel()/absorb_kernel().
+        self._kern_lib = None
+        self._kern_h = None
+
+    # ------------------------------------------------------- kernel binding
+    def bind_kernel(self, lib, handle) -> None:
+        """Attach the C kernel whose counters complement ours (the kernel
+        writes the per-link/per-proc arrays directly via shared memory)."""
+        self._kern_lib = lib
+        self._kern_h = handle
+
+    def absorb_kernel(self) -> None:
+        """Fold the kernel's scalar counters into ours and detach (called
+        before the kernel is re-pointed at a successor stats object)."""
+        lib = self._kern_lib
+        if lib is None:
+            return
+        h = self._kern_h
+        self._total_msgs += lib.sim_total_msgs(h)
+        self._data_msgs += lib.sim_data_msgs(h)
+        self._local_msgs += lib.sim_local_msgs(h)
+        self._kern_lib = None
+        self._kern_h = None
+
+    def _scalar_counters(self) -> Tuple[int, int, int]:
+        """Flushed ``(total, data, local)`` message counts, kernel included."""
+        self._flush()
+        t = self._total_msgs
+        d = self._data_msgs
+        loc = self._local_msgs
+        lib = self._kern_lib
+        if lib is not None:
+            h = self._kern_h
+            t += lib.sim_total_msgs(h)
+            d += lib.sim_data_msgs(h)
+            loc += lib.sim_local_msgs(h)
+        return t, d, loc
 
     # ------------------------------------------------------------- recording
     def record(
@@ -103,53 +167,105 @@ class LinkStats:
         is_data: bool,
     ) -> None:
         """Account one message leg of ``size_bytes`` crossing ``links``."""
-        if links:
-            lb = self.link_bytes
-            lm = self.link_msgs
-            for link in links:
-                lb[link] += size_bytes
-                lm[link] += 1
-        else:
-            self.local_msgs += 1
-        self.startups[src] += 1
-        self.receives[dst] += 1
-        self.total_msgs += 1
-        if is_data:
-            self.data_msgs += 1
-        else:
-            self.ctrl_msgs += 1
+        self._pending.append((tuple(links), size_bytes, src, dst, is_data))
+
+    def _flush(self) -> None:
+        """Fold the pending per-leg buffer into the counter arrays."""
+        pend = self._pending
+        m = len(pend)
+        if not m:
+            return
+        self._pending = []
+        links_col, sizes_col, src_col, dst_col, data_col = zip(*pend)
+        counts = np.fromiter(map(len, links_col), dtype=np.intp, count=m)
+        crossing = int(counts.sum())
+        if crossing:
+            flat = np.fromiter(chain.from_iterable(links_col), dtype=np.intp, count=crossing)
+            sizes = np.fromiter(sizes_col, dtype=np.float64, count=m)
+            nl = self._link_bytes.shape[0]
+            self._link_bytes += np.bincount(flat, weights=np.repeat(sizes, counts), minlength=nl)
+            self._link_msgs += np.bincount(flat, minlength=nl)
+        p = self._startups.shape[0]
+        self._startups += np.bincount(np.fromiter(src_col, dtype=np.intp, count=m), minlength=p)
+        self._receives += np.bincount(np.fromiter(dst_col, dtype=np.intp, count=m), minlength=p)
+        self._total_msgs += m
+        self._data_msgs += data_col.count(True)
+        self._local_msgs += int((counts == 0).sum())
+
+    # ------------------------------------------------------------- counters
+    @property
+    def link_bytes(self) -> np.ndarray:
+        """Bytes transmitted per directed link (float64 array)."""
+        self._flush()
+        return self._link_bytes
+
+    @property
+    def link_msgs(self) -> np.ndarray:
+        """Messages transmitted per directed link (int64 array)."""
+        self._flush()
+        return self._link_msgs
+
+    @property
+    def startups(self) -> np.ndarray:
+        """Message sends per processor (int64 array)."""
+        self._flush()
+        return self._startups
+
+    @property
+    def receives(self) -> np.ndarray:
+        """Message receives per processor (int64 array)."""
+        self._flush()
+        return self._receives
+
+    @property
+    def total_msgs(self) -> int:
+        return self._scalar_counters()[0]
+
+    @property
+    def data_msgs(self) -> int:
+        return self._scalar_counters()[1]
+
+    @property
+    def ctrl_msgs(self) -> int:
+        t, d, _ = self._scalar_counters()
+        return t - d
+
+    @property
+    def local_msgs(self) -> int:
+        return self._scalar_counters()[2]
 
     # ----------------------------------------------------------- aggregation
     @property
     def congestion_bytes(self) -> float:
         """Max bytes across any single directed link (the paper's congestion
         measured in data volume)."""
-        return max(self.link_bytes, default=0.0)
+        return float(self.link_bytes.max(initial=0.0))
 
     @property
     def congestion_msgs(self) -> int:
         """Max messages across any single directed link (the paper's
         Barnes-Hut congestion unit)."""
-        return max(self.link_msgs, default=0)
+        return int(self.link_msgs.max(initial=0))
 
     @property
     def total_bytes(self) -> float:
         """Total communication load: sum over links of transmitted bytes."""
-        return float(sum(self.link_bytes))
+        return float(self.link_bytes.sum())
 
     @property
     def total_link_msgs(self) -> int:
-        return int(sum(self.link_msgs))
+        return int(self.link_msgs.sum())
 
     def hottest_links(self, k: int = 5) -> list[tuple[int, int, int, float, int]]:
         """The ``k`` most byte-loaded links as ``(link, src, dst, bytes,
         msgs)``; handy when debugging why a strategy saturates a region."""
-        lb = np.asarray(self.link_bytes)
+        lb = self.link_bytes
+        lm = self._link_msgs
         order = np.argsort(lb)[::-1][:k]
         out = []
         for link in order:
             s, d = self.mesh.link_endpoints(int(link))
-            out.append((int(link), s, d, float(lb[link]), int(self.link_msgs[link])))
+            out.append((int(link), s, d, float(lb[link]), int(lm[link])))
         return out
 
     def render(self, width: int = 4) -> str:
@@ -171,13 +287,13 @@ class LinkStats:
         appended as per-row / per-column lines below it, normalized against
         the same peak."""
         m = self.mesh
+        lb = self.link_bytes
         interior = getattr(m, "_mesh_links", m.n_links)
         wire_load: Dict[Tuple[int, int], float] = {}
         for link in range(interior):
             a, b = m.link_endpoints(link)
             key = (min(a, b), max(a, b))
-            wire_load[key] = wire_load.get(key, 0.0) + self.link_bytes[link]
-        lb = self.link_bytes
+            wire_load[key] = wire_load.get(key, 0.0) + lb[link]
         wrap_pairs: list[float] = []
         if interior < m.n_links:
             wrap_pairs = [lb[m.h_wrap(r, True)] + lb[m.h_wrap(r, False)] for r in range(m.rows)]
@@ -228,6 +344,8 @@ class LinkStats:
         in order, so imbalance shows up here) and which individual links
         run hottest."""
         topo = self.topology
+        lb = self.link_bytes
+        lm = self._link_msgs
         lines = []
         dim = getattr(topo, "dim", None)
         if dim is not None:
@@ -235,9 +353,9 @@ class LinkStats:
             lines.append("dim  total_bytes  max_bytes  msgs")
             for d in range(dim):
                 ids = range(d, topo.n_links, dim)
-                total = sum(self.link_bytes[i] for i in ids)
-                peak = max(self.link_bytes[i] for i in ids)
-                msgs = sum(self.link_msgs[i] for i in ids)
+                total = sum(lb[i] for i in ids)
+                peak = max(lb[i] for i in ids)
+                msgs = sum(lm[i] for i in ids)
                 lines.append(f"{d:<4d} {total:<12.0f} {peak:<10.0f} {msgs}")
         lines.append(f"hottest {k} directed links:")
         lines.append("link  src  dst  bytes  msgs")
@@ -246,46 +364,49 @@ class LinkStats:
         return "\n".join(lines)
 
     def snapshot(self) -> StatsSnapshot:
+        t, d, loc = self._scalar_counters()
         return StatsSnapshot(
-            congestion_bytes=self.congestion_bytes,
-            congestion_msgs=self.congestion_msgs,
-            total_bytes=self.total_bytes,
-            total_msgs=self.total_msgs,
-            max_startups=max(self.startups, default=0),
-            total_startups=sum(self.startups),
-            data_msgs=self.data_msgs,
-            ctrl_msgs=self.ctrl_msgs,
-            local_msgs=self.local_msgs,
+            congestion_bytes=float(self._link_bytes.max(initial=0.0)),
+            congestion_msgs=int(self._link_msgs.max(initial=0)),
+            total_bytes=float(self._link_bytes.sum()),
+            total_msgs=t,
+            max_startups=int(self._startups.max(initial=0)),
+            total_startups=int(self._startups.sum()),
+            data_msgs=d,
+            ctrl_msgs=t - d,
+            local_msgs=loc,
         )
 
     # ------------------------------------------------------------ phase book
     def checkpoint(self) -> "_Checkpoint":
         """Capture raw counters; combine with the current state later via
         :meth:`delta` to obtain a :class:`StatsSnapshot` for the interval."""
+        t, d, loc = self._scalar_counters()
         return _Checkpoint(
-            link_bytes=np.asarray(self.link_bytes, dtype=np.float64),
-            link_msgs=np.asarray(self.link_msgs, dtype=np.int64),
-            startups=np.asarray(self.startups, dtype=np.int64),
-            total_msgs=self.total_msgs,
-            data_msgs=self.data_msgs,
-            ctrl_msgs=self.ctrl_msgs,
-            local_msgs=self.local_msgs,
+            link_bytes=self._link_bytes.copy(),
+            link_msgs=self._link_msgs.copy(),
+            startups=self._startups.copy(),
+            total_msgs=t,
+            data_msgs=d,
+            ctrl_msgs=t - d,
+            local_msgs=loc,
         )
 
     def delta(self, since: "_Checkpoint") -> StatsSnapshot:
-        db = np.asarray(self.link_bytes, dtype=np.float64) - since.link_bytes
-        dm = np.asarray(self.link_msgs, dtype=np.int64) - since.link_msgs
-        ds = np.asarray(self.startups, dtype=np.int64) - since.startups
+        t, d, loc = self._scalar_counters()
+        db = self._link_bytes - since.link_bytes
+        dm = self._link_msgs - since.link_msgs
+        ds = self._startups - since.startups
         return StatsSnapshot(
             congestion_bytes=float(db.max(initial=0.0)),
             congestion_msgs=int(dm.max(initial=0)),
             total_bytes=float(db.sum()),
-            total_msgs=self.total_msgs - since.total_msgs,
+            total_msgs=t - since.total_msgs,
             max_startups=int(ds.max(initial=0)),
             total_startups=int(ds.sum()),
-            data_msgs=self.data_msgs - since.data_msgs,
-            ctrl_msgs=self.ctrl_msgs - since.ctrl_msgs,
-            local_msgs=self.local_msgs - since.local_msgs,
+            data_msgs=d - since.data_msgs,
+            ctrl_msgs=(t - d) - since.ctrl_msgs,
+            local_msgs=loc - since.local_msgs,
         )
 
 

@@ -40,7 +40,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
-__all__ = ["Topology", "Hypercube", "make_topology", "TOPOLOGY_KINDS"]
+__all__ = [
+    "Topology",
+    "Hypercube",
+    "make_topology",
+    "make_topology_nodes",
+    "TOPOLOGY_KINDS",
+]
 
 
 class Topology:
@@ -278,6 +284,34 @@ def make_topology(kind: str, side: int) -> Topology:
                 f"hypercube needs a power-of-two node count, got side={side} (P={n})"
             )
         return Hypercube(dim)
+    raise ValueError(
+        f"unknown topology {kind!r}; expected one of {', '.join(TOPOLOGY_KINDS)}"
+    )
+
+
+def make_topology_nodes(kind: str, nodes: int) -> Topology:
+    """Build a topology with exactly ``nodes`` processors (power of two).
+
+    This is the resolution step behind the ``xscale`` experiment, which
+    sweeps node counts (1024/2048/4096) rather than grid sides.  Odd
+    powers of two become the paper's 2:1 rectangles (``32x64``); even
+    powers become squares; the hypercube takes ``log2(nodes)`` dimensions.
+    """
+    if nodes < 2 or nodes & (nodes - 1):
+        raise ValueError(f"node count must be a power of two >= 2, got {nodes}")
+    dim = nodes.bit_length() - 1
+    if kind == "hypercube":
+        return Hypercube(dim)
+    rows = 1 << (dim // 2)
+    cols = nodes // rows
+    if kind == "mesh":
+        from .mesh import Mesh2D
+
+        return Mesh2D(rows, cols)
+    if kind == "torus":
+        from .torus import Torus2D
+
+        return Torus2D(rows, cols)
     raise ValueError(
         f"unknown topology {kind!r}; expected one of {', '.join(TOPOLOGY_KINDS)}"
     )

@@ -123,6 +123,8 @@ class MarkReq:
 class Env:
     """Per-processor view of the runtime, passed to every program."""
 
+    __slots__ = ("_rt", "rank")
+
     def __init__(self, runtime: "Runtime", rank: int):  # noqa: F821
         self._rt = runtime
         self.rank = rank

@@ -1,0 +1,681 @@
+"""Optional compiled event-loop kernel (cffi + cc), with pure-Python fallback.
+
+The discrete-event hot loop -- heap, chain/multicast flow stepping, leg
+timing, traffic accounting -- is a few hundred machine-level operations
+per message leg, but costs ~1.2 microseconds in CPython even after the
+inline-event overhaul.  This module compiles the identical loop to native
+code at first use and drives it through ``cffi``'s ABI mode: chains and
+multicasts execute entirely in C, and control returns to Python only for
+generic events (program steps, barriers, locks) and flow completions.
+
+Arithmetic is mirrored operation-for-operation from the pure-Python loop
+in :mod:`repro.sim.engine` (same IEEE doubles, same order), and event keys
+``(time, seq)`` are assigned at the same logical points, so simulated
+results are bit-identical between the two engines --
+``tests/sim/test_engine.py`` pins that equivalence.
+
+Gating: the kernel engages only when ``cffi`` is importable, a C compiler
+is available, and ``REPRO_PURE_PYTHON`` is unset.  Any failure along the
+way (no compiler, sandboxed tmpdir, dlopen error) silently falls back to
+the pure-Python engine; nothing in the package *requires* the kernel.
+The shared object is cached under ``$REPRO_CKERN_DIR`` (default: a
+per-user directory in the system tempdir) keyed by a hash of the C
+source, so compilation happens once per source revision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+__all__ = ["load_kernel", "CKERN_SOURCE"]
+
+CKERN_SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+enum { K_GEN = 0, K_CHAIN = 1, K_MDOWN = 2, K_MACK = 3 };
+enum { R_DONE = 0, R_GENERIC = 1, R_CHAIN_DONE = 2, R_MC_DONE = 3,
+       R_NEED_ROUTE = 4 };
+
+typedef struct { double time; i64 seq; int kind, a, b, c, d; } Ev;
+typedef struct { int kind; int a; int b; double time; double targ; } Crossing;
+
+typedef struct {
+    int n, done_id, auto_resume;
+    int *src, *dst;
+    double *wire, *over, *occ;
+    unsigned char *dat;
+} Chain;
+
+typedef struct { int remaining; double tmax; int node; int parent_host; int parent; } Pend;
+
+typedef struct {
+    int done_id;
+    double dwire, dover, docc; int ddat;
+    double awire, aover, aocc;
+    int *hosts;
+    int *kid_off, *kid_cnt, *kids;
+    Pend *pends; int n_pend, cap_pend;
+} Mcast;
+
+typedef struct {
+    int n_nodes;
+    i64 seqno;
+    double hop, local_ov;
+    double *link_free, *nic_free;               /* borrowed (numpy) */
+    double *st_bytes; i64 *st_msgs, *st_startups, *st_receives;  /* borrowed */
+    i64 st_total, st_data, st_local;
+    Ev *heap; int heap_n, heap_cap;
+    i64 *rt_keys; int *rt_off, *rt_len; int rt_cap, rt_count;
+    int *arena; int ar_used, ar_cap;
+    Chain **chains; int ch_cap; int *ch_free; int ch_free_n;
+    Mcast **mcs; int mc_cap; int *mc_free; int mc_free_n;
+    int *stage_i;
+    double *stage_d;
+    int stage_cap;
+} Sim;
+
+/* ------------------------------------------------------------------ heap */
+static void heap_push(Sim *s, double t, i64 seq, int kind, int a, int b,
+                      int c, int d) {
+    if (s->heap_n == s->heap_cap) {
+        s->heap_cap *= 2;
+        s->heap = (Ev *)realloc(s->heap, s->heap_cap * sizeof(Ev));
+    }
+    Ev *h = s->heap;
+    int i = s->heap_n++;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (h[p].time < t || (h[p].time == t && h[p].seq < seq)) break;
+        h[i] = h[p];
+        i = p;
+    }
+    h[i].time = t; h[i].seq = seq; h[i].kind = kind;
+    h[i].a = a; h[i].b = b; h[i].c = c; h[i].d = d;
+}
+
+static Ev heap_pop(Sim *s) {
+    Ev *h = s->heap;
+    Ev top = h[0];
+    Ev last = h[--s->heap_n];
+    int n = s->heap_n, i = 0;
+    for (;;) {
+        int l = 2 * i + 1, m = i;
+        if (l < n && (h[l].time < last.time ||
+                      (h[l].time == last.time && h[l].seq < last.seq)))
+            m = l;
+        int r = l + 1;
+        if (r < n) {
+            Ev *cm = (m == i) ? &last : &h[m];
+            if (h[r].time < cm->time ||
+                (h[r].time == cm->time && h[r].seq < cm->seq))
+                m = r;
+        }
+        if (m == i) break;
+        h[i] = h[m];
+        i = m;
+    }
+    if (n > 0) h[i] = last;
+    return top;
+}
+
+/* ---------------------------------------------------------------- routes */
+static int rt_slot(Sim *s, i64 key) {
+    int mask = s->rt_cap - 1;
+    int i = (int)(((unsigned long long)key * 0x9E3779B97F4A7C15ULL) >> 33) & mask;
+    while (s->rt_keys[i] != -1) {
+        if (s->rt_keys[i] == key) return i;
+        i = (i + 1) & mask;
+    }
+    return ~i;
+}
+
+static void rt_grow(Sim *s) {
+    int old_cap = s->rt_cap;
+    i64 *ok = s->rt_keys; int *oo = s->rt_off, *ol = s->rt_len;
+    s->rt_cap *= 2;
+    s->rt_keys = (i64 *)malloc(s->rt_cap * sizeof(i64));
+    s->rt_off = (int *)malloc(s->rt_cap * sizeof(int));
+    s->rt_len = (int *)malloc(s->rt_cap * sizeof(int));
+    for (int i = 0; i < s->rt_cap; i++) s->rt_keys[i] = -1;
+    for (int i = 0; i < old_cap; i++) {
+        if (ok[i] == -1) continue;
+        int j = ~rt_slot(s, ok[i]);
+        s->rt_keys[j] = ok[i]; s->rt_off[j] = oo[i]; s->rt_len[j] = ol[i];
+    }
+    free(ok); free(oo); free(ol);
+}
+
+void sim_set_route(Sim *s, int src, int dst, int n) {
+    /* links staged in stage_i[0..n) */
+    if (s->rt_count * 10 >= s->rt_cap * 7) rt_grow(s);
+    if (s->ar_used + n > s->ar_cap) {
+        while (s->ar_used + n > s->ar_cap) s->ar_cap *= 2;
+        s->arena = (int *)realloc(s->arena, s->ar_cap * sizeof(int));
+    }
+    memcpy(s->arena + s->ar_used, s->stage_i, n * sizeof(int));
+    i64 key = (i64)src * s->n_nodes + dst;
+    int slot = rt_slot(s, key);
+    if (slot < 0) {
+        slot = ~slot;
+        s->rt_count++;
+    }
+    s->rt_keys[slot] = key;
+    s->rt_off[slot] = s->ar_used;
+    s->rt_len[slot] = n;
+    s->ar_used += n;
+}
+
+/* --------------------------------------------------------------- one leg */
+static double do_leg(Sim *s, double time, int src, int dst, double wire,
+                     double over, double occ, int isdat, int *need) {
+    if (src == dst) {
+        s->st_startups[src]++; s->st_receives[dst]++;
+        s->st_total++; s->st_local++;
+        if (isdat) s->st_data++;
+        return time + s->local_ov;
+    }
+    int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
+    if (slot < 0) { *need = 1; return 0.0; }
+    int len = s->rt_len[slot];
+    int *links = s->arena + s->rt_off[slot];
+    double t_send = s->nic_free[src];
+    if (time > t_send) t_send = time;
+    double depart = t_send + over;
+    double start = depart;
+    for (int k = 0; k < len; k++) {
+        double v = s->link_free[links[k]];
+        if (v > start) start = v;
+    }
+    double end = start + occ;
+    double arrive = end + len * s->hop;
+    double t_recv = s->nic_free[dst];
+    if (arrive > t_recv) t_recv = arrive;
+    arrive = t_recv + over;
+    s->nic_free[src] = depart;
+    for (int k = 0; k < len; k++) {
+        int lk = links[k];
+        s->link_free[lk] = end;
+        s->st_bytes[lk] += wire;
+        s->st_msgs[lk]++;
+    }
+    s->nic_free[dst] = arrive;
+    s->st_startups[src]++; s->st_receives[dst]++;
+    s->st_total++;
+    if (isdat) s->st_data++;
+    return arrive;
+}
+
+/* side-effect-free timing of one leg (send_leg(count=False)) */
+double sim_probe_leg(Sim *s, double time, int src, int dst, double wire,
+                     double over, double occ) {
+    if (src == dst) return time + s->local_ov;
+    int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
+    if (slot < 0) return -1.0; /* caller must set the route and retry */
+    int len = s->rt_len[slot];
+    int *links = s->arena + s->rt_off[slot];
+    double t_send = s->nic_free[src];
+    if (time > t_send) t_send = time;
+    double depart = t_send + over;
+    double start = depart;
+    for (int k = 0; k < len; k++) {
+        double v = s->link_free[links[k]];
+        if (v > start) start = v;
+    }
+    double end = start + occ;
+    double arrive = end + len * s->hop;
+    double t_recv = s->nic_free[dst];
+    if (arrive > t_recv) t_recv = arrive;
+    return t_recv + over;
+}
+
+/* counting leg driven from Python's send_leg(); -1 => route needed */
+double sim_send_leg(Sim *s, double time, int src, int dst, double wire,
+                    double over, double occ, int isdat) {
+    if (src != dst) {
+        int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
+        if (slot < 0) return -1.0;
+    }
+    int need = 0;
+    return do_leg(s, time, src, dst, wire, over, occ, isdat, &need);
+}
+
+/* --------------------------------------------------------------- chains */
+static int chain_alloc(Sim *s, int n, int done_id, int auto_resume) {
+    int id;
+    if (s->ch_free_n) {
+        id = s->ch_free[--s->ch_free_n];
+    } else {
+        id = s->ch_cap;
+        s->ch_cap = s->ch_cap ? s->ch_cap * 2 : 64;
+        s->chains = (Chain **)realloc(s->chains, s->ch_cap * sizeof(Chain *));
+        s->ch_free = (int *)realloc(s->ch_free, s->ch_cap * sizeof(int));
+        memset(s->chains + id, 0, (s->ch_cap - id) * sizeof(Chain *));
+        for (int i = s->ch_cap - 1; i > id; i--) s->ch_free[s->ch_free_n++] = i;
+    }
+    Chain *ch = (Chain *)malloc(sizeof(Chain));
+    ch->n = n;
+    ch->done_id = done_id;
+    ch->auto_resume = auto_resume;
+    ch->src = (int *)malloc(n * sizeof(int));
+    ch->dst = (int *)malloc(n * sizeof(int));
+    ch->wire = (double *)malloc(n * sizeof(double));
+    ch->over = (double *)malloc(n * sizeof(double));
+    ch->occ = (double *)malloc(n * sizeof(double));
+    ch->dat = (unsigned char *)malloc(n);
+    s->chains[id] = ch;
+    return id;
+}
+
+static void chain_free(Sim *s, int id) {
+    Chain *ch = s->chains[id];
+    free(ch->src); free(ch->dst); free(ch->wire); free(ch->over);
+    free(ch->occ); free(ch->dat); free(ch);
+    s->chains[id] = 0;
+    s->ch_free[s->ch_free_n++] = id;
+}
+
+void sim_push_chain_updown(Sim *s, double t, int nh, double cw, double co,
+                           double cocc, double dw, double dov, double docc,
+                           int done_id, int auto_resume) {
+    /* hosts staged in stage_i[0..nh); nh >= 2.  Up = control, down = data. */
+    int n = 2 * (nh - 1);
+    int id = chain_alloc(s, n, done_id, auto_resume);
+    Chain *ch = s->chains[id];
+    int *hosts = s->stage_i;
+    for (int j = 0; j < nh - 1; j++) {
+        ch->src[j] = hosts[j]; ch->dst[j] = hosts[j + 1];
+        ch->wire[j] = cw; ch->over[j] = co; ch->occ[j] = cocc; ch->dat[j] = 0;
+    }
+    for (int j = 0; j < nh - 1; j++) {
+        int k = nh - 1 + j;
+        ch->src[k] = hosts[nh - 1 - j]; ch->dst[k] = hosts[nh - 2 - j];
+        ch->wire[k] = dw; ch->over[k] = dov; ch->occ[k] = docc; ch->dat[k] = 1;
+    }
+    heap_push(s, t, s->seqno++, K_CHAIN, id, 0, 0, 0);
+}
+
+void sim_push_chain_path(Sim *s, double t, int nh, int reverse, double w,
+                         double o, double occ, int isdat, int done_id,
+                         int auto_resume) {
+    /* hosts staged in stage_i[0..nh); one cost shape, one direction. */
+    int n = nh - 1;
+    int id = chain_alloc(s, n, done_id, auto_resume);
+    Chain *ch = s->chains[id];
+    int *hosts = s->stage_i;
+    for (int j = 0; j < n; j++) {
+        if (reverse) { ch->src[j] = hosts[nh - 1 - j]; ch->dst[j] = hosts[nh - 2 - j]; }
+        else { ch->src[j] = hosts[j]; ch->dst[j] = hosts[j + 1]; }
+        ch->wire[j] = w; ch->over[j] = o; ch->occ[j] = occ;
+        ch->dat[j] = (unsigned char)isdat;
+    }
+    heap_push(s, t, s->seqno++, K_CHAIN, id, 0, 0, 0);
+}
+
+void sim_push_chain_legs(Sim *s, double t, int n, int done_id) {
+    /* generic legs: stage_i holds src,dst,isdat triples; stage_d holds
+       wire,over,occ triples. */
+    int id = chain_alloc(s, n, done_id, 0);
+    Chain *ch = s->chains[id];
+    for (int j = 0; j < n; j++) {
+        ch->src[j] = s->stage_i[3 * j];
+        ch->dst[j] = s->stage_i[3 * j + 1];
+        ch->dat[j] = (unsigned char)s->stage_i[3 * j + 2];
+        ch->wire[j] = s->stage_d[3 * j];
+        ch->over[j] = s->stage_d[3 * j + 1];
+        ch->occ[j] = s->stage_d[3 * j + 2];
+    }
+    heap_push(s, t, s->seqno++, K_CHAIN, id, 0, 0, 0);
+}
+
+/* -------------------------------------------------------------- multicast */
+static int mc_new_pend(Mcast *m, int remaining, double tmax, int node,
+                       int parent_host, int parent) {
+    if (m->n_pend == m->cap_pend) {
+        m->cap_pend *= 2;
+        m->pends = (Pend *)realloc(m->pends, m->cap_pend * sizeof(Pend));
+    }
+    Pend *p = &m->pends[m->n_pend];
+    p->remaining = remaining; p->tmax = tmax; p->node = node;
+    p->parent_host = parent_host; p->parent = parent;
+    return m->n_pend++;
+}
+
+void sim_push_mcast(Sim *s, double t, int root_host, int n_kids, int tbl,
+                    int total_kids, double dwire, double dover, double docc,
+                    int ddat, double awire, double aover, double aocc,
+                    int done_id) {
+    /* stage_i layout: hosts[tbl], kid_cnt[tbl], kid_off[tbl],
+       kids[total_kids], root_kids[n_kids] */
+    int id;
+    if (s->mc_free_n) {
+        id = s->mc_free[--s->mc_free_n];
+    } else {
+        id = s->mc_cap;
+        s->mc_cap = s->mc_cap ? s->mc_cap * 2 : 16;
+        s->mcs = (Mcast **)realloc(s->mcs, s->mc_cap * sizeof(Mcast *));
+        s->mc_free = (int *)realloc(s->mc_free, s->mc_cap * sizeof(int));
+        memset(s->mcs + id, 0, (s->mc_cap - id) * sizeof(Mcast *));
+        for (int i = s->mc_cap - 1; i > id; i--) s->mc_free[s->mc_free_n++] = i;
+    }
+    Mcast *m = (Mcast *)malloc(sizeof(Mcast));
+    m->done_id = done_id;
+    m->dwire = dwire; m->dover = dover; m->docc = docc; m->ddat = ddat;
+    m->awire = awire; m->aover = aover; m->aocc = aocc;
+    m->hosts = (int *)malloc(tbl * sizeof(int));
+    m->kid_cnt = (int *)malloc(tbl * sizeof(int));
+    m->kid_off = (int *)malloc(tbl * sizeof(int));
+    m->kids = (int *)malloc((total_kids > 0 ? total_kids : 1) * sizeof(int));
+    int *st = s->stage_i;
+    memcpy(m->hosts, st, tbl * sizeof(int));
+    memcpy(m->kid_cnt, st + tbl, tbl * sizeof(int));
+    memcpy(m->kid_off, st + 2 * tbl, tbl * sizeof(int));
+    memcpy(m->kids, st + 3 * tbl, total_kids * sizeof(int));
+    m->cap_pend = 8;
+    m->pends = (Pend *)malloc(m->cap_pend * sizeof(Pend));
+    m->n_pend = 0;
+    mc_new_pend(m, n_kids, t, 0, 0, -1); /* root pend = index 0 */
+    s->mcs[id] = m;
+    int *root_kids = st + 3 * tbl + total_kids;
+    for (int j = 0; j < n_kids; j++)
+        heap_push(s, t, s->seqno++, K_MDOWN, id, root_kids[j], root_host, 0);
+}
+
+static void mc_free_one(Sim *s, int id) {
+    Mcast *m = s->mcs[id];
+    free(m->hosts); free(m->kid_cnt); free(m->kid_off); free(m->kids);
+    free(m->pends); free(m);
+    s->mcs[id] = 0;
+    s->mc_free[s->mc_free_n++] = id;
+}
+
+/* ------------------------------------------------------------------ loop */
+void sim_push_generic(Sim *s, double t, int obj) {
+    heap_push(s, t, s->seqno++, K_GEN, obj, 0, 0, 0);
+}
+
+int sim_heap_size(Sim *s) { return s->heap_n; }
+i64 sim_total_msgs(Sim *s) { return s->st_total; }
+i64 sim_data_msgs(Sim *s) { return s->st_data; }
+i64 sim_local_msgs(Sim *s) { return s->st_local; }
+
+void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
+                   i64 *receives) {
+    s->st_bytes = bytes; s->st_msgs = msgs;
+    s->st_startups = startups; s->st_receives = receives;
+    s->st_total = 0; s->st_data = 0; s->st_local = 0;
+}
+
+int sim_run(Sim *s, Crossing *out) {
+    while (s->heap_n) {
+        Ev ev = heap_pop(s);
+        if (ev.kind == K_CHAIN) {
+            Chain *ch = s->chains[ev.a];
+            int i = ev.b;
+            int need = 0;
+            double arrive = do_leg(s, ev.time, ch->src[i], ch->dst[i],
+                                   ch->wire[i], ch->over[i], ch->occ[i],
+                                   ch->dat[i], &need);
+            if (need) {
+                out->kind = R_NEED_ROUTE;
+                out->a = ch->src[i]; out->b = ch->dst[i];
+                heap_push(s, ev.time, ev.seq, ev.kind, ev.a, ev.b, ev.c, ev.d);
+                return R_NEED_ROUTE;
+            }
+            i++;
+            if (i == ch->n) {
+                if (ch->auto_resume) {
+                    /* completion just resumes a processor: schedule the
+                       stored generic continuation at the completion time
+                       without crossing into Python (seq order matches the
+                       crossing-based path: nothing runs in between). */
+                    heap_push(s, arrive, s->seqno++, K_GEN, ch->done_id, 0, 0, 0);
+                    chain_free(s, ev.a);
+                    continue;
+                }
+                out->kind = R_CHAIN_DONE;
+                out->a = ch->done_id;
+                out->time = ev.time;
+                out->targ = arrive;
+                chain_free(s, ev.a);
+                return R_CHAIN_DONE;
+            }
+            heap_push(s, arrive, s->seqno++, K_CHAIN, ev.a, i, 0, 0);
+            continue;
+        }
+        if (ev.kind == K_MDOWN) {
+            Mcast *m = s->mcs[ev.a];
+            int node = ev.b;
+            int hn = m->hosts[node];
+            int need = 0;
+            double t_here = do_leg(s, ev.time, ev.c, hn, m->dwire, m->dover,
+                                   m->docc, m->ddat, &need);
+            if (need) {
+                out->kind = R_NEED_ROUTE;
+                out->a = ev.c; out->b = hn;
+                heap_push(s, ev.time, ev.seq, ev.kind, ev.a, ev.b, ev.c, ev.d);
+                return R_NEED_ROUTE;
+            }
+            int cnt = m->kid_cnt[node];
+            if (cnt) {
+                int np = mc_new_pend(m, cnt, t_here, node, ev.c, ev.d);
+                int *kk = m->kids + m->kid_off[node];
+                for (int j = 0; j < cnt; j++)
+                    heap_push(s, t_here, s->seqno++, K_MDOWN, ev.a, kk[j], hn, np);
+            } else {
+                heap_push(s, t_here, s->seqno++, K_MACK, ev.a, node, ev.c, ev.d);
+            }
+            continue;
+        }
+        if (ev.kind == K_MACK) {
+            Mcast *m = s->mcs[ev.a];
+            int hn = m->hosts[ev.b];
+            int need = 0;
+            double t_ack = do_leg(s, ev.time, hn, ev.c, m->awire, m->aover,
+                                  m->aocc, 0, &need);
+            if (need) {
+                out->kind = R_NEED_ROUTE;
+                out->a = hn; out->b = ev.c;
+                heap_push(s, ev.time, ev.seq, ev.kind, ev.a, ev.b, ev.c, ev.d);
+                return R_NEED_ROUTE;
+            }
+            Pend *p = &m->pends[ev.d];
+            p->remaining--;
+            if (t_ack > p->tmax) p->tmax = t_ack;
+            if (p->remaining == 0) {
+                if (p->parent < 0) {
+                    out->kind = R_MC_DONE;
+                    out->a = m->done_id;
+                    out->time = ev.time;
+                    out->targ = p->tmax;
+                    mc_free_one(s, ev.a);
+                    return R_MC_DONE;
+                }
+                heap_push(s, p->tmax, s->seqno++, K_MACK, ev.a, p->node,
+                          p->parent_host, p->parent);
+            }
+            continue;
+        }
+        out->kind = R_GENERIC;
+        out->a = ev.a;
+        out->time = ev.time;
+        return R_GENERIC;
+    }
+    return R_DONE;
+}
+
+/* ----------------------------------------------------------- lifecycle */
+Sim *sim_new(int n_nodes, double hop, double local_ov, double *link_free,
+             double *nic_free, int stage_cap) {
+    Sim *s = (Sim *)calloc(1, sizeof(Sim));
+    s->n_nodes = n_nodes;
+    s->hop = hop;
+    s->local_ov = local_ov;
+    s->link_free = link_free;
+    s->nic_free = nic_free;
+    s->heap_cap = 256;
+    s->heap = (Ev *)malloc(s->heap_cap * sizeof(Ev));
+    s->rt_cap = 1024;
+    s->rt_keys = (i64 *)malloc(s->rt_cap * sizeof(i64));
+    for (int i = 0; i < s->rt_cap; i++) s->rt_keys[i] = -1;
+    s->rt_off = (int *)malloc(s->rt_cap * sizeof(int));
+    s->rt_len = (int *)malloc(s->rt_cap * sizeof(int));
+    s->ar_cap = 4096;
+    s->arena = (int *)malloc(s->ar_cap * sizeof(int));
+    s->stage_i = (int *)malloc(stage_cap * sizeof(int));
+    s->stage_d = (double *)malloc(stage_cap * sizeof(double));
+    s->stage_cap = stage_cap;
+    return s;
+}
+
+int sim_ensure_stage(Sim *s, int n) {
+    /* Grow the staging buffers to hold >= n entries; returns the new
+       capacity (callers re-fetch the buffer pointers after growth). */
+    if (n > s->stage_cap) {
+        while (s->stage_cap < n) s->stage_cap *= 2;
+        s->stage_i = (int *)realloc(s->stage_i, s->stage_cap * sizeof(int));
+        s->stage_d = (double *)realloc(s->stage_d, s->stage_cap * sizeof(double));
+    }
+    return s->stage_cap;
+}
+
+int *sim_stage_i(Sim *s) { return s->stage_i; }
+double *sim_stage_d(Sim *s) { return s->stage_d; }
+
+void sim_free(Sim *s) {
+    for (int i = 0; i < s->ch_cap; i++) {
+        if (s->chains[i]) {
+            Chain *ch = s->chains[i];
+            free(ch->src); free(ch->dst); free(ch->wire); free(ch->over);
+            free(ch->occ); free(ch->dat); free(ch);
+        }
+    }
+    for (int i = 0; i < s->mc_cap; i++) {
+        if (s->mcs[i]) {
+            Mcast *m = s->mcs[i];
+            free(m->hosts); free(m->kid_cnt); free(m->kid_off);
+            free(m->kids); free(m->pends); free(m);
+        }
+    }
+    free(s->chains); free(s->ch_free); free(s->mcs); free(s->mc_free);
+    free(s->heap); free(s->rt_keys); free(s->rt_off); free(s->rt_len);
+    free(s->arena); free(s->stage_i); free(s->stage_d);
+    free(s);
+}
+"""
+
+_CDEF = """
+typedef long long i64;
+typedef struct { int kind; int a; int b; double time; double targ; } Crossing;
+typedef struct Sim Sim;
+
+Sim *sim_new(int n_nodes, double hop, double local_ov, double *link_free,
+             double *nic_free, int stage_cap);
+void sim_free(Sim *s);
+int *sim_stage_i(Sim *s);
+double *sim_stage_d(Sim *s);
+int sim_ensure_stage(Sim *s, int n);
+void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
+                   i64 *receives);
+void sim_set_route(Sim *s, int src, int dst, int n);
+void sim_push_generic(Sim *s, double t, int obj);
+void sim_push_chain_updown(Sim *s, double t, int nh, double cw, double co,
+                           double cocc, double dw, double dov, double docc,
+                           int done_id, int auto_resume);
+void sim_push_chain_path(Sim *s, double t, int nh, int reverse, double w,
+                         double o, double occ, int isdat, int done_id,
+                         int auto_resume);
+void sim_push_chain_legs(Sim *s, double t, int n, int done_id);
+void sim_push_mcast(Sim *s, double t, int root_host, int n_kids, int tbl,
+                    int total_kids, double dwire, double dover, double docc,
+                    int ddat, double awire, double aover, double aocc,
+                    int done_id);
+int sim_run(Sim *s, Crossing *out);
+int sim_heap_size(Sim *s);
+i64 sim_total_msgs(Sim *s);
+i64 sim_data_msgs(Sim *s);
+i64 sim_local_msgs(Sim *s);
+double sim_send_leg(Sim *s, double time, int src, int dst, double wire,
+                    double over, double occ, int isdat);
+double sim_probe_leg(Sim *s, double time, int src, int dst, double wire,
+                     double over, double occ);
+"""
+
+#: Staging buffer capacity (ints/doubles); bounds one chain/multicast/route.
+STAGE_CAP = 1 << 16
+
+_KERNEL = None
+_KERNEL_TRIED = False
+
+
+def _build_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CKERN_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(tempfile.gettempdir()) / f"repro-ckern-{os.getuid()}"
+
+
+def _compile(src_hash: str) -> pathlib.Path:
+    """Compile the kernel into the cache dir; returns the .so path."""
+    build = _build_dir()
+    build.mkdir(parents=True, exist_ok=True)
+    so_path = build / f"ckern-{src_hash}.so"
+    if so_path.exists():
+        return so_path
+    c_path = build / f"ckern-{src_hash}.c"
+    c_path.write_text(CKERN_SOURCE)
+    tmp = so_path.with_suffix(f".tmp{os.getpid()}.so")
+    cc = os.environ.get("CC", "cc")
+    subprocess.run(
+        [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(c_path)],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    os.replace(tmp, so_path)  # atomic: concurrent builders converge
+    return so_path
+
+
+class Kernel:
+    """Loaded kernel: the cffi handle pair plus result-code constants."""
+
+    R_DONE = 0
+    R_GENERIC = 1
+    R_CHAIN_DONE = 2
+    R_MC_DONE = 3
+    R_NEED_ROUTE = 4
+
+    def __init__(self, ffi, lib):
+        self.ffi = ffi
+        self.lib = lib
+
+
+def load_kernel():
+    """The process-wide kernel, or ``None`` when unavailable/disabled."""
+    global _KERNEL, _KERNEL_TRIED
+    if _KERNEL_TRIED:
+        return _KERNEL
+    _KERNEL_TRIED = True
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        return None
+    try:
+        from cffi import FFI
+
+        src_hash = hashlib.sha256(
+            (CKERN_SOURCE + _CDEF + sys.version).encode()
+        ).hexdigest()[:16]
+        so_path = _compile(src_hash)
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(str(so_path))
+        _KERNEL = Kernel(ffi, lib)
+    except Exception:
+        _KERNEL = None
+    return _KERNEL

@@ -18,6 +18,13 @@ Two composable patterns cover every protocol in the package:
 
 State updates (copy sets, ownership) stay atomic at operation initiation;
 flows only carry the *timing* and traffic accounting.
+
+Execution lives in the engine: these functions *compile* the flow (legs
+with machine cost terms resolved, multicast context packed) and push it
+onto the event heap, where :meth:`repro.sim.engine.Simulator.run` steps it
+inline -- one heap pop per leg, no per-leg Python function calls.  Event
+ordering and arithmetic are identical to the historic closure-per-leg
+implementation, leg for leg; only the interpreter overhead is gone.
 """
 
 from __future__ import annotations
@@ -26,12 +33,27 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from .engine import Simulator
 
-__all__ = ["Leg", "chain", "multicast_acks"]
+__all__ = ["Leg", "chain", "compile_legs", "multicast_acks"]
 
 #: One message leg: (src_proc, dst_proc, payload_bytes, is_data).
 Leg = Tuple[int, int, int, bool]
 
 Done = Callable[[float], None]
+
+
+def compile_legs(sim: Simulator, legs: Sequence[Leg]) -> list:
+    """Resolve payloads into the engine's compiled leg form:
+    ``(src, dst, wire, nic_overhead, link_occupancy, is_data)``."""
+    header = sim._header_bytes
+    ctrl = sim._ctrl_bytes
+    fixed = sim._nic_fixed
+    per_byte = sim._nic_byte
+    bw = sim._bandwidth
+    out = []
+    for src, dst, payload, is_data in legs:
+        wire = payload + header if is_data else ctrl
+        out.append((src, dst, wire, fixed + wire * per_byte, wire / bw, is_data))
+    return out
 
 
 def chain(sim: Simulator, legs: Sequence[Leg], t: float, done: Done) -> None:
@@ -40,24 +62,11 @@ def chain(sim: Simulator, legs: Sequence[Leg], t: float, done: Done) -> None:
 
     An empty sequence completes immediately at ``t``.
     """
-    legs = list(legs)
-    n = len(legs)
-    if n == 0:
+    compiled = compile_legs(sim, legs)
+    if not compiled:
         done(t)
         return
-    i = 0
-
-    def fire() -> None:
-        nonlocal i
-        src, dst, payload, is_data = legs[i]
-        arrive = sim.send_leg(src, dst, payload, sim.now, is_data)
-        i += 1
-        if i == n:
-            done(arrive)
-        else:
-            sim.schedule(arrive, fire)
-
-    sim.schedule(t, fire)
+    sim.push_chain(t, compiled, done)
 
 
 def multicast_acks(
@@ -82,57 +91,4 @@ def multicast_acks(
     if not kids:
         done(t)
         return
-    pending = {"n": len(kids), "t": t}
-
-    def branch_done(t_ack: float) -> None:
-        pending["n"] -= 1
-        if t_ack > pending["t"]:
-            pending["t"] = t_ack
-        if pending["n"] == 0:
-            done(pending["t"])
-
-    for kid in kids:
-        _branch(sim, root, kid, children, hosts, t, branch_done, payload)
-
-
-def _branch(
-    sim: Simulator,
-    parent: int,
-    node: int,
-    children: Dict[int, List[int]],
-    hosts: Dict[int, int],
-    t: float,
-    ack_to_parent: Done,
-    payload: int,
-) -> None:
-    """Deliver the multicast to ``node`` (one leg), recurse into its
-    children, and send the combined ack back to ``parent``."""
-
-    def on_arrive() -> None:
-        t_here = sim.send_leg(hosts[parent], hosts[node], payload, sim.now, payload > 0)
-        kids = children.get(node, [])
-
-        def after_subtree(t_sub: float) -> None:
-            # Combined ack back to the parent, one control leg.
-            def fire_ack() -> None:
-                t_ack = sim.send_leg(hosts[node], hosts[parent], 0, sim.now, False)
-                ack_to_parent(t_ack)
-
-            sim.schedule(t_sub, fire_ack)
-
-        if not kids:
-            after_subtree(t_here)
-            return
-        pending = {"n": len(kids), "t": t_here}
-
-        def branch_done(t_ack: float) -> None:
-            pending["n"] -= 1
-            if t_ack > pending["t"]:
-                pending["t"] = t_ack
-            if pending["n"] == 0:
-                after_subtree(pending["t"])
-
-        for kid in kids:
-            _branch(sim, node, kid, children, hosts, t_here, branch_done, payload)
-
-    sim.schedule(t, on_arrive)
+    sim.push_multicast(hosts[root], kids, children, hosts, payload, t, done)

@@ -20,7 +20,10 @@ XTOPO_NAMES = ["xtopo-hypercube", "xtopo-torus"]
 #: Cross-workload experiments added with the workload layer.
 XWORK_NAMES = ["xwork-readfrac", "xwork-zipf"]
 
-ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES)
+#: Scale-axis experiment added with the engine hot-path overhaul.
+XSCALE_NAMES = ["xscale"]
+
+ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES)
 
 
 class TestRegistryCompleteness:
@@ -96,7 +99,6 @@ class TestSpecInvariants:
                 assert matmul != bitonic, f"{name}: uses_workload but workload ignored"
             else:
                 assert matmul == bitonic, f"{name}: workload changed cells unexpectedly"
-            assert spec.uses_app == spec.uses_workload  # deprecated alias
 
     def test_workload_sensitive_specs_accept_synthetic_workloads(self):
         """The --workload axis is the whole registry, not just the two
@@ -164,3 +166,27 @@ class TestSpecInvariants:
         torus = {c.key for c in get_spec("xtopo-torus").cells(scale="quick")}
         hcube = {c.key for c in get_spec("xtopo-hypercube").cells(scale="quick")}
         assert torus & hcube, "no shared mesh reference cell"
+
+
+class TestXscaleSpec:
+    def test_xscale_sweeps_nodes_topologies_strategies(self):
+        spec = get_spec("xscale")
+        for scale, expect_nodes in (
+            ("quick", {1024}),
+            ("default", {1024, 2048, 4096}),
+            ("paper", {1024, 2048, 4096}),
+        ):
+            cells = spec.cells(scale=scale)
+            kw = [dict(c.kwargs) for c in cells]
+            assert {k["nodes"] for k in kw} == expect_nodes
+            assert {k["topology"] for k in kw} == {"mesh", "torus", "hypercube"}
+            assert {k["strategy"] for k in kw} == {"fixed-home", "2-4-ary"}
+
+    def test_xscale_scales_ops_not_machines(self):
+        """--scale grows the per-processor load; the 1024-node machine is
+        present at every scale so the axis never degrades to toy sizes."""
+        spec = get_spec("xscale")
+        quick = spec.params_for("quick")
+        paper = spec.params_for("paper")
+        assert quick["ops"] < paper["ops"]
+        assert 1024 in quick["nodes"] and 1024 in paper["nodes"]

@@ -1,11 +1,19 @@
-"""Dimension-order routing tests."""
+"""Dimension-order routing and route-table tests."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.network.mesh import Mesh2D
-from repro.network.routing import path_length, route_links, route_nodes
+from repro.network.routing import (
+    RouteTable,
+    get_route_table,
+    path_length,
+    route_links,
+    route_nodes,
+)
+from repro.network.topology import Hypercube
+from repro.network.torus import Torus2D
 
 small_mesh = st.builds(
     Mesh2D, st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8)
@@ -70,7 +78,7 @@ class TestRoutes:
         m = Mesh2D(4, 4)
         a = route_links(m, 0, 15)
         b = route_links(m, 0, 15)
-        assert a is b  # lru_cache identity
+        assert a is b  # route-table identity
 
     @given(mesh_and_pair())
     def test_opposite_routes_use_disjoint_links(self, mp):
@@ -80,3 +88,76 @@ class TestRoutes:
         fwd = set(route_links(m, src, dst))
         rev = set(route_links(m, dst, src))
         assert not (fwd & rev)
+
+
+TOPOLOGIES = [Mesh2D(4, 5), Torus2D(4, 4), Hypercube(4)]
+
+
+class TestRouteTable:
+    """The per-topology route cache must be a transparent memo of
+    ``compute_route`` -- for every topology family, under eviction, and
+    without cross-topology leakage."""
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.label)
+    def test_cached_matches_uncached_for_all_pairs(self, topo):
+        table = RouteTable(topo)
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                assert table.lookup(src, dst) == topo.compute_route(src, dst)
+        # Second pass: every answer now comes from the cache.
+        assert len(table) == topo.n_nodes**2
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                assert table.lookup(src, dst) == topo.compute_route(src, dst)
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.label)
+    def test_eviction_preserves_correctness(self, topo):
+        """A tiny table constantly evicts; answers must never change."""
+        table = RouteTable(topo, max_entries=4)
+        for _ in range(2):  # revisit evicted pairs
+            for src in topo.nodes():
+                for dst in topo.nodes():
+                    assert table.lookup(src, dst) == topo.compute_route(src, dst)
+                    assert len(table) <= 4
+
+    def test_eviction_is_fifo_and_bounded(self):
+        m = Mesh2D(3, 3)
+        table = RouteTable(m, max_entries=2)
+        table.lookup(0, 1)
+        table.lookup(0, 2)
+        assert len(table) == 2
+        table.lookup(0, 3)  # evicts the oldest (0 -> 1)
+        assert len(table) == 2
+        assert table.key(0, 1) not in table.routes
+        assert table.key(0, 3) in table.routes
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RouteTable(Mesh2D(2, 2), max_entries=0)
+
+    def test_cross_topology_isolation(self):
+        """A torus and the equal-sided mesh must not share a table: their
+        routes differ (wrap links) even though their grids look alike."""
+        mesh = Mesh2D(4, 4)
+        torus = Torus2D(4, 4)
+        tm = get_route_table(mesh)
+        tt = get_route_table(torus)
+        assert tm is not tt
+        # (0,0) -> (0,3): three mesh hops, one torus wrap hop.
+        assert len(route_links(mesh, 0, 3)) == 3
+        assert len(route_links(torus, 0, 3)) == 1
+        # The lookups above must not have polluted each other.
+        assert tm.lookup(0, 3) == mesh.compute_route(0, 3)
+        assert tt.lookup(0, 3) == torus.compute_route(0, 3)
+
+    def test_equal_topologies_share_one_table(self):
+        assert get_route_table(Mesh2D(4, 4)) is get_route_table(Mesh2D(4, 4))
+
+    def test_simulator_uses_the_shared_table(self):
+        from repro.network.machine import GCEL
+        from repro.sim.engine import Simulator
+
+        m = Mesh2D(3, 3)
+        s = Simulator(m, GCEL)
+        s.send_leg(0, 8, 100, ready=0.0, is_data=True)
+        assert get_route_table(m).key(0, 8) in get_route_table(m).routes

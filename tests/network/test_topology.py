@@ -166,3 +166,53 @@ class TestRoutingInvariants:
         dr, dc = abs(r1 - r2), abs(c1 - c2)
         if 2 * dc < t.cols and 2 * dr < t.rows:  # direct way strictly shorter
             assert route_links(t, src, dst) == route_links(m, src, dst)
+
+
+class TestMakeTopologyNodes:
+    """Node-count-based construction behind the xscale sweep."""
+
+    def test_square_power_of_two(self):
+        from repro.network.topology import make_topology_nodes
+
+        topo = make_topology_nodes("mesh", 1024)
+        assert (topo.rows, topo.cols) == (32, 32)
+        assert topo.n_nodes == 1024
+
+    def test_odd_power_becomes_2to1_rectangle(self):
+        from repro.network.topology import make_topology_nodes
+
+        topo = make_topology_nodes("torus", 2048)
+        assert (topo.rows, topo.cols) == (32, 64)
+        assert topo.kind == "torus"
+
+    def test_hypercube_dimension(self):
+        from repro.network.topology import make_topology_nodes
+
+        topo = make_topology_nodes("hypercube", 4096)
+        assert topo.dim == 12
+        assert topo.n_nodes == 4096
+
+    def test_every_kind_at_every_xscale_count(self):
+        from repro.network.topology import TOPOLOGY_KINDS, make_topology_nodes
+
+        for kind in TOPOLOGY_KINDS:
+            for nodes in (1024, 2048, 4096):
+                assert make_topology_nodes(kind, nodes).n_nodes == nodes
+
+    def test_non_power_of_two_rejected(self):
+        import pytest
+
+        from repro.network.topology import make_topology_nodes
+
+        with pytest.raises(ValueError, match="power of two"):
+            make_topology_nodes("mesh", 1000)
+        with pytest.raises(ValueError, match="power of two"):
+            make_topology_nodes("mesh", 0)
+
+    def test_unknown_kind_rejected(self):
+        import pytest
+
+        from repro.network.topology import make_topology_nodes
+
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology_nodes("ring", 1024)

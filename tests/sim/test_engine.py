@@ -127,8 +127,8 @@ class TestSendLeg:
         nic_before = list(s.nic_free)
         links_before = list(s.link_free)
         hypothetical = s.send_leg(0, 5, 1000, ready=0.0, is_data=True, count=False)
-        assert s.nic_free == nic_before
-        assert s.link_free == links_before
+        assert list(s.nic_free) == nic_before
+        assert list(s.link_free) == links_before
         assert s.stats.total_msgs == 0
         # Same leg timed for real on the untouched simulator: identical time.
         real = s.send_leg(0, 5, 1000, ready=0.0, is_data=True)
@@ -143,10 +143,50 @@ class TestSendLeg:
 
 
 class TestMeshAlias:
-    def test_mesh_alias_deprecated_but_working(self):
+    def test_mesh_alias_removed(self):
+        """``Simulator.mesh`` was deprecated in the topology-generic
+        release and removed on schedule; ``topology`` is the surface."""
         s = sim()
-        with pytest.warns(DeprecationWarning, match="Simulator.mesh is deprecated"):
-            assert s.mesh is s.topology
+        with pytest.raises(AttributeError):
+            s.mesh  # noqa: B018
+
+    def test_topology_attribute_is_the_surface(self):
+        s = sim()
+        assert s.topology.n_nodes == 16
+
+
+class TestEngineEquivalence:
+    """The C kernel and the pure-Python loop must be bit-identical."""
+
+    @staticmethod
+    def _rows():
+        from repro.analysis.experiments import fig2_cell, synthetic_cell
+
+        rows = synthetic_cell(
+            workload="zipf", strategy="4-ary", topology="mesh", side=4,
+            params={"n_vars": 16, "ops": 24, "alpha": 0.8, "read_frac": 0.8},
+            seed=0,
+        )
+        rows += fig2_cell("fixed-home", side=4, block_entries=64)
+        rows += fig2_cell("4-ary", side=4, block_entries=64)
+        return rows
+
+    def test_kernel_matches_pure_python_exactly(self, monkeypatch):
+        from repro.sim import _ckern
+
+        if _ckern.load_kernel() is None:
+            pytest.skip("C kernel unavailable; only the pure engine runs here")
+        kernel_rows = self._rows()
+        monkeypatch.setattr(Simulator, "force_pure", True)
+        pure_rows = self._rows()
+        assert kernel_rows == pure_rows  # exact float equality, field by field
+
+    def test_force_pure_flag_selects_python_engine(self, monkeypatch):
+        monkeypatch.setattr(Simulator, "force_pure", True)
+        s = sim()
+        assert s._h is None
+        done = s.send_leg(0, 1, 100, ready=0.0, is_data=True)
+        assert done > 0.0
 
 
 class TestSendChain:

@@ -1,0 +1,97 @@
+"""Perf-regression gate tests (tools/bench_compare.py).
+
+The tool is not part of the installed package, so it is loaded from its
+file path -- the same artifact CI executes.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+TOOL = pathlib.Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
+
+spec = importlib.util.spec_from_file_location("bench_compare", TOOL)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def payload(cells_per_sec, bench_version=1, pinned=None):
+    return {
+        "cells_per_sec": cells_per_sec,
+        "bench_version": bench_version,
+        "pinned": pinned or {"workload": "zipf", "side": 8},
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestCompare:
+    def test_equal_throughput_passes(self):
+        v = bench_compare.compare(payload(10.0), payload(10.0), 0.2)
+        assert v["ok"] and v["ratio"] == pytest.approx(1.0)
+
+    def test_small_regression_within_threshold_passes(self):
+        assert bench_compare.compare(payload(8.5), payload(10.0), 0.2)["ok"]
+
+    def test_large_regression_fails(self):
+        assert not bench_compare.compare(payload(7.0), payload(10.0), 0.2)["ok"]
+
+    def test_improvement_passes(self):
+        assert bench_compare.compare(payload(30.0), payload(10.0), 0.2)["ok"]
+
+    def test_bench_version_mismatch_fails_loudly(self):
+        with pytest.raises(SystemExit, match="bench_version mismatch"):
+            bench_compare.compare(payload(10.0), payload(10.0, bench_version=2), 0.2)
+
+    def test_pinned_config_mismatch_fails_loudly(self):
+        with pytest.raises(SystemExit, match="pinned cell configuration"):
+            bench_compare.compare(
+                payload(10.0), payload(10.0, pinned={"workload": "uniform"}), 0.2
+            )
+
+
+class TestCli:
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", payload(9.0))
+        base = write(tmp_path, "base.json", payload(10.0))
+        assert bench_compare.main(["--current", str(cur), "--baseline", str(base)]) == 0
+        bad = write(tmp_path, "bad.json", payload(5.0))
+        assert bench_compare.main(["--current", str(bad), "--baseline", str(base)]) == 1
+        out = capsys.readouterr().out
+        assert "-50.0%" in out
+
+    def test_update_baseline(self, tmp_path):
+        cur = write(tmp_path, "cur.json", payload(12.0))
+        base = tmp_path / "nested" / "base.json"
+        rc = bench_compare.main(
+            ["--current", str(cur), "--baseline", str(base), "--update-baseline"]
+        )
+        assert rc == 0
+        assert json.loads(base.read_text())["cells_per_sec"] == 12.0
+
+    def test_missing_current_is_a_clean_error(self, tmp_path):
+        base = write(tmp_path, "base.json", payload(10.0))
+        with pytest.raises(SystemExit, match="cannot read"):
+            bench_compare.main(
+                ["--current", str(tmp_path / "absent.json"), "--baseline", str(base)]
+            )
+
+    def test_step_summary_written(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        cur = write(tmp_path, "cur.json", payload(11.0))
+        base = write(tmp_path, "base.json", payload(10.0))
+        assert bench_compare.main(["--current", str(cur), "--baseline", str(base)]) == 0
+        text = summary.read_text()
+        assert "Engine perf gate" in text and "+10.0%" in text
+
+    def test_committed_baseline_is_valid(self):
+        """The baseline artifact CI diffs against must stay well-formed."""
+        baseline = bench_compare.load(bench_compare.DEFAULT_BASELINE)
+        assert baseline["cells_per_sec"] > 0

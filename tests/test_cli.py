@@ -101,8 +101,8 @@ class TestOrchestratorCli:
         matmul = _isolated_results_dir / "ablation-embedding.default.json"
         bitonic = _isolated_results_dir / "ablation-embedding.bitonic.default.json"
         assert matmul.is_file() and bitonic.is_file()
-        assert json.loads(matmul.read_text())["app"] == "matmul"
-        assert json.loads(bitonic.read_text())["app"] == "bitonic"
+        assert json.loads(matmul.read_text())["workload"] == "matmul"
+        assert json.loads(bitonic.read_text())["workload"] == "bitonic"
 
     def test_topology_axis_gets_own_file(self, _isolated_results_dir, capsys):
         """--topology torus must not overwrite the mesh result file, and
@@ -132,7 +132,7 @@ class TestOrchestratorCli:
         payload = json.loads(path.read_text())
         assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["workload"] == "zipf"
-        assert payload["app"] == "zipf"  # deprecated alias kept in v3
+        assert "app" not in payload  # the v3 alias was removed in schema v4
         assert all(row["workload"] == "zipf" for row in payload["rows"])
 
     def test_bad_workload_rejected(self):

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Engine perf-regression gate: compare BENCH_engine.json to the baseline.
+
+Used by the CI ``perf`` job and by hand::
+
+    python benchmarks/bench_engine_perf.py
+    python tools/bench_compare.py                      # default paths
+    python tools/bench_compare.py --update-baseline    # refresh the baseline
+
+Compares the freshly measured ``cells_per_sec`` against the committed
+baseline (``benchmarks/baselines/BENCH_engine.baseline.json``) and fails
+(exit 1) when throughput regressed by more than ``--threshold`` (default
+0.20 = 20%, overridable via ``$REPRO_BENCH_TOLERANCE``).  Improvements
+and small fluctuations pass; a baseline with a different ``bench_version``
+or pinned configuration fails loudly (the trajectory broke -- re-baseline
+deliberately with ``--update-baseline``).
+
+The delta is printed human-readably, and appended as a Markdown table to
+``$GITHUB_STEP_SUMMARY`` when that file is available (the CI job summary).
+
+Caveat: cells/sec is machine-dependent.  The committed baseline tracks the
+CI runner class; on other hardware use the tool with a locally produced
+baseline, or read the delta and ignore the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_engine.baseline.json"
+DEFAULT_THRESHOLD = 0.20
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"bench_compare: {path} is not valid JSON: {exc}") from exc
+    for key in ("cells_per_sec", "bench_version", "pinned"):
+        if key not in payload:
+            raise SystemExit(f"bench_compare: {path} lacks required key {key!r}")
+    return payload
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> dict:
+    """Comparison verdict: ``{'ok': bool, 'ratio': float, ...}``."""
+    if current["bench_version"] != baseline["bench_version"]:
+        raise SystemExit(
+            "bench_compare: bench_version mismatch "
+            f"(current {current['bench_version']} vs baseline "
+            f"{baseline['bench_version']}); the pinned cell changed -- "
+            "refresh the baseline deliberately with --update-baseline"
+        )
+    if current["pinned"] != baseline["pinned"]:
+        raise SystemExit(
+            "bench_compare: pinned cell configuration differs from the "
+            "baseline; refresh the baseline deliberately with --update-baseline"
+        )
+    cur = float(current["cells_per_sec"])
+    base = float(baseline["cells_per_sec"])
+    ratio = cur / base if base > 0 else float("inf")
+    return {
+        "ok": ratio >= 1.0 - threshold,
+        "ratio": ratio,
+        "current": cur,
+        "baseline": base,
+        "threshold": threshold,
+    }
+
+
+def emit_summary(verdict: dict) -> None:
+    """Append a Markdown table to the GitHub job summary, if present."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    delta_pct = (verdict["ratio"] - 1.0) * 100.0
+    status = "✅ pass" if verdict["ok"] else "❌ regression"
+    lines = [
+        "### Engine perf gate",
+        "",
+        "| metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|",
+        (
+            f"| cells/sec | {verdict['baseline']:.2f} | {verdict['current']:.2f} "
+            f"| {delta_pct:+.1f}% | {status} |"
+        ),
+        "",
+        f"_Fails below -{verdict['threshold'] * 100:.0f}%._",
+        "",
+    ]
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT,
+                        help="freshly measured BENCH_engine.json")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_TOLERANCE",
+                                                     DEFAULT_THRESHOLD)),
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy --current over --baseline and exit")
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    verdict = compare(current, baseline, args.threshold)
+    delta_pct = (verdict["ratio"] - 1.0) * 100.0
+    print(
+        f"engine perf: {verdict['current']:.2f} cells/sec vs baseline "
+        f"{verdict['baseline']:.2f} ({delta_pct:+.1f}%; gate at "
+        f"-{args.threshold * 100:.0f}%)"
+    )
+    emit_summary(verdict)
+    if not verdict["ok"]:
+        print("FAIL: throughput regressed beyond the allowed threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
