@@ -17,7 +17,7 @@ def test_fig8_barneshut_bodies(benchmark, fig8_rows):
     p, rows = fig8_rows
     rows = once(benchmark, lambda: rows)  # timing happened in the fixture
 
-    columns = ["strategy", "bodies", "congestion_msgs", "time", "hit_ratio"]
+    columns = ["strategy", "bodies", "congestion_msgs", "time", "hit_rate"]
     emit(
         "fig8",
         format_table(

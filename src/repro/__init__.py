@@ -22,10 +22,17 @@ from .core import (
     STRATEGY_NAMES,
     AccessTreeStrategy,
     DataManagementStrategy,
+    DynRepStrategy,
     FixedHomeStrategy,
+    MigratoryStrategy,
     NullStrategy,
+    StrategyFamily,
     build_tree,
+    get_strategy,
     make_strategy,
+    parse_strategy_spec,
+    register_strategy,
+    strategy_names,
 )
 from .network import (
     GCEL,
@@ -53,9 +60,16 @@ __all__ = [
     "GCEL",
     "ZERO_COST",
     "make_strategy",
+    "get_strategy",
+    "register_strategy",
+    "parse_strategy_spec",
+    "strategy_names",
+    "StrategyFamily",
     "STRATEGY_NAMES",
     "AccessTreeStrategy",
     "FixedHomeStrategy",
+    "MigratoryStrategy",
+    "DynRepStrategy",
     "NullStrategy",
     "DataManagementStrategy",
     "build_tree",

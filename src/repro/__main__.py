@@ -9,6 +9,8 @@ Usage::
     python -m repro ablation-embedding --workload zipf
     python -m repro fig6 --topology torus
     python -m repro xwork-zipf --json
+    python -m repro xstrat --json
+    python -m repro xcap --scale quick --json
     python -m repro run-all --scale quick --jobs 4 --json
     python -m repro trace-record --workload bitonic --strategy 2-4-ary \
         --side 4 --trace /tmp/bitonic.trace.gz
@@ -53,7 +55,7 @@ def _trace_main(args: argparse.Namespace) -> int:
     """The trace-record / trace-replay commands (lazy imports: the trace
     machinery is not needed for figure regeneration)."""
     from .analysis.tables import format_table
-    from .core.strategy import STRATEGY_NAMES
+    from .core.registry import parse_strategy_spec
     from .network.topology import make_topology
     from .workloads import get_workload, record, replay
     from .workloads.trace import Trace
@@ -61,10 +63,14 @@ def _trace_main(args: argparse.Namespace) -> int:
     if args.trace is None:
         print("error: --trace PATH is required for trace commands", file=sys.stderr)
         return 2
-    if args.strategy is not None and args.strategy not in STRATEGY_NAMES:
-        valid = ", ".join(STRATEGY_NAMES)
-        print(f"error: unknown strategy {args.strategy!r}; valid: {valid}", file=sys.stderr)
-        return 2
+    if args.strategy is not None:
+        try:
+            # Any registry spec works ("dynrep:threshold=3", "tree:4-8");
+            # reject malformed ones before running anything.
+            parse_strategy_spec(args.strategy)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.experiment == "trace-record":
         wl = get_workload(args.workload)
@@ -134,10 +140,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "--app is the deprecated alias)")
     parser.add_argument("--topology", choices=list(TOPOLOGY_KINDS), default=None,
                         help="interconnect for topology-sensitive experiments "
-                             "(bitonic figures, ablations, xwork-readfrac; "
-                             "default mesh) and the trace commands; the "
-                             "xtopo-*/xwork-zipf experiments sweep topologies "
-                             "themselves")
+                             "(bitonic figures, ablations, xwork-readfrac, "
+                             "xcap; default mesh) and the trace commands; the "
+                             "xtopo-*/xwork-zipf/xscale/xstrat experiments "
+                             "sweep topologies themselves")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="shard independent cells across N worker processes")
     parser.add_argument("--json", action="store_true",
@@ -150,9 +156,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="trace file to write (trace-record) or read "
                              "(trace-replay); .gz compresses")
-    parser.add_argument("--strategy", default=None, metavar="NAME",
-                        help="strategy for the trace commands "
-                             "(trace-replay default: the recorded one)")
+    parser.add_argument("--strategy", default=None, metavar="SPEC",
+                        help="strategy for the trace commands -- any registry "
+                             "spec, e.g. 2-4-ary, migratory, dynrep:threshold=3, "
+                             "tree:4-8:embed=random (trace-replay default: the "
+                             "recorded one)")
     parser.add_argument("--side", type=int, default=4, metavar="N",
                         help="grid side for trace-record (default 4)")
     parser.add_argument("--size", type=int, default=None, metavar="N",
@@ -184,7 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if topology != "mesh" and not get_spec(name).uses_topology:
             why = (
                 "sweeps its topologies internally"
-                if name.startswith(("xtopo-", "xwork-", "xscale"))
+                if name.startswith(("xtopo-", "xwork-", "xscale", "xstrat"))
                 else "experiment is mesh-bound"
             )
             print(

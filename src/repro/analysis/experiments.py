@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.strategy import make_strategy
+from ..core.registry import get_strategy, parse_strategy_spec
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
 from ..network.topology import make_topology, make_topology_nodes
@@ -65,9 +65,22 @@ __all__ = [
     "bounded_memory_cell",
     "synthetic_cell",
     "xscale_cell",
+    "xstrat_cell",
+    "xcap_cell",
 ]
 
 Row = Dict[str, object]
+
+
+def _cache_fields(res: RunResult) -> Dict[str, object]:
+    """The strategy-cache behavior columns every cell row carries (schema
+    v5): reads served locally vs remotely, and LRU eviction pressure."""
+    return {
+        "hits": res.hits,
+        "misses": res.misses,
+        "hit_rate": res.hit_ratio,
+        "evictions": res.evictions,
+    }
 
 
 def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
@@ -131,6 +144,23 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
             "default": dict(side=8, ops=64),
             "paper": dict(side=8, ops=256),
         },
+        # Cross-strategy experiment: every registered strategy family on
+        # the paper apps and the zipf kernel, topologies swept internally
+        # at a pinned 64 nodes (mesh/torus 8x8, hypercube dim 6); --scale
+        # grows only the per-processor load.
+        "xstrat": {
+            "quick": dict(side=8, ops=16, keys=32, block=64),
+            "default": dict(side=8, ops=64, keys=256, block=256),
+            "paper": dict(side=8, ops=256, keys=1024, block=1024),
+        },
+        # Capacity-pressure sweep: per-processor copy capacity (in copies
+        # of the zipf payload) from unbounded down to severe pressure --
+        # the generalization of the paper's Figure 8 replacement kink.
+        "xcap": {
+            "quick": dict(side=8, ops=16, capacities=(None, 8, 2)),
+            "default": dict(side=8, ops=64, capacities=(None, 16, 8, 4, 2)),
+            "paper": dict(side=8, ops=256, capacities=(None, 16, 8, 4, 2)),
+        },
         # Scale-axis experiment: thousands of nodes (the regime where the
         # paper's asymptotic congestion guarantee is supposed to bite),
         # reachable since the engine hot-path overhaul.  Quick keeps one
@@ -170,7 +200,7 @@ def fig2_cell(
     from ..runtime.launcher import Runtime
 
     mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed)
+    strat = get_strategy(strategy, mesh, seed=seed)
     owner = mesh.node(side // 2, side // 2)
     handles: Dict[str, object] = {}
 
@@ -195,6 +225,7 @@ def fig2_cell(
             "total_bytes": res.stats.total_bytes,
             "congestion_bytes": res.stats.congestion_bytes,
             "time": res.time,
+            **_cache_fields(res),
         }
     ]
 
@@ -244,6 +275,7 @@ def matmul_cell(
             "time": base.time,
             "congestion_ratio": 1.0,
             "time_ratio": 1.0,
+            **_cache_fields(base),
         }
     ]
     for name in strategies:
@@ -260,6 +292,7 @@ def matmul_cell(
                 "time": res.time,
                 "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
                 "time_ratio": res.time / base.time,
+                **_cache_fields(res),
             }
         )
     return rows
@@ -330,6 +363,7 @@ def bitonic_cell(
             "time": base.time,
             "congestion_ratio": 1.0,
             "time_ratio": 1.0,
+            **_cache_fields(base),
         }
     ]
     for name in strategies:
@@ -349,6 +383,7 @@ def bitonic_cell(
                 "time": res.time,
                 "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
                 "time_ratio": res.time / base.time,
+                **_cache_fields(res),
             }
         )
     return rows
@@ -411,7 +446,7 @@ def _barneshut_row(
         "bodies": bodies,
         "congestion_msgs": res.congestion_msgs,
         "time": res.time,
-        "hit_ratio": res.hit_ratio,
+        **_cache_fields(res),
     }
     tb = res.phase("treebuild")
     fc = res.phase("force")
@@ -468,6 +503,12 @@ def fig8_barneshut_bodies(
     return rows
 
 
+def _carried_cache_fields(row: Row) -> Dict[str, object]:
+    """The run-level cache columns a projected row inherits from its
+    source cell row (the phase views describe the same execution)."""
+    return {k: row[k] for k in ("hits", "misses", "hit_rate", "evictions") if k in row}
+
+
 def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
     """Figure 9 (tree-building phase) projected from Barnes-Hut cell rows."""
     return [
@@ -477,6 +518,7 @@ def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
             "bodies": r["bodies"],
             "congestion_msgs": r["treebuild_congestion_msgs"],
             "time": r["treebuild_time"],
+            **_carried_cache_fields(r),
         }
         for r in rows
         if "treebuild_congestion_msgs" in r
@@ -494,6 +536,7 @@ def fig10_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
             "time": r["force_time"],
             "local_compute": r["force_local_compute"],
             "comm_share": r["force_comm_share"],
+            **_carried_cache_fields(r),
         }
         for r in rows
         if "force_congestion_msgs" in r
@@ -534,6 +577,7 @@ def barneshut_scaling_cell(
             "congestion_msgs": res.congestion_msgs,
             "time": res.time,
             "comm_time": res.time - row["force_local_compute"],
+            **_cache_fields(res),
         }
     ]
 
@@ -567,6 +611,7 @@ def fig11_barneshut_scaling(
                     "time": res.time,
                     "comm_time": res.time - row["force_local_compute"],
                     "result": res,
+                    **_cache_fields(res),
                 }
             )
     return rows
@@ -618,6 +663,7 @@ def tree_degree_cell(
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,
+            **_cache_fields(res),
         }
     ]
 
@@ -661,6 +707,7 @@ def embedding_cell(
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
             "time": res.time,
+            **_cache_fields(res),
         }
     ]
 
@@ -707,6 +754,7 @@ def invalidation_cell(
             "congestion_bytes": res.congestion_bytes,
             "ctrl_msgs": res.stats.ctrl_msgs,
             "time": res.time,
+            **_cache_fields(res),
         }
     ]
 
@@ -746,7 +794,7 @@ def remapping_cell(
     from ..runtime.launcher import Runtime
 
     mesh = Mesh2D(side, side)
-    strat = make_strategy(strategy, mesh, seed=seed, remap_threshold=threshold)
+    strat = get_strategy(strategy, mesh, seed=seed, remap_threshold=threshold)
     handles: Dict[str, object] = {}
 
     def program(env):
@@ -771,6 +819,7 @@ def remapping_cell(
             "remaps": strat.remaps,
             "congestion_bytes": res.stats.congestion_bytes,
             "time": res.time,
+            **_cache_fields(res),
         }
     ]
 
@@ -824,6 +873,7 @@ def barrier_cell(
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,
+            **_cache_fields(res),
         }
     ]
 
@@ -869,8 +919,8 @@ def bounded_memory_cell(
             "capacity_copies": cap if cap is not None else "unbounded",
             "workload": "barneshut",
             "congestion_msgs": res.congestion_msgs,
-            "evictions": res.evictions,
             "time": res.time,
+            **_cache_fields(res),
         }
     ]
 
@@ -907,8 +957,8 @@ def synthetic_cell(
         total_bytes=res.stats.total_bytes,
         total_msgs=res.stats.total_msgs,
         time=res.time,
-        hit_ratio=res.hit_ratio,
         lock_acquisitions=res.lock_acquisitions,
+        **_cache_fields(res),
     )
     return [row]
 
@@ -950,7 +1000,111 @@ def xscale_cell(
             "total_bytes": res.stats.total_bytes,
             "total_msgs": res.stats.total_msgs,
             "time": res.time,
-            "hit_ratio": res.hit_ratio,
+            **_cache_fields(res),
+        }
+    ]
+
+
+def xstrat_cell(
+    workload: str,
+    strategy: str,
+    topology: str = "mesh",
+    side: int = 8,
+    params: Optional[Dict[str, object]] = None,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One ``xstrat`` cell: one registered workload under one strategy
+    registry spec on one topology.
+
+    The cross-strategy comparison has no hand-optimized baseline (the
+    post-paper families have no hand-written counterpart), so rows carry
+    absolute congestion/traffic/time plus the cache-behavior columns, and
+    ``strategy_params`` records the resolved spec parameters (schema v5).
+    """
+    wl = get_workload(workload)
+    topo = make_topology(topology, side)
+    family, sparams = parse_strategy_spec(strategy)
+    res = wl.run(topo, strategy, machine=machine, seed=seed, params=params)
+    row: Row = {
+        "workload": workload,
+        "strategy": strategy,
+        "strategy_family": family.name,
+        "strategy_params": sparams,
+        "topology": topology,
+        "network": topo.label,
+        "nodes": topo.n_nodes,
+    }
+    row.update(params or {})
+    # read_frac is a display column of the xstrat table; rows of the
+    # workloads that have no such knob carry it blank (the run-all
+    # contract asserts every display column on every row).
+    row.setdefault("read_frac", "")
+    row.update(
+        congestion_bytes=res.congestion_bytes,
+        congestion_msgs=res.congestion_msgs,
+        total_bytes=res.stats.total_bytes,
+        total_msgs=res.stats.total_msgs,
+        time=res.time,
+        lock_acquisitions=res.lock_acquisitions,
+        **_cache_fields(res),
+    )
+    return [row]
+
+
+def xcap_cell(
+    capacity_copies: Optional[float],
+    strategy: str,
+    topology: str = "mesh",
+    side: int = 8,
+    ops: int = 64,
+    n_vars: int = 64,
+    alpha: float = 0.8,
+    read_frac: float = 0.9,
+    payload: int = 256,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One ``xcap`` cell: the zipf kernel under a per-processor copy
+    capacity of ``capacity_copies * payload`` bytes (``None`` =
+    unbounded, the paper's default situation).
+
+    Generalizes the paper's Figure 8 replacement kink: shrinking capacity
+    forces LRU copy replacement, trading hit rate for eviction/refetch
+    traffic -- differently per strategy family (the migratory strategy's
+    single pinned copy cannot evict at all).
+    """
+    wl = get_workload("zipf")
+    topo = make_topology(topology, side)
+    family, sparams = parse_strategy_spec(strategy)
+    capacity_bytes = None if capacity_copies is None else capacity_copies * payload
+    res = wl.run(
+        topo,
+        strategy,
+        machine=machine,
+        seed=seed,
+        params={"n_vars": n_vars, "ops": ops, "alpha": alpha,
+                "read_frac": read_frac, "payload": payload},
+        capacity_bytes=capacity_bytes,
+    )
+    return [
+        {
+            "capacity_copies": capacity_copies if capacity_copies is not None else "unbounded",
+            "capacity_bytes": capacity_bytes,
+            "workload": "zipf",
+            "strategy": strategy,
+            "strategy_family": family.name,
+            "strategy_params": sparams,
+            "topology": topology,
+            "network": topo.label,
+            "nodes": topo.n_nodes,
+            "ops": ops,
+            "alpha": alpha,
+            "read_frac": read_frac,
+            "congestion_bytes": res.congestion_bytes,
+            "total_bytes": res.stats.total_bytes,
+            "time": res.time,
+            **_cache_fields(res),
         }
     ]
 

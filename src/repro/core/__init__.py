@@ -1,16 +1,35 @@
-"""The paper's data-management strategies and their building blocks."""
+"""The data-management strategies (paper + post-paper) and their building
+blocks, behind the strategy registry."""
 
 from .access_tree import AccessTreeStrategy
 from .decomposition import DecompositionTree, build_tree, parse_arity
+from .dynrep import DynRepStrategy
 from .embedding import Embedding, ModifiedEmbedding, RandomEmbedding, make_embedding
 from .fixed_home import FixedHomeStrategy
+from .migratory import MigratoryStrategy
+from .registry import (
+    STRATEGIES,
+    StrategyFamily,
+    get_strategy,
+    parse_strategy_spec,
+    register_strategy,
+    strategy_names,
+)
 from .strategy import STRATEGY_NAMES, DataManagementStrategy, NullStrategy, make_strategy
 
 __all__ = [
     "AccessTreeStrategy",
     "FixedHomeStrategy",
+    "MigratoryStrategy",
+    "DynRepStrategy",
     "DataManagementStrategy",
     "NullStrategy",
+    "StrategyFamily",
+    "STRATEGIES",
+    "register_strategy",
+    "get_strategy",
+    "parse_strategy_spec",
+    "strategy_names",
     "make_strategy",
     "STRATEGY_NAMES",
     "DecompositionTree",

@@ -129,10 +129,24 @@ class FixedHomeStrategy(DataManagementStrategy):
                     mem.touch(var.vid)
             return t, self.registry.get(var)
         self.misses += 1
+        self._read_miss_flow(st, proc, var, t, replicate=self._read_replicates(st, proc, var))
+        return None
+
+    def _read_replicates(self, st: _VarState, proc: int, var: GlobalVariable) -> bool:
+        """Whether this read miss leaves a copy at the reader: always for
+        the fixed home scheme; :class:`~repro.core.dynrep.DynRepStrategy`
+        overrides *only* this decision, inheriting hit path and miss flow,
+        so the two protocols can never drift apart."""
+        return True
+
+    def _read_miss_flow(
+        self, st: _VarState, proc: int, var: GlobalVariable, t: float, replicate: bool
+    ) -> None:
+        """The home round-trip of a read miss: request up ``proc -> home
+        [-> owner]`` as control messages, the value back down as data
+        (both read flows compile to the engine's up/down chain form).
+        """
         payload = var.payload_bytes
-        # Both read flows are request/reply chains: control up the host
-        # sequence, data back down (``proc -> home [-> owner]``), so they
-        # compile to the engine's up/down chain form.
         hosts: List[int] = [proc, st.home]
         if st.owner != HOME:
             # The home first fetches the value from the current owner,
@@ -141,8 +155,9 @@ class FixedHomeStrategy(DataManagementStrategy):
             st.owner = HOME
             st.copies.add(st.home)
             self._mem_insert(st, var, st.home, t)
-        st.copies.add(proc)
-        self._mem_insert(st, var, proc, t)
+        if replicate:
+            st.copies.add(proc)
+            self._mem_insert(st, var, proc, t)
         value = self.registry.get(var)
         runtime = self.runtime
         sim = self.sim
@@ -159,7 +174,6 @@ class FixedHomeStrategy(DataManagementStrategy):
             dwire / sim._bandwidth,
             resume_event=runtime.resume_event(proc, value),
         )
-        return None
 
     def write(self, proc: int, var: GlobalVariable, value: Any, t: float) -> Optional[float]:
         """Serve a write.  Owner writes are free; otherwise the home

@@ -1,0 +1,375 @@
+"""The strategy registry: pluggable, parameterized data-management strategies.
+
+This mirrors the workload registry (:mod:`repro.workloads.base`): a
+strategy *family* registers under a name, and every surface that accepts a
+strategy -- the workloads' ``run(topology, strategy, ...)``, the CLI's
+``--strategy``, the experiment cells -- resolves it through
+:func:`get_strategy`.  Adding a strategy is one builder plus one
+``register_strategy`` call; no edits to the cells, the CLI, or the
+workloads.
+
+A strategy is addressed by a **spec string**::
+
+    name[:token][:token]...
+
+where each ``token`` is either ``key=value`` or a bare positional value
+the family interprets (the tree family's arity).  Examples::
+
+    fixed-home                  # the paper's baseline
+    4-ary                       # paper access-tree variant (alias of tree)
+    tree:4-8:embed=random       # parameterized access tree
+    migratory                   # single-copy owner migration
+    dynrep:threshold=3          # replicate after 3 remote reads
+
+Families ship in this package:
+
+* the paper's strategies -- the access-tree arity variants and
+  ``fixed-home`` (re-registered adapters over
+  :mod:`repro.core.access_tree` / :mod:`repro.core.fixed_home`; their
+  behavior is untouched), plus ``handopt`` (no data management);
+* ``tree`` -- the access tree with the arity/embedding/remapping knobs
+  exposed as spec parameters;
+* ``migratory`` (:mod:`repro.core.migratory`) -- single-copy owner
+  migration: the copy moves to the writer, reads are forwarded;
+* ``dynrep`` (:mod:`repro.core.dynrep`) -- threshold-based dynamic
+  replication with write-invalidation.
+
+:data:`~repro.core.strategy.STRATEGY_NAMES` is *derived* from this
+registry (a live view), and :func:`repro.core.strategy.make_strategy` is
+a thin deprecated wrapper over :func:`get_strategy`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "StrategyFamily",
+    "register_strategy",
+    "get_strategy",
+    "parse_strategy_spec",
+    "strategy_names",
+    "STRATEGIES",
+]
+
+#: Any ``<k>-ary`` / ``<l>-<k>-ary`` string resolves to the tree family
+#: even when the specific arity is not a registered alias (the historic
+#: ``make_strategy`` contract: ``"4-32-ary"`` works).
+_ARITY_PATTERN = re.compile(r"^\d+(-\d+)?-ary$")
+
+#: ``key=value`` coercers per parameter type (specs are strings).
+_COERCE: Dict[type, Callable[[str], Any]] = {
+    str: str,
+    int: int,
+    float: float,
+    bool: lambda s: {"true": True, "1": True, "false": False, "0": False}[s.lower()],
+}
+
+
+@dataclass(frozen=True)
+class StrategyFamily:
+    """One registered strategy family.
+
+    Attributes
+    ----------
+    name:
+        Registry name (the spec's leading segment).
+    description:
+        One-line description for listings.
+    build:
+        ``build(topology, params, *, seed, embedding, remap_threshold)``
+        returning an attached-ready
+        :class:`~repro.core.strategy.DataManagementStrategy`.  ``params``
+        is the resolved spec parameter dict.
+    defaults:
+        Spec parameters and their defaults; unknown ``key=value`` tokens
+        are rejected.  A ``None`` default means "not set in the spec, use
+        the call-site value" (the tree family's embedding/remapping).
+    param_types:
+        Coercion targets for parameters whose default is ``None``
+        (otherwise the default's type coerces).
+    positional:
+        Parameter a bare (non ``key=value``) spec token assigns, or
+        ``None`` if the family takes no positional.
+    normalize:
+        Optional normalizer for the positional parameter's value, applied
+        to bare tokens and to its ``key=value`` form alike (the tree
+        family turns ``"4-8"`` into ``"4-8-ary"``).
+    locked:
+        Parameter names a spec may NOT override (they are the family's
+        identity): the paper alias ``4-ary`` pins ``arity``, so
+        ``4-ary:arity=2-ary`` is rejected instead of silently building a
+        strategy that contradicts the family name recorded in results.
+    validate:
+        Optional ``validate(params)`` raising ``ValueError`` on malformed
+        parameter combinations (``dynrep:threshold=0``).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    param_types: Dict[str, type] = field(default_factory=dict)
+    positional: Optional[str] = None
+    normalize: Optional[Callable[[str], str]] = None
+    locked: frozenset = frozenset()
+    validate: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+#: The global name -> family registry (registration order preserved; the
+#: derived ``STRATEGY_NAMES`` view iterates it).
+STRATEGIES: Dict[str, StrategyFamily] = {}
+
+
+def register_strategy(family: StrategyFamily) -> StrategyFamily:
+    """Register ``family`` under its name (idempotent for the same
+    builder; re-registering a different builder is a bug)."""
+    existing = STRATEGIES.get(family.name)
+    if existing is not None and existing.build is not family.build:
+        raise ValueError(
+            f"strategy name {family.name!r} already registered by "
+            f"{existing.build!r}"
+        )
+    STRATEGIES[family.name] = family
+    return family
+
+
+def strategy_names() -> List[str]:
+    """Registered strategy names, in registration order (the paper's
+    variants first, like the historic ``STRATEGY_NAMES`` tuple)."""
+    return list(STRATEGIES)
+
+
+class _DerivedNames(Sequence):
+    """Live, tuple-like view of :func:`strategy_names` -- the derived
+    ``STRATEGY_NAMES``: registering a strategy extends it, no frozen
+    tuple to keep in sync."""
+
+    def __iter__(self):
+        return iter(strategy_names())
+
+    def __getitem__(self, i):
+        return strategy_names()[i]
+
+    def __len__(self) -> int:
+        return len(STRATEGIES)
+
+    def __contains__(self, name) -> bool:
+        return name in STRATEGIES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"STRATEGY_NAMES{tuple(strategy_names())!r}"
+
+
+def _coerce(family: str, key: str, value: str, default: Any, target: Optional[type]):
+    kind = target if target is not None else type(default)
+    fn = _COERCE.get(kind)
+    if fn is None:  # pragma: no cover - registration-time bug
+        raise TypeError(f"strategy {family!r}: no coercer for parameter {key!r}")
+    try:
+        return fn(value)
+    except (ValueError, KeyError):
+        raise ValueError(
+            f"strategy {family!r}: parameter {key!r} expects "
+            f"{kind.__name__}, got {value!r}"
+        ) from None
+
+
+def parse_strategy_spec(spec: str) -> Tuple[StrategyFamily, Dict[str, Any]]:
+    """Parse ``spec`` into ``(family, params)``; raises ``ValueError``
+    with the valid alternatives on unknown names or malformed tokens."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"strategy spec must be a non-empty string, got {spec!r}")
+    head, *tokens = spec.strip().split(":")
+    family = STRATEGIES.get(head)
+    params: Dict[str, Any]
+    locked = family.locked if family is not None else frozenset()
+    if family is not None:
+        params = dict(family.defaults)
+    elif _ARITY_PATTERN.match(head) and "tree" in STRATEGIES:
+        # Unregistered arity variants fall through to the tree family;
+        # the head IS the arity, so it is pinned like the alias families'.
+        family = STRATEGIES["tree"]
+        params = dict(family.defaults)
+        params[family.positional] = head
+        locked = family.locked | {family.positional}
+    else:
+        raise ValueError(
+            f"unknown strategy {head!r}; valid: {', '.join(strategy_names())} "
+            f"(or any <l>-<k>-ary access-tree variant)"
+        )
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            raise ValueError(f"strategy spec {spec!r} has an empty segment")
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if key in locked:
+                raise ValueError(
+                    f"strategy {family.name!r} pins {key!r} (it is the "
+                    f"family's identity); use the generic family instead "
+                    f"(e.g. tree:{value})"
+                )
+            if key not in params:
+                valid = ", ".join(sorted(set(params) - locked)) or "(none)"
+                raise ValueError(
+                    f"strategy {family.name!r} has no parameter {key!r}; "
+                    f"valid: {valid}"
+                )
+            coerced = _coerce(
+                family.name, key, value, family.defaults[key], family.param_types.get(key)
+            )
+            if key == family.positional and family.normalize is not None:
+                coerced = family.normalize(coerced)
+            params[key] = coerced
+        else:
+            if family.positional is None or family.positional in locked:
+                raise ValueError(
+                    f"strategy {head!r} takes no positional spec "
+                    f"segment, got {token!r}"
+                )
+            params[family.positional] = (
+                family.normalize(token) if family.normalize is not None else token
+            )
+    if family.validate is not None:
+        family.validate(params)
+    return family, params
+
+
+def get_strategy(
+    spec: str,
+    topology,
+    *,
+    seed: int = 0,
+    embedding: str = "modified",
+    remap_threshold: Optional[int] = None,
+):
+    """Build the strategy addressed by ``spec`` on ``topology``.
+
+    ``seed``, ``embedding`` and ``remap_threshold`` are the call-site
+    knobs every surface already threads through; spec parameters override
+    them (``tree:embed=random`` wins over ``embedding="modified"``).
+    """
+    family, params = parse_strategy_spec(spec)
+    return family.build(
+        topology, params, seed=seed, embedding=embedding, remap_threshold=remap_threshold
+    )
+
+
+# ----------------------------------------------------------- built-in families
+def _normalize_arity(token: str) -> str:
+    """``"4" -> "4-ary"``, ``"4-8" -> "4-8-ary"``; full names pass through."""
+    return token if token.endswith("-ary") else f"{token}-ary"
+
+
+def _validate_tree(params: Dict[str, Any]) -> None:
+    from .decomposition import parse_arity
+
+    parse_arity(params["arity"])  # raises ValueError listing valid forms
+    if params["embed"] not in (None, "modified", "random"):
+        raise ValueError(
+            f"tree embedding must be 'modified' or 'random', got {params['embed']!r}"
+        )
+    if params["remap"] is not None and params["remap"] < 1:
+        raise ValueError(f"remap threshold must be >= 1, got {params['remap']}")
+
+
+def _build_tree(topology, params, *, seed, embedding, remap_threshold):
+    from .access_tree import AccessTreeStrategy
+
+    embed = params.get("embed")
+    remap = params.get("remap")
+    return AccessTreeStrategy(
+        topology,
+        arity=params["arity"],
+        seed=seed,
+        embedding=embed if embed is not None else embedding,
+        remap_threshold=remap if remap is not None else remap_threshold,
+    )
+
+
+def _build_fixed_home(topology, params, *, seed, embedding, remap_threshold):
+    from .fixed_home import FixedHomeStrategy
+
+    return FixedHomeStrategy(topology, seed=seed)
+
+
+def _build_handopt(topology, params, *, seed, embedding, remap_threshold):
+    from .strategy import NullStrategy
+
+    return NullStrategy()
+
+
+def _build_migratory(topology, params, *, seed, embedding, remap_threshold):
+    from .migratory import MigratoryStrategy
+
+    return MigratoryStrategy(topology, seed=seed)
+
+
+def _validate_dynrep(params: Dict[str, Any]) -> None:
+    if params["threshold"] < 1:
+        raise ValueError(
+            f"dynrep threshold must be >= 1 (1 replicates on the first "
+            f"remote read, i.e. fixed-home), got {params['threshold']}"
+        )
+
+
+def _build_dynrep(topology, params, *, seed, embedding, remap_threshold):
+    from .dynrep import DynRepStrategy
+
+    return DynRepStrategy(topology, seed=seed, threshold=params["threshold"])
+
+
+def _tree_knobs() -> Dict[str, Any]:
+    return {"embed": None, "remap": None}
+
+
+def _register_builtins() -> None:
+    # The paper's variants first, in the historic STRATEGY_NAMES order.
+    for arity in ("2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-ary"):
+        register_strategy(StrategyFamily(
+            name=arity,
+            description=f"the paper's {arity} access tree",
+            build=_build_tree,
+            defaults={"arity": arity, **_tree_knobs()},
+            param_types={"embed": str, "remap": int},
+            locked=frozenset({"arity"}),
+            validate=_validate_tree,
+        ))
+    register_strategy(StrategyFamily(
+        name="fixed-home",
+        description="fixed home + ownership scheme (the paper's baseline)",
+        build=_build_fixed_home,
+    ))
+    register_strategy(StrategyFamily(
+        name="handopt",
+        description="no data management (hand-optimized message passing)",
+        build=_build_handopt,
+    ))
+    register_strategy(StrategyFamily(
+        name="tree",
+        description="parameterized access tree (arity positional, embed=, remap=)",
+        build=_build_tree,
+        defaults={"arity": "4-ary", **_tree_knobs()},
+        param_types={"embed": str, "remap": int},
+        positional="arity",
+        normalize=_normalize_arity,
+        validate=_validate_tree,
+    ))
+    register_strategy(StrategyFamily(
+        name="migratory",
+        description="single-copy owner migration (copy moves to the writer)",
+        build=_build_migratory,
+    ))
+    register_strategy(StrategyFamily(
+        name="dynrep",
+        description="threshold-based dynamic replication with write-invalidation",
+        build=_build_dynrep,
+        defaults={"threshold": 2},
+        validate=_validate_dynrep,
+    ))
+
+
+_register_builtins()

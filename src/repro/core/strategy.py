@@ -6,7 +6,16 @@ the lock service for its variables.  The two families from the paper:
 
 * the **access tree strategy** (:mod:`repro.core.access_tree`) in all its
   arity/embedding variants, and
-* the **fixed home strategy** (:mod:`repro.core.fixed_home`).
+* the **fixed home strategy** (:mod:`repro.core.fixed_home`),
+
+plus the post-paper families (:mod:`repro.core.migratory`,
+:mod:`repro.core.dynrep`).  All of them register with the strategy
+registry (:mod:`repro.core.registry`), which resolves the parameterized
+spec strings (``"4-ary"``, ``"tree:4-8:embed=random"``,
+``"dynrep:threshold=3"``) every surface accepts; :data:`STRATEGY_NAMES`
+is a live view derived from that registry, and :func:`make_strategy` is
+the historic factory kept as a thin deprecated wrapper over
+:func:`repro.core.registry.get_strategy` for one cycle.
 
 Hand-optimized message-passing programs bypass data management entirely and
 run under :class:`NullStrategy`.
@@ -23,6 +32,7 @@ from typing import Any, Callable, Tuple
 
 from ..network.topology import Topology
 from ..runtime.variables import GlobalVariable
+from .registry import _DerivedNames
 
 __all__ = ["DataManagementStrategy", "NullStrategy", "make_strategy", "STRATEGY_NAMES"]
 
@@ -34,6 +44,12 @@ class DataManagementStrategy:
 
     #: Human-readable name used in result tables.
     name: str = "abstract"
+
+    #: Cache counters, guaranteed on every strategy (reads served from a
+    #: local copy vs reads that needed communication); :meth:`attach`
+    #: re-zeros them per run, and the launcher reads them directly.
+    hits: int = 0
+    misses: int = 0
 
     def attach(self, runtime) -> None:
         """Bind to a runtime (simulator, registry, memory book)."""
@@ -94,17 +110,10 @@ class NullStrategy(DataManagementStrategy):
         raise RuntimeError("NullStrategy programs must not unlock global variables")
 
 
-#: Strategy names accepted by :func:`make_strategy` (the paper's variants).
-STRATEGY_NAMES = (
-    "2-ary",
-    "4-ary",
-    "16-ary",
-    "2-4-ary",
-    "4-8-ary",
-    "4-16-ary",
-    "fixed-home",
-    "handopt",
-)
+#: Strategy names accepted by :func:`make_strategy` and the spec parser.
+#: A live view **derived from the registry** -- registering a strategy
+#: family extends it; there is no frozen tuple to keep in sync.
+STRATEGY_NAMES = _DerivedNames()
 
 
 def make_strategy(
@@ -114,25 +123,26 @@ def make_strategy(
     embedding: str = "modified",
     remap_threshold=None,
 ):
-    """Build a strategy by paper name, on any topology.
+    """Build a strategy by name, on any topology.
 
-    ``name`` is one of the access-tree variants (``"2-ary"``, ``"4-ary"``,
-    ``"16-ary"``, ``"2-4-ary"``, ``"4-8-ary"``, ``"4-16-ary"``, or any
-    ``"<l>-<k>-ary"``), ``"fixed-home"``, or ``"handopt"``.
+    .. deprecated::
+        Thin wrapper over :func:`repro.core.registry.get_strategy`, kept
+        for one cycle; new code should call ``get_strategy`` directly --
+        it additionally accepts parameterized specs
+        (``"tree:4-8:embed=random"``, ``"dynrep:threshold=3"``).
+
+    ``name`` is any registered strategy name -- the access-tree variants
+    (``"2-ary"``, ``"4-ary"``, ``"16-ary"``, ``"2-4-ary"``, ``"4-8-ary"``,
+    ``"4-16-ary"``, or any ``"<l>-<k>-ary"``), ``"fixed-home"``,
+    ``"handopt"``, ``"migratory"``, ``"dynrep"`` -- or a spec string.
     ``embedding`` selects ``"modified"`` (paper default; the
     topology-appropriate variant is chosen automatically) or ``"random"``
     (the theoretical analysis) for access trees; ``remap_threshold``
     enables the theoretical strategy's node remapping (the paper omits it;
     ``None`` = off) after that many stops at the same tree node.
     """
-    if name == "fixed-home":
-        from .fixed_home import FixedHomeStrategy
+    from .registry import get_strategy
 
-        return FixedHomeStrategy(topology, seed=seed)
-    if name == "handopt":
-        return NullStrategy()
-    from .access_tree import AccessTreeStrategy
-
-    return AccessTreeStrategy(
-        topology, arity=name, seed=seed, embedding=embedding, remap_threshold=remap_threshold
+    return get_strategy(
+        name, topology, seed=seed, embedding=embedding, remap_threshold=remap_threshold
     )

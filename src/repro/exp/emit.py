@@ -7,7 +7,7 @@ CI pipeline diffs and archives.  One file per (experiment, scale) under
 schema-versioned payload::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "experiment": "fig3",
       "scale": "default",
       "workload": "matmul",     # --workload axis value (registry name)
@@ -23,7 +23,11 @@ cross-topology experiments additionally carry a per-row ``topology``);
 version 3 added the top-level ``workload`` field (the ``--app`` axis
 generalized to the workload registry; ``app`` was kept as an alias for
 one cycle); version 4 removed the ``app`` alias on schedule -- readers
-must use ``workload``.
+must use ``workload``; version 5 (the strategy registry) added the
+cache-behavior row fields ``hits`` / ``misses`` / ``hit_rate`` /
+``evictions`` to every cell row, and the ``xstrat`` / ``xcap`` rows
+additionally carry ``strategy_family`` / ``strategy_params`` (the
+resolved spec parameters) and -- for ``xcap`` -- ``capacity_bytes``.
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -54,7 +58,7 @@ __all__ = [
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 

@@ -35,6 +35,16 @@ XWORK_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary")
 #: Strategies compared on the thousands-of-nodes scale axis (the node
 #: counts live in analysis.scale_params("xscale", ...)).
 XSCALE_STRATEGIES = ("fixed-home", "2-4-ary")
+#: Strategy families compared head to head by the xstrat sweep: the
+#: paper's two (an access tree per application family + fixed home) plus
+#: the post-paper migration and dynamic-replication schemes.
+XSTRAT_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary", "migratory", "dynrep")
+#: Read fractions of the xstrat zipf cells (read-heavy like the paper's
+#: apps, and the mixed regime where invalidation traffic bites).
+XSTRAT_READ_FRACS = (0.9, 0.5)
+#: Strategies swept over the capacity-pressure axis (2-ary is the
+#: paper's Figure 8 kink strategy; migratory cannot evict by design).
+XCAP_STRATEGIES = ("fixed-home", "2-ary", "2-4-ary", "dynrep", "migratory")
 #: Zipf skew exponents of the xwork-zipf sweep (0 = uniform).
 XWORK_ZIPF_ALPHAS = (0.0, 0.8, 1.5)
 #: Read fractions of the xwork-readfrac sweep (1.0 = read-only).
@@ -242,6 +252,51 @@ def _xscale_cells(p: Params) -> List[Cell]:
     ]
 
 
+def _xstrat_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xstrat", scale)
+    params["topologies"] = ["mesh", "torus", "hypercube"]
+    params["strategies"] = list(XSTRAT_STRATEGIES)
+    params["read_fracs"] = list(XSTRAT_READ_FRACS)
+    return params
+
+
+def _xstrat_cells(p: Params) -> List[Cell]:
+    cells: List[Cell] = []
+    for topology in p["topologies"]:
+        for name in p["strategies"]:
+            cells.append(Cell.make(E.xstrat_cell, workload="bitonic", strategy=name,
+                                   topology=topology, side=p["side"],
+                                   params={"keys": p["keys"]}, seed=0))
+            for read_frac in p["read_fracs"]:
+                cells.append(Cell.make(E.xstrat_cell, workload="zipf", strategy=name,
+                                       topology=topology, side=p["side"],
+                                       params={"ops": p["ops"], "alpha": 0.8,
+                                               "read_frac": read_frac},
+                                       seed=0))
+    for name in p["strategies"]:
+        # The paper's matmul needs true 2-D grid coordinates: mesh only.
+        cells.append(Cell.make(E.xstrat_cell, workload="matmul", strategy=name,
+                               topology="mesh", side=p["side"],
+                               params={"block_entries": p["block"]}, seed=0))
+    return cells
+
+
+def _xcap_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xcap", scale)
+    params["strategies"] = list(XCAP_STRATEGIES)
+    return params
+
+
+def _xcap_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.xcap_cell, capacity_copies=cap, strategy=name,
+                  topology=p.get("topology", "mesh"), side=p["side"],
+                  ops=p["ops"], seed=0)
+        for cap in p["capacities"]
+        for name in p["strategies"]
+    ]
+
+
 def _invalidation_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.invalidation_cell, strategy=name, variant=variant,
@@ -344,7 +399,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             name="xwork-zipf",
             columns=("topology", "alpha", "strategy", "congestion_bytes",
-                     "total_bytes", "time", "hit_ratio"),
+                     "total_bytes", "time", "hit_rate"),
             make_params=_xwork_zipf_params,
             make_cells=_xwork_zipf_cells,
             title=_fixed_title(
@@ -355,7 +410,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             name="xwork-readfrac",
             columns=("read_frac", "strategy", "congestion_bytes",
-                     "total_bytes", "time", "hit_ratio"),
+                     "total_bytes", "time", "hit_rate"),
             make_params=_xwork_readfrac_params,
             make_cells=_xwork_readfrac_cells,
             title=_fixed_title(
@@ -366,7 +421,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             name="xscale",
             columns=("nodes", "topology", "strategy", "congestion_bytes",
-                     "congestion_per_node", "total_bytes", "time", "hit_ratio"),
+                     "congestion_per_node", "total_bytes", "time", "hit_rate"),
             make_params=_xscale_params,
             make_cells=_xscale_cells,
             title=_fixed_title(
@@ -375,8 +430,31 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             ),
         ),
         ExperimentSpec(
+            name="xstrat",
+            columns=("workload", "topology", "strategy", "read_frac",
+                     "congestion_bytes", "total_bytes", "time", "hit_rate"),
+            make_params=_xstrat_params,
+            make_cells=_xstrat_cells,
+            title=_fixed_title(
+                "cross-strategy: every family x paper apps + zipf "
+                "(64 nodes, mesh+torus+hypercube)"
+            ),
+        ),
+        ExperimentSpec(
+            name="xcap",
+            columns=("capacity_copies", "strategy", "evictions", "hit_rate",
+                     "congestion_bytes", "time"),
+            make_params=_xcap_params,
+            make_cells=_xcap_cells,
+            title=_fixed_title(
+                "capacity pressure: zipf under per-processor copy capacity "
+                "(LRU replacement)"
+            ),
+            uses_topology=True,
+        ),
+        ExperimentSpec(
             name="fig8",
-            columns=("strategy", "bodies", "congestion_msgs", "time", "hit_ratio"),
+            columns=("strategy", "bodies", "congestion_msgs", "time", "hit_rate"),
             make_params=_scaled_params("fig8"),
             make_cells=_fig8_cells,
             title=_scale_title("fig8"),

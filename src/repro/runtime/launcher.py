@@ -200,20 +200,20 @@ class Runtime:
         self._close_phase(end)
         phases = [self._phase_acc[n].to_phase_stats(n) for n in self._phase_order]
         stats = self.sim.stats.snapshot()
-        strat_hits = getattr(self.strategy, "hits", 0)
-        strat_misses = getattr(self.strategy, "misses", 0)
-        locks = getattr(self.strategy, "lock_acquisitions", 0)
+        # The base DataManagementStrategy guarantees the counters (and
+        # NullStrategy inherits them), so no getattr defensiveness here.
+        strategy = self.strategy
         return RunResult(
-            strategy=self.strategy.name,
+            strategy=strategy.name,
             mesh=topo.label,
             time=end - self.measure_start,
             end_time=end,
             stats=stats,
             phases=phases,
             compute_time=float(self._compute_by_proc.max(initial=0.0)),
-            hits=strat_hits,
-            misses=strat_misses,
-            lock_acquisitions=locks,
+            hits=strategy.hits,
+            misses=strategy.misses,
+            lock_acquisitions=strategy.lock_acquisitions,
             evictions=self.memory.total_evictions,
             barrier_episodes=self.barrier.episodes,
             extra={},

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.strategy import DataManagementStrategy, make_strategy
+from ..core.registry import get_strategy
+from ..core.strategy import DataManagementStrategy
 from ..network.machine import GCEL, MachineModel
 from ..network.topology import Topology
 from ..runtime.results import RunResult
@@ -96,8 +97,9 @@ class Workload:
         embedding: str = "modified",
         remap_threshold: Optional[int] = None,
     ) -> DataManagementStrategy:
-        """Build the strategy a run uses (overridable hook)."""
-        return make_strategy(
+        """Build the strategy a run uses (overridable hook).  ``name`` is
+        any registry spec (:func:`repro.core.registry.get_strategy`)."""
+        return get_strategy(
             name, topology, seed=seed, embedding=embedding, remap_threshold=remap_threshold
         )
 
@@ -114,8 +116,10 @@ class Workload:
     ) -> RunResult:
         """Run the workload under ``strategy`` on ``topology``.
 
-        ``strategy`` is a :func:`repro.core.strategy.make_strategy` name
-        (``"handopt"`` selects the hand-optimized baseline where one
+        ``strategy`` is a strategy-registry spec
+        (:func:`repro.core.registry.get_strategy` -- any registered name
+        or parameterized spec like ``"dynrep:threshold=3"``;
+        ``"handopt"`` selects the hand-optimized baseline where one
         exists); ``params`` overrides :attr:`defaults`;
         ``runtime_kwargs`` pass through to the
         :class:`~repro.runtime.launcher.Runtime` (``barrier=``,

@@ -50,7 +50,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..core.strategy import make_strategy
+from ..core.registry import get_strategy
 from ..network.machine import GCEL, MachineModel
 from ..network.topology import Topology
 from ..runtime.api import (
@@ -360,7 +360,7 @@ def replay(
     if charge_compute is None:
         charge_compute = header.get("charge_compute", True)
 
-    strat = make_strategy(strategy, topology, seed=seed, embedding=embedding)
+    strat = get_strategy(strategy, topology, seed=seed, embedding=embedding)
     rt = Runtime(
         topology,
         strat,

@@ -1,0 +1,137 @@
+"""DynRepStrategy protocol tests: replicate after ``threshold`` remote
+reads, write-invalidate, threshold=1 == fixed-home."""
+
+import pytest
+
+from repro.core.dynrep import DynRepStrategy
+from repro.network.machine import ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.network.topology import make_topology
+from repro.runtime.launcher import Runtime
+from repro.workloads import get_workload
+
+
+def drive(mesh, program, seed=0, threshold=2, **kw):
+    strat = DynRepStrategy(mesh, seed=seed, threshold=threshold)
+    rt = Runtime(mesh, strat, ZERO_COST, seed=seed, **kw)
+    res = rt.run(program)
+    return strat, rt, res
+
+
+class TestThresholdSemantics:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DynRepStrategy(Mesh2D(2, 2), threshold=0)
+        with pytest.raises(ValueError, match="threshold"):
+            DynRepStrategy(Mesh2D(2, 2), threshold=-3)
+
+    def test_replica_earned_at_threshold(self):
+        """Below the threshold a reader keeps nothing; the threshold-th
+        remote read creates the replica, and reads after it hit."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=9)
+            yield from env.barrier()
+            if env.rank == 3:
+                for _ in range(4):
+                    v = yield from env.read(handles["x"])
+                    assert v == 9
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, threshold=3)
+        var = handles["x"]
+        # reads 1, 2 forwarded (no replica); read 3 replicates; read 4 hits
+        assert strat.misses == 3 and strat.hits == 1
+        assert 3 in strat.copy_procs(var)
+        assert strat.replications == 1
+
+    def test_write_invalidates_and_resets_progress(self):
+        """A write destroys replicas AND the replication counters: the
+        reader must re-earn its replica from scratch."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=0)
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.read(handles["x"])  # count 1 (of 2)
+            yield from env.barrier()
+            if env.rank == 1:
+                yield from env.write(handles["x"], 1)  # resets counters
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.read(handles["x"])  # count 1 again
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, threshold=2)
+        var = handles["x"]
+        assert 3 not in strat.copy_procs(var)  # never reached the threshold
+        assert strat.replications == 0
+        # The post-write read fetched from the writer, moving ownership
+        # back to main memory (HOME = -1), exactly like fixed home.
+        assert strat.owner_of(var) == -1
+        assert 1 in strat.copy_procs(var)  # the writer kept its copy
+
+    def test_replicated_reader_is_invalidated_by_write(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=0)
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.read(handles["x"])
+                yield from env.read(handles["x"])  # replicates (threshold 2)
+            yield from env.barrier()
+            if env.rank == 1:
+                yield from env.write(handles["x"], 5)
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, threshold=2)
+        var = handles["x"]
+        assert strat.copy_procs(var) == {1}  # writer holds the sole copy
+        assert rt.registry.get(var) == 5
+
+
+class TestFixedHomeEquivalence:
+    @pytest.mark.parametrize("kind", ["mesh", "torus", "hypercube"])
+    @pytest.mark.parametrize("workload", ["zipf", "uniform"])
+    def test_threshold_one_is_fixed_home(self, kind, workload):
+        """dynrep:threshold=1 replicates on the first remote read --
+        behaviorally identical to the fixed home strategy, message for
+        message (only the strategy label differs)."""
+        topo = make_topology(kind, 4)
+        wl = get_workload(workload)
+        params = {"ops": 24} if workload == "zipf" else {"rounds": 1, "n_vars": 16}
+        a = wl.run(topo, "dynrep:threshold=1", seed=2, params=params)
+        b = wl.run(topo, "fixed-home", seed=2, params=params)
+        da, db = a.as_dict(), b.as_dict()
+        assert da.pop("strategy") == "dynrep:threshold=1"
+        assert db.pop("strategy") == "fixed-home"
+        assert da == db
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["mesh", "torus", "hypercube"])
+    def test_same_seed_identical(self, kind):
+        topo = make_topology(kind, 4)
+        wl = get_workload("zipf")
+        a = wl.run(topo, "dynrep:threshold=3", seed=5, params={"ops": 16})
+        b = wl.run(topo, "dynrep:threshold=3", seed=5, params={"ops": 16})
+        assert a.as_dict() == b.as_dict()
+
+    def test_deterministic_under_capacity_pressure(self):
+        mesh = Mesh2D(2, 2)
+        wl = get_workload("zipf")
+        kw = dict(seed=3, params={"ops": 32, "n_vars": 8, "payload": 128},
+                  capacity_bytes=384)
+        a = wl.run(mesh, "dynrep", **kw)
+        b = wl.run(mesh, "dynrep", **kw)
+        assert a.as_dict() == b.as_dict()
+        assert a.evictions == b.evictions

@@ -1,0 +1,186 @@
+"""MigratoryStrategy protocol tests: single copy, owner migration on
+write, read forwarding without replication."""
+
+import pytest
+
+from repro.core.migratory import MigratoryStrategy
+from repro.network.machine import ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.network.topology import make_topology
+from repro.runtime.launcher import Runtime, run_spmd
+from repro.workloads import get_workload
+
+
+def drive(mesh, program, seed=0, **kw):
+    strat = MigratoryStrategy(mesh, seed=seed)
+    rt = Runtime(mesh, strat, ZERO_COST, seed=seed, **kw)
+    res = rt.run(program)
+    return strat, rt, res
+
+
+class TestProtocol:
+    def test_creator_owns_the_sole_copy(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 1:
+                handles["x"] = env.create("x", 64, value=7)
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program)
+        var = handles["x"]
+        assert strat.owner_of(var) == 1
+        assert strat.copy_procs(var) == {1}
+
+    def test_write_migrates_ownership(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=0)
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.write(handles["x"], 42)
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program)
+        var = handles["x"]
+        assert strat.owner_of(var) == 3
+        assert strat.copy_procs(var) == {3}  # single copy, moved
+        assert rt.registry.get(var) == 42
+        assert strat.migrations == 1
+
+    def test_read_forwards_without_replication(self):
+        """A non-owner read returns the value but creates no copy: the
+        second read by the same processor misses again."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=5)
+            yield from env.barrier()
+            if env.rank == 2:
+                v1 = yield from env.read(handles["x"])
+                v2 = yield from env.read(handles["x"])
+                assert v1 == v2 == 5
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program)
+        var = handles["x"]
+        assert strat.owner_of(var) == 0  # reads never move the copy
+        assert strat.copy_procs(var) == {0}
+        assert strat.forwards == 2  # both reads paid the round trip
+        assert strat.misses == 2 and strat.hits == 0
+
+    def test_owner_accesses_are_free(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=0)
+                v = yield from env.read(handles["x"])
+                yield from env.write(handles["x"], v + 1)
+            yield from env.barrier()
+
+        strat, rt, res = drive(mesh, program)
+        assert strat.hits == 1 and strat.misses == 0
+        assert strat.write_local == 1 and strat.write_remote == 0
+
+    def test_migration_carries_the_value(self):
+        """Write-migrate then read back from a third processor."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+        seen = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value="initial")
+            yield from env.barrier()
+            if env.rank == 1:
+                yield from env.write(handles["x"], "migrated")
+            yield from env.barrier()
+            if env.rank == 2:
+                seen["v"] = yield from env.read(handles["x"])
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program)
+        assert seen["v"] == "migrated"
+        assert strat.owner_of(handles["x"]) == 1
+
+    def test_lock_mutual_exclusion(self):
+        """The directory FIFO lock serializes increments."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 16, value=0)
+            yield from env.barrier()
+            for _ in range(3):
+                yield from env.lock(handles["x"])
+                v = yield from env.read(handles["x"])
+                yield from env.write(handles["x"], v + 1)
+                yield from env.unlock(handles["x"])
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program)
+        assert rt.registry.get(handles["x"]) == 3 * mesh.n_nodes
+        assert strat.lock_acquisitions == 3 * mesh.n_nodes
+
+
+class TestCounters:
+    def test_reset_counters_covers_all_window_counters(self):
+        """migrations/forwards track write_remote/misses: a measurement
+        reset must zero all of them together."""
+        mesh = Mesh2D(2, 2)
+        strat = MigratoryStrategy(mesh)
+        Runtime(mesh, strat, ZERO_COST)
+        strat.hits = strat.misses = 3
+        strat.write_local = strat.write_remote = 2
+        strat.migrations = strat.forwards = 2
+        strat.reset_counters()
+        assert (strat.hits, strat.misses, strat.write_local, strat.write_remote,
+                strat.migrations, strat.forwards) == (0, 0, 0, 0, 0, 0)
+
+
+class TestBoundedMemory:
+    def test_sole_copy_never_evicted(self):
+        """Capacity pressure cannot evict the authoritative single copy:
+        evictions stay zero and every variable keeps exactly one copy."""
+        mesh = Mesh2D(2, 2)
+        res = get_workload("zipf").run(
+            mesh, "migratory", seed=1,
+            params={"ops": 16, "n_vars": 8, "payload": 256},
+            capacity_bytes=256,  # room for a single copy per processor
+        )
+        assert res.evictions == 0
+        rt = res.extra["runtime"]
+        owners = [rt.strategy.owner_of(rt.registry.by_id(v)) for v in range(8)]
+        assert all(o is not None for o in owners)
+
+
+class TestEquivalenceAndDeterminism:
+    @pytest.mark.parametrize("kind", ["mesh", "torus", "hypercube"])
+    def test_runs_on_every_topology(self, kind):
+        topo = make_topology(kind, 4)
+        res = get_workload("zipf").run(topo, "migratory", seed=0,
+                                       params={"ops": 8, "n_vars": 8})
+        assert res.time > 0
+
+    def test_run_spmd_roundtrip(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 32, value=0)
+            yield from env.barrier()
+            yield from env.write(handles["x"], env.rank)
+            yield from env.barrier()
+
+        res = run_spmd(mesh, MigratoryStrategy(mesh), program, ZERO_COST)
+        assert res.strategy == "migratory"

@@ -9,13 +9,21 @@ from repro.network.machine import ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
 
+#: The paper's access-tree variants (the historic STRATEGY_NAMES tuple
+#: minus fixed-home/handopt; the registry adds the post-paper families).
+PAPER_TREE_VARIANTS = ("2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-ary")
+
 
 class TestFactory:
-    @pytest.mark.parametrize("name", [n for n in STRATEGY_NAMES if n not in ("fixed-home", "handopt")])
+    @pytest.mark.parametrize("name", PAPER_TREE_VARIANTS)
     def test_tree_variants(self, name):
         s = make_strategy(name, Mesh2D(4, 4))
         assert isinstance(s, AccessTreeStrategy)
         assert s.name == name
+
+    def test_paper_names_still_registered(self):
+        for name in PAPER_TREE_VARIANTS + ("fixed-home", "handopt"):
+            assert name in STRATEGY_NAMES
 
     def test_fixed_home(self):
         s = make_strategy("fixed-home", Mesh2D(4, 4))

@@ -1,0 +1,201 @@
+"""Strategy-registry completeness and spec-parser tests (mirrors the
+workload/experiment registry test suites)."""
+
+import pytest
+
+from repro.core import (
+    AccessTreeStrategy,
+    DynRepStrategy,
+    FixedHomeStrategy,
+    MigratoryStrategy,
+    NullStrategy,
+    StrategyFamily,
+    get_strategy,
+    make_strategy,
+    parse_strategy_spec,
+    register_strategy,
+    strategy_names,
+)
+from repro.core.registry import STRATEGIES
+from repro.core.strategy import STRATEGY_NAMES
+from repro.network.machine import ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.network.topology import make_topology
+from repro.runtime.launcher import Runtime
+from repro.workloads import get_workload
+
+TOPOLOGY_KINDS = ("mesh", "torus", "hypercube")
+
+
+class TestRegistryCompleteness:
+    def test_every_name_round_trips_through_the_parser(self):
+        for name in strategy_names():
+            family, params = parse_strategy_spec(name)
+            assert family.name == name
+            assert params == dict(family.defaults) or name in params.values()
+
+    def test_derived_names_view_is_live(self):
+        """STRATEGY_NAMES derives from the registry: registering a family
+        extends it without touching any frozen tuple."""
+        assert list(STRATEGY_NAMES) == strategy_names()
+        assert "migratory" in STRATEGY_NAMES and "dynrep" in STRATEGY_NAMES
+        family = StrategyFamily(
+            name="test-dummy",
+            description="registered by the live-view test",
+            build=lambda topology, params, **kw: NullStrategy(),
+        )
+        register_strategy(family)
+        try:
+            assert "test-dummy" in STRATEGY_NAMES
+            assert "test-dummy" in strategy_names()
+        finally:
+            del STRATEGIES["test-dummy"]
+        assert "test-dummy" not in STRATEGY_NAMES
+
+    def test_reregistering_a_different_builder_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(StrategyFamily(
+                name="fixed-home",
+                description="imposter",
+                build=lambda topology, params, **kw: NullStrategy(),
+            ))
+
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_every_data_strategy_attaches_and_runs_everywhere(self, kind):
+        """Registry contract: every registered name (except the
+        message-passing-only handopt) attaches to a Runtime on every
+        topology family and completes a smoke cell."""
+        topo = make_topology(kind, 4)
+        wl = get_workload("zipf")
+        for name in strategy_names():
+            if name == "handopt":
+                continue
+            res = wl.run(topo, name, seed=0, params={"ops": 4, "n_vars": 8})
+            assert res.time > 0
+            assert res.hits + res.misses > 0
+
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_handopt_attaches_and_runs_everywhere(self, kind):
+        topo = make_topology(kind, 4)
+        rt = Runtime(topo, get_strategy("handopt", topo), ZERO_COST)
+
+        def program(env):
+            right = (env.rank + 1) % env.nprocs
+            yield from env.send(right, env.rank, 4, "tok")
+            got = yield from env.recv("tok")
+            assert got == (env.rank - 1) % env.nprocs
+            yield from env.barrier()
+
+        res = rt.run(program)
+        assert res.stats.total_msgs > 0
+
+
+class TestSpecParser:
+    def test_tree_spec_with_positional_and_params(self):
+        s = get_strategy("tree:4-8:embed=random", Mesh2D(8, 8))
+        assert isinstance(s, AccessTreeStrategy)
+        assert s.arity == "4-8-ary"
+        assert s.embedding.name == "random"
+
+    def test_tree_positional_normalization(self):
+        assert get_strategy("tree:16", Mesh2D(4, 4)).arity == "16-ary"
+        assert get_strategy("tree", Mesh2D(4, 4)).arity == "4-ary"
+
+    def test_paper_alias_accepts_tree_params(self):
+        s = get_strategy("2-4-ary:embed=random", Mesh2D(4, 4))
+        assert s.arity == "2-4-ary"
+        assert s.embedding.name == "random"
+
+    def test_tree_remap_param(self):
+        s = get_strategy("tree:4:remap=16", Mesh2D(4, 4))
+        assert s.remap_threshold == 16
+
+    def test_spec_params_override_call_site_knobs(self):
+        s = get_strategy("tree:embed=random", Mesh2D(4, 4), embedding="modified")
+        assert s.embedding.name == "random"
+
+    def test_call_site_knobs_apply_when_spec_is_silent(self):
+        s = get_strategy("4-ary", Mesh2D(4, 4), embedding="random", remap_threshold=8)
+        assert s.embedding.name == "random"
+        assert s.remap_threshold == 8
+
+    def test_dynrep_threshold(self):
+        s = get_strategy("dynrep:threshold=3", Mesh2D(4, 4))
+        assert isinstance(s, DynRepStrategy)
+        assert s.threshold == 3
+        assert s.name == "dynrep:threshold=3"
+        # The canonical instance name round-trips through the parser.
+        family, params = parse_strategy_spec(s.name)
+        assert family.name == "dynrep" and params["threshold"] == 3
+
+    def test_unregistered_arity_falls_through_to_tree(self):
+        s = get_strategy("4-32-ary", Mesh2D(8, 8))
+        assert isinstance(s, AccessTreeStrategy)
+        assert s.arity == "4-32-ary"
+
+    def test_arity_key_value_form_normalizes_like_positional(self):
+        """tree:arity=4-8 and tree:4-8 are the same spec."""
+        assert get_strategy("tree:arity=4-8", Mesh2D(8, 8)).arity == "4-8-ary"
+
+    def test_alias_identity_params_are_locked(self):
+        """An alias family's name IS its arity: overriding it would make
+        the recorded strategy_family contradict the strategy that ran."""
+        with pytest.raises(ValueError, match="pins 'arity'"):
+            parse_strategy_spec("4-ary:arity=2-ary")
+        with pytest.raises(ValueError, match="pins 'arity'"):
+            parse_strategy_spec("4-32-ary:arity=2-ary")
+        with pytest.raises(ValueError, match="positional"):
+            parse_strategy_spec("4-32-ary:2-8")
+
+    def test_fixed_home_and_migratory_builders(self):
+        assert isinstance(get_strategy("fixed-home", Mesh2D(4, 4)), FixedHomeStrategy)
+        assert isinstance(get_strategy("migratory", Mesh2D(4, 4)), MigratoryStrategy)
+
+    def test_make_strategy_wrapper_delegates(self):
+        """The deprecated wrapper builds identically-configured strategies."""
+        a = make_strategy("2-4-ary", Mesh2D(4, 4), seed=3)
+        b = get_strategy("2-4-ary", Mesh2D(4, 4), seed=3)
+        assert type(a) is type(b)
+        assert (a.arity, a.seed) == (b.arity, b.seed)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "nope",
+        "tetris",
+        "5-ary",                 # invalid access-tree arity
+        "tree:5-ary",
+        "tree:embed=weird",
+        "tree:remap=0",
+        "dynrep:threshold=0",    # the issue's canonical malformed spec
+        "dynrep:threshold=-1",
+        "dynrep:threshold=x",
+        "dynrep:bogus=1",
+        "fixed-home:extra",      # family takes no positional
+        "fixed-home:x=1",        # ... and no parameters
+        "migratory:1",
+        "4-ary:",                # empty segment
+    ])
+    def test_malformed_specs_raise_clean_errors(self, bad):
+        with pytest.raises(ValueError):
+            parse_strategy_spec(bad)
+
+    def test_unknown_name_error_lists_valid_names(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            parse_strategy_spec("octopus")
+        with pytest.raises(ValueError, match="fixed-home"):
+            parse_strategy_spec("octopus")
+
+
+class TestSpecDeterminism:
+    @pytest.mark.parametrize("spec", ["migratory", "dynrep:threshold=3",
+                                      "tree:4-8:embed=random"])
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_same_seed_same_result(self, spec, kind):
+        """Registry strategies are deterministic: same seed, same spec,
+        same topology => identical simulated quantities."""
+        topo = make_topology(kind, 4)
+        wl = get_workload("zipf")
+        a = wl.run(topo, spec, seed=7, params={"ops": 12, "n_vars": 8})
+        b = wl.run(topo, spec, seed=7, params={"ops": 12, "n_vars": 8})
+        assert a.as_dict() == b.as_dict()

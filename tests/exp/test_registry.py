@@ -23,7 +23,10 @@ XWORK_NAMES = ["xwork-readfrac", "xwork-zipf"]
 #: Scale-axis experiment added with the engine hot-path overhaul.
 XSCALE_NAMES = ["xscale"]
 
-ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES)
+#: Strategy-registry experiments added with the strategy plugin subsystem.
+XSTRAT_NAMES = ["xcap", "xstrat"]
+
+ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES + XSTRAT_NAMES)
 
 
 class TestRegistryCompleteness:
@@ -166,6 +169,48 @@ class TestSpecInvariants:
         torus = {c.key for c in get_spec("xtopo-torus").cells(scale="quick")}
         hcube = {c.key for c in get_spec("xtopo-hypercube").cells(scale="quick")}
         assert torus & hcube, "no shared mesh reference cell"
+
+
+class TestXstratXcapSpecs:
+    def test_xstrat_covers_every_family_and_topology(self):
+        """The cross-strategy sweep compares every strategy family --
+        the paper's two plus migratory and dynrep -- on all three
+        interconnects, at every scale."""
+        spec = get_spec("xstrat")
+        for scale in ("quick", "default", "paper"):
+            kw = [dict(c.kwargs) for c in spec.cells(scale=scale)]
+            assert {k["topology"] for k in kw} == {"mesh", "torus", "hypercube"}
+            assert {k["strategy"] for k in kw} == {
+                "fixed-home", "4-ary", "2-4-ary", "migratory", "dynrep"
+            }
+            assert {k["workload"] for k in kw} == {"bitonic", "zipf", "matmul"}
+            # The paper's matmul needs grid coordinates: mesh only.
+            assert all(k["topology"] == "mesh"
+                       for k in kw if k["workload"] == "matmul")
+
+    def test_xstrat_scales_load_not_machines(self):
+        spec = get_spec("xstrat")
+        quick = spec.params_for("quick")
+        paper = spec.params_for("paper")
+        assert quick["side"] == paper["side"]  # node count pinned
+        assert quick["ops"] < paper["ops"]
+        assert quick["keys"] < paper["keys"]
+
+    def test_xcap_sweeps_capacity_incl_unbounded(self):
+        spec = get_spec("xcap")
+        for scale in ("quick", "default", "paper"):
+            kw = [dict(c.kwargs) for c in spec.cells(scale=scale)]
+            caps = {k["capacity_copies"] for k in kw}
+            assert None in caps, "missing the unbounded reference point"
+            assert any(c is not None and c <= 4 for c in caps), "no severe pressure"
+            assert {k["strategy"] for k in kw} >= {"fixed-home", "2-ary", "dynrep",
+                                                   "migratory"}
+
+    def test_xcap_honors_topology_axis(self):
+        spec = get_spec("xcap")
+        assert spec.uses_topology
+        torus = [dict(c.kwargs) for c in spec.cells(scale="quick", topology="torus")]
+        assert all(k["topology"] == "torus" for k in torus)
 
 
 class TestXscaleSpec:

@@ -139,6 +139,20 @@ class TestOrchestratorCli:
         with pytest.raises(SystemExit):
             main(["ablation-embedding", "--workload", "tetris"])
 
+    def test_xcap_quick_schema_v5_fields(self, _isolated_results_dir, capsys):
+        """xcap rows carry the schema-v5 strategy/capacity fields."""
+        assert main(["xcap", "--scale", "quick", "--json"]) == 0
+        payload = json.loads((_isolated_results_dir / "xcap.quick.json").read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        for row in payload["rows"]:
+            assert "strategy_params" in row and "strategy_family" in row
+            assert "capacity_bytes" in row
+            assert "hit_rate" in row and "evictions" in row
+        caps = {row["capacity_copies"] for row in payload["rows"]}
+        assert "unbounded" in caps and len(caps) >= 2
+        # Pressure really evicts for the replicating strategies.
+        assert any(row["evictions"] > 0 for row in payload["rows"])
+
     def test_xwork_readfrac_quick(self, _isolated_results_dir, capsys):
         assert main(["xwork-readfrac", "--scale", "quick", "--json"]) == 0
         payload = json.loads(
@@ -193,6 +207,24 @@ class TestTraceCli:
                      "--trace", str(tmp_path / "t.json")]) == 2
         assert "unknown strategy" in capsys.readouterr().err
 
+    def test_malformed_strategy_spec_rejected(self, tmp_path, capsys):
+        assert main(["trace-record", "--workload", "zipf",
+                     "--strategy", "dynrep:threshold=0",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_record_and_replay_under_registry_specs(self, tmp_path, capsys):
+        """--strategy accepts any registry spec: record under migratory,
+        replay under a parameterized dynrep."""
+        trace_path = str(tmp_path / "t.trace.gz")
+        assert main(["trace-record", "--workload", "zipf", "--side", "4",
+                     "--size", "8", "--strategy", "migratory",
+                     "--trace", trace_path]) == 0
+        assert "migratory" in capsys.readouterr().out
+        assert main(["trace-replay", "--trace", trace_path,
+                     "--strategy", "dynrep:threshold=3"]) == 0
+        assert "dynrep:threshold=3" in capsys.readouterr().out
+
     @pytest.mark.slow
     def test_xtopo_experiments_json_contract(self, _isolated_results_dir, capsys):
         """Acceptance contract: the cross-topology experiments emit
@@ -237,8 +269,13 @@ class TestTraceCli:
             path = _isolated_results_dir / f"{name}.quick.json"
             assert path.is_file(), f"missing {path}"
             payload = json.loads(path.read_text())
+            assert payload["schema_version"] == SCHEMA_VERSION
             assert payload["experiment"] == name
             assert payload["rows"], f"{name}: empty rows"
+            for row in payload["rows"]:
+                # Schema v5: every cell row carries the cache columns.
+                for col in ("hits", "misses", "hit_rate", "evictions"):
+                    assert col in row, f"{name}: row missing {col}"
             spec = get_spec(name)
             for row in payload["rows"]:
                 for col in spec.columns:
