@@ -146,6 +146,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "sweep topologies themselves")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="shard independent cells across N worker processes")
+    parser.add_argument("--nodes", default=None, metavar="N[,N...]",
+                        help="override the machine sizes swept by xscale "
+                             "(comma-separated node counts, powers of two; "
+                             "e.g. --nodes 16384,131072); only valid with "
+                             "the xscale experiment")
     parser.add_argument("--json", action="store_true",
                         help="also write benchmarks/results/<name>.<scale>.json")
     parser.add_argument("--no-cache", action="store_true",
@@ -177,6 +182,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     topology = args.topology or "mesh"
+    param_overrides = None
+    if args.nodes is not None:
+        if args.experiment != "xscale":
+            parser.error("--nodes only applies to the xscale experiment")
+        try:
+            nodes = tuple(int(tok) for tok in args.nodes.split(","))
+        except ValueError:
+            parser.error(f"--nodes expects comma-separated integers, got {args.nodes!r}")
+        if not nodes or any(n < 2 for n in nodes):
+            parser.error("--nodes values must be >= 2")
+        param_overrides = {"nodes": nodes}
 
     results_dir = (
         pathlib.Path(args.results_dir) if args.results_dir else default_results_dir()
@@ -202,7 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             run = run_experiment(
                 name, scale=args.scale, workload=args.workload, jobs=args.jobs,
-                cache=cache, topology=topology,
+                cache=cache, topology=topology, param_overrides=param_overrides,
             )
         except ValueError as exc:
             # run-all must not abort the sweep over one incompatible axis
@@ -215,6 +231,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if i:
             print()
         print(run.table())
+        if run.peak_rss_mb is not None:
+            print(f"[{name}] peak worker RSS: {run.peak_rss_mb:.1f} MiB",
+                  file=sys.stderr)
         if args.json:
             path = run.write_json(results_dir)
             print(

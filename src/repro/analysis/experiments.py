@@ -165,11 +165,14 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
         # paper's asymptotic congestion guarantee is supposed to bite),
         # reachable since the engine hot-path overhaul.  Quick keeps one
         # large machine for smoke coverage; default/paper sweep the full
-        # axis with growing per-processor load.
+        # axis with growing per-processor load.  Paper extends past the
+        # dense-table limit (2^14) now that routing is algebraic and stats
+        # are sparse there; the 2^17 point is nightly-only via --nodes
+        # (see EXPERIMENTS.md "Memory ceiling").
         "xscale": {
             "quick": dict(nodes=(1024,), ops=4),
             "default": dict(nodes=(1024, 2048, 4096), ops=16),
-            "paper": dict(nodes=(1024, 2048, 4096), ops=64),
+            "paper": dict(nodes=(1024, 2048, 4096, 16384), ops=64),
         },
         "fig11": {
             "quick": dict(meshes=((2, 4), (4, 4)), bodies_per_proc=24, steps=2, warm=1),

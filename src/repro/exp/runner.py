@@ -8,29 +8,63 @@ result is sanitized to its JSON form before use, so
 
 * ``jobs=N`` output is identical to serial output, and
 * a warm-cache run is byte-identical to the cold run that filled it.
+
+Statistics sharding: the cell is the parallelism grain, so each worker
+process accumulates traffic into its *own* :class:`~repro.network.stats
+.LinkStats` (sparse above the dense-node limit) and reduces it to row
+scalars at snapshot time -- the order-exact integer-sum path that
+:meth:`~repro.network.stats.LinkStats.merge_from` pins down.  Nothing
+per-link ever crosses a process boundary; what the parent folds across
+workers is the **memory envelope**: every worker reports its peak RSS and
+:func:`run_cells` returns the max as ``peak_rss_mb``, the number the
+CI scale gate commits against.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import resource
 import sys
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..analysis.tables import format_table
 from .cache import ResultCache
 from .emit import field_union, json_path, result_payload, sanitize_rows, write_json
 from .spec import Cell, ExperimentSpec, concat
 
-__all__ = ["ExperimentRun", "run_cells", "run_experiment"]
+__all__ = ["ExperimentRun", "peak_rss_mb", "run_cells", "run_experiment"]
 
 Row = Dict[str, object]
 
 
-def _run_cell(cell: Cell) -> List[Row]:
-    """Pool worker: execute one cell, return its sanitized (JSON-form) rows."""
-    return sanitize_rows(cell.run())
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalize so the
+    committed memory ceilings mean one thing everywhere."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _run_cell(cell: Cell) -> Tuple[List[Row], float]:
+    """Pool worker: execute one cell; returns its sanitized (JSON-form)
+    rows plus the worker's peak RSS so the parent can fold the envelope."""
+    return sanitize_rows(cell.run()), peak_rss_mb()
+
+
+class CellResults(list):
+    """Per-cell row lists (a plain list), annotated with the max peak RSS
+    observed across the processes that produced them.
+
+    ``peak_rss_mb`` is ``None`` when every cell came from the cache (no
+    simulation ran); in serial runs it is the parent's own peak, which
+    upper-bounds the simulations it hosted."""
+
+    peak_rss_mb: Optional[float] = None
 
 
 def _pool(jobs: int):
@@ -50,17 +84,19 @@ def run_cells(
     cells: List[Cell],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
-) -> List[List[Row]]:
+) -> CellResults:
     """Run ``cells``, returning one row list per cell, in cell order.
 
     Cells with a cache entry are skipped; the remainder run serially
     (``jobs <= 1``) or on a process pool.  Fresh results are written back
-    to the cache.
+    to the cache.  The returned list carries ``peak_rss_mb``: the max
+    peak RSS across the worker processes that ran fresh cells.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     results: List[Optional[List[Row]]] = [None] * len(cells)
     pending: List[int] = []
+    peak: Optional[float] = None
     for i, cell in enumerate(cells):
         hit = cache.get(cell) if cache is not None else None
         if hit is not None:
@@ -74,21 +110,27 @@ def run_cells(
         # what makes paper-scale runs resumable.
         if jobs > 1 and len(todo) > 1:
             with _pool(min(jobs, len(todo))) as pool:
-                for i, rows in zip(pending, pool.imap(_run_cell, todo, chunksize=1)):
+                for i, (rows, rss) in zip(
+                    pending, pool.imap(_run_cell, todo, chunksize=1)
+                ):
                     if cache is not None:
                         cache.put(cells[i], rows)
                     results[i] = rows
+                    peak = rss if peak is None else max(peak, rss)
         else:
             for i, cell in zip(pending, todo):
-                rows = _run_cell(cell)
+                rows, rss = _run_cell(cell)
                 if cache is not None:
                     cache.put(cell, rows)
                 results[i] = rows
+                peak = rss if peak is None else max(peak, rss)
     # Every index is filled by the cache pass or the pending loop; a hole
     # would mean lost results, which must fail loudly, not render as an
     # empty table section.
     assert all(rows is not None for rows in results)
-    return [rows for rows in results if rows is not None]
+    out = CellResults(rows for rows in results if rows is not None)
+    out.peak_rss_mb = peak
+    return out
 
 
 @dataclass
@@ -103,6 +145,11 @@ class ExperimentRun:
     topology: str = "mesh"
     cells_total: int = 0
     cells_cached: int = 0
+    #: Max worker peak RSS (MiB) over the fresh cells of this run; None
+    #: when everything came from the cache.  Reported out-of-band (stderr,
+    #: memory-report tools) -- deliberately NOT part of payload(), which
+    #: must stay byte-identical across machines and cache states.
+    peak_rss_mb: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -172,13 +219,27 @@ def run_experiment(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     topology: str = "mesh",
+    param_overrides: Optional[Dict[str, Any]] = None,
 ) -> ExperimentRun:
-    """Resolve, shard, run, and reassemble one experiment."""
+    """Resolve, shard, run, and reassemble one experiment.
+
+    ``param_overrides`` replaces resolved parameter values after scale
+    resolution (e.g. ``{"nodes": (16384, 131072)}`` to point ``xscale``
+    at specific machine sizes); overriding a parameter the spec does not
+    define is an error.
+    """
     if isinstance(spec, str):
         from .registry import get_spec
 
         spec = get_spec(spec)
     params = spec.params_for(scale, workload, topology)
+    if param_overrides:
+        unknown = set(param_overrides) - set(params)
+        if unknown:
+            raise ValueError(
+                f"{spec.name}: unknown parameter override(s) {sorted(unknown)}"
+            )
+        params = {**params, **param_overrides}
     cells = spec.make_cells(params)
     hits_before = cache.hits if cache is not None else 0
     cell_rows = run_cells(cells, jobs=jobs, cache=cache)
@@ -194,4 +255,5 @@ def run_experiment(
         topology=topology,
         cells_total=len(cells),
         cells_cached=(cache.hits - hits_before) if cache is not None else 0,
+        peak_rss_mb=cell_rows.peak_rss_mb,
     )

@@ -21,32 +21,53 @@ then resolves every route with a single integer-keyed dict lookup, instead
 of hashing the topology dataclass on every message leg (which was the
 second-largest cost of ``send_leg`` before the overhaul).  Tables for
 node counts up to :data:`DENSE_NODE_LIMIT` are unbounded (at most ``P**2``
-routed pairs ever materialize, and only pairs actually routed are stored);
-larger machines get a bounded table with deterministic FIFO eviction so
-memory stays flat on huge sweeps.
+routed pairs ever materialize, and only pairs actually routed are stored).
+
+Above :data:`DENSE_NODE_LIMIT` a table stops being the right trade: route
+tuples average ``diameter / 3`` links, so at ``2^17`` nodes a populated
+cache measures in gigabytes, and the historical FIFO-bounded fallback
+silently thrashed on revisited routes.  All shipped topologies have
+*closed-form* dimension-order / e-cube routing, so large machines use an
+:class:`AlgebraicRouter` instead: the same ``lookup`` surface, but every
+route is recomputed on demand from the coordinates -- O(1) memory, no
+eviction cliff.  :func:`get_route_table` picks the representation; the
+threshold is the single dense/sparse switch the statistics layer
+(:mod:`repro.network.stats`) and the simulator's C kernel share.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import logging
+from typing import Dict, List, Optional, Tuple, Union
 
 from .topology import Topology
 
 __all__ = [
     "DENSE_NODE_LIMIT",
+    "AlgebraicRouter",
     "RouteTable",
+    "Router",
     "get_route_table",
     "path_length",
     "route_links",
     "route_nodes",
 ]
 
+log = logging.getLogger(__name__)
+
 #: Up to this many nodes a topology's table is unbounded ("dense"): every
-#: routed pair is kept for the life of the process.
+#: routed pair is kept for the life of the process.  Above it
+#: :func:`get_route_table` switches to the :class:`AlgebraicRouter`; the
+#: statistics layer keys its dense/sparse accumulator switch off the same
+#: constant, so "large machine" means one thing package-wide.
 DENSE_NODE_LIMIT = 4096
 
-#: Entry bound of tables for topologies above :data:`DENSE_NODE_LIMIT`.
+#: Entry bound of explicitly FIFO-bounded tables (legacy mode; see
+#: :class:`RouteTable`).
 _BOUNDED_ENTRIES = 1 << 20
+
+#: One-time-warning latch of the FIFO-bounded degradation path.
+_warned_bounded = False
 
 
 class RouteTable:
@@ -64,6 +85,21 @@ class RouteTable:
 
     def __init__(self, topology: Topology, max_entries: Optional[int] = None):
         if max_entries is None and topology.n_nodes > DENSE_NODE_LIMIT:
+            # Legacy degradation path: an unbounded table above the dense
+            # limit would grow into gigabytes, and the FIFO bound thrashes
+            # on revisited routes (every eviction is a future recompute).
+            # get_route_table() auto-selects the AlgebraicRouter instead;
+            # warn -- once -- anyone constructing this mode directly.
+            global _warned_bounded
+            if not _warned_bounded:
+                _warned_bounded = True
+                log.warning(
+                    "RouteTable(%s): %d nodes exceeds DENSE_NODE_LIMIT=%d; "
+                    "the FIFO-bounded table degrades throughput on revisited "
+                    "routes -- use AlgebraicRouter (get_route_table() "
+                    "auto-selects it above the limit)",
+                    topology.label, topology.n_nodes, DENSE_NODE_LIMIT,
+                )
             max_entries = _BOUNDED_ENTRIES
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -94,20 +130,68 @@ class RouteTable:
         return route
 
 
-#: One table per topology value (equal topologies share; a torus never
+class AlgebraicRouter:
+    """Route source that *computes* instead of storing: same ``lookup``
+    surface as :class:`RouteTable`, O(1) memory at any machine size.
+
+    All shipped topologies route in closed form (dimension-order on the
+    mesh, shortest-wrap dimension-order on the torus, e-cube on the
+    hypercube), so above :data:`DENSE_NODE_LIMIT` recomputing a route on
+    demand beats caching it: route tuples average hundreds of links at
+    ``2^17`` nodes, and any bounded cache either explodes or thrashes.
+
+    ``routes`` is a permanently empty dict so the simulator's hot-path
+    probe (``routes.get(key)`` then ``lookup`` on miss) works unchanged;
+    when the C kernel is active it never consults this object at all --
+    the same closed forms are mirrored natively (:mod:`repro.sim._ckern`).
+    """
+
+    __slots__ = ("topology", "routes", "max_entries", "_n", "_compute")
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        #: Always empty; present so hot-path readers can probe it exactly
+        #: like a :class:`RouteTable`'s cache before calling :meth:`lookup`.
+        self.routes: Dict[int, Tuple[int, ...]] = {}
+        self.max_entries = 0
+        self._n = topology.n_nodes
+        self._compute = topology.compute_route
+
+    def __len__(self) -> int:
+        return 0
+
+    def key(self, src: int, dst: int) -> int:
+        """Dense scalar key of the pair (kept for API parity)."""
+        return src * self._n + dst
+
+    def lookup(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Directed link ids of the path ``src -> dst`` (computed fresh)."""
+        return self._compute(src, dst)
+
+
+#: Either route source, by the shared ``lookup``/``routes`` surface.
+Router = Union[RouteTable, AlgebraicRouter]
+
+#: One router per topology value (equal topologies share; a torus never
 #: shares with the equal-sided mesh -- dataclass equality is class-exact).
-_TABLES: Dict[Topology, RouteTable] = {}
+_TABLES: Dict[Topology, Router] = {}
 
 
-def get_route_table(topology: Topology) -> RouteTable:
-    """The process-wide :class:`RouteTable` of ``topology``.
+def get_route_table(topology: Topology) -> Router:
+    """The process-wide route source of ``topology``.
 
-    This is the one place that still hashes the topology; the simulator
-    calls it once at construction and keeps the table.
+    Dense :class:`RouteTable` up to :data:`DENSE_NODE_LIMIT` nodes, the
+    computing :class:`AlgebraicRouter` above it.  This is the one place
+    that still hashes the topology; the simulator calls it once at
+    construction and keeps the router.
     """
     table = _TABLES.get(topology)
     if table is None:
-        table = _TABLES[topology] = RouteTable(topology)
+        if topology.n_nodes > DENSE_NODE_LIMIT:
+            table = AlgebraicRouter(topology)
+        else:
+            table = RouteTable(topology)
+        _TABLES[topology] = table
     return table
 
 

@@ -18,26 +18,47 @@ communication time of specific call types.  :class:`LinkStats` supports
 cheap snapshot/delta accounting so the runtime can attribute traffic to the
 currently executing phase.
 
-Implementation note: counters are preallocated numpy arrays fed through a
-**batched record path**.  The hot path (one :meth:`record` per message leg,
-millions per large run) only appends to flat Python buffers -- no per-leg
-array indexing at all; the buffers are folded into the arrays with
-``numpy.bincount`` whenever an aggregate is read (snapshot, checkpoint,
-render, or any counter property).  Reads flush first, so every externally
-visible value is exactly what the eager per-leg accounting used to produce:
-all byte sizes are integers, whose float64 sums are exact regardless of
+Implementation note: counters are fed through a **batched record path**.
+The hot path (one :meth:`record` per message leg, millions per large run)
+only appends to flat Python buffers -- no per-leg array indexing at all;
+the buffers are folded into the accumulators with ``numpy.bincount``
+whenever an aggregate is read (snapshot, checkpoint, render, or any
+counter property).  Reads flush first, so every externally visible value
+is exactly what the eager per-leg accounting used to produce: all byte
+sizes are integers, whose float64 sums are exact regardless of
 accumulation order, making snapshots and renders byte-identical to the
 pre-batching implementation.
+
+Dense vs sparse accumulators
+----------------------------
+Up to :data:`repro.network.routing.DENSE_NODE_LIMIT` nodes the per-link
+accumulators are preallocated dense numpy arrays (one float64 + one int64
+slot per directed link).  Above the limit -- the same threshold that
+switches routing from the cached table to the algebraic router -- the
+per-link counters are held **sparsely**: three parallel arrays (sorted
+touched link ids, their byte sums, their message counts) that each fold
+merges via ``numpy.unique``/``bincount``.  Aggregates (congestion,
+totals, snapshots) read the sparse triple directly; only the explicit
+dense views (:attr:`LinkStats.link_bytes` and friends, used by renders
+and phase checkpoints) materialize an O(n_links) array on demand.
+Because every fold is an order-exact integer sum, both representations
+produce identical aggregates -- :meth:`LinkStats.merge_from` relies on
+the same property to combine per-worker accumulators.
+
+The C event kernel accumulates eagerly through raw array pointers, so
+binding it (:meth:`LinkStats.bind_kernel`) densifies a sparse instance
+first; at kernel speeds the O(n_links) arrays are the cheaper trade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .routing import DENSE_NODE_LIMIT
 from .topology import Topology
 
 __all__ = ["LinkStats", "StatsSnapshot", "PhaseStats"]
@@ -89,6 +110,9 @@ class LinkStats:
         "topology",
         "_link_bytes",
         "_link_msgs",
+        "_s_ids",
+        "_s_bytes",
+        "_s_msgs",
         "_startups",
         "_receives",
         "_total_msgs",
@@ -99,15 +123,29 @@ class LinkStats:
         "_kern_h",
     )
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, dense: Optional[bool] = None):
         # Historic attribute name: the stats object predates the topology
         # abstraction, and ``.mesh`` is part of its public surface.
         self.mesh = topology
         self.topology = topology
         n = topology.n_links
         p = topology.n_nodes
-        self._link_bytes = np.zeros(n, dtype=np.float64)
-        self._link_msgs = np.zeros(n, dtype=np.int64)
+        if dense is None:
+            dense = p <= DENSE_NODE_LIMIT
+        if dense:
+            self._link_bytes = np.zeros(n, dtype=np.float64)
+            self._link_msgs = np.zeros(n, dtype=np.int64)
+            self._s_ids = self._s_bytes = self._s_msgs = None
+        else:
+            # Sparse mode (large machines): per-link counters exist only
+            # for links actually crossed -- three parallel arrays keyed by
+            # sorted link id.  _flush() merges into them; the dense views
+            # (link_bytes / link_msgs) materialize on demand.
+            self._link_bytes = None
+            self._link_msgs = None
+            self._s_ids = np.empty(0, dtype=np.intp)
+            self._s_bytes = np.empty(0, dtype=np.float64)
+            self._s_msgs = np.empty(0, dtype=np.int64)
         self._startups = np.zeros(p, dtype=np.int64)  # message sends per proc
         self._receives = np.zeros(p, dtype=np.int64)
         self._total_msgs = 0
@@ -123,10 +161,54 @@ class LinkStats:
         self._kern_lib = None
         self._kern_h = None
 
+    # --------------------------------------------------------- representation
+    @property
+    def dense(self) -> bool:
+        """Whether per-link counters are dense arrays (vs the sparse triple)."""
+        return self._link_bytes is not None
+
+    def _densify(self) -> None:
+        """Switch a sparse instance to dense arrays permanently (required by
+        the C kernel, which accumulates through raw array pointers)."""
+        if self._link_bytes is not None:
+            return
+        self._flush()
+        n = self.topology.n_links
+        lb = np.zeros(n, dtype=np.float64)
+        lm = np.zeros(n, dtype=np.int64)
+        lb[self._s_ids] = self._s_bytes
+        lm[self._s_ids] = self._s_msgs
+        self._link_bytes = lb
+        self._link_msgs = lm
+        self._s_ids = self._s_bytes = self._s_msgs = None
+
+    def _merge_sparse(self, ids: np.ndarray, byt: np.ndarray, msgs: np.ndarray) -> None:
+        """Add ``(ids, bytes, msgs)`` -- ids sorted unique -- into the sparse
+        triple.  Every sum is of integer-valued float64 / int64, so the
+        result is independent of merge order (order-exact)."""
+        if self._s_ids.size == 0:
+            self._s_ids = ids.astype(np.intp, copy=True)
+            self._s_bytes = byt.astype(np.float64, copy=True)
+            self._s_msgs = msgs.astype(np.int64, copy=True)
+            return
+        union = np.union1d(self._s_ids, ids)
+        nb = np.zeros(union.size, dtype=np.float64)
+        nm = np.zeros(union.size, dtype=np.int64)
+        pos = np.searchsorted(union, self._s_ids)
+        nb[pos] = self._s_bytes
+        nm[pos] = self._s_msgs
+        pos = np.searchsorted(union, ids)
+        nb[pos] += byt
+        nm[pos] += msgs
+        self._s_ids, self._s_bytes, self._s_msgs = union.astype(np.intp), nb, nm
+
     # ------------------------------------------------------- kernel binding
     def bind_kernel(self, lib, handle) -> None:
         """Attach the C kernel whose counters complement ours (the kernel
-        writes the per-link/per-proc arrays directly via shared memory)."""
+        writes the per-link/per-proc arrays directly via shared memory).
+        Densifies a sparse instance first -- the kernel's eager per-leg
+        accumulation needs real arrays to write into."""
+        self._densify()
         self._kern_lib = lib
         self._kern_h = handle
 
@@ -182,9 +264,18 @@ class LinkStats:
         if crossing:
             flat = np.fromiter(chain.from_iterable(links_col), dtype=np.intp, count=crossing)
             sizes = np.fromiter(sizes_col, dtype=np.float64, count=m)
-            nl = self._link_bytes.shape[0]
-            self._link_bytes += np.bincount(flat, weights=np.repeat(sizes, counts), minlength=nl)
-            self._link_msgs += np.bincount(flat, minlength=nl)
+            weights = np.repeat(sizes, counts)
+            if self._link_bytes is not None:
+                nl = self._link_bytes.shape[0]
+                self._link_bytes += np.bincount(flat, weights=weights, minlength=nl)
+                self._link_msgs += np.bincount(flat, minlength=nl)
+            else:
+                ids, inv = np.unique(flat, return_inverse=True)
+                self._merge_sparse(
+                    ids,
+                    np.bincount(inv, weights=weights),
+                    np.bincount(inv).astype(np.int64),
+                )
         p = self._startups.shape[0]
         self._startups += np.bincount(np.fromiter(src_col, dtype=np.intp, count=m), minlength=p)
         self._receives += np.bincount(np.fromiter(dst_col, dtype=np.intp, count=m), minlength=p)
@@ -195,15 +286,28 @@ class LinkStats:
     # ------------------------------------------------------------- counters
     @property
     def link_bytes(self) -> np.ndarray:
-        """Bytes transmitted per directed link (float64 array)."""
+        """Bytes transmitted per directed link (float64 array).
+
+        In sparse mode this *materializes* an O(n_links) array; prefer the
+        aggregate properties (congestion/total) on large machines."""
         self._flush()
-        return self._link_bytes
+        if self._link_bytes is not None:
+            return self._link_bytes
+        out = np.zeros(self.topology.n_links, dtype=np.float64)
+        out[self._s_ids] = self._s_bytes
+        return out
 
     @property
     def link_msgs(self) -> np.ndarray:
-        """Messages transmitted per directed link (int64 array)."""
+        """Messages transmitted per directed link (int64 array).
+
+        Materialized on demand in sparse mode, like :attr:`link_bytes`."""
         self._flush()
-        return self._link_msgs
+        if self._link_msgs is not None:
+            return self._link_msgs
+        out = np.zeros(self.topology.n_links, dtype=np.int64)
+        out[self._s_ids] = self._s_msgs
+        return out
 
     @property
     def startups(self) -> np.ndarray:
@@ -239,33 +343,54 @@ class LinkStats:
     def congestion_bytes(self) -> float:
         """Max bytes across any single directed link (the paper's congestion
         measured in data volume)."""
-        return float(self.link_bytes.max(initial=0.0))
+        self._flush()
+        if self._link_bytes is not None:
+            return float(self._link_bytes.max(initial=0.0))
+        return float(self._s_bytes.max(initial=0.0))
 
     @property
     def congestion_msgs(self) -> int:
         """Max messages across any single directed link (the paper's
         Barnes-Hut congestion unit)."""
-        return int(self.link_msgs.max(initial=0))
+        self._flush()
+        if self._link_msgs is not None:
+            return int(self._link_msgs.max(initial=0))
+        return int(self._s_msgs.max(initial=0))
 
     @property
     def total_bytes(self) -> float:
         """Total communication load: sum over links of transmitted bytes."""
-        return float(self.link_bytes.sum())
+        self._flush()
+        if self._link_bytes is not None:
+            return float(self._link_bytes.sum())
+        return float(self._s_bytes.sum())
 
     @property
     def total_link_msgs(self) -> int:
-        return int(self.link_msgs.sum())
+        self._flush()
+        if self._link_msgs is not None:
+            return int(self._link_msgs.sum())
+        return int(self._s_msgs.sum())
 
     def hottest_links(self, k: int = 5) -> list[tuple[int, int, int, float, int]]:
         """The ``k`` most byte-loaded links as ``(link, src, dst, bytes,
         msgs)``; handy when debugging why a strategy saturates a region."""
-        lb = self.link_bytes
-        lm = self._link_msgs
-        order = np.argsort(lb)[::-1][:k]
+        self._flush()
+        # Only links that carried traffic rank, and ties break on the
+        # lower link id -- the same answer from the dense and sparse
+        # representations.
+        if self._link_bytes is not None:
+            lb, lm = self._link_bytes, self._link_msgs
+            ids = np.flatnonzero((lb != 0.0) | (lm != 0))
+            byt, msgs = lb[ids], lm[ids]
+        else:
+            ids, byt, msgs = self._s_ids, self._s_bytes, self._s_msgs
+        order = np.lexsort((ids, -byt))[:k]
+        picks = [(int(ids[i]), float(byt[i]), int(msgs[i])) for i in order]
         out = []
-        for link in order:
-            s, d = self.mesh.link_endpoints(int(link))
-            out.append((int(link), s, d, float(lb[link]), int(lm[link])))
+        for link, b, msgs in picks:
+            s, d = self.mesh.link_endpoints(link)
+            out.append((link, s, d, b, msgs))
         return out
 
     def render(self, width: int = 4) -> str:
@@ -345,7 +470,7 @@ class LinkStats:
         run hottest."""
         topo = self.topology
         lb = self.link_bytes
-        lm = self._link_msgs
+        lm = self.link_msgs
         lines = []
         dim = getattr(topo, "dim", None)
         if dim is not None:
@@ -363,12 +488,48 @@ class LinkStats:
             lines.append(f"{link:<5d} {s:<4d} {d:<4d} {b:<6.0f} {msgs}")
         return "\n".join(lines)
 
+    def merge_from(self, other: "LinkStats") -> None:
+        """Fold another accumulator of the same topology into this one.
+
+        This is the per-worker sharding primitive: each worker accumulates
+        into a private :class:`LinkStats` and the parent merges them at
+        snapshot time.  Every counter is an integer-valued sum, so the
+        merged aggregates are independent of worker order (order-exact) --
+        byte-identical to single-process accumulation."""
+        if other.topology.n_links != self.topology.n_links:
+            raise ValueError("merge_from: topologies differ in link count")
+        self._flush()
+        t, d, loc = other._scalar_counters()  # flushes other, kernel included
+        self._total_msgs += t
+        self._data_msgs += d
+        self._local_msgs += loc
+        self._startups += other._startups
+        self._receives += other._receives
+        if self._link_bytes is not None:
+            if other._link_bytes is not None:
+                self._link_bytes += other._link_bytes
+                self._link_msgs += other._link_msgs
+            else:
+                self._link_bytes[other._s_ids] += other._s_bytes
+                self._link_msgs[other._s_ids] += other._s_msgs
+        elif other._link_bytes is not None:
+            touched = np.flatnonzero(
+                (other._link_msgs != 0) | (other._link_bytes != 0.0)
+            )
+            self._merge_sparse(
+                touched,
+                other._link_bytes[touched],
+                other._link_msgs[touched],
+            )
+        else:
+            self._merge_sparse(other._s_ids, other._s_bytes, other._s_msgs)
+
     def snapshot(self) -> StatsSnapshot:
         t, d, loc = self._scalar_counters()
         return StatsSnapshot(
-            congestion_bytes=float(self._link_bytes.max(initial=0.0)),
-            congestion_msgs=int(self._link_msgs.max(initial=0)),
-            total_bytes=float(self._link_bytes.sum()),
+            congestion_bytes=self.congestion_bytes,
+            congestion_msgs=self.congestion_msgs,
+            total_bytes=self.total_bytes,
             total_msgs=t,
             max_startups=int(self._startups.max(initial=0)),
             total_startups=int(self._startups.sum()),
@@ -380,11 +541,17 @@ class LinkStats:
     # ------------------------------------------------------------ phase book
     def checkpoint(self) -> "_Checkpoint":
         """Capture raw counters; combine with the current state later via
-        :meth:`delta` to obtain a :class:`StatsSnapshot` for the interval."""
+        :meth:`delta` to obtain a :class:`StatsSnapshot` for the interval.
+
+        Phase accounting captures *dense* link arrays (materialized on
+        demand in sparse mode -- phase-instrumented applications run at
+        small scale, where the instance is dense anyway)."""
         t, d, loc = self._scalar_counters()
+        lb = self.link_bytes
+        lm = self.link_msgs
         return _Checkpoint(
-            link_bytes=self._link_bytes.copy(),
-            link_msgs=self._link_msgs.copy(),
+            link_bytes=lb.copy() if lb is self._link_bytes else lb,
+            link_msgs=lm.copy() if lm is self._link_msgs else lm,
             startups=self._startups.copy(),
             total_msgs=t,
             data_msgs=d,
@@ -394,8 +561,8 @@ class LinkStats:
 
     def delta(self, since: "_Checkpoint") -> StatsSnapshot:
         t, d, loc = self._scalar_counters()
-        db = self._link_bytes - since.link_bytes
-        dm = self._link_msgs - since.link_msgs
+        db = self.link_bytes - since.link_bytes
+        dm = self.link_msgs - since.link_msgs
         ds = self._startups - since.startups
         return StatsSnapshot(
             congestion_bytes=float(db.max(initial=0.0)),

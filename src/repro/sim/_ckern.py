@@ -14,6 +14,16 @@ in :mod:`repro.sim.engine` (same IEEE doubles, same order), and event keys
 results are bit-identical between the two engines --
 ``tests/sim/test_engine.py`` pins that equivalence.
 
+Routing is mirrored the same way: for the shipped topologies the kernel
+computes dimension-order / e-cube routes in closed form (``sim_set_topology``
++ ``topo_route``, link-for-link identical to ``Topology.compute_route``),
+so the hot loop never re-enters Python for a route.  Below the package's
+dense-node limit computed routes are also inserted into the kernel's route
+hash (each pair computed once); above it they are recomputed per leg into
+a scratch buffer -- O(1) route memory at any machine size.  Custom
+topology classes fall back to the historical supply path: the kernel
+returns ``R_NEED_ROUTE`` and Python feeds the route via ``sim_set_route``.
+
 Gating: the kernel engages only when ``cffi`` is importable, a C compiler
 is available, and ``REPRO_PURE_PYTHON`` is unset.  Any failure along the
 way (no compiler, sandboxed tmpdir, dlopen error) silently falls back to
@@ -75,6 +85,11 @@ typedef struct {
     Ev *heap; int heap_n, heap_cap;
     i64 *rt_keys; int *rt_off, *rt_len; int rt_cap, rt_count;
     int *arena; int ar_used, ar_cap;
+    /* closed-form routing (sim_set_topology): 0 = none (routes are fed
+       from Python), 1 = mesh, 2 = torus, 3 = hypercube */
+    int topo_kind, t_rows, t_cols, t_dim, t_nh, t_nv, t_mesh_links;
+    int cache_routes;
+    int *rt_scratch;
     Chain **chains; int ch_cap; int *ch_free; int ch_free_n;
     Mcast **mcs; int mc_cap; int *mc_free; int mc_free_n;
     int *stage_i;
@@ -153,15 +168,14 @@ static void rt_grow(Sim *s) {
     free(ok); free(oo); free(ol);
 }
 
-void sim_set_route(Sim *s, int src, int dst, int n) {
-    /* links staged in stage_i[0..n) */
+static int rt_store(Sim *s, i64 key, const int *links, int n) {
+    /* insert one route; returns its arena offset (valid until next store) */
     if (s->rt_count * 10 >= s->rt_cap * 7) rt_grow(s);
     if (s->ar_used + n > s->ar_cap) {
         while (s->ar_used + n > s->ar_cap) s->ar_cap *= 2;
         s->arena = (int *)realloc(s->arena, s->ar_cap * sizeof(int));
     }
-    memcpy(s->arena + s->ar_used, s->stage_i, n * sizeof(int));
-    i64 key = (i64)src * s->n_nodes + dst;
+    memcpy(s->arena + s->ar_used, links, n * sizeof(int));
     int slot = rt_slot(s, key);
     if (slot < 0) {
         slot = ~slot;
@@ -170,8 +184,112 @@ void sim_set_route(Sim *s, int src, int dst, int n) {
     s->rt_keys[slot] = key;
     s->rt_off[slot] = s->ar_used;
     s->rt_len[slot] = n;
+    int off = s->ar_used;
     s->ar_used += n;
+    return off;
 }
+
+void sim_set_route(Sim *s, int src, int dst, int n) {
+    /* links staged in stage_i[0..n) */
+    rt_store(s, (i64)src * s->n_nodes + dst, s->stage_i, n);
+}
+
+/* ----------------------------------------------- closed-form routing */
+void sim_set_topology(Sim *s, int kind, int rows, int cols, int dim,
+                      int cache) {
+    /* Enable algebraic next-hop computation (mirrors the Python
+       compute_route of Mesh2D / Torus2D / Hypercube link for link).
+       With cache=1 computed routes are also inserted into the route
+       hash (small machines: compute each pair once); with cache=0 they
+       are recomputed per leg into a scratch buffer (large machines:
+       O(1) memory). */
+    s->topo_kind = kind;
+    s->t_rows = rows;
+    s->t_cols = cols;
+    s->t_dim = dim;
+    s->t_nh = rows * (cols - 1);
+    s->t_nv = (rows - 1) * cols;
+    s->t_mesh_links = 2 * (s->t_nh + s->t_nv);
+    s->cache_routes = cache;
+    free(s->rt_scratch);
+    /* diameter bounds: mesh R+C, torus R/2+C/2, hypercube dim */
+    s->rt_scratch = (int *)malloc((rows + cols + dim + 4) * sizeof(int));
+}
+
+static int topo_route(Sim *s, int src, int dst, int *out) {
+    /* Directed link ids of the deterministic path src -> dst; mirrors
+       Topology.compute_route operation-for-operation. */
+    int n = 0;
+    if (s->topo_kind == 3) {            /* hypercube: e-cube */
+        int D = s->t_dim;
+        int diff = src ^ dst, cur = src;
+        for (int d = 0; d < D; d++) {
+            if (diff & (1 << d)) {
+                out[n++] = cur * D + d;
+                cur ^= 1 << d;
+            }
+        }
+        return n;
+    }
+    int C = s->t_cols, R = s->t_rows;
+    int nh = s->t_nh, nv = s->t_nv;
+    int r1 = src / C, c1 = src % C, r2 = dst / C, c2 = dst % C;
+    if (s->topo_kind == 1) {            /* mesh: dimension-order, x-first */
+        if (c2 > c1)
+            for (int c = c1; c < c2; c++) out[n++] = r1 * (C - 1) + c;
+        else
+            for (int c = c1; c > c2; c--) out[n++] = r1 * (C - 1) + (c - 1) + nh;
+        if (r2 > r1)
+            for (int r = r1; r < r2; r++) out[n++] = 2 * nh + r * C + c2;
+        else
+            for (int r = r1; r > r2; r--) out[n++] = 2 * nh + (r - 1) * C + c2 + nv;
+        return n;
+    }
+    /* torus: shortest-wrap dimension-order (tie at half-ring: east/south) */
+    int M = s->t_mesh_links;
+    int dc = c2 - c1;
+    if (dc < 0) dc += C;
+    if (dc) {
+        int east = dc <= C - dc;
+        int dist = east ? dc : C - dc;
+        int c = c1;
+        for (int i = 0; i < dist; i++) {
+            if (east) {
+                out[n++] = (c < C - 1) ? r1 * (C - 1) + c : M + r1;
+                if (++c == C) c = 0;
+            } else {
+                out[n++] = (c > 0) ? r1 * (C - 1) + (c - 1) + nh : M + R + r1;
+                if (--c < 0) c = C - 1;
+            }
+        }
+    }
+    int dr = r2 - r1;
+    if (dr < 0) dr += R;
+    if (dr) {
+        int south = dr <= R - dr;
+        int dist = south ? dr : R - dr;
+        int r = r1;
+        for (int i = 0; i < dist; i++) {
+            if (south) {
+                out[n++] = (r < R - 1) ? 2 * nh + r * C + c2 : M + 2 * R + c2;
+                if (++r == R) r = 0;
+            } else {
+                out[n++] = (r > 0) ? 2 * nh + (r - 1) * C + c2 + nv
+                                   : M + 2 * R + C + c2;
+                if (--r < 0) r = R - 1;
+            }
+        }
+    }
+    return n;
+}
+
+int sim_compute_route(Sim *s, int src, int dst) {
+    /* Test/debug surface: route length, links in sim_route_scratch(). */
+    if (!s->topo_kind) return -1;
+    return topo_route(s, src, dst, s->rt_scratch);
+}
+
+int *sim_route_scratch(Sim *s) { return s->rt_scratch; }
 
 /* --------------------------------------------------------------- one leg */
 static double do_leg(Sim *s, double time, int src, int dst, double wire,
@@ -182,10 +300,28 @@ static double do_leg(Sim *s, double time, int src, int dst, double wire,
         if (isdat) s->st_data++;
         return time + s->local_ov;
     }
-    int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
-    if (slot < 0) { *need = 1; return 0.0; }
-    int len = s->rt_len[slot];
-    int *links = s->arena + s->rt_off[slot];
+    i64 key = (i64)src * s->n_nodes + dst;
+    int slot = rt_slot(s, key);
+    int len;
+    int *links;
+    if (slot >= 0) {
+        len = s->rt_len[slot];
+        links = s->arena + s->rt_off[slot];
+    } else if (s->topo_kind) {
+        len = topo_route(s, src, dst, s->rt_scratch);
+        if (s->cache_routes) {
+            /* rt_store may realloc the arena: sequence the call before
+               reading s->arena (a combined expression is free to load
+               the old pointer first). */
+            int off = rt_store(s, key, s->rt_scratch, len);
+            links = s->arena + off;
+        } else {
+            links = s->rt_scratch;
+        }
+    } else {
+        *need = 1;
+        return 0.0;
+    }
     double t_send = s->nic_free[src];
     if (time > t_send) t_send = time;
     double depart = t_send + over;
@@ -218,9 +354,18 @@ double sim_probe_leg(Sim *s, double time, int src, int dst, double wire,
                      double over, double occ) {
     if (src == dst) return time + s->local_ov;
     int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
-    if (slot < 0) return -1.0; /* caller must set the route and retry */
-    int len = s->rt_len[slot];
-    int *links = s->arena + s->rt_off[slot];
+    int len;
+    const int *links;
+    if (slot >= 0) {
+        len = s->rt_len[slot];
+        links = s->arena + s->rt_off[slot];
+    } else if (s->topo_kind) {
+        /* probes are side-effect-free: compute into scratch, don't cache */
+        len = topo_route(s, src, dst, s->rt_scratch);
+        links = s->rt_scratch;
+    } else {
+        return -1.0; /* caller must set the route and retry */
+    }
     double t_send = s->nic_free[src];
     if (time > t_send) t_send = time;
     double depart = t_send + over;
@@ -239,7 +384,7 @@ double sim_probe_leg(Sim *s, double time, int src, int dst, double wire,
 /* counting leg driven from Python's send_leg(); -1 => route needed */
 double sim_send_leg(Sim *s, double time, int src, int dst, double wire,
                     double over, double occ, int isdat) {
-    if (src != dst) {
+    if (src != dst && !s->topo_kind) {
         int slot = rt_slot(s, (i64)src * s->n_nodes + dst);
         if (slot < 0) return -1.0;
     }
@@ -566,7 +711,7 @@ void sim_free(Sim *s) {
     }
     free(s->chains); free(s->ch_free); free(s->mcs); free(s->mc_free);
     free(s->heap); free(s->rt_keys); free(s->rt_off); free(s->rt_len);
-    free(s->arena); free(s->stage_i); free(s->stage_d);
+    free(s->arena); free(s->rt_scratch); free(s->stage_i); free(s->stage_d);
     free(s);
 }
 """
@@ -585,6 +730,10 @@ int sim_ensure_stage(Sim *s, int n);
 void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
                    i64 *receives);
 void sim_set_route(Sim *s, int src, int dst, int n);
+void sim_set_topology(Sim *s, int kind, int rows, int cols, int dim,
+                      int cache);
+int sim_compute_route(Sim *s, int src, int dst);
+int *sim_route_scratch(Sim *s);
 void sim_push_generic(Sim *s, double t, int obj);
 void sim_push_chain_updown(Sim *s, double t, int nh, double cw, double co,
                            double cocc, double dw, double dov, double docc,

@@ -47,9 +47,11 @@ import itertools
 from typing import Callable, List, Sequence, Tuple
 
 from ..network.machine import MachineModel
+from ..network.mesh import Mesh2D
 from ..network.routing import DENSE_NODE_LIMIT, get_route_table
 from ..network.stats import LinkStats
-from ..network.topology import Topology
+from ..network.topology import Hypercube, Topology
+from ..network.torus import Torus2D
 from . import _ckern
 
 __all__ = ["Simulator", "SimDeadlock"]
@@ -131,6 +133,7 @@ class Simulator:
         "_bandwidth",
         "_hop_latency",
         "_local_overhead",
+        "_flush_at",
         "_kern",
         "_h",
         "_lib",
@@ -164,11 +167,27 @@ class Simulator:
         self._hop_latency = machine.hop_latency
         self._local_overhead = machine.local_overhead
 
-        # The kernel caches routes without eviction; above the dense-table
-        # regime (where the Python RouteTable switches to FIFO bounding to
-        # keep memory flat) stay on the pure engine.
+        # The shipped topology classes have closed-form routing that the
+        # kernel mirrors natively (sim_set_topology) -- the hot loop never
+        # re-enters Python for a route, and above DENSE_NODE_LIMIT routes
+        # are recomputed per leg instead of cached (O(1) route memory).
+        # The class check is exact: a subclass may override compute_route,
+        # and then only the Python side knows the routes -- such topologies
+        # use the kernel's supply path below the limit (R_NEED_ROUTE) and
+        # the pure engine above it.
+        cls = type(topology)
+        if cls is Mesh2D:
+            kind_c = 1
+        elif cls is Torus2D:
+            kind_c = 2
+        elif cls is Hypercube:
+            kind_c = 3
+        else:
+            kind_c = 0
         kern = None
-        if not Simulator.force_pure and topology.n_nodes <= DENSE_NODE_LIMIT:
+        if not Simulator.force_pure and (
+            kind_c or topology.n_nodes <= DENSE_NODE_LIMIT
+        ):
             kern = _ckern.load_kernel()
         self._kern = kern
         if kern is not None:
@@ -193,6 +212,15 @@ class Simulator:
                 ),
                 lib.sim_free,
             )
+            if kind_c:
+                lib.sim_set_topology(
+                    self._h,
+                    kind_c,
+                    getattr(topology, "rows", 0),
+                    getattr(topology, "cols", 0),
+                    getattr(topology, "dim", 0),
+                    1 if topology.n_nodes <= DENSE_NODE_LIMIT else 0,
+                )
             self._stage_i = lib.sim_stage_i(self._h)
             self._stage_d = lib.sim_stage_d(self._h)
             self._stage_cap = _ckern.STAGE_CAP
@@ -203,6 +231,14 @@ class Simulator:
             self._h = None
             self.link_free = [0.0] * topology.num_links
             self.nic_free = [0.0] * topology.n_nodes
+        # Pure-loop pending-stats fold cadence.  Above the dense limit
+        # routes are computed fresh per leg (AlgebraicRouter), so pending
+        # entries no longer share cached link tuples -- fold early to keep
+        # memory flat.  Cadence never affects results: folds are
+        # order-exact integer sums.
+        self._flush_at = (
+            1_000_000 if topology.n_nodes <= DENSE_NODE_LIMIT else 65_536
+        )
         self._stats = None
         self.stats = LinkStats(topology)
 
@@ -224,6 +260,7 @@ class Simulator:
         if self._h is not None:
             if old is not None:
                 old.absorb_kernel()
+            st._densify()  # the kernel accumulates into dense arrays
             lib = self._lib
             ffi = self._ffi
             lib.sim_set_stats(
@@ -481,7 +518,7 @@ class Simulator:
             self.now = item[0]
             cb(*item[3])
             stats = self._stats
-            if len(stats._pending) >= 1_000_000:
+            if len(stats._pending) >= self._flush_at:
                 stats._flush()  # keep pure-engine memory flat on huge runs
             pend_append = stats._pending.append
 

@@ -219,7 +219,7 @@ class TestXscaleSpec:
         for scale, expect_nodes in (
             ("quick", {1024}),
             ("default", {1024, 2048, 4096}),
-            ("paper", {1024, 2048, 4096}),
+            ("paper", {1024, 2048, 4096, 16384}),
         ):
             cells = spec.cells(scale=scale)
             kw = [dict(c.kwargs) for c in cells]

@@ -141,6 +141,53 @@ class TestErrors:
             run_cells([], jobs=0)
 
 
+class TestPeakRss:
+    """The runner reports the worker-side memory high-water mark next to
+    the rows -- but never inside the payload (byte-identity)."""
+
+    def test_helper_reports_positive_mib(self):
+        from repro.exp.runner import peak_rss_mb
+
+        assert peak_rss_mb() > 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_run_records_worker_peak(self, tmp_path, jobs):
+        run = run_experiment(counting_spec(tmp_path / "m"), jobs=jobs)
+        assert run.peak_rss_mb is not None and run.peak_rss_mb > 0
+
+    def test_fully_cached_run_measures_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = counting_spec(tmp_path / "m")
+        run_experiment(spec, cache=cache)
+        warm = run_experiment(spec, cache=cache)
+        assert warm.cells_cached == warm.cells_total
+        assert warm.peak_rss_mb is None
+
+    def test_not_part_of_the_payload(self, tmp_path):
+        run = run_experiment(counting_spec(tmp_path / "m"))
+        assert "peak_rss_mb" not in run.payload()
+
+
+class TestParamOverrides:
+    def test_nodes_override_restricts_the_xscale_sweep(self):
+        run = run_experiment(
+            "xscale", scale="quick", param_overrides={"nodes": (16,)}
+        )
+        assert run.rows and {r["nodes"] for r in run.rows} == {16}
+
+    def test_override_equal_to_scale_default_changes_nothing(self, tmp_path):
+        plain = run_experiment(counting_spec(tmp_path / "a"))
+        overridden = run_experiment(
+            counting_spec(tmp_path / "b"),
+            param_overrides={"values": [1, 2, 3]},
+        )
+        assert overridden.rows == plain.rows
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter override"):
+            run_experiment("xscale", scale="quick", param_overrides={"nodez": 1})
+
+
 class TestSanitize:
     def test_non_serializable_fields_stripped_without_mutation(self):
         marker = object()

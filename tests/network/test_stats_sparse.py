@@ -1,0 +1,120 @@
+"""Sparse per-link accumulators vs the dense arrays.
+
+Above ``DENSE_NODE_LIMIT`` a :class:`LinkStats` keeps only the links
+actually crossed (three parallel arrays keyed by sorted link id); below
+it the historical dense arrays remain.  Every observable -- snapshots,
+materialized arrays, hottest-links, rendering, checkpoint deltas, and
+worker-shard merges in all four dense/sparse combinations -- must be
+bit-identical between the two representations, because the engine picks
+one purely by machine size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.mesh import Mesh2D
+from repro.network.routing import DENSE_NODE_LIMIT, route_links
+from repro.network.stats import LinkStats
+from repro.network.topology import Hypercube
+
+TOPO = Mesh2D(4, 4)
+
+# A fixed leg script: remote data, remote ctrl, local (no links), and a
+# repeat of a hot route so some links accumulate more than once.
+LEGS = [
+    (route_links(TOPO, 0, 15), 1000.0, 0, 15, True),
+    (route_links(TOPO, 15, 0), 64.0, 15, 0, False),
+    ((), 400.0, 5, 5, True),
+    (route_links(TOPO, 0, 15), 1000.0, 0, 15, True),
+    (route_links(TOPO, 3, 12), 256.0, 3, 12, True),
+]
+
+
+def record_script(st, legs=LEGS, flush_every=None):
+    for i, leg in enumerate(legs):
+        st.record(*leg)
+        if flush_every and (i + 1) % flush_every == 0:
+            st._flush()
+    return st
+
+
+def assert_equivalent(a: LinkStats, b: LinkStats):
+    assert a.snapshot() == b.snapshot()
+    np.testing.assert_array_equal(a.link_bytes, b.link_bytes)
+    np.testing.assert_array_equal(a.link_msgs, b.link_msgs)
+    np.testing.assert_array_equal(a.startups, b.startups)
+    np.testing.assert_array_equal(a.receives, b.receives)
+    assert a.hottest_links() == b.hottest_links()
+    assert a.render_link_table() == b.render_link_table()
+
+
+class TestSparseEqualsDense:
+    def test_default_representation_tracks_node_count(self):
+        assert LinkStats(TOPO).dense
+        assert LinkStats(Hypercube(12)).dense  # 4096 == limit
+        assert not LinkStats(Hypercube(13)).dense
+        assert Hypercube(13).n_nodes > DENSE_NODE_LIMIT
+
+    @pytest.mark.parametrize("flush_every", [None, 1, 2])
+    def test_all_observables_identical(self, flush_every):
+        dense = record_script(LinkStats(TOPO, dense=True), flush_every=flush_every)
+        sparse = record_script(LinkStats(TOPO, dense=False), flush_every=flush_every)
+        assert dense.dense and not sparse.dense
+        assert_equivalent(dense, sparse)
+        assert sparse.congestion_bytes == dense.congestion_bytes
+        assert sparse.congestion_msgs == dense.congestion_msgs
+        assert sparse.total_bytes == dense.total_bytes
+        assert sparse.total_link_msgs == dense.total_link_msgs
+        # Reading the aggregates must not have densified the instance.
+        assert not sparse.dense
+
+    def test_empty_sparse_observables(self):
+        st = LinkStats(TOPO, dense=False)
+        assert st.congestion_bytes == 0.0 and st.total_link_msgs == 0
+        np.testing.assert_array_equal(st.link_bytes, np.zeros(TOPO.n_links))
+        assert st.hottest_links() == []
+
+    def test_densify_is_lossless_and_permanent(self):
+        sparse = record_script(LinkStats(TOPO, dense=False))
+        reference = record_script(LinkStats(TOPO, dense=True))
+        sparse._densify()
+        assert sparse.dense
+        assert_equivalent(sparse, reference)
+        sparse._densify()  # idempotent
+        assert_equivalent(sparse, reference)
+
+    def test_checkpoint_delta_in_sparse_mode(self):
+        sparse = record_script(LinkStats(TOPO, dense=False))
+        mark = sparse.checkpoint()
+        extra = (route_links(TOPO, 7, 8), 512.0, 7, 8, True)
+        sparse.record(*extra)
+        just_extra = record_script(LinkStats(TOPO, dense=True), legs=[extra])
+        delta = sparse.delta(mark)
+        assert delta == just_extra.snapshot()
+
+
+class TestMergeFrom:
+    """Worker-shard folding: ``merge_from`` must equal recording every
+    leg into one instance, whatever mix of representations the shards
+    and the target use."""
+
+    A = LEGS[:3]
+    B = LEGS[3:]
+
+    @pytest.mark.parametrize("target_dense", [True, False], ids=["into-dense", "into-sparse"])
+    @pytest.mark.parametrize("shard_dense", [True, False], ids=["from-dense", "from-sparse"])
+    def test_all_four_combinations(self, target_dense, shard_dense):
+        target = record_script(LinkStats(TOPO, dense=target_dense), legs=self.A)
+        shard = record_script(LinkStats(TOPO, dense=shard_dense), legs=self.B)
+        target.merge_from(shard)
+        reference = record_script(LinkStats(TOPO, dense=True))
+        assert_equivalent(target, reference)
+
+    def test_merge_into_fresh_target(self):
+        target = LinkStats(TOPO, dense=False)
+        target.merge_from(record_script(LinkStats(TOPO, dense=False)))
+        assert_equivalent(target, record_script(LinkStats(TOPO, dense=True)))
+
+    def test_mismatched_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            LinkStats(TOPO).merge_from(LinkStats(Mesh2D(3, 3)))

@@ -17,12 +17,18 @@ bench_compare = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(bench_compare)
 
 
-def payload(cells_per_sec, bench_version=1, pinned=None):
-    return {
+def payload(cells_per_sec, bench_version=1, pinned=None, peak_rss_mb=None,
+            engine=None):
+    data = {
         "cells_per_sec": cells_per_sec,
         "bench_version": bench_version,
         "pinned": pinned or {"workload": "zipf", "side": 8},
     }
+    if peak_rss_mb is not None:
+        data["peak_rss_mb"] = peak_rss_mb
+    if engine is not None:
+        data["engine"] = engine
+    return data
 
 
 def write(tmp_path, name, data):
@@ -34,7 +40,7 @@ def write(tmp_path, name, data):
 class TestCompare:
     def test_equal_throughput_passes(self):
         v = bench_compare.compare(payload(10.0), payload(10.0), 0.2)
-        assert v["ok"] and v["ratio"] == pytest.approx(1.0)
+        assert v["ok"] and v["throughput"]["ratio"] == pytest.approx(1.0)
 
     def test_small_regression_within_threshold_passes(self):
         assert bench_compare.compare(payload(8.5), payload(10.0), 0.2)["ok"]
@@ -54,6 +60,58 @@ class TestCompare:
             bench_compare.compare(
                 payload(10.0), payload(10.0, pinned={"workload": "uniform"}), 0.2
             )
+
+
+class TestMemoryGate:
+    """peak_rss_mb regresses *upward*: growth beyond the threshold fails
+    even when throughput is fine, shrinkage always passes, and pre-v2
+    payloads without the field gate throughput only."""
+
+    def test_memory_growth_beyond_threshold_fails(self):
+        v = bench_compare.compare(
+            payload(10.0, peak_rss_mb=130.0), payload(10.0, peak_rss_mb=100.0), 0.2
+        )
+        assert not v["ok"] and v["throughput"]["ok"] and not v["memory"]["ok"]
+
+    def test_memory_growth_within_threshold_passes(self):
+        v = bench_compare.compare(
+            payload(10.0, peak_rss_mb=115.0), payload(10.0, peak_rss_mb=100.0), 0.2
+        )
+        assert v["ok"] and v["memory"]["ratio"] == pytest.approx(1.15)
+
+    def test_memory_improvement_passes(self):
+        assert bench_compare.compare(
+            payload(10.0, peak_rss_mb=50.0), payload(10.0, peak_rss_mb=100.0), 0.2
+        )["ok"]
+
+    def test_both_metrics_can_fail_at_once(self):
+        v = bench_compare.compare(
+            payload(5.0, peak_rss_mb=200.0), payload(10.0, peak_rss_mb=100.0), 0.2
+        )
+        assert not v["throughput"]["ok"] and not v["memory"]["ok"]
+
+    @pytest.mark.parametrize("cur_peak, base_peak", [(None, 100.0), (100.0, None)])
+    def test_missing_peak_on_either_side_gates_throughput_only(
+        self, cur_peak, base_peak
+    ):
+        v = bench_compare.compare(
+            payload(10.0, peak_rss_mb=cur_peak),
+            payload(10.0, peak_rss_mb=base_peak),
+            0.2,
+        )
+        assert v["ok"] and v["memory"] is None
+
+    def test_engine_mismatch_fails_loudly(self):
+        with pytest.raises(SystemExit, match="engine mismatch"):
+            bench_compare.compare(
+                payload(10.0, engine="pure"), payload(10.0, engine="c"), 0.2
+            )
+
+    def test_absent_engine_field_means_c(self):
+        """Pre-v2 baselines carried no engine field; they gate the C run."""
+        assert bench_compare.compare(
+            payload(10.0), payload(10.0, engine="c"), 0.2
+        )["ok"]
 
 
 class TestCli:
@@ -91,7 +149,23 @@ class TestCli:
         text = summary.read_text()
         assert "Engine perf gate" in text and "+10.0%" in text
 
-    def test_committed_baseline_is_valid(self):
-        """The baseline artifact CI diffs against must stay well-formed."""
-        baseline = bench_compare.load(bench_compare.DEFAULT_BASELINE)
-        assert baseline["cells_per_sec"] > 0
+    def test_memory_regression_exit_code_and_output(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", payload(10.0, peak_rss_mb=150.0))
+        base = write(tmp_path, "base.json", payload(10.0, peak_rss_mb=100.0))
+        assert bench_compare.main(["--current", str(cur), "--baseline", str(base)]) == 1
+        captured = capsys.readouterr()
+        assert "+50.0%" in captured.out
+        assert "peak RSS regressed" in captured.err
+
+    def test_committed_baselines_are_valid(self):
+        """The baseline artifacts CI diffs against must stay well-formed:
+        v2, per-engine, with the memory envelope present."""
+        for name, engine in [
+            (bench_compare.DEFAULT_BASELINE, "c"),
+            (bench_compare.DEFAULT_BASELINE.with_name(
+                "BENCH_engine.pure.baseline.json"), "pure"),
+        ]:
+            baseline = bench_compare.load(name)
+            assert baseline["cells_per_sec"] > 0
+            assert baseline["peak_rss_mb"] > 0
+            assert baseline["engine"] == engine

@@ -7,20 +7,30 @@ Used by the CI ``perf`` job and by hand::
     python tools/bench_compare.py                      # default paths
     python tools/bench_compare.py --update-baseline    # refresh the baseline
 
-Compares the freshly measured ``cells_per_sec`` against the committed
-baseline (``benchmarks/baselines/BENCH_engine.baseline.json``) and fails
-(exit 1) when throughput regressed by more than ``--threshold`` (default
-0.20 = 20%, overridable via ``$REPRO_BENCH_TOLERANCE``).  Improvements
-and small fluctuations pass; a baseline with a different ``bench_version``
-or pinned configuration fails loudly (the trajectory broke -- re-baseline
-deliberately with ``--update-baseline``).
+Compares the freshly measured ``cells_per_sec`` AND ``peak_rss_mb``
+against the committed baseline
+(``benchmarks/baselines/BENCH_engine.baseline.json``) and fails (exit 1)
+when either throughput regressed (dropped) or peak memory regressed
+(grew) by more than ``--threshold`` (default 0.20 = 20%, overridable via
+``$REPRO_BENCH_TOLERANCE``).  Improvements and small fluctuations pass;
+a baseline with a different ``bench_version``, engine, or pinned
+configuration fails loudly (the trajectory broke -- re-baseline
+deliberately with ``--update-baseline``, which refreshes both metrics at
+once).  When one side lacks ``peak_rss_mb`` (a pre-v2 result file) only
+throughput is gated, with a note.
 
-The delta is printed human-readably, and appended as a Markdown table to
-``$GITHUB_STEP_SUMMARY`` when that file is available (the CI job summary).
+The pure-Python engine has its own baseline
+(``BENCH_engine.pure.baseline.json``); point ``--current``/``--baseline``
+at the ``.pure`` files to gate it (the CI perf job gates both engines).
+
+The deltas are printed human-readably, and appended as a Markdown table
+to ``$GITHUB_STEP_SUMMARY`` when that file is available (the CI job
+summary).
 
 Caveat: cells/sec is machine-dependent.  The committed baseline tracks the
 CI runner class; on other hardware use the tool with a locally produced
-baseline, or read the delta and ignore the exit status.
+baseline, or read the delta and ignore the exit status.  Peak RSS is far
+less machine-sensitive (same interpreter -> same allocations).
 """
 
 from __future__ import annotations
@@ -52,7 +62,13 @@ def load(path: pathlib.Path) -> dict:
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> dict:
-    """Comparison verdict: ``{'ok': bool, 'ratio': float, ...}``."""
+    """Comparison verdict: ``{'ok': bool, 'throughput': {...},
+    'memory': {...} | None, ...}``.
+
+    Throughput regresses downward (``ratio < 1 - threshold`` fails);
+    memory regresses upward (``ratio > 1 + threshold`` fails).  The
+    memory entry is ``None`` when either side predates ``peak_rss_mb``.
+    """
     if current["bench_version"] != baseline["bench_version"]:
         raise SystemExit(
             "bench_compare: bench_version mismatch "
@@ -65,15 +81,39 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
             "bench_compare: pinned cell configuration differs from the "
             "baseline; refresh the baseline deliberately with --update-baseline"
         )
+    if current.get("engine", "c") != baseline.get("engine", "c"):
+        raise SystemExit(
+            "bench_compare: engine mismatch "
+            f"(current {current.get('engine', 'c')!r} vs baseline "
+            f"{baseline.get('engine', 'c')!r}); compare each engine "
+            "against its own baseline"
+        )
     cur = float(current["cells_per_sec"])
     base = float(baseline["cells_per_sec"])
     ratio = cur / base if base > 0 else float("inf")
-    return {
+    throughput = {
         "ok": ratio >= 1.0 - threshold,
         "ratio": ratio,
         "current": cur,
         "baseline": base,
+    }
+    memory = None
+    if "peak_rss_mb" in current and "peak_rss_mb" in baseline:
+        cur_m = float(current["peak_rss_mb"])
+        base_m = float(baseline["peak_rss_mb"])
+        m_ratio = cur_m / base_m if base_m > 0 else float("inf")
+        memory = {
+            "ok": m_ratio <= 1.0 + threshold,
+            "ratio": m_ratio,
+            "current": cur_m,
+            "baseline": base_m,
+        }
+    return {
+        "ok": throughput["ok"] and (memory is None or memory["ok"]),
+        "throughput": throughput,
+        "memory": memory,
         "threshold": threshold,
+        "engine": current.get("engine", "c"),
     }
 
 
@@ -82,19 +122,33 @@ def emit_summary(verdict: dict) -> None:
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
         return
-    delta_pct = (verdict["ratio"] - 1.0) * 100.0
-    status = "✅ pass" if verdict["ok"] else "❌ regression"
+    thr = verdict["throughput"]
+    t_pct = (thr["ratio"] - 1.0) * 100.0
+    t_status = "✅ pass" if thr["ok"] else "❌ regression"
     lines = [
-        "### Engine perf gate",
+        f"### Engine perf gate ({verdict['engine']} engine)",
         "",
         "| metric | baseline | current | delta | status |",
         "|---|---|---|---|---|",
         (
-            f"| cells/sec | {verdict['baseline']:.2f} | {verdict['current']:.2f} "
-            f"| {delta_pct:+.1f}% | {status} |"
+            f"| cells/sec | {thr['baseline']:.2f} | {thr['current']:.2f} "
+            f"| {t_pct:+.1f}% | {t_status} |"
         ),
+    ]
+    mem = verdict["memory"]
+    if mem is not None:
+        m_pct = (mem["ratio"] - 1.0) * 100.0
+        m_status = "✅ pass" if mem["ok"] else "❌ regression"
+        lines.append(
+            f"| peak RSS (MiB) | {mem['baseline']:.1f} | {mem['current']:.1f} "
+            f"| {m_pct:+.1f}% | {m_status} |"
+        )
+    lines += [
         "",
-        f"_Fails below -{verdict['threshold'] * 100:.0f}%._",
+        (
+            f"_Fails below -{verdict['threshold'] * 100:.0f}% throughput or "
+            f"above +{verdict['threshold'] * 100:.0f}% memory._"
+        ),
         "",
     ]
     with open(path, "a") as fh:
@@ -124,16 +178,31 @@ def main(argv=None) -> int:
     current = load(args.current)
     baseline = load(args.baseline)
     verdict = compare(current, baseline, args.threshold)
-    delta_pct = (verdict["ratio"] - 1.0) * 100.0
+    thr = verdict["throughput"]
+    delta_pct = (thr["ratio"] - 1.0) * 100.0
     print(
-        f"engine perf: {verdict['current']:.2f} cells/sec vs baseline "
-        f"{verdict['baseline']:.2f} ({delta_pct:+.1f}%; gate at "
+        f"engine perf [{verdict['engine']}]: {thr['current']:.2f} cells/sec "
+        f"vs baseline {thr['baseline']:.2f} ({delta_pct:+.1f}%; gate at "
         f"-{args.threshold * 100:.0f}%)"
     )
+    mem = verdict["memory"]
+    if mem is not None:
+        m_pct = (mem["ratio"] - 1.0) * 100.0
+        print(
+            f"engine mem  [{verdict['engine']}]: {mem['current']:.1f} MiB peak "
+            f"vs baseline {mem['baseline']:.1f} ({m_pct:+.1f}%; gate at "
+            f"+{args.threshold * 100:.0f}%)"
+        )
+    else:
+        print("note: peak_rss_mb absent on one side; gating throughput only")
     emit_summary(verdict)
     if not verdict["ok"]:
-        print("FAIL: throughput regressed beyond the allowed threshold",
-              file=sys.stderr)
+        if not thr["ok"]:
+            print("FAIL: throughput regressed beyond the allowed threshold",
+                  file=sys.stderr)
+        if mem is not None and not mem["ok"]:
+            print("FAIL: peak RSS regressed beyond the allowed threshold",
+                  file=sys.stderr)
         return 1
     return 0
 
