@@ -71,6 +71,14 @@ def _trace_main(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.failures is not None:
+        from .network.failures import parse_failure_spec
+
+        try:
+            parse_failure_spec(args.failures)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.experiment == "trace-record":
         wl = get_workload(args.workload)
@@ -83,7 +91,7 @@ def _trace_main(args: argparse.Namespace) -> int:
             params = {wl.size_param: args.size}
         result, trace = record(
             wl, topo, args.strategy or "4-ary", seed=args.seed, params=params,
-            path=args.trace,
+            path=args.trace, failures=args.failures,
         )
         n_ops = sum(len(stream) for stream in trace.ops)
         print(f"recorded {wl.name} on {topo.label} under {result.strategy}: "
@@ -101,14 +109,15 @@ def _trace_main(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-        result = replay(trace, topology=topo, strategy=args.strategy)
+        result = replay(trace, topology=topo, strategy=args.strategy,
+                        failures=args.failures)
         rows = [_summary_row(result)]
     print(format_table(rows, list(rows[0]), title=args.experiment))
     return 0
 
 
 def _summary_row(result):
-    return {
+    row = {
         "strategy": result.strategy,
         "network": result.mesh,
         "time": result.time,
@@ -117,6 +126,17 @@ def _summary_row(result):
         "total_bytes": result.total_bytes,
         "total_msgs": result.stats.total_msgs,
     }
+    if result.failure_events:
+        # Zero-failure tables keep the historic shape; failure runs add
+        # the availability columns.
+        row.update(
+            requests_failed=result.requests_failed,
+            requests_stalled=result.requests_stalled,
+            requests_retried=result.requests_retried,
+            repairs=result.repairs,
+            failure_events=result.failure_events,
+        )
+    return row
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -166,6 +186,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "spec, e.g. 2-4-ary, migratory, dynrep:threshold=3, "
                              "tree:4-8:embed=random (trace-replay default: the "
                              "recorded one)")
+    parser.add_argument("--failures", default=None, metavar="SPEC",
+                        help="failure-schedule spec (e.g. "
+                             "linkflap:rate=0.01:seed=7, churn:nodes=0.05, "
+                             "nodedown:node=3:at=0.001, none): sweeps the "
+                             "xfail experiment over just that spec, applies "
+                             "to the trace commands (trace-replay default: "
+                             "the recorded schedule); 'none' is the explicit "
+                             "no-op accepted everywhere")
     parser.add_argument("--side", type=int, default=4, metavar="N",
                         help="grid side for trace-record (default 4)")
     parser.add_argument("--size", type=int, default=None, metavar="N",
@@ -193,6 +221,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not nodes or any(n < 2 for n in nodes):
             parser.error("--nodes values must be >= 2")
         param_overrides = {"nodes": nodes}
+    if args.failures is not None:
+        from .network.failures import parse_failure_spec
+
+        try:
+            parse_failure_spec(args.failures)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if args.experiment == "xfail":
+            param_overrides = {**(param_overrides or {}),
+                               "failures": (args.failures,)}
+        elif args.failures != "none":
+            # "none" is a universal no-op (the zero-failure fast path is
+            # byte-identical); an actual schedule only drives xfail.
+            parser.error("--failures SPEC only applies to the xfail "
+                         "experiment and the trace commands "
+                         "(--failures none is accepted everywhere)")
 
     results_dir = (
         pathlib.Path(args.results_dir) if args.results_dir else default_results_dir()

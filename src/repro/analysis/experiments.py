@@ -27,6 +27,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.registry import get_strategy, parse_strategy_spec
+from ..network.failures import parse_failure_spec
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
 from ..network.topology import make_topology, make_topology_nodes
@@ -67,6 +68,7 @@ __all__ = [
     "xscale_cell",
     "xstrat_cell",
     "xcap_cell",
+    "xfail_cell",
 ]
 
 Row = Dict[str, object]
@@ -160,6 +162,32 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
             "quick": dict(side=8, ops=16, capacities=(None, 8, 2)),
             "default": dict(side=8, ops=64, capacities=(None, 16, 8, 4, 2)),
             "paper": dict(side=8, ops=256, capacities=(None, 16, 8, 4, 2)),
+        },
+        # Failure-axis sweep: failure rate x strategy family x topology on
+        # the zipf kernel at a pinned 64 nodes.  Horizons are tuned to the
+        # measured zipf virtual end time per scale (quick ~0.11-0.14 s,
+        # default ~0.38-0.64 s) so the events land inside the run; every
+        # spec pins its seed for cacheable, reproducible schedules.
+        "xfail": {
+            "quick": dict(side=8, ops=16, failures=(
+                "none",
+                "linkflap:rate=0.05:seed=7:horizon=0.05:down=0.5",
+                "churn:nodes=0.05:seed=7:horizon=0.05",
+            )),
+            "default": dict(side=8, ops=64, failures=(
+                "none",
+                "linkflap:rate=0.02:seed=7:horizon=0.2:down=0.5",
+                "linkflap:rate=0.05:seed=7:horizon=0.2:down=0.5",
+                "churn:nodes=0.05:seed=7:horizon=0.2",
+                "churn:nodes=0.1:seed=7:horizon=0.2",
+            )),
+            "paper": dict(side=8, ops=256, failures=(
+                "none",
+                "linkflap:rate=0.02:seed=7:horizon=0.8:down=0.5",
+                "linkflap:rate=0.05:seed=7:horizon=0.8:down=0.5",
+                "churn:nodes=0.05:seed=7:horizon=0.8",
+                "churn:nodes=0.1:seed=7:horizon=0.8",
+            )),
         },
         # Scale-axis experiment: thousands of nodes (the regime where the
         # paper's asymptotic congestion guarantee is supposed to bite),
@@ -1107,6 +1135,70 @@ def xcap_cell(
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
             "time": res.time,
+            **_cache_fields(res),
+        }
+    ]
+
+
+def xfail_cell(
+    failures: str,
+    strategy: str,
+    topology: str = "mesh",
+    side: int = 8,
+    ops: int = 64,
+    n_vars: int = 64,
+    alpha: float = 0.8,
+    read_frac: float = 0.9,
+    payload: int = 256,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One ``xfail`` cell: the zipf kernel under one failure spec, one
+    strategy registry spec and one topology.
+
+    Rows carry the schema-v6 availability columns -- route resolutions
+    lost (unreachable pair) and stalled (detoured around a down link),
+    requests retried after a repair, variables repaired by the strategy's
+    repair hooks, and failure events applied -- next to the usual
+    congestion/traffic/time columns, so availability-vs-traffic
+    trade-offs read off one table.  ``failures="none"`` rows are the
+    static-network baseline (availability columns all zero).
+    """
+    wl = get_workload("zipf")
+    topo = make_topology(topology, side)
+    family, sparams = parse_strategy_spec(strategy)
+    fmodel, _ = parse_failure_spec(failures)
+    res = wl.run(
+        topo,
+        strategy,
+        machine=machine,
+        seed=seed,
+        params={"n_vars": n_vars, "ops": ops, "alpha": alpha,
+                "read_frac": read_frac, "payload": payload},
+        failures=failures,
+    )
+    return [
+        {
+            "failures": failures,
+            "failure_model": fmodel.name,
+            "workload": "zipf",
+            "strategy": strategy,
+            "strategy_family": family.name,
+            "strategy_params": sparams,
+            "topology": topology,
+            "network": topo.label,
+            "nodes": topo.n_nodes,
+            "ops": ops,
+            "alpha": alpha,
+            "read_frac": read_frac,
+            "congestion_bytes": res.congestion_bytes,
+            "total_bytes": res.stats.total_bytes,
+            "time": res.time,
+            "requests_failed": res.requests_failed,
+            "requests_stalled": res.requests_stalled,
+            "requests_retried": res.requests_retried,
+            "repairs": res.repairs,
+            "failure_events": res.failure_events,
             **_cache_fields(res),
         }
     ]

@@ -95,6 +95,7 @@ class AccessTreeStrategy(DataManagementStrategy):
         self.embedding = make_embedding(
             embedding, self.tree, seed=seed, shared=remap_threshold is None
         )
+        self._embed_kind = embedding
         self.name = arity
         self.arity = arity
         self.seed = seed
@@ -111,6 +112,16 @@ class AccessTreeStrategy(DataManagementStrategy):
 
     def attach(self, runtime) -> None:
         super().attach(runtime)
+        # Under a failure schedule repair overrides tree-node hosts; the
+        # process-wide shared embedding memo must never see those, so
+        # failure runs get a private instance (same hosts pre-override).
+        if (
+            getattr(runtime, "_failview", None) is not None
+            and self.remap_threshold is None
+        ):
+            self.embedding = make_embedding(
+                self._embed_kind, self.tree, seed=self.seed, shared=False
+            )
         self._locks = RaymondTreeLock(self.sim, self.tree, self.embedding)
         # LRU bookkeeping is only needed under bounded memory; the common
         # unbounded case (the paper's default) skips it on the hot paths.
@@ -187,6 +198,60 @@ class AccessTreeStrategy(DataManagementStrategy):
                 if key in old_mem:
                     old_mem.remove(key)
                 self._mem_insert(var, cs, node, t)
+
+    # --------------------------------------------------------------- repair
+    def on_node_down(self, proc, t, down=frozenset()):
+        """Fail-stop repair: re-embed every internal tree node hosted at
+        the dead processor.
+
+        For each registered variable, every internal node whose host
+        resolves to ``proc`` moves to the first live processor of its own
+        submesh region (deterministic row-major scan; if the whole region
+        is dead, the next live processor globally).  A copy held at a
+        moving node migrates with it -- copies are never dropped, so the
+        tree component stays connected and the last-copy invariant holds
+        structurally.  Leaves are pinned to their processor by definition
+        and never move."""
+        from .strategy import next_live_node
+
+        tree = self.tree
+        emb = self.embedding
+        repaired = []
+        for vid in sorted(self._copies):
+            cs = self._copies[vid]
+            moved = False
+            for node, tn in enumerate(tree.nodes):
+                if tn.size == 1:
+                    continue  # leaves are pinned
+                if emb.host(vid, node) != proc:
+                    continue
+                new_host = None
+                for r in range(tn.rows):
+                    for c in range(tn.cols):
+                        cand = tree.mesh.node(tn.row0 + r, tn.col0 + c)
+                        if cand not in down:
+                            new_host = cand
+                            break
+                    if new_host is not None:
+                        break
+                if new_host is None:
+                    new_host = next_live_node(proc, self.topology.n_nodes, down)
+                emb.override(vid, node, new_host)
+                payload = 0
+                if node in cs.nodes:
+                    var = self.registry.by_id(vid)
+                    payload = var.payload_bytes
+                    if self._track_mem:
+                        key = (vid, node)
+                        old_mem = self.memory[proc]
+                        if key in old_mem:
+                            old_mem.remove(key)
+                        self._mem_insert(var, cs, node, t)
+                self.sim.send_leg(proc, new_host, payload, t, is_data=payload > 0)
+                moved = True
+            if moved:
+                repaired.append(vid)
+        return repaired
 
     def _request_path(self, cs: _CopySet, leaf: int) -> List[int]:
         """Tree nodes from ``leaf`` to the nearest copy holder (inclusive)."""

@@ -31,7 +31,7 @@ from ..network.topology import Topology
 from ..runtime.locks import HomeLock
 from ..runtime.variables import GlobalVariable
 from ..sim.flows import chain, multicast_acks
-from .strategy import DataManagementStrategy, GrantCallback
+from .strategy import DataManagementStrategy, GrantCallback, next_live_node
 
 __all__ = ["FixedHomeStrategy"]
 
@@ -220,6 +220,62 @@ class FixedHomeStrategy(DataManagementStrategy):
 
         chain(sim, [(proc, home, 0, False)], t, after_request)
         return None
+
+    # --------------------------------------------------------------- repair
+    def on_node_down(self, proc, t, down=frozenset()):
+        """Fail-stop repair: re-home directories whose home died (the
+        next live processor takes over, announced by a control message),
+        return ownership held by the dead node to main memory (the home
+        re-materializes the authoritative copy), and drop dead cached
+        copies from the copy sets.
+
+        Repair messages sourced at the dead node resolve to zero-link
+        routes (its links are already down), so repair costs NIC/local
+        overhead but no link traffic -- deterministic and identical in
+        both engines."""
+        repaired = []
+        for vid in sorted(self._states):
+            st = self._states[vid]
+            touched = False
+            var = self.registry.by_id(vid)
+            if st.home == proc:
+                # The directory died with its node: the next live
+                # processor becomes the new home.
+                new_home = next_live_node(proc, self.topology.n_nodes, down)
+                self.sim.send_leg(proc, new_home, 0, t, is_data=False)
+                if st.owner == HOME and proc in st.copies:
+                    # Main memory's authoritative copy moves with the home.
+                    st.copies.discard(proc)
+                    if self._track_mem and vid in self.memory[proc]:
+                        self.memory[proc].remove(vid)
+                    st.copies.add(new_home)
+                    st.home = new_home
+                    self._mem_insert(st, var, new_home, t)
+                    self.sim.send_leg(proc, new_home, var.payload_bytes, t, is_data=True)
+                else:
+                    st.home = new_home
+                touched = True
+            if st.owner == proc:
+                # The owner died holding the sole authoritative copy:
+                # ownership reverts to main memory at the (live) home.
+                st.owner = HOME
+                st.copies.discard(proc)
+                if self._track_mem and vid in self.memory[proc]:
+                    self.memory[proc].remove(vid)
+                st.copies.add(st.home)
+                self._mem_insert(st, var, st.home, t)
+                self.sim.send_leg(proc, st.home, var.payload_bytes, t, is_data=True)
+                touched = True
+            if proc in st.copies:
+                # A plain cached copy needs no message: the home simply
+                # forgets the dead holder.
+                st.copies.discard(proc)
+                if self._track_mem and vid in self.memory[proc]:
+                    self.memory[proc].remove(vid)
+                touched = True
+            if touched:
+                repaired.append(vid)
+        return repaired
 
     # ---------------------------------------------------------------- locks
     def lock(self, proc: int, var: GlobalVariable, t: float, grant: GrantCallback) -> None:

@@ -31,7 +31,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 from ..network.topology import Topology
 from ..runtime.locks import HomeLock
 from ..runtime.variables import GlobalVariable
-from .strategy import DataManagementStrategy, GrantCallback
+from .strategy import DataManagementStrategy, GrantCallback, next_live_node
 
 __all__ = ["MigratoryStrategy"]
 
@@ -166,6 +166,36 @@ class MigratoryStrategy(DataManagementStrategy):
             resume_event=self.runtime.resume_event(proc, None),
         )
         return None
+
+    # --------------------------------------------------------------- repair
+    def on_node_down(self, proc, t, down=frozenset()):
+        """Fail-stop repair: a dead directory moves to the next live
+        processor (control message); a dead owner hands the sole copy
+        off -- it is never dropped -- to the (repaired) directory when
+        live, else to the next live processor (data message)."""
+        n = self.topology.n_nodes
+        repaired = []
+        for vid in sorted(self._states):
+            st = self._states[vid]
+            touched = False
+            if st.directory == proc:
+                st.directory = next_live_node(proc, n, down)
+                self.sim.send_leg(proc, st.directory, 0, t, is_data=False)
+                touched = True
+            if st.owner == proc:
+                var = self.registry.by_id(vid)
+                target = st.directory if st.directory not in down else (
+                    next_live_node(proc, n, down)
+                )
+                if self._track_mem and vid in self.memory[proc]:
+                    self.memory[proc].remove(vid)
+                st.owner = target
+                self._mem_insert(var, target)
+                self.sim.send_leg(proc, target, var.payload_bytes, t, is_data=True)
+                touched = True
+            if touched:
+                repaired.append(vid)
+        return repaired
 
     # ---------------------------------------------------------------- locks
     def lock(self, proc: int, var: GlobalVariable, t: float, grant: GrantCallback) -> None:

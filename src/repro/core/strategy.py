@@ -28,13 +28,34 @@ see :mod:`repro.sim.engine`).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, Tuple
 
 from ..network.topology import Topology
 from ..runtime.variables import GlobalVariable
 from .registry import _DerivedNames
 
-__all__ = ["DataManagementStrategy", "NullStrategy", "make_strategy", "STRATEGY_NAMES"]
+__all__ = [
+    "DataManagementStrategy",
+    "NullStrategy",
+    "make_strategy",
+    "next_live_node",
+    "STRATEGY_NAMES",
+]
+
+
+def next_live_node(start: int, n_nodes: int, down: FrozenSet[int]) -> int:
+    """First live processor scanning ``start+1, start+2, ... (mod n)``.
+
+    The deterministic re-homing rule every repair hook shares: where a
+    dead node held a directory/home/copy, responsibility moves to the
+    next live node in processor order.  Raises when every node is down
+    (schedules built by :mod:`repro.network.failures` always leave a
+    survivor)."""
+    for k in range(1, n_nodes + 1):
+        cand = (start + k) % n_nodes
+        if cand not in down:
+            return cand
+    raise RuntimeError("no live node remains in the topology")
 
 GrantCallback = Callable[[float], None]
 
@@ -86,6 +107,30 @@ class DataManagementStrategy:
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+
+    # ---------------------------------------------------------- repair
+    # Failure-axis hooks (see repro.network.failures): the runtime calls
+    # these right after applying a node_down / node_up topology delta.
+    # A strategy repairs its metadata and copies so that subsequent
+    # requests resolve to live nodes; it returns the vids it repaired
+    # (the launcher counts them in `repairs` and flags the next request
+    # touching each as retried).  The base implementation is a no-op:
+    # strategies without per-node state (NullStrategy) need none.
+
+    def on_node_down(
+        self, proc: int, t: float, down: FrozenSet[int] = frozenset()
+    ) -> Iterable[int]:
+        """``proc`` fail-stopped at virtual time ``t`` (``down`` is the
+        full current down set).  Returns repaired vids."""
+        return ()
+
+    def on_node_up(
+        self, proc: int, t: float, down: FrozenSet[int] = frozenset()
+    ) -> Iterable[int]:
+        """``proc`` came back at ``t``.  State lost at death stays
+        repaired (fail-stop: a revived node returns empty); returns
+        repaired vids."""
+        return ()
 
 
 class NullStrategy(DataManagementStrategy):

@@ -27,7 +27,12 @@ must use ``workload``; version 5 (the strategy registry) added the
 cache-behavior row fields ``hits`` / ``misses`` / ``hit_rate`` /
 ``evictions`` to every cell row, and the ``xstrat`` / ``xcap`` rows
 additionally carry ``strategy_family`` / ``strategy_params`` (the
-resolved spec parameters) and -- for ``xcap`` -- ``capacity_bytes``.
+resolved spec parameters) and -- for ``xcap`` -- ``capacity_bytes``;
+version 6 (the failure axis) added the ``xfail`` rows' ``failures`` /
+``failure_model`` fields and the availability columns
+``requests_failed`` / ``requests_stalled`` / ``requests_retried`` /
+``repairs`` / ``failure_events`` (zero-failure experiments are
+otherwise row-identical to v5).
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -58,7 +63,7 @@ __all__ = [
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 

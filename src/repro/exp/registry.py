@@ -45,6 +45,10 @@ XSTRAT_READ_FRACS = (0.9, 0.5)
 #: Strategies swept over the capacity-pressure axis (2-ary is the
 #: paper's Figure 8 kink strategy; migratory cannot evict by design).
 XCAP_STRATEGIES = ("fixed-home", "2-ary", "2-4-ary", "dynrep", "migratory")
+#: Strategy families swept over the failure axis: every family with
+#: repair hooks (all five -- the xfail sweep is the adversarial proof
+#: that each survives link flaps and node churn).
+XFAIL_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary", "migratory", "dynrep")
 #: Zipf skew exponents of the xwork-zipf sweep (0 = uniform).
 XWORK_ZIPF_ALPHAS = (0.0, 0.8, 1.5)
 #: Read fractions of the xwork-readfrac sweep (1.0 = read-only).
@@ -297,6 +301,24 @@ def _xcap_cells(p: Params) -> List[Cell]:
     ]
 
 
+def _xfail_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xfail", scale)
+    params["topologies"] = ["mesh", "torus", "hypercube"]
+    params["strategies"] = list(XFAIL_STRATEGIES)
+    params["failures"] = list(params["failures"])
+    return params
+
+
+def _xfail_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.xfail_cell, failures=failures, strategy=name,
+                  topology=topology, side=p["side"], ops=p["ops"], seed=0)
+        for failures in p["failures"]
+        for topology in p["topologies"]
+        for name in p["strategies"]
+    ]
+
+
 def _invalidation_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.invalidation_cell, strategy=name, variant=variant,
@@ -451,6 +473,18 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                 "(LRU replacement)"
             ),
             uses_topology=True,
+        ),
+        ExperimentSpec(
+            name="xfail",
+            columns=("failures", "topology", "strategy", "congestion_bytes",
+                     "time", "requests_failed", "requests_stalled",
+                     "requests_retried", "repairs"),
+            make_params=_xfail_params,
+            make_cells=_xfail_cells,
+            title=_fixed_title(
+                "failure axis: zipf under link flaps and node churn "
+                "(5 strategy families x mesh+torus+hypercube)"
+            ),
         ),
         ExperimentSpec(
             name="fig8",

@@ -1,0 +1,541 @@
+"""Failure models: deterministic link/node failure schedules and the
+failure-aware route view.
+
+The paper evaluates its strategies on *static* networks; this module adds
+the failure axis.  A **failure model** turns a compact spec string into a
+time-stamped :class:`FailureSchedule` of link down/up events and node
+churn; the schedule is a pure function of ``(spec, topology)`` -- same
+seed, same schedule -- so failure runs are as reproducible and cacheable
+as everything else.
+
+Spec grammar (mirrors the strategy registry,
+:mod:`repro.core.registry`)::
+
+    name[:token][:token]...
+
+where each ``token`` is ``key=value`` or a bare positional value the
+model interprets.  Examples::
+
+    none                        # no failures (the default axis value)
+    linkflap:rate=0.01:seed=7   # 1% of links flap at random times
+    churn:nodes=0.05            # 5% of processors fail-stop
+    linkdown:link=3:at=0.002    # one precise link failure (tests)
+    nodedown:node=5:at=0.001    # one precise node failure (tests)
+
+Times are virtual seconds; the stochastic models place events uniformly
+in ``(0, horizon)`` -- set ``horizon`` to roughly the run's virtual
+duration so the failures land inside the measured window.
+
+At simulation time the schedule drives a :class:`FailureView`: the
+engine adopts its per-epoch route cache and failure-aware
+:meth:`FailureView.lookup`, which detours around down links (breadth-
+first over the surviving topology, deterministic tie-breaks) and returns
+the empty route for unreachable pairs.  A node down takes all its
+incident links down; messages across an unreachable pair complete with
+zero link traversals (accounted as local messages) and are counted in
+the availability columns.  Both engines -- the pure-Python loop and the
+C kernel -- resolve each distinct ``(src, dst)`` pair exactly once per
+failure epoch, so the availability counters are engine-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .routing import get_route_table
+from .topology import Topology
+
+__all__ = [
+    "FailureEvent",
+    "FailureSchedule",
+    "FailureModel",
+    "FailureView",
+    "FAILURE_MODELS",
+    "register_failure_model",
+    "failure_model_names",
+    "parse_failure_spec",
+    "format_failure_spec",
+    "build_schedule",
+]
+
+#: Event kinds a schedule may contain, in canonical order.
+EVENT_KINDS = ("link_down", "link_up", "node_down", "node_up")
+
+#: ``key=value`` coercers per parameter type (specs are strings); the
+#: same table as the strategy registry's.
+_COERCE: Dict[type, Callable[[str], Any]] = {
+    str: str,
+    int: int,
+    float: float,
+    bool: lambda s: {"true": True, "1": True, "false": False, "0": False}[s.lower()],
+}
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One topology delta: at ``time``, ``target`` (a directed link id for
+    link events, a processor id for node events) changes state."""
+
+    time: float
+    kind: str
+    target: int
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A time-sorted sequence of failure events plus the spec that built
+    it (recorded in trace headers and result rows)."""
+
+    spec: str
+    events: Tuple[FailureEvent, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """One registered failure model (the failure-axis analogue of
+    :class:`repro.core.registry.StrategyFamily`).
+
+    Attributes
+    ----------
+    name:
+        Registry name (the spec's leading segment).
+    description:
+        One-line description for listings and error messages.
+    build:
+        ``build(topology, params)`` returning the (unsorted) event list.
+    defaults:
+        Spec parameters and their defaults; unknown ``key=value`` tokens
+        are rejected with the valid alternatives listed.
+    param_types:
+        Coercion targets for parameters whose default is ``None``.
+    positional:
+        Parameter a bare (non ``key=value``) spec token assigns.
+    validate:
+        Optional ``validate(params)`` raising ``ValueError`` on malformed
+        parameter combinations (``linkflap:rate=-1``).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., List[FailureEvent]]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    param_types: Dict[str, type] = field(default_factory=dict)
+    positional: Optional[str] = None
+    validate: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+#: The global name -> model registry (registration order preserved).
+FAILURE_MODELS: Dict[str, FailureModel] = {}
+
+
+def register_failure_model(model: FailureModel) -> FailureModel:
+    """Register ``model`` under its name (idempotent for the same
+    builder; re-registering a different builder is a bug)."""
+    existing = FAILURE_MODELS.get(model.name)
+    if existing is not None and existing.build is not model.build:
+        raise ValueError(
+            f"failure model name {model.name!r} already registered by "
+            f"{existing.build!r}"
+        )
+    FAILURE_MODELS[model.name] = model
+    return model
+
+
+def failure_model_names() -> List[str]:
+    """Registered model names, in registration order (the CLI choices)."""
+    return list(FAILURE_MODELS)
+
+
+def _coerce(model: str, key: str, value: str, default: Any, target: Optional[type]):
+    kind = target if target is not None else type(default)
+    fn = _COERCE.get(kind)
+    if fn is None:  # pragma: no cover - registration-time bug
+        raise TypeError(f"failure model {model!r}: no coercer for parameter {key!r}")
+    try:
+        return fn(value)
+    except (ValueError, KeyError):
+        raise ValueError(
+            f"failure model {model!r}: parameter {key!r} expects "
+            f"{kind.__name__}, got {value!r}"
+        ) from None
+
+
+def parse_failure_spec(spec: str) -> Tuple[FailureModel, Dict[str, Any]]:
+    """Parse ``spec`` into ``(model, params)``; raises ``ValueError``
+    with the valid alternatives on unknown names or malformed tokens."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"failure spec must be a non-empty string, got {spec!r}")
+    head, *tokens = spec.strip().split(":")
+    model = FAILURE_MODELS.get(head)
+    if model is None:
+        raise ValueError(
+            f"unknown failure model {head!r}; valid: "
+            f"{', '.join(failure_model_names())}"
+        )
+    params = dict(model.defaults)
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            raise ValueError(f"failure spec {spec!r} has an empty segment")
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if key not in params:
+                valid = ", ".join(sorted(params)) or "(none)"
+                raise ValueError(
+                    f"failure model {model.name!r} has no parameter {key!r}; "
+                    f"valid: {valid}"
+                )
+            params[key] = _coerce(
+                model.name, key, value, model.defaults[key], model.param_types.get(key)
+            )
+        else:
+            if model.positional is None:
+                raise ValueError(
+                    f"failure model {head!r} takes no positional spec "
+                    f"segment, got {token!r}"
+                )
+            params[model.positional] = _coerce(
+                model.name, model.positional, token,
+                model.defaults[model.positional],
+                model.param_types.get(model.positional),
+            )
+    if model.validate is not None:
+        model.validate(params)
+    return model, params
+
+
+def format_failure_spec(model, params: Optional[Dict[str, Any]] = None) -> str:
+    """Canonical spec string for ``(model, params)``: every parameter in
+    registration order, so ``parse -> format -> parse`` round-trips."""
+    if isinstance(model, str):
+        model = FAILURE_MODELS[model]
+    merged = dict(model.defaults)
+    merged.update(params or {})
+    tokens = [model.name]
+    for key in model.defaults:
+        value = merged[key]
+        if isinstance(value, bool):
+            tokens.append(f"{key}={'true' if value else 'false'}")
+        else:
+            tokens.append(f"{key}={value!r}" if isinstance(value, float) else f"{key}={value}")
+    return ":".join(tokens)
+
+
+def build_schedule(spec, topology: Topology) -> FailureSchedule:
+    """The failure schedule of ``spec`` on ``topology``.
+
+    ``spec`` may be a spec string, ``None`` / ``""`` / ``"none"`` (no
+    failures), or an already-built :class:`FailureSchedule` (returned
+    unchanged).  Events come out time-sorted with a stable, deterministic
+    order for ties."""
+    if isinstance(spec, FailureSchedule):
+        return spec
+    if spec is None or (isinstance(spec, str) and spec.strip() in ("", "none")):
+        return FailureSchedule(spec="none", events=())
+    model, params = parse_failure_spec(spec)
+    events = model.build(topology, params)
+    for ev in events:
+        if ev.kind not in EVENT_KINDS:
+            raise ValueError(f"failure model {model.name!r} emitted unknown "
+                             f"event kind {ev.kind!r}")
+        if ev.time < 0.0:
+            raise ValueError(f"failure model {model.name!r} emitted an event "
+                             f"before t=0: {ev!r}")
+    return FailureSchedule(spec=spec.strip(),
+                           events=tuple(sorted(events, key=lambda e: e.time)))
+
+
+# ------------------------------------------------------------------ view
+class FailureView:
+    """Mutable failure state plus failure-aware route resolution.
+
+    The engine installs a view via
+    :meth:`repro.sim.engine.Simulator.install_failures`: it adopts
+    :attr:`route_cache` as its route table and :meth:`lookup` as its
+    resolver.  The runtime applies each schedule event through
+    :meth:`repro.sim.engine.Simulator.apply_failure_event`, which calls
+    :meth:`apply` -- flipping the down sets and clearing the per-epoch
+    route caches *in place* (both engines hold direct references).
+
+    Routes: the pristine deterministic route is used whenever it crosses
+    no down link; otherwise a breadth-first detour over the surviving
+    links (adjacency sorted by neighbor id, so shortest-hop paths with
+    deterministic tie-breaks).  Unreachable pairs -- including any pair
+    touching a down node -- resolve to the empty route: the leg completes
+    with zero link traversals and is counted in :attr:`routes_lost`.
+
+    Counters are per distinct ``(src, dst)`` route resolution per failure
+    epoch (both engines cache resolved routes until the next delta, so
+    each pair is resolved exactly once per epoch in either engine).
+    """
+
+    def __init__(self, topology: Topology, schedule: FailureSchedule):
+        self.topology = topology
+        self.schedule = schedule
+        self.down_links: set = set()
+        self.down_nodes: set = set()
+        #: Per-epoch resolved-route cache, keyed ``src * n_nodes + dst``.
+        #: The engines adopt this dict object; :meth:`apply` clears it in
+        #: place so their local bindings stay valid.
+        self.route_cache: Dict[int, tuple] = {}
+        self._base = get_route_table(topology)
+        self._n = topology.n_nodes
+        self._adj = None
+        self._ends = None
+        #: Availability counters (schema v6 columns).
+        self.routes_detoured = 0
+        self.routes_lost = 0
+        self.events_applied = 0
+
+    # --------------------------------------------------------------- deltas
+    def apply(self, event: FailureEvent) -> None:
+        """Apply one topology delta and start a fresh route epoch."""
+        kind = event.kind
+        if kind == "link_down":
+            self.down_links.add(event.target)
+        elif kind == "link_up":
+            self.down_links.discard(event.target)
+        elif kind == "node_down":
+            self.down_nodes.add(event.target)
+        elif kind == "node_up":
+            self.down_nodes.discard(event.target)
+        else:
+            raise ValueError(f"unknown failure event kind {event.kind!r}")
+        self.events_applied += 1
+        self.route_cache.clear()
+
+    # --------------------------------------------------------------- routes
+    def _tables(self):
+        """Lazy adjacency ``node -> [(neighbor, link_id)]`` (sorted) and
+        link endpoints, built once from ``topology.iter_links()``."""
+        if self._adj is None:
+            adj: List[list] = [[] for _ in range(self._n)]
+            ends: Dict[int, Tuple[int, int]] = {}
+            for link, u, v in self.topology.iter_links():
+                adj[u].append((v, link))
+                ends[link] = (u, v)
+            for lst in adj:
+                lst.sort()
+            self._adj = adj
+            self._ends = ends
+        return self._adj, self._ends
+
+    def link_usable(self, link: int) -> bool:
+        """Whether a message may traverse ``link`` right now (a down node
+        takes all its incident links down)."""
+        if link in self.down_links:
+            return False
+        if not self.down_nodes:
+            return True
+        _, ends = self._tables()
+        u, v = ends[link]
+        return u not in self.down_nodes and v not in self.down_nodes
+
+    def lookup(self, src: int, dst: int) -> tuple:
+        """Failure-aware route: the pristine route when clean, else a
+        deterministic detour (or the empty route when unreachable).  The
+        result is cached for the rest of the epoch."""
+        links = self._base.lookup(src, dst)
+        if self.down_links or self.down_nodes:
+            for link in links:
+                if not self.link_usable(link):
+                    links = self._detour(src, dst)
+                    break
+        self.route_cache[src * self._n + dst] = links
+        return links
+
+    def _detour(self, src: int, dst: int) -> tuple:
+        """Shortest surviving path ``src -> dst`` (BFS, deterministic);
+        ``()`` when no such path exists."""
+        down_nodes = self.down_nodes
+        if src in down_nodes or dst in down_nodes:
+            self.routes_lost += 1
+            return ()
+        adj, _ = self._tables()
+        down_links = self.down_links
+        prev: Dict[int, Optional[Tuple[int, int]]] = {src: None}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v, link in adj[u]:
+                    if v in prev or link in down_links or v in down_nodes:
+                        continue
+                    prev[v] = (u, link)
+                    if v == dst:
+                        path = []
+                        while v != src:
+                            v, hop = prev[v]
+                            path.append(hop)
+                        path.reverse()
+                        self.routes_detoured += 1
+                        return tuple(path)
+                    nxt.append(v)
+            frontier = nxt
+        self.routes_lost += 1
+        return ()
+
+
+# ------------------------------------------------------- built-in models
+def _build_none(topology: Topology, params: Dict[str, Any]) -> List[FailureEvent]:
+    return []
+
+
+def _validate_fraction(model: str, key: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"failure model {model!r}: {key} must be within [0.0, 1.0], "
+            f"got {value}"
+        )
+
+
+def _validate_linkflap(params: Dict[str, Any]) -> None:
+    _validate_fraction("linkflap", "rate", params["rate"])
+    if params["horizon"] <= 0.0:
+        raise ValueError(
+            f"failure model 'linkflap': horizon must be > 0, got {params['horizon']}"
+        )
+    if params["down"] < 0.0:
+        raise ValueError(
+            f"failure model 'linkflap': down must be >= 0 (0 = links stay "
+            f"down), got {params['down']}"
+        )
+
+
+def _build_linkflap(topology: Topology, params: Dict[str, Any]) -> List[FailureEvent]:
+    """``rate`` of the directed links go down at uniform times in
+    ``(0, horizon)``; each comes back after ``down * horizon`` seconds
+    (``down=0`` keeps them down for good)."""
+    rng = random.Random(params["seed"])
+    horizon = params["horizon"]
+    n_links = topology.n_links
+    count = 0 if params["rate"] <= 0.0 else max(1, round(params["rate"] * n_links))
+    count = min(count, n_links)
+    events: List[FailureEvent] = []
+    for link in sorted(rng.sample(range(n_links), count)):
+        t_down = rng.uniform(0.0, horizon)
+        events.append(FailureEvent(t_down, "link_down", link))
+        if params["down"] > 0.0:
+            events.append(FailureEvent(t_down + params["down"] * horizon, "link_up", link))
+    return events
+
+
+def _validate_churn(params: Dict[str, Any]) -> None:
+    _validate_fraction("churn", "nodes", params["nodes"])
+    if params["horizon"] <= 0.0:
+        raise ValueError(
+            f"failure model 'churn': horizon must be > 0, got {params['horizon']}"
+        )
+    if params["revive"] < 0.0:
+        raise ValueError(
+            f"failure model 'churn': revive must be >= 0 (0 = nodes stay "
+            f"dead), got {params['revive']}"
+        )
+
+
+def _build_churn(topology: Topology, params: Dict[str, Any]) -> List[FailureEvent]:
+    """``nodes`` of the processors fail-stop at uniform times in
+    ``(0, horizon)`` (at least one processor always survives); each is
+    revived after ``revive * horizon`` seconds (``revive=0`` keeps them
+    dead)."""
+    rng = random.Random(params["seed"])
+    horizon = params["horizon"]
+    n = topology.n_nodes
+    count = 0 if params["nodes"] <= 0.0 else max(1, round(params["nodes"] * n))
+    count = min(count, n - 1)
+    events: List[FailureEvent] = []
+    for proc in sorted(rng.sample(range(n), count)):
+        t_down = rng.uniform(0.0, horizon)
+        events.append(FailureEvent(t_down, "node_down", proc))
+        if params["revive"] > 0.0:
+            events.append(FailureEvent(t_down + params["revive"] * horizon, "node_up", proc))
+    return events
+
+
+def _validate_single(kind: str, params: Dict[str, Any]) -> None:
+    key = "link" if kind == "linkdown" else "node"
+    if params[key] < 0:
+        raise ValueError(f"failure model {kind!r}: {key} must be >= 0, got {params[key]}")
+    if params["at"] < 0.0:
+        raise ValueError(f"failure model {kind!r}: at must be >= 0, got {params['at']}")
+
+
+def _build_linkdown(topology: Topology, params: Dict[str, Any]) -> List[FailureEvent]:
+    link = params["link"]
+    if link >= topology.n_links:
+        raise ValueError(
+            f"failure model 'linkdown': link {link} out of range "
+            f"(topology has {topology.n_links} directed links)"
+        )
+    events = [FailureEvent(params["at"], "link_down", link)]
+    if params["up"] > params["at"]:
+        events.append(FailureEvent(params["up"], "link_up", link))
+    return events
+
+
+def _build_nodedown(topology: Topology, params: Dict[str, Any]) -> List[FailureEvent]:
+    node = params["node"]
+    if node >= topology.n_nodes:
+        raise ValueError(
+            f"failure model 'nodedown': node {node} out of range "
+            f"(topology has {topology.n_nodes} processors)"
+        )
+    events = [FailureEvent(params["at"], "node_down", node)]
+    if params["up"] > params["at"]:
+        events.append(FailureEvent(params["up"], "node_up", node))
+    return events
+
+
+def _register_builtins() -> None:
+    register_failure_model(FailureModel(
+        name="none",
+        description="no failures (the static network of the paper)",
+        build=_build_none,
+    ))
+    register_failure_model(FailureModel(
+        name="linkflap",
+        description="a fraction of links goes down at random times "
+                    "(rate positional, seed=, horizon=, down=)",
+        defaults={"rate": 0.01, "seed": 0, "horizon": 0.01, "down": 0.5},
+        positional="rate",
+        build=_build_linkflap,
+        validate=_validate_linkflap,
+    ))
+    register_failure_model(FailureModel(
+        name="churn",
+        description="a fraction of processors fail-stops at random times "
+                    "(nodes positional, seed=, horizon=, revive=)",
+        defaults={"nodes": 0.05, "seed": 0, "horizon": 0.01, "revive": 0.0},
+        positional="nodes",
+        build=_build_churn,
+        validate=_validate_churn,
+    ))
+    register_failure_model(FailureModel(
+        name="linkdown",
+        description="one precise link failure (link=, at=, up=)",
+        defaults={"link": 0, "at": 0.0, "up": -1.0},
+        build=_build_linkdown,
+        validate=lambda p: _validate_single("linkdown", p),
+    ))
+    register_failure_model(FailureModel(
+        name="nodedown",
+        description="one precise node failure (node=, at=, up=)",
+        defaults={"node": 0, "at": 0.0, "up": -1.0},
+        build=_build_nodedown,
+        validate=lambda p: _validate_single("nodedown", p),
+    ))
+
+
+_register_builtins()

@@ -112,6 +112,15 @@ class Runtime:
     capacity_bytes:
         Per-processor memory capacity for cached copies (``None`` =
         unbounded, the paper's default situation).
+    failures:
+        Failure axis (``None`` / ``"none"`` = the paper's static network,
+        byte-identical to not having the axis at all): a failure spec
+        string (``"linkflap:rate=0.01:seed=7"``), an already-built
+        :class:`repro.network.failures.FailureSchedule`, or ``None``.
+        Non-empty schedules install a failure-aware route view into the
+        engine, apply each topology delta at its timestamp, dispatch the
+        strategy's repair hooks on node churn, and populate the
+        availability counters of the result (schema v6).
     recorder:
         Optional trace recorder (:class:`repro.workloads.trace.TraceRecorder`
         or anything with the same ``attach`` / ``record_create`` /
@@ -129,6 +138,7 @@ class Runtime:
         barrier: str = "tree",
         seed: int = 0,
         capacity_bytes: Optional[float] = None,
+        failures=None,
         recorder=None,
     ):
         self.sim = Simulator(topology, machine)
@@ -136,6 +146,28 @@ class Runtime:
         self.memory = MemoryBook(topology.n_nodes, capacity_bytes)
         self.charge_compute = charge_compute
         self.seed = seed
+        # Failure axis: resolved before the strategy attaches (access
+        # trees check for an installed view to privatize their embedding).
+        # An empty schedule installs nothing -- the zero-failure fast path
+        # is byte-identical to a build without the axis.
+        self._failview = None
+        self.failure_spec = "none"
+        self.requests_retried = 0
+        self.repairs = 0
+        self._repaired_vids: set = set()
+        if failures is not None:
+            from ..network.failures import FailureView, build_schedule
+
+            fail_schedule = build_schedule(failures, topology)
+            self.failure_spec = fail_schedule.spec
+            if not fail_schedule.is_empty:
+                view = FailureView(topology, fail_schedule)
+                self._failview = view
+                self.sim.install_failures(view)
+                # Scheduled before any program step: at equal timestamps
+                # the topology delta (and repair) precedes the requests.
+                for ev in fail_schedule:
+                    self.sim.schedule(ev.time, self._apply_failure, ev)
         self.strategy = strategy
         strategy.attach(self)
         self.barrier = make_barrier(barrier, self.sim, seed)
@@ -203,6 +235,7 @@ class Runtime:
         # The base DataManagementStrategy guarantees the counters (and
         # NullStrategy inherits them), so no getattr defensiveness here.
         strategy = self.strategy
+        view = self._failview
         return RunResult(
             strategy=strategy.name,
             mesh=topo.label,
@@ -216,8 +249,37 @@ class Runtime:
             lock_acquisitions=strategy.lock_acquisitions,
             evictions=self.memory.total_evictions,
             barrier_episodes=self.barrier.episodes,
+            requests_failed=view.routes_lost if view is not None else 0,
+            requests_stalled=view.routes_detoured if view is not None else 0,
+            requests_retried=self.requests_retried,
+            repairs=self.repairs,
+            failure_events=view.events_applied if view is not None else 0,
             extra={},
         )
+
+    # -------------------------------------------------------------- failures
+    def _apply_failure(self, event) -> None:
+        """Apply one failure-schedule event (scheduled at construction):
+        the topology delta first (down sets + fresh route epoch in both
+        engines), then the strategy's repair hook for node churn.  Vids
+        the hook repaired are counted and flagged so the next request
+        touching each counts as retried."""
+        sim = self.sim
+        sim.apply_failure_event(event)
+        kind = event.kind
+        if kind == "node_down":
+            vids = self.strategy.on_node_down(
+                event.target, sim.now, frozenset(self._failview.down_nodes)
+            )
+        elif kind == "node_up":
+            vids = self.strategy.on_node_up(
+                event.target, sim.now, frozenset(self._failview.down_nodes)
+            )
+        else:
+            return
+        vids = list(vids)
+        self.repairs += len(vids)
+        self._repaired_vids.update(vids)
 
     # ------------------------------------------------------------ scheduling
     def _step(self, p: int, value: Any) -> None:
@@ -234,6 +296,9 @@ class Runtime:
         strategy = self.strategy
         recorder = self._recorder
         schedule = sim.schedule
+        # Retry accounting (None outside the failure axis: one dead-cheap
+        # check per read/write keeps the zero-failure hot path intact).
+        retried = self._repaired_vids if self._failview is not None else None
         while True:
             try:
                 req = gen_send(value)
@@ -248,6 +313,9 @@ class Runtime:
             cls = req.__class__
             now = sim.now
             if cls is ReadReq:
+                if retried is not None and req.var.vid in retried:
+                    retried.discard(req.var.vid)
+                    self.requests_retried += 1
                 res = strategy.read(p, req.var, now)
                 if res is None:
                     # Miss: a flow was launched; it resumes us on completion.
@@ -260,6 +328,9 @@ class Runtime:
                 schedule(done, self._step, p, value)
                 return
             if cls is WriteReq:
+                if retried is not None and req.var.vid in retried:
+                    retried.discard(req.var.vid)
+                    self.requests_retried += 1
                 done = strategy.write(p, req.var, req.value, now)
                 value = None
                 if done is None:

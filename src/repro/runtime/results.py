@@ -34,6 +34,16 @@ class RunResult:
     hits / misses:
         Strategy cache statistics (reads served from a local copy vs reads
         that needed communication).
+    requests_failed / requests_stalled / requests_retried / repairs /
+    failure_events:
+        Availability accounting under a failure schedule (schema v6; all
+        zero without one).  ``requests_failed`` counts route resolutions
+        that found the pair unreachable, ``requests_stalled`` counts
+        resolutions detoured around down links (each distinct
+        ``(src, dst)`` pair counted once per failure epoch),
+        ``requests_retried`` counts requests that were the first to touch
+        a variable after a repair hook fixed it, ``repairs`` the repaired
+        variables, and ``failure_events`` the schedule events applied.
     extra:
         Application-specific outputs (verification data etc.).
     """
@@ -50,6 +60,11 @@ class RunResult:
     lock_acquisitions: int = 0
     evictions: int = 0
     barrier_episodes: int = 0
+    requests_failed: int = 0
+    requests_stalled: int = 0
+    requests_retried: int = 0
+    repairs: int = 0
+    failure_events: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -91,5 +106,10 @@ class RunResult:
             "lock_acquisitions": self.lock_acquisitions,
             "evictions": self.evictions,
             "compute_time": self.compute_time,
+            "requests_failed": self.requests_failed,
+            "requests_stalled": self.requests_stalled,
+            "requests_retried": self.requests_retried,
+            "repairs": self.repairs,
+            "failure_events": self.failure_events,
             "phases": [p.as_dict() for p in self.phases],
         }

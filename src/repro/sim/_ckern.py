@@ -194,6 +194,14 @@ void sim_set_route(Sim *s, int src, int dst, int n) {
     rt_store(s, (i64)src * s->n_nodes + dst, s->stage_i, n);
 }
 
+void sim_clear_routes(Sim *s) {
+    /* Drop every interned route (failure epoch boundary: topology
+       deltas invalidate routes; Python re-supplies them on demand). */
+    for (int i = 0; i < s->rt_cap; i++) s->rt_keys[i] = -1;
+    s->rt_count = 0;
+    s->ar_used = 0;
+}
+
 /* ----------------------------------------------- closed-form routing */
 void sim_set_topology(Sim *s, int kind, int rows, int cols, int dim,
                       int cache) {
@@ -345,6 +353,9 @@ static double do_leg(Sim *s, double time, int src, int dst, double wire,
     s->nic_free[dst] = arrive;
     s->st_startups[src]++; s->st_receives[dst]++;
     s->st_total++;
+    /* A zero-link route (unreachable pair under failures) crosses no
+       link; the pure engine's LinkStats counts such legs as local. */
+    if (len == 0) s->st_local++;
     if (isdat) s->st_data++;
     return arrive;
 }
@@ -730,6 +741,7 @@ int sim_ensure_stage(Sim *s, int n);
 void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
                    i64 *receives);
 void sim_set_route(Sim *s, int src, int dst, int n);
+void sim_clear_routes(Sim *s);
 void sim_set_topology(Sim *s, int kind, int rows, int cols, int dim,
                       int cache);
 int sim_compute_route(Sim *s, int src, int dst);

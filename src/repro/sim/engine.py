@@ -145,6 +145,7 @@ class Simulator:
         "_objs",
         "_obj_free",
         "_np_arrays",
+        "_failview",
     )
 
     def __init__(self, topology: Topology, machine: MachineModel):
@@ -239,6 +240,7 @@ class Simulator:
         self._flush_at = (
             1_000_000 if topology.n_nodes <= DENSE_NODE_LIMIT else 65_536
         )
+        self._failview = None
         self._stats = None
         self.stats = LinkStats(topology)
 
@@ -305,6 +307,37 @@ class Simulator:
         self._reserve_stage(len(links))
         self._stage_i[0 : len(links)] = list(links)
         self._lib.sim_set_route(self._h, src, dst, len(links))
+
+    def install_failures(self, view) -> None:
+        """Route every leg through ``view`` (a
+        :class:`repro.network.failures.FailureView`).
+
+        Must run before :meth:`run`: the pure loop binds the route table
+        and resolver as locals at entry.  The view's per-epoch
+        ``route_cache`` replaces the shared pristine table, and its
+        failure-aware ``lookup`` becomes the resolver.  On the C kernel
+        the closed-form topology routing is switched off (kind 0) so
+        every route miss re-enters Python (R_NEED_ROUTE) and gets the
+        failure-aware answer -- both engines then resolve each distinct
+        ``(src, dst)`` exactly once per failure epoch.
+        """
+        self._failview = view
+        self._routes = view.route_cache
+        self._route_lookup = view.lookup
+        if self._h is not None:
+            self._lib.sim_set_topology(self._h, 0, 0, 0, 0, 0)
+
+    def apply_failure_event(self, event) -> None:
+        """Apply one schedule event: flip the view's down sets and start
+        a fresh route epoch in whichever engine is active (the view
+        clears the shared cache dict in place; the kernel additionally
+        drops its interned route hash)."""
+        view = self._failview
+        if view is None:
+            raise RuntimeError("no FailureView installed (install_failures)")
+        view.apply(event)
+        if self._h is not None:
+            self._lib.sim_clear_routes(self._h)
 
     @property
     def pending_events(self) -> int:

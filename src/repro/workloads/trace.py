@@ -287,6 +287,10 @@ class TraceRecorder:
             "seed": rt.seed,
             "barrier": getattr(rt.barrier, "kind", "tree"),
             "charge_compute": rt.charge_compute,
+            # Failure axis (canonical spec; "none" when absent).  Added
+            # within format version 1: readers default via header.get,
+            # so pre-failure traces stay loadable.
+            "failures": getattr(rt, "failure_spec", "none"),
         }
         return Trace(header=header, ops=self.ops)
 
@@ -335,13 +339,16 @@ def replay(
     embedding: Optional[str] = None,
     barrier: Optional[str] = None,
     charge_compute: Optional[bool] = None,
+    failures: Optional[str] = None,
     **runtime_kwargs: Any,
 ) -> RunResult:
     """Re-simulate a recorded access stream.
 
-    Every axis defaults to the recorded configuration; override
-    ``topology`` (same processor count) and/or ``strategy`` to re-evaluate
-    the identical stream elsewhere.
+    Every axis defaults to the recorded configuration -- including the
+    failure schedule, so a trace recorded under failures replays under
+    the identical schedule; override ``topology`` (same processor
+    count), ``strategy`` and/or ``failures`` (``"none"`` disables the
+    recorded schedule) to re-evaluate the identical stream elsewhere.
     """
     if not isinstance(trace, Trace):
         trace = Trace.load(trace)
@@ -359,6 +366,8 @@ def replay(
     barrier = barrier if barrier is not None else header.get("barrier", "tree")
     if charge_compute is None:
         charge_compute = header.get("charge_compute", True)
+    if failures is None:
+        failures = header.get("failures", "none")
 
     strat = get_strategy(strategy, topology, seed=seed, embedding=embedding)
     rt = Runtime(
@@ -368,6 +377,7 @@ def replay(
         charge_compute=charge_compute,
         barrier=barrier,
         seed=seed,
+        failures=failures,
         **runtime_kwargs,
     )
     # Hoist creates (see module docstring): recorded vid order, recorded

@@ -1,0 +1,64 @@
+"""Zero-failure fast path pinned by golden files.
+
+The failure axis must be invisible when unused: ``tests/exp/goldens/``
+holds the quick-scale fig3/fig4 payloads captured *before* the
+fault-injection subsystem landed (schema v5).  A fresh run must
+reproduce them byte-for-byte -- rows, columns, params -- with only the
+top-level ``schema_version`` tag advanced.  Any drift here means the
+failure axis leaked into the static-network hot path.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.exp import run_experiment
+from repro.network.topology import make_topology
+from repro.workloads import get_workload
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("name", ["fig3", "fig4"])
+def test_zero_failure_payload_matches_pre_failure_golden(name):
+    golden = json.loads((GOLDEN_DIR / f"{name}.quick.json").read_text())
+    fresh = run_experiment(name, scale="quick").payload()
+    # The only sanctioned difference: the schema tag (v5 -> v6 added the
+    # failure axis, which these experiments do not use).
+    assert golden.pop("schema_version") == 5
+    assert fresh.pop("schema_version") >= 6
+    assert fresh == golden
+
+
+class TestEmptyScheduleFastPath:
+    """``failures=None``, ``"none"``, and ``""`` are the same build: no
+    view installed, identical results, zero availability counters."""
+
+    @staticmethod
+    def _run(failures):
+        wl = get_workload("zipf")
+        return wl.run(
+            make_topology("mesh", 4), "4-ary", seed=2,
+            params={"n_vars": 16, "ops": 24, "alpha": 0.8, "read_frac": 0.8},
+            **({} if failures is ... else {"failures": failures}),
+        )
+
+    @pytest.mark.parametrize("failures", [None, "none", ""])
+    def test_identical_to_omitting_the_axis(self, failures):
+        base = self._run(...)
+        res = self._run(failures)
+        assert res.time == base.time
+        assert res.stats == base.stats
+        assert res.as_dict() == base.as_dict()
+
+    @pytest.mark.parametrize("failures", [None, "none", ...])
+    def test_no_view_and_zero_counters(self, failures):
+        res = self._run(failures)
+        rt = res.extra["runtime"]
+        assert rt._failview is None
+        assert rt.sim._failview is None
+        assert res.failure_events == 0
+        assert res.requests_failed == res.requests_stalled == 0
+        assert res.requests_retried == res.repairs == 0
+        assert rt.failure_spec == "none"

@@ -25,8 +25,13 @@ XSCALE_NAMES = ["xscale"]
 
 #: Strategy-registry experiments added with the strategy plugin subsystem.
 XSTRAT_NAMES = ["xcap", "xstrat"]
+#: Failure-axis experiment added with the fault-injection subsystem.
+XFAIL_NAMES = ["xfail"]
 
-ALL_NAMES = sorted(LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES + XSTRAT_NAMES)
+ALL_NAMES = sorted(
+    LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES + XSTRAT_NAMES
+    + XFAIL_NAMES
+)
 
 
 class TestRegistryCompleteness:

@@ -1,0 +1,351 @@
+"""Failure-model layer: spec parser fuzz, schedule determinism, and the
+failure-aware route view.
+
+Satellite coverage of the fault-injection subsystem:
+
+* seeded fuzz of the spec grammar -- ``parse -> format -> parse``
+  round-trips for every registered model over its whole parameter space;
+* malformed specs raise clean ``ValueError``\\ s listing the valid
+  alternatives (models and parameter names);
+* schedule generation is a pure function of ``(spec, topology)``: same
+  seed, identical schedule; schedules are time-sorted, non-negative,
+  well-kinded, and churn always leaves a survivor;
+* :class:`FailureView` route resolution: detours avoid the down set,
+  unreachable pairs resolve to the empty route, the per-epoch cache is
+  cleared in place.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.failures import (
+    EVENT_KINDS,
+    FAILURE_MODELS,
+    FailureEvent,
+    FailureModel,
+    FailureSchedule,
+    FailureView,
+    build_schedule,
+    failure_model_names,
+    format_failure_spec,
+    parse_failure_spec,
+    register_failure_model,
+)
+from repro.network.topology import make_topology
+
+finite = dict(allow_nan=False, allow_infinity=False, width=64)
+
+#: Valid parameter draws per model, spanning each model's full domain.
+PARAM_STRATEGIES = {
+    "none": st.fixed_dictionaries({}),
+    "linkflap": st.fixed_dictionaries({
+        "rate": st.floats(min_value=0.0, max_value=1.0, **finite),
+        "seed": st.integers(min_value=0, max_value=2**31),
+        "horizon": st.floats(min_value=1e-6, max_value=1e3, **finite),
+        "down": st.floats(min_value=0.0, max_value=10.0, **finite),
+    }),
+    "churn": st.fixed_dictionaries({
+        "nodes": st.floats(min_value=0.0, max_value=1.0, **finite),
+        "seed": st.integers(min_value=0, max_value=2**31),
+        "horizon": st.floats(min_value=1e-6, max_value=1e3, **finite),
+        "revive": st.floats(min_value=0.0, max_value=10.0, **finite),
+    }),
+    "linkdown": st.fixed_dictionaries({
+        "link": st.integers(min_value=0, max_value=10**6),
+        "at": st.floats(min_value=0.0, max_value=1e3, **finite),
+        "up": st.floats(min_value=-10.0, max_value=1e3, **finite),
+    }),
+    "nodedown": st.fixed_dictionaries({
+        "node": st.integers(min_value=0, max_value=10**6),
+        "at": st.floats(min_value=0.0, max_value=1e3, **finite),
+        "up": st.floats(min_value=-10.0, max_value=1e3, **finite),
+    }),
+}
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PARAM_STRATEGIES))
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_parse_format_parse_is_identity(self, name, data):
+        params = data.draw(PARAM_STRATEGIES[name])
+        model = FAILURE_MODELS[name]
+        spec = format_failure_spec(model, params)
+        model2, params2 = parse_failure_spec(spec)
+        assert model2 is model
+        assert params2 == {**model.defaults, **params}
+        # Formatting the parsed result is a fixed point.
+        assert format_failure_spec(model2, params2) == spec
+
+    def test_format_accepts_model_name(self):
+        assert format_failure_spec("churn", {"nodes": 0.1}) == (
+            "churn:nodes=0.1:seed=0:horizon=0.01:revive=0.0"
+        )
+
+    def test_positional_token_equals_keyword(self):
+        for spec_a, spec_b in [
+            ("linkflap:0.25", "linkflap:rate=0.25"),
+            ("churn:0.5:seed=3", "churn:nodes=0.5:seed=3"),
+        ]:
+            ma, pa = parse_failure_spec(spec_a)
+            mb, pb = parse_failure_spec(spec_b)
+            assert ma is mb and pa == pb
+
+    def test_whitespace_tolerated(self):
+        model, params = parse_failure_spec("  churn:nodes=0.1  ")
+        assert model.name == "churn" and params["nodes"] == 0.1
+
+
+class TestMalformedSpecs:
+    """Every rejection is a clean ``ValueError`` whose message lists the
+    valid alternatives -- no tracebacks from deep inside a builder."""
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("bogus", "unknown failure model 'bogus'"),
+        ("bogus", "linkflap"),  # ... listing the registered models
+        ("linkflap:rate=-1", "within [0.0, 1.0]"),
+        ("linkflap:rate=2", "within [0.0, 1.0]"),
+        ("churn:nodes=1.5", "within [0.0, 1.0]"),
+        ("linkflap:wat=3", "has no parameter 'wat'"),
+        ("linkflap:wat=3", "down, horizon, rate, seed"),  # ... and the valid keys
+        ("churn:nodes=abc", "expects float"),
+        ("linkflap:seed=x", "expects int"),
+        ("linkdown:5", "takes no positional"),
+        ("linkflap::rate=0.1", "empty segment"),
+        ("churn:horizon=0", "horizon must be > 0"),
+        ("churn:horizon=-3", "horizon must be > 0"),
+        ("linkflap:down=-0.5", "down must be >= 0"),
+        ("churn:revive=-1", "revive must be >= 0"),
+        ("linkdown:link=-1", "link must be >= 0"),
+        ("nodedown:node=-2", "node must be >= 0"),
+        ("nodedown:at=-0.5", "at must be >= 0"),
+    ])
+    def test_rejection_names_the_problem(self, spec, fragment):
+        with pytest.raises(ValueError) as exc:
+            parse_failure_spec(spec)
+        assert fragment in str(exc.value)
+
+    @pytest.mark.parametrize("spec", ["", "   ", None, 42])
+    def test_non_spec_rejected(self, spec):
+        with pytest.raises(ValueError, match="non-empty string"):
+            parse_failure_spec(spec)
+
+    def test_out_of_range_targets_rejected_at_build(self):
+        topo = make_topology("mesh", 4)
+        with pytest.raises(ValueError, match="out of range"):
+            build_schedule(f"linkdown:link={topo.n_links}", topo)
+        with pytest.raises(ValueError, match="out of range"):
+            build_schedule("nodedown:node=16", topo)
+
+    @given(junk=st.text(min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_text_never_escapes_valueerror(self, junk):
+        """Fuzz the whole grammar: anything malformed fails as a
+        ``ValueError``; anything accepted must format back to a spec
+        that parses to the same model."""
+        try:
+            model, params = parse_failure_spec(junk)
+        except ValueError:
+            return
+        model2, params2 = parse_failure_spec(format_failure_spec(model, params))
+        assert model2 is model and params2 == params
+
+
+class TestScheduleDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           rate=st.floats(min_value=0.01, max_value=1.0, **finite))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_identical_schedule(self, seed, rate):
+        topo = make_topology("mesh", 4)
+        spec = f"linkflap:rate={rate!r}:seed={seed}"
+        assert build_schedule(spec, topo) == build_schedule(spec, topo)
+
+    def test_different_seeds_differ(self):
+        topo = make_topology("mesh", 4)
+        a = build_schedule("linkflap:rate=0.2:seed=1", topo)
+        b = build_schedule("linkflap:rate=0.2:seed=2", topo)
+        assert a.events != b.events
+
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           frac=st.floats(min_value=0.0, max_value=1.0, **finite),
+           revive=st.floats(min_value=0.0, max_value=2.0, **finite))
+    @settings(max_examples=40, deadline=None)
+    def test_churn_schedules_well_formed(self, seed, frac, revive):
+        """Time-sorted, non-negative, well-kinded, valid targets -- and
+        at no instant is every processor down."""
+        topo = make_topology("mesh", 4)
+        sched = build_schedule(
+            f"churn:nodes={frac!r}:seed={seed}:revive={revive!r}", topo
+        )
+        times = [ev.time for ev in sched]
+        assert times == sorted(times)
+        down = set()
+        for ev in sched:
+            assert ev.kind in EVENT_KINDS
+            assert ev.time >= 0.0
+            assert 0 <= ev.target < topo.n_nodes
+            if ev.kind == "node_down":
+                down.add(ev.target)
+            elif ev.kind == "node_up":
+                down.discard(ev.target)
+            assert len(down) < topo.n_nodes  # a survivor at every instant
+
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           rate=st.floats(min_value=0.0, max_value=1.0, **finite),
+           down=st.floats(min_value=0.0, max_value=3.0, **finite))
+    @settings(max_examples=40, deadline=None)
+    def test_linkflap_schedules_well_formed(self, seed, rate, down):
+        topo = make_topology("mesh", 4)
+        sched = build_schedule(
+            f"linkflap:rate={rate!r}:seed={seed}:down={down!r}", topo
+        )
+        assert [ev.time for ev in sched] == sorted(ev.time for ev in sched)
+        for ev in sched:
+            assert ev.kind in ("link_down", "link_up")
+            assert 0 <= ev.target < topo.n_links
+        downs = sum(1 for ev in sched if ev.kind == "link_down")
+        ups = sum(1 for ev in sched if ev.kind == "link_up")
+        if rate > 0.0:
+            assert downs >= 1  # a positive rate rounds up to at least one link
+        else:
+            assert downs == 0  # rate=0 means no failures at all
+        assert ups == (downs if down > 0.0 else 0)
+
+    @pytest.mark.parametrize("empty", [None, "", "  ", "none"])
+    def test_empty_specs_build_the_empty_schedule(self, empty):
+        sched = build_schedule(empty, make_topology("mesh", 4))
+        assert sched.is_empty and len(sched) == 0
+        assert sched.spec == "none"
+
+    def test_prebuilt_schedule_passes_through(self):
+        topo = make_topology("mesh", 4)
+        sched = build_schedule("nodedown:node=3:at=0.5", topo)
+        assert build_schedule(sched, topo) is sched
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        assert failure_model_names() == [
+            "none", "linkflap", "churn", "linkdown", "nodedown"
+        ]
+
+    def test_reregistering_same_builder_is_idempotent(self):
+        model = FAILURE_MODELS["churn"]
+        assert register_failure_model(model) is model
+
+    def test_reregistering_different_builder_rejected(self):
+        clash = FailureModel(name="churn", description="imposter",
+                             build=lambda topo, params: [])
+        with pytest.raises(ValueError, match="already registered"):
+            register_failure_model(clash)
+
+
+def route_connects(topo, view, src, dst, route):
+    """Walk ``route``'s links via their endpoints: src -> dst, every
+    link usable."""
+    _, ends = view._tables()
+    at = src
+    for link in route:
+        u, v = ends[link]
+        assert u == at, f"route breaks at link {link}: at {at}, link starts {u}"
+        assert view.link_usable(link)
+        at = v
+    assert at == dst
+
+
+class TestFailureView:
+    def make(self, spec="none", side=4):
+        topo = make_topology("mesh", side)
+        return topo, FailureView(topo, build_schedule(spec, topo))
+
+    def test_clean_lookup_is_the_pristine_route(self):
+        topo, view = self.make()
+        assert view.lookup(0, 5) == view._base.lookup(0, 5)
+        assert view.routes_detoured == view.routes_lost == 0
+
+    def test_detour_avoids_down_link_and_connects(self):
+        topo, view = self.make()
+        pristine = view._base.lookup(0, 15)
+        view.apply(FailureEvent(0.0, "link_down", pristine[0]))
+        route = view.lookup(0, 15)
+        assert pristine[0] not in route
+        route_connects(topo, view, 0, 15, route)
+        assert view.routes_detoured == 1
+
+    def test_down_node_loses_both_directions(self):
+        topo, view = self.make()
+        view.apply(FailureEvent(0.0, "node_down", 5))
+        assert view.lookup(5, 9) == ()
+        assert view.lookup(9, 5) == ()
+        assert view.routes_lost == 2
+
+    def test_transit_through_down_node_detours(self):
+        """Pairs whose pristine route merely passes through the dead
+        node detour around it."""
+        topo, view = self.make()
+        view.apply(FailureEvent(0.0, "node_down", 5))
+        down_links = {l for l, u, v in topo.iter_links() if 5 in (u, v)}
+        for src, dst in [(1, 9), (4, 6), (0, 10)]:
+            route = view.lookup(src, dst)
+            assert route, f"{src}->{dst} should remain reachable"
+            assert not (set(route) & down_links)
+            route_connects(topo, view, src, dst, route)
+
+    def test_severed_node_is_unreachable_by_links_alone(self):
+        """Downing every link incident to a node partitions it without
+        marking the node itself down."""
+        topo, view = self.make()
+        t = 0.0
+        for link, u, v in topo.iter_links():
+            if 0 in (u, v):
+                view.apply(FailureEvent(t, "link_down", link))
+        lost_before = view.routes_lost
+        assert view.lookup(0, 15) == ()
+        assert view.lookup(15, 0) == ()
+        assert view.routes_lost == lost_before + 2
+
+    def test_apply_clears_the_cache_in_place(self):
+        """The engines hold direct references to ``route_cache``; a new
+        epoch must clear, never replace, the dict."""
+        topo, view = self.make()
+        cache = view.route_cache
+        view.lookup(0, 5)
+        assert cache  # populated
+        view.apply(FailureEvent(0.0, "link_down", 0))
+        assert view.route_cache is cache
+        assert not cache
+
+    def test_link_up_restores_the_pristine_route(self):
+        topo, view = self.make()
+        pristine = view.lookup(0, 15)
+        view.apply(FailureEvent(0.0, "link_down", pristine[0]))
+        view.apply(FailureEvent(0.001, "link_up", pristine[0]))
+        assert view.lookup(0, 15) == pristine
+        assert view.events_applied == 2
+
+    def test_unknown_event_kind_rejected(self):
+        _, view = self.make()
+        with pytest.raises(ValueError, match="unknown failure event kind"):
+            view.apply(FailureEvent(0.0, "meteor", 3))
+
+    @given(seed=st.integers(min_value=0, max_value=2**12))
+    @settings(max_examples=25, deadline=None)
+    def test_all_routes_valid_under_random_churn(self, seed):
+        """After applying a random churn + flap prefix, every pair's
+        route either connects src to dst over usable links or is empty
+        with an endpoint dead / partitioned."""
+        topo = make_topology("mesh", 3)
+        view = FailureView(topo, FailureSchedule("none", ()))
+        for ev in build_schedule(f"churn:nodes=0.3:seed={seed}", topo):
+            view.apply(ev)
+        for ev in build_schedule(f"linkflap:rate=0.2:seed={seed}", topo):
+            view.apply(ev)
+        n = topo.n_nodes
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                route = view.lookup(src, dst)
+                if route:
+                    route_connects(topo, view, src, dst, route)

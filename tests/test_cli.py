@@ -283,3 +283,83 @@ class TestTraceCli:
             assert get_spec(name).title(
                 spec.make_params("quick", "matmul"), "quick", "matmul"
             ) in out
+
+
+class TestFailuresCli:
+    """The --failures flag: accepted where it means something, rejected
+    loudly everywhere else, and the xfail sweep emits the schema-v6
+    availability contract CI smokes."""
+
+    AVAILABILITY_COLUMNS = (
+        "requests_failed", "requests_stalled", "requests_retried",
+        "repairs", "failure_events",
+    )
+
+    def test_malformed_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["xfail", "--scale", "quick", "--failures", "linkflap:rate=-1"])
+        assert "within [0.0, 1.0]" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["xfail", "--scale", "quick", "--failures", "meteor:rate=1"])
+        assert "unknown failure model" in capsys.readouterr().err
+
+    def test_schedule_only_drives_xfail(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "quick",
+                  "--failures", "churn:nodes=0.1"])
+        assert "only applies to the xfail" in capsys.readouterr().err
+
+    def test_explicit_none_accepted_everywhere(self, capsys):
+        assert main(["fig2", "--scale", "quick", "--failures", "none"]) == 0
+
+    def test_trace_record_rejects_malformed_spec(self, tmp_path, capsys):
+        assert main(["trace-record", "--workload", "zipf",
+                     "--failures", "linkflap:wat=3",
+                     "--trace", str(tmp_path / "t.trace.gz")]) == 2
+        assert "has no parameter 'wat'" in capsys.readouterr().err
+
+    def test_xfail_single_spec_override(self, _isolated_results_dir, capsys):
+        """--failures SPEC narrows the xfail sweep to that one schedule."""
+        spec = "nodedown:node=3:at=0.002"
+        assert main(["xfail", "--scale", "quick", "--jobs", "2", "--json",
+                     "--failures", spec]) == 0
+        payload = json.loads(
+            (_isolated_results_dir / "xfail.quick.json").read_text()
+        )
+        assert {row["failures"] for row in payload["rows"]} == {spec}
+        assert all(row["failure_model"] == "nodedown" for row in payload["rows"])
+        assert all(row["failure_events"] == 1 for row in payload["rows"])
+
+    @pytest.mark.slow
+    def test_xfail_quick_json_contract(self, _isolated_results_dir, capsys):
+        """The CI smoke contract for the failure axis: the quick xfail
+        sweep covers every strategy family on every topology under every
+        scheduled spec, rows carry the schema-v6 availability columns,
+        zero-failure rows stay all-zero, and churn really fires."""
+        assert main(["xfail", "--scale", "quick", "--jobs", "2", "--json"]) == 0
+        payload = json.loads(
+            (_isolated_results_dir / "xfail.quick.json").read_text()
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "xfail"
+        rows = payload["rows"]
+        assert {row["strategy"] for row in rows} == {
+            "fixed-home", "4-ary", "2-4-ary", "migratory", "dynrep"
+        }
+        assert {row["topology"] for row in rows} == {
+            "mesh", "torus", "hypercube"
+        }
+        models = {row["failure_model"] for row in rows}
+        assert models == {"none", "linkflap", "churn"}
+        for row in rows:
+            for col in self.AVAILABILITY_COLUMNS:
+                assert col in row, f"row missing {col}"
+        for row in rows:
+            if row["failure_model"] == "none":
+                assert all(row[col] == 0 for col in self.AVAILABILITY_COLUMNS)
+            else:
+                assert row["failure_events"] > 0
+            if row["failure_model"] == "churn":
+                assert row["repairs"] > 0

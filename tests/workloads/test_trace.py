@@ -190,3 +190,72 @@ class TestRecorderContract:
         plain = wl.run(Mesh2D(4, 4), "2-4-ary", params={"keys": 64})
         recorded, _ = record("bitonic", Mesh2D(4, 4), "2-4-ary", params={"keys": 64})
         assert totals(recorded) == totals(plain)
+
+
+def availability(res):
+    return (
+        res.requests_failed,
+        res.requests_stalled,
+        res.requests_retried,
+        res.repairs,
+        res.failure_events,
+    )
+
+
+#: Failure schedules exercised by the replay-determinism contract: link
+#: flaps (detours), churn (repairs + unreachable pairs) and a precise
+#: permanent node death.
+FAILURE_SPECS = [
+    "linkflap:rate=0.05:seed=3:horizon=0.01:down=0.5",
+    "churn:nodes=0.2:seed=5:horizon=0.01",
+    "nodedown:node=3:at=0.002",
+]
+
+
+class TestFailureReplay:
+    """Satellite: trace record/replay determinism under failures -- a
+    trace recorded with a failure schedule replays to identical LinkStats
+    totals *and* availability counters."""
+
+    @pytest.mark.parametrize("failures", FAILURE_SPECS)
+    def test_failure_replay_is_exact(self, failures):
+        live, trace = record(
+            "zipf", Mesh2D(4, 4), "fixed-home",
+            params={"n_vars": 16, "ops": 8}, seed=0, failures=failures,
+        )
+        assert live.failure_events > 0
+        rep = replay(trace)
+        assert totals(rep) == totals(live)
+        assert availability(rep) == availability(live)
+
+    def test_header_records_canonical_spec(self):
+        spec = FAILURE_SPECS[0]
+        _, trace = record(
+            "zipf", Mesh2D(4, 4), "fixed-home",
+            params={"n_vars": 16, "ops": 8}, failures=spec,
+        )
+        assert trace.header["failures"] == spec
+
+    def test_replay_override_none_disables_schedule(self):
+        live, trace = record(
+            "zipf", Mesh2D(4, 4), "fixed-home",
+            params={"n_vars": 16, "ops": 8}, failures=FAILURE_SPECS[1],
+        )
+        clean = replay(trace, failures="none")
+        assert clean.failure_events == 0
+        assert availability(clean) == (0, 0, 0, 0, 0)
+        # The clean replay matches a plain no-failure run of the stream.
+        plain_live, plain_trace = record(
+            "zipf", Mesh2D(4, 4), "fixed-home", params={"n_vars": 16, "ops": 8},
+        )
+        assert totals(clean) == totals(plain_live)
+
+    def test_pre_failure_traces_default_to_none(self):
+        """Traces written before the failure axis have no 'failures' key;
+        replay must treat them as schedule-free."""
+        _, trace = record(
+            "zipf", Mesh2D(4, 4), "fixed-home", params={"n_vars": 16, "ops": 8},
+        )
+        del trace.header["failures"]
+        rep = replay(trace)
+        assert rep.failure_events == 0
