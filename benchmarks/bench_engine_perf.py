@@ -10,7 +10,9 @@ envelope the CI gate enforces alongside throughput.  The result is
 written to ``benchmarks/results/BENCH_engine.json`` so CI archives one
 comparable perf point per commit; with ``REPRO_PURE_PYTHON`` set the
 result describes the pure-Python engine and goes to
-``BENCH_engine.pure.json`` (own baseline, own gate).
+``BENCH_engine.pure.json`` (own baseline, own gate).  ``main`` also
+appends a dated row to the committed ``benchmarks/BENCH_history.json``
+trajectory (``tools/bench_compare.py --history`` prints the trend).
 
 Run standalone (CI does) or via pytest::
 
@@ -122,6 +124,19 @@ def test_engine_throughput():
 def main() -> int:
     result = measure()
     path = emit(result)
+    from repro.exp.history import append_history
+
+    append_history(
+        {
+            "bench": "engine",
+            "engine": result["engine"],
+            "metric": "cells_per_sec",
+            "value": result["cells_per_sec"],
+            "peak_rss_mb": result["peak_rss_mb"],
+            "bench_version": BENCH_VERSION,
+        },
+        pathlib.Path(__file__).parent / "BENCH_history.json",
+    )
     print(f"engine[{result['engine']}]: {result['cells_per_sec']:.2f} cells/sec "
           f"({result['accesses_per_sec']:.0f} accesses/sec, "
           f"peak {result['peak_rss_mb']:.1f} MiB, "

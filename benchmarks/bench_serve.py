@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Serving throughput benchmark: sustained requests/sec next to cells/sec.
+
+Drives one *pinned* serving configuration (Zipf access mix over an 8x8
+mesh under the 4-ary access tree, Poisson arrivals at ~0.7x the measured
+service capacity -- parameters frozen below; changing them breaks the
+trajectory, bump ``BENCH_VERSION`` if you must) with the open-loop load
+generator, one million simulated requests per run, trace recording ON
+(recording is part of the serving contract: every served run must replay
+bit-identically), and reports:
+
+* **requests_per_sec** -- completed requests per *wall* second over the
+  whole serving loop (generation + ingest + micro-batched engine work).
+  This is the gated number: the serving analogue of cells/sec.
+* **latency p50/p95/p99** -- simulated enqueue-to-completion seconds.
+* hit rate, rejections, peak RSS.
+
+The result goes to ``benchmarks/results/BENCH_serve.json`` (CI artifact,
+gated against ``benchmarks/baselines/BENCH_serve.baseline.json`` by
+``tools/bench_compare.py``) and a dated row is appended to the committed
+``benchmarks/BENCH_history.json`` trajectory.  With ``REPRO_PURE_PYTHON``
+set the result describes the pure engine (``BENCH_serve.pure.json``,
+no committed baseline: CI gates the C engine, where serving runs).
+
+Run standalone (CI does) or via pytest::
+
+    python benchmarks/bench_serve.py
+    REPRO_SERVE_REQUESTS=50000 python benchmarks/bench_serve.py   # quick look
+    python -m pytest benchmarks/bench_serve.py -q
+
+requests/sec is machine-dependent (same caveat as cells/sec); the
+committed baseline tracks the CI runner class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_engine_perf import engine_name, peak_rss_mb  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+HISTORY_PATH = pathlib.Path(__file__).parent / "BENCH_history.json"
+
+#: Bump when the pinned configuration changes (breaks rate comparability).
+BENCH_VERSION = 1
+
+#: The pinned serving run: 64 processors, 512 variables, Poisson arrivals
+#: at ~0.7x the measured service capacity (so the latency percentiles
+#: reflect service + moderate queueing, not an unbounded overload queue).
+PINNED = dict(
+    workload="zipf",
+    strategy="4-ary",
+    topology="mesh",
+    side=8,
+    seed=0,
+    params={"n_vars": 512, "alpha": 0.9, "read_frac": 0.9, "payload": 256},
+    arrival="poisson",
+    rate=9000.0,
+    chunk=8192,
+    max_queue=65536,
+    max_inflight=8192,
+)
+
+#: One run is one million simulated requests (self-averaging: no
+#: best-of-N needed); override for a quick local look only -- the gate
+#: compares like with like because the pinned config is unchanged.
+REQUESTS = int(os.environ.get("REPRO_SERVE_REQUESTS", 1_000_000))
+
+
+def run_once(requests: int = REQUESTS) -> dict:
+    from repro.network.topology import make_topology
+    from repro.serve import ServeSession, run_loadgen
+
+    topo = make_topology(PINNED["topology"], PINNED["side"])
+    session = ServeSession(
+        topo,
+        PINNED["strategy"],
+        seed=PINNED["seed"],
+        max_queue=PINNED["max_queue"],
+        max_inflight=PINNED["max_inflight"],
+    )
+    t0 = time.perf_counter()
+    report = run_loadgen(
+        session,
+        workload=PINNED["workload"],
+        params=PINNED["params"],
+        arrival=PINNED["arrival"],
+        rate=PINNED["rate"],
+        requests=requests,
+        seed=PINNED["seed"],
+        chunk=PINNED["chunk"],
+    )
+    wall = time.perf_counter() - t0
+    assert report.requests == requests - report.rejected
+    return {
+        "bench": "serve",
+        "bench_version": BENCH_VERSION,
+        "engine": engine_name(),
+        "pinned": PINNED,
+        "requests": report.requests,
+        "rejected": report.rejected,
+        "best_wall_seconds": wall,
+        "requests_per_sec": report.requests / wall,
+        "sim_requests_per_sec": report.sim_requests_per_sec,
+        "latency_p50": report.latency_p50,
+        "latency_p95": report.latency_p95,
+        "latency_p99": report.latency_p99,
+        "hit_rate": report.hit_rate,
+        "simulated_time": report.sim_time,
+        "simulated_msgs": report.total_msgs,
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+def emit(result: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = "BENCH_serve" if result["engine"] == "c" else "BENCH_serve.pure"
+    path = RESULTS_DIR / f"{stem}.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_serve_throughput():
+    """Pytest entry point: a short run keeps the harness fast; the JSON is
+    still emitted so local bench runs leave a perf point behind."""
+    result = run_once(requests=20_000)
+    assert result["requests_per_sec"] > 0
+    assert result["latency_p50"] <= result["latency_p95"] <= result["latency_p99"]
+    emit(result)
+    print(f"\nserve: {result['requests_per_sec']:.0f} requests/sec "
+          f"(p99 {result['latency_p99'] * 1e3:.2f} sim-ms)")
+
+
+def main() -> int:
+    result = run_once()
+    path = emit(result)
+    from repro.exp.history import append_history
+
+    append_history(
+        {
+            "bench": "serve",
+            "engine": result["engine"],
+            "metric": "requests_per_sec",
+            "value": result["requests_per_sec"],
+            "peak_rss_mb": result["peak_rss_mb"],
+            "bench_version": BENCH_VERSION,
+        },
+        HISTORY_PATH,
+    )
+    print(f"serve[{result['engine']}]: {result['requests_per_sec']:.0f} requests/sec "
+          f"({result['requests']} served, p50 {result['latency_p50'] * 1e3:.2f} / "
+          f"p99 {result['latency_p99'] * 1e3:.2f} sim-ms, "
+          f"peak {result['peak_rss_mb']:.1f} MiB) -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

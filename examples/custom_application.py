@@ -14,7 +14,7 @@ distribution.
 Run:  python examples/custom_application.py
 """
 
-from repro import GCEL, Mesh2D, Runtime, make_strategy
+from repro import GCEL, Mesh2D, Runtime, get_strategy
 
 
 def main() -> None:
@@ -59,7 +59,7 @@ def main() -> None:
     for name in ("4-ary", "fixed-home"):
         results_seen.clear()
         shared.clear()
-        strategy = make_strategy(name, mesh, seed=0)
+        strategy = get_strategy(name, mesh, seed=0)
         rt = Runtime(mesh, strategy, GCEL)
         res = rt.run(program)
         assert len(results_seen) == 3 * mesh.n_nodes

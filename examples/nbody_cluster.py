@@ -10,7 +10,7 @@ Run:  python examples/nbody_cluster.py  [n_bodies]
 
 import sys
 
-from repro import Mesh2D, make_strategy
+from repro import Mesh2D, get_strategy
 from repro.apps import barneshut
 
 
@@ -22,7 +22,7 @@ def main() -> None:
 
     results = {}
     for name in ("fixed-home", "16-ary", "4-ary", "2-ary"):
-        strategy = make_strategy(name, mesh, seed=3)
+        strategy = get_strategy(name, mesh, seed=3)
         results[name] = barneshut.run(mesh, strategy, n, steps=3, warm=1)
 
     print(f"{'strategy':>12s} {'exec time':>10s} {'congestion':>11s} {'cache hits':>10s} {'locks':>7s}")

@@ -5,7 +5,7 @@ paper's matrix-multiplication workload.
 Run:  python examples/quickstart.py
 """
 
-from repro import Mesh2D, make_strategy
+from repro import Mesh2D, get_strategy
 from repro.apps import matmul
 
 
@@ -24,7 +24,7 @@ def main() -> None:
         f"{base.total_bytes / 1e6:9.1f}MB   1.00"
     )
     for name in ("4-ary", "2-ary", "fixed-home"):
-        strategy = make_strategy(name, mesh, seed=1)
+        strategy = get_strategy(name, mesh, seed=1)
         res = matmul.run_diva(mesh, strategy, block_entries=block)
         assert res.extra["verified"], "distributed result must equal numpy"
         print(

@@ -10,7 +10,7 @@ mesh decomposition.
 Run:  python examples/sorting_scaling.py
 """
 
-from repro import Mesh2D, make_strategy
+from repro import Mesh2D, get_strategy
 from repro.apps import bitonic
 
 
@@ -23,8 +23,8 @@ def main() -> None:
     for side in (4, 8, 16):
         mesh = Mesh2D(side, side)
         base = bitonic.run_handopt(mesh, keys)
-        at = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh), keys)
-        fh = bitonic.run_diva(mesh, make_strategy("fixed-home", mesh), keys)
+        at = bitonic.run_diva(mesh, get_strategy("2-4-ary", mesh), keys)
+        fh = bitonic.run_diva(mesh, get_strategy("fixed-home", mesh), keys)
         assert at.extra["verified"] and fh.extra["verified"]
         print(
             f"{side:>6d}x{side} {mesh.n_nodes:>5d} {base.time:8.2f}s | "

@@ -10,11 +10,11 @@ multiplication, bitonic sorting and Barnes-Hut N-body simulation.
 
 Quickstart::
 
-    from repro import Mesh2D, make_strategy
+    from repro import Mesh2D, get_strategy
     from repro.apps import matmul
 
     mesh = Mesh2D(8, 8)
-    res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), block_entries=256)
+    res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), block_entries=256)
     print(res.time, res.congestion_bytes)
 """
 
@@ -29,7 +29,6 @@ from .core import (
     StrategyFamily,
     build_tree,
     get_strategy,
-    make_strategy,
     parse_strategy_spec,
     register_strategy,
     strategy_names,
@@ -59,7 +58,6 @@ __all__ = [
     "MachineModel",
     "GCEL",
     "ZERO_COST",
-    "make_strategy",
     "get_strategy",
     "register_strategy",
     "parse_strategy_spec",

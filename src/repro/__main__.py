@@ -15,6 +15,10 @@ Usage::
     python -m repro trace-record --workload bitonic --strategy 2-4-ary \
         --side 4 --trace /tmp/bitonic.trace.gz
     python -m repro trace-replay --trace /tmp/bitonic.trace.gz --strategy fixed-home
+    python -m repro loadgen --workload zipf --strategy migratory \
+        --requests 20000 --rate 50000 --arrival bursty --json
+    python -m repro serve --selfcheck
+    python -m repro serve --port 7411
 
 Each experiment command resolves the corresponding
 :class:`repro.exp.ExperimentSpec` from the registry, shards its
@@ -29,6 +33,12 @@ variable) selects the parameter set; see EXPERIMENTS.md.
 ``trace-record`` runs one workload with access-trace recording and saves
 the trace; ``trace-replay`` re-simulates a saved trace under any strategy
 × topology (every axis defaults to the recorded configuration).
+
+``loadgen`` drives a serving session with a seeded open-loop request
+stream (any registered arrival process over any workload's access mix)
+and prints requests/sec plus latency percentiles; ``serve`` runs the
+asyncio TCP frontend (``--selfcheck`` for a bounded self-test over a
+real socket).  See ARCHITECTURE.md ("Serving").
 """
 
 from __future__ import annotations
@@ -49,6 +59,85 @@ from .exp import (
 from .network import TOPOLOGY_KINDS
 
 _TRACE_COMMANDS = ("trace-record", "trace-replay")
+_SERVE_COMMANDS = ("serve", "loadgen")
+
+
+def _serve_main(args: argparse.Namespace) -> int:
+    """The serve / loadgen commands (lazy imports: the serving layer is
+    not needed for figure regeneration)."""
+    import json
+
+    from .core.registry import parse_strategy_spec
+    from .network.topology import make_topology
+
+    strategy = args.strategy or "4-ary"
+    try:
+        parse_strategy_spec(strategy)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.experiment == "serve":
+        from .serve import ServeSession
+        from .serve.frontend import selfcheck, serve_forever
+
+        if args.selfcheck:
+            out = selfcheck(side=args.side, strategy=strategy, seed=args.seed)
+            print(json.dumps(out))
+            return 0
+        topo = make_topology(args.topology or "mesh", args.side)
+        session = ServeSession(
+            topo, strategy, seed=args.seed,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+        )
+        serve_forever(session, args.host, args.port)
+        return 0
+
+    from .analysis.tables import format_table
+    from .serve import ServeSession, get_arrival, run_loadgen
+
+    try:
+        get_arrival(args.arrival)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.requests < 1 or args.rate <= 0:
+        print("error: --requests must be >= 1 and --rate > 0", file=sys.stderr)
+        return 2
+    topo = make_topology(args.topology or "mesh", args.side)
+    session = ServeSession(
+        topo, strategy, seed=args.seed,
+        max_queue=args.max_queue, max_inflight=args.max_inflight,
+    )
+    report = run_loadgen(
+        session, workload=args.workload, arrival=args.arrival,
+        rate=args.rate, requests=args.requests, seed=args.seed,
+    )
+    if args.trace is not None:
+        path = session.trace(params=report.extra).save(args.trace)
+        print(f"recorded served stream -> {path}", file=sys.stderr)
+    row = {
+        "strategy": report.strategy,
+        "network": report.network,
+        "requests": report.requests,
+        "rejected": report.rejected,
+        "req/s": round(report.requests_per_sec, 1),
+        "p50": report.latency_p50,
+        "p95": report.latency_p95,
+        "p99": report.latency_p99,
+        "hit_rate": round(report.hit_rate, 4),
+    }
+    print(format_table([row], list(row), title="loadgen"))
+    if args.json:
+        results_dir = (
+            pathlib.Path(args.results_dir) if args.results_dir
+            else default_results_dir()
+        )
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / "SERVE_loadgen.json"
+        path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        print(f"[loadgen] wrote {path}", file=sys.stderr)
+    return 0
 
 
 def _trace_main(args: argparse.Namespace) -> int:
@@ -148,9 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate the paper's figures on the simulated GCel.",
     )
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ["list", "run-all", *_TRACE_COMMANDS],
+                        choices=EXPERIMENTS + ["list", "run-all", *_TRACE_COMMANDS,
+                                               *_SERVE_COMMANDS],
                         help="figure / ablation to run, 'run-all', 'list', "
-                             "or a trace command")
+                             "a trace command, or a serve command")
     parser.add_argument("--scale", choices=["quick", "default", "paper"], default=None,
                         help="parameter scale (default: $REPRO_SCALE or 'default')")
     parser.add_argument("--workload", "--app", choices=workloads, default="matmul",
@@ -200,13 +290,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="workload size for trace-record (its size "
                              "parameter, e.g. keys/ops)")
     parser.add_argument("--seed", type=int, default=0,
-                        help="seed for trace-record")
+                        help="seed for trace-record and the serve commands")
+    parser.add_argument("--requests", type=int, default=10000, metavar="N",
+                        help="loadgen: requests to offer (default 10000)")
+    parser.add_argument("--rate", type=float, default=50000.0, metavar="R",
+                        help="loadgen: offered load in requests per simulated "
+                             "second (default 50000)")
+    parser.add_argument("--arrival", default="poisson", metavar="NAME",
+                        help="loadgen: arrival process (poisson, bursty, or "
+                             "any registered name; default poisson)")
+    parser.add_argument("--max-queue", type=int, default=65536, metavar="N",
+                        help="serve/loadgen: ingest-queue admission bound")
+    parser.add_argument("--max-inflight", type=int, default=8192, metavar="N",
+                        help="serve/loadgen: in-flight request window")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7411,
+                        help="serve: TCP port (default 7411; 0 = ephemeral)")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="serve: run a bounded self-test over a real "
+                             "socket and exit (prints JSON)")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))
         return 0
     if args.experiment in _TRACE_COMMANDS:
         return _trace_main(args)
+    if args.experiment in _SERVE_COMMANDS:
+        return _serve_main(args)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     topology = args.topology or "mesh"

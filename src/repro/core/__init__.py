@@ -15,7 +15,7 @@ from .registry import (
     register_strategy,
     strategy_names,
 )
-from .strategy import STRATEGY_NAMES, DataManagementStrategy, NullStrategy, make_strategy
+from .strategy import STRATEGY_NAMES, DataManagementStrategy, NullStrategy
 
 __all__ = [
     "AccessTreeStrategy",
@@ -30,7 +30,6 @@ __all__ = [
     "get_strategy",
     "parse_strategy_spec",
     "strategy_names",
-    "make_strategy",
     "STRATEGY_NAMES",
     "DecompositionTree",
     "build_tree",

@@ -35,8 +35,8 @@ Families ship in this package:
   replication with write-invalidation.
 
 :data:`~repro.core.strategy.STRATEGY_NAMES` is *derived* from this
-registry (a live view), and :func:`repro.core.strategy.make_strategy` is
-a thin deprecated wrapper over :func:`get_strategy`.
+registry (a live view); :func:`get_strategy` is the one factory every
+caller goes through.
 """
 
 from __future__ import annotations
@@ -56,7 +56,7 @@ __all__ = [
 
 #: Any ``<k>-ary`` / ``<l>-<k>-ary`` string resolves to the tree family
 #: even when the specific arity is not a registered alias (the historic
-#: ``make_strategy`` contract: ``"4-32-ary"`` works).
+#: factory contract: ``"4-32-ary"`` works).
 _ARITY_PATTERN = re.compile(r"^\d+(-\d+)?-ary$")
 
 #: ``key=value`` coercers per parameter type (specs are strings).

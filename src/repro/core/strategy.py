@@ -12,10 +12,9 @@ plus the post-paper families (:mod:`repro.core.migratory`,
 :mod:`repro.core.dynrep`).  All of them register with the strategy
 registry (:mod:`repro.core.registry`), which resolves the parameterized
 spec strings (``"4-ary"``, ``"tree:4-8:embed=random"``,
-``"dynrep:threshold=3"``) every surface accepts; :data:`STRATEGY_NAMES`
-is a live view derived from that registry, and :func:`make_strategy` is
-the historic factory kept as a thin deprecated wrapper over
-:func:`repro.core.registry.get_strategy` for one cycle.
+``"dynrep:threshold=3"``) every surface accepts through
+:func:`repro.core.registry.get_strategy`; :data:`STRATEGY_NAMES` is a
+live view derived from that registry.
 
 Hand-optimized message-passing programs bypass data management entirely and
 run under :class:`NullStrategy`.
@@ -30,14 +29,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, FrozenSet, Iterable, Tuple
 
-from ..network.topology import Topology
 from ..runtime.variables import GlobalVariable
 from .registry import _DerivedNames
 
 __all__ = [
     "DataManagementStrategy",
     "NullStrategy",
-    "make_strategy",
     "next_live_node",
     "STRATEGY_NAMES",
 ]
@@ -155,39 +152,8 @@ class NullStrategy(DataManagementStrategy):
         raise RuntimeError("NullStrategy programs must not unlock global variables")
 
 
-#: Strategy names accepted by :func:`make_strategy` and the spec parser.
-#: A live view **derived from the registry** -- registering a strategy
-#: family extends it; there is no frozen tuple to keep in sync.
+#: Strategy names accepted by the spec parser (and therefore by
+#: :func:`repro.core.registry.get_strategy`).  A live view **derived from
+#: the registry** -- registering a strategy family extends it; there is
+#: no frozen tuple to keep in sync.
 STRATEGY_NAMES = _DerivedNames()
-
-
-def make_strategy(
-    name: str,
-    topology: Topology,
-    seed: int = 0,
-    embedding: str = "modified",
-    remap_threshold=None,
-):
-    """Build a strategy by name, on any topology.
-
-    .. deprecated::
-        Thin wrapper over :func:`repro.core.registry.get_strategy`, kept
-        for one cycle; new code should call ``get_strategy`` directly --
-        it additionally accepts parameterized specs
-        (``"tree:4-8:embed=random"``, ``"dynrep:threshold=3"``).
-
-    ``name`` is any registered strategy name -- the access-tree variants
-    (``"2-ary"``, ``"4-ary"``, ``"16-ary"``, ``"2-4-ary"``, ``"4-8-ary"``,
-    ``"4-16-ary"``, or any ``"<l>-<k>-ary"``), ``"fixed-home"``,
-    ``"handopt"``, ``"migratory"``, ``"dynrep"`` -- or a spec string.
-    ``embedding`` selects ``"modified"`` (paper default; the
-    topology-appropriate variant is chosen automatically) or ``"random"``
-    (the theoretical analysis) for access trees; ``remap_threshold``
-    enables the theoretical strategy's node remapping (the paper omits it;
-    ``None`` = off) after that many stops at the same tree node.
-    """
-    from .registry import get_strategy
-
-    return get_strategy(
-        name, topology, seed=seed, embedding=embedding, remap_threshold=remap_threshold
-    )

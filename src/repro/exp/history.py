@@ -1,0 +1,95 @@
+"""Committed perf-trajectory history: dated bench rows over time.
+
+The bench scripts (``benchmarks/bench_engine_perf.py``,
+``benchmarks/bench_serve.py``) write their headline numbers to gitignored
+``benchmarks/results/`` for CI artifacts -- which left the repo's perf
+*trajectory* empty.  This module maintains the committed companion:
+``benchmarks/BENCH_history.json``, a flat list of dated rows
+
+.. code-block:: json
+
+    {"date": "2026-08-08", "bench": "serve", "engine": "c",
+     "metric": "requests_per_sec", "value": 51234.0,
+     "peak_rss_mb": 312.5, "bench_version": 1}
+
+appended (or same-day-replaced: re-running a bench on one day updates
+that day's row instead of stacking duplicates) by each bench ``main``.
+``tools/bench_compare.py --history`` prints the trend.  Rows are only as
+comparable as the hardware that produced them -- the date column is the
+axis, the hardware caveat travels with the bench docs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["append_history", "format_trend", "load_history"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def load_history(path: PathLike) -> List[Dict[str, Any]]:
+    """The history rows at ``path`` (empty when the file doesn't exist)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    rows = json.loads(path.read_text())
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON list of history rows")
+    return rows
+
+
+def append_history(
+    entry: Dict[str, Any],
+    path: PathLike,
+    date: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Add (or same-day replace) one dated row; returns the full list.
+
+    ``entry`` needs ``bench``, ``engine``, ``metric`` and ``value``;
+    anything else (``peak_rss_mb``, ``bench_version``, ...) rides along.
+    The row key is ``(date, bench, engine)``.
+    """
+    for key in ("bench", "engine", "metric", "value"):
+        if key not in entry:
+            raise ValueError(f"history entry lacks required key {key!r}")
+    row = {"date": date or datetime.date.today().isoformat(), **entry}
+    rows = load_history(path)
+    key = (row["date"], row["bench"], row["engine"])
+    rows = [r for r in rows if (r.get("date"), r.get("bench"), r.get("engine")) != key]
+    rows.append(row)
+    rows.sort(key=lambda r: (r.get("date", ""), r.get("bench", ""), r.get("engine", "")))
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    return rows
+
+
+def format_trend(
+    rows: List[Dict[str, Any]],
+    bench: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> str:
+    """Human-readable trend table, oldest first, optionally filtered."""
+    rows = [
+        r for r in rows
+        if (bench is None or r.get("bench") == bench)
+        and (engine is None or r.get("engine") == engine)
+    ]
+    if not rows:
+        return "(no history rows match)"
+    header = f"{'date':<12} {'bench':<8} {'engine':<7} {'metric':<17} " \
+             f"{'value':>12} {'peak MiB':>9}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        rss = r.get("peak_rss_mb")
+        rss_col = f"{rss:>9.1f}" if rss is not None else f"{'-':>9}"
+        lines.append(
+            f"{r.get('date', '?'):<12} {r.get('bench', '?'):<8} "
+            f"{r.get('engine', '?'):<7} {r.get('metric', '?'):<17} "
+            f"{r.get('value', float('nan')):>12.2f} {rss_col}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Seeded open-loop load generation over registered workloads' access mixes.
+
+An *arrival process* turns a target request rate into interarrival gaps
+(registered by name -- see :func:`register_arrival` and ARCHITECTURE.md
+"Adding an arrival process").  An *access sampler* turns a registered
+workload into a distribution over ``(variable, read/write)`` draws: the
+synthetic workloads expose their zipf/uniform parameters directly, and
+any other workload is sampled *empirically* from a small recorded trace
+of its read/write stream.  :func:`run_loadgen` composes the two into an
+open-loop driver: arrivals are generated ahead of service (rejected
+requests are counted, never silently dropped), fed to a
+:class:`~repro.serve.session.ServeSession` epoch by epoch, and the
+engine is pumped to each epoch's horizon.
+
+Everything is driven by one seeded ``numpy`` generator, so a loadgen run
+is reproducible draw for draw -- same seed, same trace, same report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..workloads.base import get_workload
+from ..workloads.synthetic import zipf_weights
+from .session import ServeReport, ServeSession
+
+__all__ = [
+    "access_sampler",
+    "arrival_names",
+    "get_arrival",
+    "register_arrival",
+    "run_loadgen",
+]
+
+#: name -> factory(rate, **opts) -> draw(rng, size) -> gaps ndarray
+_ARRIVALS: Dict[str, Callable[..., Callable]] = {}
+
+
+def register_arrival(name: str) -> Callable:
+    """Register an arrival-process factory under ``name``.
+
+    The factory takes the target rate (requests per simulated second)
+    plus keyword options and returns ``draw(rng, size)`` yielding
+    ``size`` nonnegative interarrival gaps.
+    """
+
+    def deco(factory: Callable) -> Callable:
+        if name in _ARRIVALS:
+            raise ValueError(f"arrival process {name!r} already registered")
+        _ARRIVALS[name] = factory
+        return factory
+
+    return deco
+
+
+def get_arrival(name: str) -> Callable:
+    try:
+        return _ARRIVALS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {name!r} (have: {', '.join(arrival_names())})"
+        ) from None
+
+
+def arrival_names() -> Tuple[str, ...]:
+    return tuple(sorted(_ARRIVALS))
+
+
+@register_arrival("poisson")
+def _poisson(rate: float, **_: Any) -> Callable:
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    mean = 1.0 / rate
+
+    def draw(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(mean, size=size)
+
+    return draw
+
+
+@register_arrival("bursty")
+def _bursty(rate: float, *, burst: int = 8, **_: Any) -> Callable:
+    """On/off arrivals: bursts of ``burst`` simultaneous requests, with
+    exponential inter-burst gaps of mean ``burst/rate`` (same long-run
+    rate as poisson, far spikier queueing)."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    mean = burst / rate
+
+    def draw(rng: np.random.Generator, size: int) -> np.ndarray:
+        n_bursts = -(-size // burst)
+        gaps = np.zeros(n_bursts * burst)
+        gaps[::burst] = rng.exponential(mean, size=n_bursts)
+        return gaps[:size]
+
+    return draw
+
+
+def access_sampler(
+    workload: str = "zipf",
+    params: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> Tuple[int, int, Callable]:
+    """``(n_vars, payload_bytes, draw)`` sampling a workload's access mix.
+
+    ``draw(rng, size)`` returns ``(vids, is_read)`` arrays.  Synthetic
+    workloads with declared ``n_vars``/``alpha``/``read_frac`` parameters
+    are sampled analytically; any other registered workload is sampled
+    empirically from a small recorded trace of its read/write ops (vid
+    popularity histogram + observed read fraction).
+    """
+    wl = get_workload(workload)
+    resolved = wl.resolve_params(params)
+    if "n_vars" in resolved:
+        n_vars = int(resolved["n_vars"])
+        alpha = float(resolved.get("alpha", 0.0))
+        weights = zipf_weights(n_vars, alpha)
+        read_frac = float(resolved.get("read_frac", 0.9))
+        payload = int(resolved.get("payload", 256))
+    else:
+        if params:
+            raise ValueError(
+                f"workload {workload!r} is sampled empirically; its parameters "
+                "are not adjustable from the loadgen"
+            )
+        from ..network.mesh import Mesh2D
+        from ..workloads.trace import record as trace_record
+
+        _, tr = trace_record(wl, Mesh2D(4, 4), "fixed-home", seed=seed)
+        counts: Dict[int, int] = {}
+        reads = writes = 0
+        payload_by_vid: Dict[int, int] = {
+            vid: payload for vid, _, payload in tr.creates()
+        }
+        for stream in tr.ops:
+            for op in stream:
+                if op[0] == "r":
+                    reads += 1
+                elif op[0] == "w":
+                    writes += 1
+                else:
+                    continue
+                counts[op[1]] = counts.get(op[1], 0) + 1
+        if not counts:
+            raise ValueError(
+                f"workload {workload!r} has no read/write accesses to sample"
+            )
+        vids = sorted(counts)
+        n_vars = len(vids)
+        freq = np.array([counts[v] for v in vids], dtype=np.float64)
+        weights = freq / freq.sum()
+        read_frac = reads / (reads + writes)
+        payload = int(np.mean([payload_by_vid.get(v, 256) for v in vids]))
+
+    def draw(rng: np.random.Generator, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        vids = rng.choice(n_vars, size=size, p=weights)
+        is_read = rng.random(size) < read_frac
+        return vids, is_read
+
+    return n_vars, payload, draw
+
+
+def run_loadgen(
+    session: ServeSession,
+    *,
+    workload: str = "zipf",
+    params: Optional[Dict[str, Any]] = None,
+    arrival: str = "poisson",
+    arrival_opts: Optional[Dict[str, Any]] = None,
+    rate: float = 50_000.0,
+    requests: int = 10_000,
+    seed: int = 0,
+    chunk: int = 4096,
+    snapshot_every: int = 0,
+    on_snapshot: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ServeReport:
+    """Drive ``session`` with an open-loop request stream and close it.
+
+    ``rate`` is the offered load in requests per *simulated* second;
+    ``chunk`` requests are generated per epoch, submitted, and the engine
+    pumped to the epoch's last arrival (the bounded-run-ahead horizon).
+    With ``snapshot_every=k``, ``on_snapshot`` (default: discard) gets a
+    live :meth:`~repro.serve.session.ServeSession.snapshot` every ``k``
+    epochs -- metrics without stalling the serve loop.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    rng = np.random.default_rng((seed, 1009))
+    n_vars, payload, draw_access = access_sampler(workload, params, seed)
+    n_procs = session.n_procs
+    for vid in range(n_vars):
+        session.create(vid % n_procs, payload)
+    draw_gaps = get_arrival(arrival)(rate, **(arrival_opts or {}))
+    t = 0.0
+    remaining = requests
+    epoch = 0
+    try_submit = session.try_submit
+    pump = session.pump
+    while remaining:
+        m = min(chunk, remaining)
+        times = (t + np.cumsum(draw_gaps(rng, m))).tolist()
+        t = times[-1]
+        vids, is_read = draw_access(rng, m)
+        vids = vids.tolist()
+        kinds = np.where(is_read, "r", "w").tolist()
+        procs = rng.integers(0, n_procs, size=m).tolist()
+        for kind, proc, vid, at in zip(kinds, procs, vids, times):
+            try_submit(kind, proc, vid, arrival=at)
+        pump(until=t)
+        remaining -= m
+        epoch += 1
+        if snapshot_every and epoch % snapshot_every == 0:
+            snap = session.snapshot()
+            if on_snapshot is not None:
+                on_snapshot(snap)
+    report = session.close()
+    report.extra.update(
+        workload=workload,
+        params=dict(params or {}),
+        arrival=arrival,
+        arrival_opts=dict(arrival_opts or {}),
+        rate=rate,
+        requests_offered=requests,
+        n_vars=n_vars,
+        seed=seed,
+        chunk=chunk,
+    )
+    return report

@@ -1,0 +1,440 @@
+"""The serving session: persistent dispatchers + continuous micro-batching.
+
+How a request becomes engine events
+-----------------------------------
+Every processor runs one *dispatcher* -- a persistent generator driven by
+the ordinary SPMD launcher.  A dispatcher with nothing to do parks by
+yielding a ``RecvReq`` on a private tag (reusing the message-passing
+blocking machinery: no launcher changes, no busy polling).  Injecting a
+request for a parked processor delivers a wake-up "kick" through
+``Runtime._deliver`` stamped at the request's simulated arrival time, so
+the dispatcher resumes exactly when the request arrives; a busy
+processor just gets the request appended to its run queue and issues it
+after the current one completes (that wait *is* the queueing delay the
+latency percentiles report).
+
+Micro-batching and bounded run-ahead
+------------------------------------
+:meth:`ServeSession.pump` drains the ingest queue (admission-controlled
+by ``max_queue``; the in-flight window by ``max_inflight``) and advances
+the engine only up to a simulated horizon (``Simulator.run(until=...)``).
+Bounding run-ahead is what keeps the serve timeline identical to the
+batch timeline: all arrivals of the next epoch are at or beyond the
+horizon, so no operation is ever initiated "in the past" relative to
+work the engine already timed -- the atomic-at-initiation resource
+ordering (see :mod:`repro.sim.engine`) comes out the same as if the
+whole stream had been known up front.
+
+Replayable by construction
+--------------------------
+The session records through :class:`ServeRecorder` (a
+:class:`~repro.workloads.trace.TraceRecorder` that filters the internal
+park wake-ups): inter-request idle gaps become pure think-time ops
+(``["k", 0.0, gap]``), issued live as ``ComputeReq`` between queued
+requests and written via ``record_gap`` for parked wake-ups, whose kick
+already positioned simulated time at the arrival.  Replaying the trace
+re-issues every operation at the identical simulated time, so traffic
+totals, hit counters and end time reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..core.registry import get_strategy
+from ..network.machine import GCEL, MachineModel
+from ..network.topology import Topology
+from ..runtime.api import ComputeReq, ReadReq, RecvReq, WriteReq
+from ..runtime.launcher import Runtime
+from ..workloads.trace import Trace, TraceRecorder
+
+__all__ = ["QueueFull", "ServeRecorder", "ServeReport", "ServeSession"]
+
+#: Private mailbox tag of the park wake-up kick.  An ``object`` sentinel
+#: cannot collide with any client-visible tag, and the recorder filters
+#: it by identity.
+_PARK = object()
+_STOP = object()
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a request (ingest queue at capacity)."""
+
+
+class ServeRecorder(TraceRecorder):
+    """Trace recorder that skips the serving layer's park wake-ups.
+
+    The park ``RecvReq`` is internal control flow -- replaying it would
+    deadlock on a message nobody sends -- so it never reaches the trace;
+    everything else records exactly as in a batch run.
+    """
+
+    def record_request(self, proc: int, req: Any) -> None:
+        if req.__class__ is RecvReq and req.tag is _PARK:
+            return
+        super().record_request(proc, req)
+
+
+class _Item:
+    """One queued request (slots: this is allocated per served request)."""
+
+    __slots__ = ("kind", "proc", "vid", "value", "arrival", "eff", "wall", "cb")
+
+    def __init__(self, kind, proc, vid, value, arrival, wall, cb):
+        self.kind = kind
+        self.proc = proc
+        self.vid = vid
+        self.value = value
+        self.arrival = arrival  # requested simulated arrival (latency zero point)
+        self.eff = arrival      # effective issue floor (clamped at injection)
+        self.wall = wall
+        self.cb = cb
+
+
+def _percentiles(buf: array) -> Dict[str, float]:
+    if not buf:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    lat = np.frombuffer(buf, dtype=np.float64)
+    p50, p95, p99 = np.quantile(lat, (0.5, 0.95, 0.99))
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass
+class ServeReport:
+    """Final metrics of one serving session (``as_dict`` for JSON)."""
+
+    strategy: str
+    network: str
+    engine: str
+    requests: int           # completed
+    accepted: int
+    rejected: int
+    created: int
+    sim_time: float         # last completion (simulated seconds)
+    wall_seconds: float     # first submit -> close
+    requests_per_sec: float      # completed / wall_seconds (the gated number)
+    sim_requests_per_sec: float  # completed / sim_time
+    latency_p50: float      # simulated enqueue -> completion
+    latency_p95: float
+    latency_p99: float
+    wall_p50: float         # wall enqueue -> completion (batching included)
+    wall_p95: float
+    wall_p99: float
+    hits: int
+    misses: int
+    hit_rate: float
+    total_bytes: float
+    total_msgs: int
+    congestion_bytes: float
+    congestion_msgs: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class ServeSession:
+    """One long-running serving context over a strategy × topology.
+
+    Parameters mirror the batch :class:`~repro.runtime.launcher.Runtime`
+    (``strategy`` accepts any registry spec string or a built strategy);
+    ``max_queue`` bounds the ingest queue (admission control) and
+    ``max_inflight`` the injected-but-incomplete window (backpressure).
+    ``record=False`` disables trace recording (slightly faster, not
+    replayable).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        strategy: Union[str, Any] = "4-ary",
+        *,
+        machine: MachineModel = GCEL,
+        seed: int = 0,
+        embedding: str = "modified",
+        max_queue: int = 65536,
+        max_inflight: int = 8192,
+        record: bool = True,
+        failures=None,
+    ):
+        if max_queue < 1 or max_inflight < 1:
+            raise ValueError("max_queue and max_inflight must be >= 1")
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy, topology, seed=seed, embedding=embedding)
+        self.recorder: Optional[ServeRecorder] = ServeRecorder() if record else None
+        self.rt = Runtime(
+            topology, strategy, machine, seed=seed, failures=failures,
+            recorder=self.recorder,
+        )
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        n = topology.n_nodes
+        self.n_procs = n
+        self._ingest: deque = deque()
+        self._queues = [deque() for _ in range(n)]
+        self._parked = [False] * n
+        self._park_time = [0.0] * n
+        self._clock = [0.0] * n  # last completion per processor
+        self._inflight = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.created = 0
+        self._arrival_floor = 0.0
+        self._lat_sim = array("d")
+        self._lat_wall = array("d")
+        self._wall_start: Optional[float] = None
+        self._closed = False
+        self._report: Optional[ServeReport] = None
+        # Start the dispatchers: every processor parks at t=0, ready to be
+        # kicked awake by its first request.
+        sim = self.rt.sim
+        for p in range(n):
+            self.rt._gens[p] = self._dispatch(p)
+            sim.schedule(0.0, self.rt._step, p, None)
+        sim.run(until=0.0)
+
+    # ----------------------------------------------------------- dispatchers
+    def _dispatch(self, p: int):
+        sim = self.rt.sim
+        q = self._queues[p]
+        by_id = self.rt.registry.by_id
+        lat = self._lat_sim
+        wlat = self._lat_wall
+        clock = self._clock
+        perf = time.perf_counter
+        while True:
+            if not q:
+                self._park_time[p] = sim.now
+                self._parked[p] = True
+                v = yield RecvReq(_PARK)
+                if v is _STOP:
+                    return
+            it = q.popleft()
+            gap = it.eff - sim.now
+            if gap > 0.0:
+                # Idle until the arrival; recorded as a think-time op so
+                # replay issues the request at the identical instant.
+                yield ComputeReq(seconds=gap)
+            if it.kind == "r":
+                value = yield ReadReq(by_id(it.vid))
+            else:
+                yield WriteReq(by_id(it.vid), it.value)
+                value = None
+            done = sim.now
+            clock[p] = done
+            lat.append(done - it.arrival)
+            wlat.append(perf() - it.wall)
+            self._inflight -= 1
+            self.completed += 1
+            cb = it.cb
+            if cb is not None:
+                cb(it, done, value)
+
+    # ---------------------------------------------------------------- ingest
+    def create(self, proc: int, payload_bytes: int = 256, value: Any = 0) -> int:
+        """Create a variable now; returns its vid.
+
+        Creation is local bookkeeping (zero messages, zero simulated
+        time), exactly as in batch programs, and replay hoists creates --
+        so executing it immediately keeps FIFO semantics: any read/write
+        of the vid can only be submitted afterwards.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        var = self.rt.create_var(
+            f"s{len(self.rt.registry)}", payload_bytes, proc, value
+        )
+        self.created += 1
+        return var.vid
+
+    def try_submit(
+        self,
+        kind: str,
+        proc: int,
+        vid: int,
+        *,
+        value: Any = 0,
+        arrival: Optional[float] = None,
+        on_done: Optional[Callable[[Any, float, Any], None]] = None,
+    ) -> bool:
+        """Queue one read (``"r"``) or write (``"w"``); ``False`` =
+        admission control rejected it (queue at ``max_queue``).
+
+        ``arrival`` is the simulated arrival time; arrivals are clamped
+        nondecreasing (``None`` = right after the previous one).
+        ``on_done(item, sim_completion_time, value)`` fires inside the
+        pump when the request completes.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if kind not in ("r", "w"):
+            raise ValueError(f"unknown request kind {kind!r} (use 'r'/'w')")
+        if not 0 <= proc < self.n_procs:
+            raise ValueError(f"no such processor: {proc}")
+        if not 0 <= vid < len(self.rt.registry):
+            raise ValueError(f"no such variable: {vid}")
+        if len(self._ingest) >= self.max_queue:
+            self.rejected += 1
+            return False
+        wall = time.perf_counter()
+        if self._wall_start is None:
+            self._wall_start = wall
+        floor = self._arrival_floor
+        if arrival is None or arrival < floor:
+            arrival = floor
+        self._arrival_floor = arrival
+        self._ingest.append(_Item(kind, proc, vid, value, arrival, wall, on_done))
+        self.accepted += 1
+        return True
+
+    def submit(self, kind: str, proc: int, vid: int, **kw: Any) -> None:
+        """:meth:`try_submit` that raises :class:`QueueFull` on rejection."""
+        if not self.try_submit(kind, proc, vid, **kw):
+            raise QueueFull(f"ingest queue at capacity ({self.max_queue})")
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._ingest)
+
+    @property
+    def arrival_floor(self) -> float:
+        """Simulated arrival time of the most recently accepted request
+        (new arrivals are clamped to at least this)."""
+        return self._arrival_floor
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    # ------------------------------------------------------------------ pump
+    def _inject(self, it: _Item) -> None:
+        rt = self.rt
+        t = it.arrival
+        now = rt.sim.now
+        if t < now:
+            t = now  # deferred past its arrival (backpressure): issue asap
+        it.eff = t
+        p = it.proc
+        self._queues[p].append(it)
+        if self._parked[p]:
+            self._parked[p] = False
+            rec = self.recorder
+            if rec is not None:
+                gap = t - self._park_time[p]
+                if gap > 0.0:
+                    rec.record_gap(p, gap)
+            rt._deliver(p, _PARK, t, None)
+
+    def pump(self, until: Optional[float] = None) -> None:
+        """Inject eligible queued requests and advance the engine.
+
+        ``until`` bounds both which arrivals inject and how far the
+        engine runs (simulated run-ahead); ``None`` serves everything
+        queued and runs the engine idle.  Completions free in-flight
+        window slots, so injection and engine progress interleave until
+        neither can advance.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        sim = self.rt.sim
+        ing = self._ingest
+        while True:
+            n = 0
+            room = self.max_inflight - self._inflight - n
+            while ing and room > 0:
+                it = ing[0]
+                if until is not None and it.arrival > until:
+                    break
+                ing.popleft()
+                self._inject(it)
+                n += 1
+                room -= 1
+            self._inflight += n
+            sim.run(until)
+            if not n:
+                return
+
+    # ------------------------------------------------------------- reporting
+    def snapshot(self) -> Dict[str, Any]:
+        """Live metrics without stalling the loop: counters, hit rate,
+        kernel-aware message totals and latency percentiles so far."""
+        strat = self.rt.strategy
+        hits, misses = strat.hits, strat.misses
+        total = hits + misses
+        snap = {
+            "sim_time": self.rt.sim.now,
+            "completed": self.completed,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "created": self.created,
+            "queue_depth": len(self._ingest),
+            "inflight": self._inflight,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "total_msgs": self.rt.sim.stats.total_msgs,
+        }
+        for k, v in _percentiles(self._lat_sim).items():
+            snap[f"latency_{k}"] = v
+        return snap
+
+    def close(self) -> ServeReport:
+        """Serve everything queued, stop the dispatchers, and report."""
+        if self._closed:
+            return self._report
+        self.pump()  # unbounded: drains the ingest queue completely
+        rt = self.rt
+        for p in range(self.n_procs):
+            if self._parked[p]:
+                self._parked[p] = False
+                rt._deliver(p, _PARK, rt.sim.now, _STOP)
+        rt.sim.run()
+        self._closed = True
+        wall_end = time.perf_counter()
+        wall = wall_end - self._wall_start if self._wall_start is not None else 0.0
+        end = max(self._clock) if self.completed else 0.0
+        stats = rt.sim.stats
+        strat = rt.strategy
+        total_acc = strat.hits + strat.misses
+        sim_pct = _percentiles(self._lat_sim)
+        wall_pct = _percentiles(self._lat_wall)
+        self._report = ServeReport(
+            strategy=strat.name,
+            network=rt.sim.topology.label,
+            engine="ckern" if rt.sim._h is not None else "pure",
+            requests=self.completed,
+            accepted=self.accepted,
+            rejected=self.rejected,
+            created=self.created,
+            sim_time=end,
+            wall_seconds=wall,
+            requests_per_sec=self.completed / wall if wall > 0 else 0.0,
+            sim_requests_per_sec=self.completed / end if end > 0 else 0.0,
+            latency_p50=sim_pct["p50"],
+            latency_p95=sim_pct["p95"],
+            latency_p99=sim_pct["p99"],
+            wall_p50=wall_pct["p50"],
+            wall_p95=wall_pct["p95"],
+            wall_p99=wall_pct["p99"],
+            hits=strat.hits,
+            misses=strat.misses,
+            hit_rate=strat.hits / total_acc if total_acc else 0.0,
+            total_bytes=stats.total_bytes,
+            total_msgs=stats.total_msgs,
+            congestion_bytes=stats.congestion_bytes,
+            congestion_msgs=stats.congestion_msgs,
+        )
+        return self._report
+
+    def trace(self, params: Optional[Dict[str, Any]] = None) -> Trace:
+        """The served access stream as a replayable :class:`Trace`."""
+        if self.recorder is None:
+            raise RuntimeError("session was opened with record=False")
+        return self.recorder.to_trace(workload="serve", params=params)

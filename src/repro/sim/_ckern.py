@@ -569,8 +569,9 @@ void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
     s->st_total = 0; s->st_data = 0; s->st_local = 0;
 }
 
-int sim_run(Sim *s, Crossing *out) {
+int sim_run_until(Sim *s, Crossing *out, double horizon) {
     while (s->heap_n) {
+        if (s->heap[0].time > horizon) return R_DONE;
         Ev ev = heap_pop(s);
         if (ev.kind == K_CHAIN) {
             Chain *ch = s->chains[ev.a];
@@ -758,7 +759,7 @@ void sim_push_mcast(Sim *s, double t, int root_host, int n_kids, int tbl,
                     int total_kids, double dwire, double dover, double docc,
                     int ddat, double awire, double aover, double aocc,
                     int done_id);
-int sim_run(Sim *s, Crossing *out);
+int sim_run_until(Sim *s, Crossing *out, double horizon);
 int sim_heap_size(Sim *s);
 i64 sim_total_msgs(Sim *s);
 i64 sim_data_msgs(Sim *s);

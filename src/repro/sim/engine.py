@@ -44,7 +44,7 @@ from __future__ import annotations
 import gc
 import heapq
 import itertools
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..network.machine import MachineModel
 from ..network.mesh import Mesh2D
@@ -55,6 +55,8 @@ from ..network.torus import Torus2D
 from . import _ckern
 
 __all__ = ["Simulator", "SimDeadlock"]
+
+_INF = float("inf")
 
 
 class SimDeadlock(RuntimeError):
@@ -345,8 +347,15 @@ class Simulator:
             return self._lib.sim_heap_size(self._h)
         return len(self._heap)
 
-    def run(self) -> None:
-        """Drain the event heap.
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event heap, optionally only up to a time horizon.
+
+        With ``until`` set, events stamped later than the horizon stay
+        queued and ``run`` returns with them pending; calling ``run``
+        again (with a later horizon, or ``None`` to drain) resumes in
+        exact heap order, so a horizon-sliced run is event-for-event
+        identical to a single drain.  The serving layer leans on this to
+        interleave request injection with bounded simulated run-ahead.
 
         The cyclic garbage collector is paused for the duration of the
         drain -- the loop allocates heavily (event tuples, closures,
@@ -359,14 +368,14 @@ class Simulator:
             gc.disable()
         try:
             if self._h is not None:
-                self._run_kernel()
+                self._run_kernel(until)
             else:
-                self._run_py()
+                self._run_py(until)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
-    def _run_kernel(self) -> None:
+    def _run_kernel(self, until: Optional[float] = None) -> None:
         """Drive the C kernel; re-enter Python only for generic events,
         flow completions, and route-table misses."""
         lib = self._lib
@@ -374,9 +383,10 @@ class Simulator:
         out = self._out
         objs = self._objs
         free = self._obj_free
-        sim_run = lib.sim_run
+        horizon = _INF if until is None else until
+        sim_run = lib.sim_run_until
         while True:
-            r = sim_run(h, out)
+            r = sim_run(h, out, horizon)
             if r == 1:  # generic event
                 i = out.a
                 cb, args = objs[i]
@@ -396,7 +406,8 @@ class Simulator:
             else:
                 break
 
-    def _run_py(self) -> None:
+    def _run_py(self, until: Optional[float] = None) -> None:
+        horizon = _INF if until is None else until
         heap = self._heap
         pop = heapq.heappop
         push = heapq.heappush
@@ -417,6 +428,9 @@ class Simulator:
         pend_append = self._stats._pending.append
         while heap:
             item = pop(heap)
+            if item[0] > horizon:
+                push(heap, item)  # same (time, seq): resumes in exact order
+                return
             cb = item[2]
             if cb is CHAIN:
                 time = item[0]

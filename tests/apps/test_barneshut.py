@@ -23,7 +23,7 @@ from repro.apps.barneshut.physics import (
     plummer,
     total_energy,
 )
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 
@@ -181,19 +181,19 @@ class TestDistributedApp:
     def test_matches_reference_bit_for_bit(self, strategy):
         mesh = Mesh2D(4, 4)
         res = barneshut.run(
-            mesh, make_strategy(strategy, mesh), n_bodies=96, steps=2, warm=1, verify=True
+            mesh, get_strategy(strategy, mesh), n_bodies=96, steps=2, warm=1, verify=True
         )
         assert res.extra["verified"]
 
     def test_all_phases_present(self):
         mesh = Mesh2D(2, 2)
-        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        res = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
         names = {p.name for p in res.phases}
         assert set(barneshut.PHASES) <= names
 
     def test_force_phase_dominates_time(self):
         mesh = Mesh2D(2, 2)
-        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=64, steps=2, warm=1)
+        res = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=64, steps=2, warm=1)
         force = res.phase("force")
         assert force.time > 0.3 * res.time
 
@@ -201,14 +201,14 @@ class TestDistributedApp:
         """Data management must not change the computation: both strategies
         produce identical final body states."""
         mesh = Mesh2D(2, 2)
-        r1 = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=48, steps=2, warm=1)
-        r2 = barneshut.run(mesh, make_strategy("fixed-home", mesh), n_bodies=48, steps=2, warm=1)
+        r1 = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=48, steps=2, warm=1)
+        r2 = barneshut.run(mesh, get_strategy("fixed-home", mesh), n_bodies=48, steps=2, warm=1)
         assert r1.extra["final_bodies"] == r2.extra["final_bodies"]
 
     def test_access_tree_beats_fixed_home(self):
         mesh = Mesh2D(4, 4)
-        at = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=160, steps=2, warm=1)
-        fh = barneshut.run(mesh, make_strategy("fixed-home", mesh), n_bodies=160, steps=2, warm=1)
+        at = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=160, steps=2, warm=1)
+        fh = barneshut.run(mesh, get_strategy("fixed-home", mesh), n_bodies=160, steps=2, warm=1)
         assert at.congestion_msgs < fh.congestion_msgs
         assert at.time < fh.time
 
@@ -216,30 +216,30 @@ class TestDistributedApp:
         """The paper reports ~99% hit ratios in the force phase; the whole
         run stays high once the tree is warm."""
         mesh = Mesh2D(2, 2)
-        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=128, steps=2, warm=1)
+        res = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=128, steps=2, warm=1)
         assert res.hit_ratio > 0.85
 
     def test_locks_are_used_for_tree_building(self):
         mesh = Mesh2D(2, 2)
-        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        res = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
         assert res.lock_acquisitions >= 32  # at least one lock per insert
 
     def test_interactions_counted(self):
         mesh = Mesh2D(2, 2)
-        res = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
+        res = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=32, steps=2, warm=1)
         inter = res.extra["interactions_by_step"]
         assert all(i > 32 for i in inter)
 
     def test_warm_validation(self):
         mesh = Mesh2D(2, 2)
         with pytest.raises(ValueError):
-            barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=8, steps=2, warm=2)
+            barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=8, steps=2, warm=2)
         with pytest.raises(ValueError):
-            barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=1, steps=2, warm=1)
+            barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=1, steps=2, warm=1)
 
     def test_deterministic(self):
         mesh = Mesh2D(2, 2)
-        a = barneshut.run(mesh, make_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
-        b = barneshut.run(mesh, make_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
+        a = barneshut.run(mesh, get_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
+        b = barneshut.run(mesh, get_strategy("4-ary", mesh, seed=1), n_bodies=40, steps=2, warm=1)
         assert a.time == b.time
         assert a.congestion_msgs == b.congestion_msgs

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import bitonic
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 
@@ -71,7 +71,7 @@ class TestWireAssignment:
 @pytest.mark.parametrize("strategy", ["2-ary", "2-4-ary", "4-ary", "fixed-home"])
 def test_diva_sorts_on_all_strategies(strategy):
     mesh = Mesh2D(4, 4)
-    res = bitonic.run_diva(mesh, make_strategy(strategy, mesh), keys_per_wire=32)
+    res = bitonic.run_diva(mesh, get_strategy(strategy, mesh), keys_per_wire=32)
     assert res.extra["verified"]
 
 
@@ -82,7 +82,7 @@ def test_handopt_sorts():
 
 def test_final_runs_are_globally_ordered():
     mesh = Mesh2D(4, 4)
-    res = bitonic.run_diva(mesh, make_strategy("4-ary", mesh), keys_per_wire=16)
+    res = bitonic.run_diva(mesh, get_strategy("4-ary", mesh), keys_per_wire=16)
     rt = res.extra["runtime"]
     runs = [None] * 16
     for var in rt.registry:
@@ -95,8 +95,8 @@ def test_final_runs_are_globally_ordered():
 class TestTraffic:
     def test_access_tree_beats_fixed_home(self):
         mesh = Mesh2D(8, 8)
-        at = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh), 256)
-        fh = bitonic.run_diva(mesh, make_strategy("fixed-home", mesh), 256)
+        at = bitonic.run_diva(mesh, get_strategy("2-4-ary", mesh), 256)
+        fh = bitonic.run_diva(mesh, get_strategy("fixed-home", mesh), 256)
         assert at.congestion_bytes < fh.congestion_bytes
         assert at.time < fh.time
 
@@ -118,6 +118,6 @@ class TestTraffic:
 
     def test_deterministic(self):
         mesh = Mesh2D(4, 4)
-        a = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
-        b = bitonic.run_diva(mesh, make_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
+        a = bitonic.run_diva(mesh, get_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
+        b = bitonic.run_diva(mesh, get_strategy("2-4-ary", mesh, seed=2), 64, seed=9)
         assert a.time == b.time and a.stats.total_msgs == b.stats.total_msgs

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.apps import matmul
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 
@@ -53,7 +53,7 @@ def test_diva_verifies_on_all_strategies(strategy):
     """The built-in verification compares against numpy; it raises on any
     mismatch, so success means the distributed result is exact."""
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva(mesh, make_strategy(strategy, mesh), block_entries=16)
+    res = matmul.run_diva(mesh, get_strategy(strategy, mesh), block_entries=16)
     assert res.extra["verified"]
 
 
@@ -101,8 +101,8 @@ class TestHandoptTraffic:
 class TestDivaTraffic:
     def test_access_tree_beats_fixed_home_congestion(self):
         mesh = Mesh2D(8, 8)
-        at = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
-        fh = matmul.run_diva(mesh, make_strategy("fixed-home", mesh), 256)
+        at = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 256)
+        fh = matmul.run_diva(mesh, get_strategy("fixed-home", mesh), 256)
         assert at.congestion_bytes < fh.congestion_bytes
         assert at.stats.total_bytes < fh.stats.total_bytes
 
@@ -110,7 +110,7 @@ class TestDivaTraffic:
         """Paper: 'In the write phase, both strategies send only small
         invalidation messages.'"""
         mesh = Mesh2D(4, 4)
-        res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
+        res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 256)
         read = res.phase("read")
         write = res.phase("write")
         assert write.stats.congestion_bytes < 0.1 * read.stats.congestion_bytes
@@ -119,7 +119,7 @@ class TestDivaTraffic:
         """Paper: 'At the end of the execution, the copies are left in the
         same configuration' -- the writer's sole copy."""
         mesh = Mesh2D(4, 4)
-        strat = make_strategy("4-ary", mesh)
+        strat = get_strategy("4-ary", mesh)
         res = matmul.run_diva(mesh, strat, 16)
         rt = res.extra["runtime"]
         for var in rt.registry:
@@ -127,24 +127,24 @@ class TestDivaTraffic:
 
     def test_communication_time_mode_has_zero_compute(self):
         mesh = Mesh2D(4, 4)
-        res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 64, charge_compute=False)
+        res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 64, charge_compute=False)
         assert res.compute_time == 0.0
 
     def test_execution_time_mode_charges_compute(self):
         mesh = Mesh2D(4, 4)
-        res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 64, charge_compute=True)
+        res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 64, charge_compute=True)
         assert res.compute_time > 0.0
 
     def test_larger_blocks_mean_more_congestion(self):
         mesh = Mesh2D(4, 4)
-        small = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 64)
-        large = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
+        small = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 64)
+        large = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 256)
         assert large.congestion_bytes > 2 * small.congestion_bytes
 
     def test_deterministic_across_runs(self):
         mesh = Mesh2D(4, 4)
-        a = matmul.run_diva(mesh, make_strategy("4-ary", mesh, seed=5), 64, seed=1)
-        b = matmul.run_diva(mesh, make_strategy("4-ary", mesh, seed=5), 64, seed=1)
+        a = matmul.run_diva(mesh, get_strategy("4-ary", mesh, seed=5), 64, seed=1)
+        b = matmul.run_diva(mesh, get_strategy("4-ary", mesh, seed=5), 64, seed=1)
         assert a.time == b.time
         assert a.congestion_bytes == b.congestion_bytes
         assert a.stats.total_msgs == b.stats.total_msgs

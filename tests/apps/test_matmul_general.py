@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.apps import matmul
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL
 from repro.network.mesh import Mesh2D
 
@@ -13,7 +13,7 @@ from repro.network.mesh import Mesh2D
 @pytest.mark.parametrize("strategy", ["4-ary", "2-4-ary", "fixed-home"])
 def test_general_multiply_verifies(strategy):
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva_general(mesh, make_strategy(strategy, mesh), block_entries=16)
+    res = matmul.run_diva_general(mesh, get_strategy(strategy, mesh), block_entries=16)
     assert res.extra["verified"]
 
 
@@ -30,8 +30,8 @@ def test_general_sends_fewer_invalidations_than_square():
     """The whole point: squaring invalidates the copies created in the read
     phase; general multiplication writes fresh variables instead."""
     mesh = Mesh2D(4, 4)
-    sq = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
-    gen = matmul.run_diva_general(mesh, make_strategy("4-ary", mesh), 256)
+    sq = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 256)
+    gen = matmul.run_diva_general(mesh, get_strategy("4-ary", mesh), 256)
     assert gen.stats.ctrl_msgs < sq.stats.ctrl_msgs
 
     # In the general variant the write phase is almost silent.
@@ -42,7 +42,7 @@ def test_general_sends_fewer_invalidations_than_square():
 
 def test_general_write_phase_has_no_remote_writes():
     mesh = Mesh2D(4, 4)
-    strat = make_strategy("4-ary", mesh)
+    strat = get_strategy("4-ary", mesh)
     res = matmul.run_diva_general(mesh, strat, 64)
     # C variables are created and written by their own processor only.
     assert strat.write_remote == 0
@@ -50,6 +50,6 @@ def test_general_write_phase_has_no_remote_writes():
 
 def test_square_write_phase_has_remote_effects():
     mesh = Mesh2D(4, 4)
-    strat = make_strategy("4-ary", mesh)
+    strat = get_strategy("4-ary", mesh)
     matmul.run_diva(mesh, strat, 64)
     assert strat.write_remote > 0

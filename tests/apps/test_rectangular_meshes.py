@@ -4,7 +4,7 @@ and 16x32 meshes)."""
 import pytest
 
 from repro.apps import barneshut, bitonic
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.mesh import Mesh2D
 
 
@@ -13,7 +13,7 @@ from repro.network.mesh import Mesh2D
 def test_bitonic_on_rectangles(shape, strategy):
     """Bitonic needs a power-of-two processor count, not a square mesh."""
     mesh = Mesh2D(*shape)
-    res = bitonic.run_diva(mesh, make_strategy(strategy, mesh), keys_per_wire=16)
+    res = bitonic.run_diva(mesh, get_strategy(strategy, mesh), keys_per_wire=16)
     assert res.extra["verified"]
 
 
@@ -21,7 +21,7 @@ def test_bitonic_on_rectangles(shape, strategy):
 def test_barneshut_on_rectangles(shape):
     mesh = Mesh2D(*shape)
     res = barneshut.run(
-        mesh, make_strategy("4-8-ary", mesh), n_bodies=64, steps=2, warm=1, verify=True
+        mesh, get_strategy("4-8-ary", mesh), n_bodies=64, steps=2, warm=1, verify=True
     )
     assert res.extra["verified"]
 
@@ -29,12 +29,12 @@ def test_barneshut_on_rectangles(shape):
 def test_line_mesh_runs():
     """Degenerate 1xN meshes exercise the decomposition's edge cases."""
     mesh = Mesh2D(1, 8)
-    res = bitonic.run_diva(mesh, make_strategy("2-ary", mesh), keys_per_wire=8)
+    res = bitonic.run_diva(mesh, get_strategy("2-ary", mesh), keys_per_wire=8)
     assert res.extra["verified"]
 
 
 def test_rectangular_decomposition_access_tree_still_wins():
     mesh = Mesh2D(4, 8)
-    at = barneshut.run(mesh, make_strategy("4-ary", mesh), n_bodies=320, steps=2, warm=1)
-    fh = barneshut.run(mesh, make_strategy("fixed-home", mesh), n_bodies=320, steps=2, warm=1)
+    at = barneshut.run(mesh, get_strategy("4-ary", mesh), n_bodies=320, steps=2, warm=1)
+    fh = barneshut.run(mesh, get_strategy("fixed-home", mesh), n_bodies=320, steps=2, warm=1)
     assert at.congestion_msgs < fh.congestion_msgs

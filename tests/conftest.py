@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import GCEL, ZERO_COST, Mesh2D, make_strategy
+from repro import GCEL, ZERO_COST, Mesh2D, get_strategy
 from repro.runtime.launcher import Runtime
 
 #: All strategy variants evaluated in the paper.
@@ -31,7 +31,7 @@ def mesh8x8() -> Mesh2D:
 
 def run_program(mesh, strategy_name, program, machine=ZERO_COST, seed=0, **kw):
     """Build runtime + strategy, run ``program``, return (result, runtime)."""
-    strategy = make_strategy(strategy_name, mesh, seed=seed)
+    strategy = get_strategy(strategy_name, mesh, seed=seed)
     rt = Runtime(mesh, strategy, machine, seed=seed, **kw)
     result = rt.run(program)
     return result, rt

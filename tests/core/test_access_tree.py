@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.access_tree import AccessTreeStrategy
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
@@ -24,7 +24,7 @@ class Driver:
 
     def __init__(self, strategy_name="4-ary", mesh=None, machine=ZERO_COST, seed=0, **kw):
         self.mesh = mesh or Mesh2D(4, 4)
-        self.strategy = make_strategy(strategy_name, self.mesh, seed=seed)
+        self.strategy = get_strategy(strategy_name, self.mesh, seed=seed)
         self.rt = Runtime(self.mesh, self.strategy, machine, seed=seed, **kw)
         self.completions = []
         self.rt.resume = lambda p, t, v: self.completions.append((p, t, v))

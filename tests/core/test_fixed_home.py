@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fixed_home import HOME, FixedHomeStrategy
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
@@ -14,7 +14,7 @@ from repro.runtime.launcher import Runtime
 class Driver:
     def __init__(self, machine=ZERO_COST, seed=0, **kw):
         self.mesh = Mesh2D(4, 4)
-        self.strategy = make_strategy("fixed-home", self.mesh, seed=seed)
+        self.strategy = get_strategy("fixed-home", self.mesh, seed=seed)
         self.rt = Runtime(self.mesh, self.strategy, machine, seed=seed, **kw)
         self.completions = []
         self.rt.resume = lambda p, t, v: self.completions.append((p, t, v))

@@ -10,7 +10,7 @@ measures its cost/benefit.
 
 import pytest
 
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
@@ -20,7 +20,7 @@ from test_access_tree import Driver, component_is_connected, top_is_unique_shall
 
 def make_driver(threshold, **kw):
     mesh = Mesh2D(4, 4)
-    strategy = make_strategy("4-ary", mesh, seed=1, remap_threshold=threshold)
+    strategy = get_strategy("4-ary", mesh, seed=1, remap_threshold=threshold)
     rt = Runtime(mesh, strategy, ZERO_COST, seed=1, **kw)
     d = Driver.__new__(Driver)
     d.mesh = mesh
@@ -89,7 +89,7 @@ class TestRemapping:
         from repro.apps import matmul
 
         mesh = Mesh2D(4, 4)
-        strat = make_strategy("4-ary", mesh, remap_threshold=3)
+        strat = get_strategy("4-ary", mesh, remap_threshold=3)
         res = matmul.run_diva(mesh, strat, block_entries=16)
         assert res.extra["verified"]
         assert strat.remaps > 0

@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.access_tree import AccessTreeStrategy
 from repro.core.fixed_home import FixedHomeStrategy
-from repro.core.strategy import STRATEGY_NAMES, NullStrategy, make_strategy
+from repro.core.registry import get_strategy
+from repro.core.strategy import STRATEGY_NAMES, NullStrategy
 from repro.network.machine import ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
@@ -17,7 +18,7 @@ PAPER_TREE_VARIANTS = ("2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-a
 class TestFactory:
     @pytest.mark.parametrize("name", PAPER_TREE_VARIANTS)
     def test_tree_variants(self, name):
-        s = make_strategy(name, Mesh2D(4, 4))
+        s = get_strategy(name, Mesh2D(4, 4))
         assert isinstance(s, AccessTreeStrategy)
         assert s.name == name
 
@@ -26,22 +27,22 @@ class TestFactory:
             assert name in STRATEGY_NAMES
 
     def test_fixed_home(self):
-        s = make_strategy("fixed-home", Mesh2D(4, 4))
+        s = get_strategy("fixed-home", Mesh2D(4, 4))
         assert isinstance(s, FixedHomeStrategy)
 
     def test_handopt(self):
-        assert isinstance(make_strategy("handopt", Mesh2D(4, 4)), NullStrategy)
+        assert isinstance(get_strategy("handopt", Mesh2D(4, 4)), NullStrategy)
 
     def test_general_lk_pattern(self):
-        s = make_strategy("4-32-ary", Mesh2D(8, 8))
+        s = get_strategy("4-32-ary", Mesh2D(8, 8))
         assert s.tree.label == "4-32-ary"
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):
-            make_strategy("5-ary", Mesh2D(4, 4))
+            get_strategy("5-ary", Mesh2D(4, 4))
 
     def test_embedding_option(self):
-        s = make_strategy("4-ary", Mesh2D(4, 4), embedding="random")
+        s = get_strategy("4-ary", Mesh2D(4, 4), embedding="random")
         assert s.embedding.name == "random"
 
 

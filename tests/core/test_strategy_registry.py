@@ -11,7 +11,6 @@ from repro.core import (
     NullStrategy,
     StrategyFamily,
     get_strategy,
-    make_strategy,
     parse_strategy_spec,
     register_strategy,
     strategy_names,
@@ -151,12 +150,16 @@ class TestSpecParser:
         assert isinstance(get_strategy("fixed-home", Mesh2D(4, 4)), FixedHomeStrategy)
         assert isinstance(get_strategy("migratory", Mesh2D(4, 4)), MigratoryStrategy)
 
-    def test_make_strategy_wrapper_delegates(self):
-        """The deprecated wrapper builds identically-configured strategies."""
-        a = make_strategy("2-4-ary", Mesh2D(4, 4), seed=3)
-        b = get_strategy("2-4-ary", Mesh2D(4, 4), seed=3)
-        assert type(a) is type(b)
-        assert (a.arity, a.seed) == (b.arity, b.seed)
+    def test_deprecated_make_strategy_wrapper_is_gone(self):
+        """The one-cycle deprecation window closed: ``get_strategy`` is
+        the only factory, at every import surface."""
+        import repro
+        import repro.core
+        import repro.core.strategy
+
+        for mod in (repro, repro.core, repro.core.strategy):
+            assert not hasattr(mod, "make_strategy")
+            assert "make_strategy" not in getattr(mod, "__all__", ())
 
     @pytest.mark.parametrize("bad", [
         "",

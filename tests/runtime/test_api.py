@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.api import (
@@ -41,7 +41,7 @@ class TestMarkReq:
         """env.reset_measurement() zeroes traffic/time from that instant
         (the explicit variant of barrier(reset=True))."""
         mesh = Mesh2D(2, 2)
-        rt = Runtime(mesh, make_strategy("4-ary", mesh), GCEL)
+        rt = Runtime(mesh, get_strategy("4-ary", mesh), GCEL)
         shared = {}
 
         def program(env):
@@ -61,7 +61,7 @@ class TestMarkReq:
 
     def test_unknown_mark_rejected(self):
         mesh = Mesh2D(2, 2)
-        rt = Runtime(mesh, make_strategy("4-ary", mesh), ZERO_COST)
+        rt = Runtime(mesh, get_strategy("4-ary", mesh), ZERO_COST)
 
         def program(env):
             yield MarkReq("frobnicate")
@@ -73,7 +73,7 @@ class TestMarkReq:
 class TestEnvCreate:
     def test_create_registers_with_strategy(self):
         mesh = Mesh2D(2, 2)
-        strat = make_strategy("4-ary", mesh)
+        strat = get_strategy("4-ary", mesh)
         rt = Runtime(mesh, strat, ZERO_COST)
         made = {}
 

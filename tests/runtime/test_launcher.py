@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.strategy import NullStrategy, make_strategy
+from repro.core.registry import get_strategy
+from repro.core.strategy import NullStrategy
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime, run_spmd
@@ -11,7 +12,7 @@ from repro.sim.engine import SimDeadlock
 
 def mk(strategy="4-ary", mesh=None, machine=ZERO_COST, **kw):
     mesh = mesh or Mesh2D(2, 2)
-    return Runtime(mesh, make_strategy(strategy, mesh), machine, **kw)
+    return Runtime(mesh, get_strategy(strategy, mesh), machine, **kw)
 
 
 class TestBasicDispatch:
@@ -291,7 +292,7 @@ class TestRunSpmd:
         def program(env):
             yield from env.barrier()
 
-        res = run_spmd(mesh, make_strategy("4-ary", mesh), program, ZERO_COST)
+        res = run_spmd(mesh, get_strategy("4-ary", mesh), program, ZERO_COST)
         assert res.strategy == "4-ary"
         assert res.mesh == "2x2"
         assert "runtime" in res.extra
@@ -302,7 +303,7 @@ class TestRunSpmd:
         def program(env):
             yield from env.barrier()
 
-        res = run_spmd(mesh, make_strategy("4-ary", mesh), program, ZERO_COST)
+        res = run_spmd(mesh, get_strategy("4-ary", mesh), program, ZERO_COST)
         d = res.as_dict()
         assert d["strategy"] == "4-ary"
         assert "congestion_bytes" in d

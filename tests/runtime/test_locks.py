@@ -12,14 +12,14 @@ from hypothesis import strategies as st
 from repro.network.machine import GCEL, ZERO_COST
 from repro.network.mesh import Mesh2D
 from repro.runtime.launcher import Runtime
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 
 
 def run_contended(strategy_name, rounds=3, mesh=None, machine=GCEL, cs_ops=100.0, seed=0):
     """All processors repeatedly lock/increment/unlock one shared variable;
     returns (final_value, intervals, result)."""
     mesh = mesh or Mesh2D(4, 4)
-    strategy = make_strategy(strategy_name, mesh, seed=seed)
+    strategy = get_strategy(strategy_name, mesh, seed=seed)
     rt = Runtime(mesh, strategy, machine, seed=seed)
     intervals = []
     shared = {}
@@ -71,7 +71,7 @@ class TestRaymondProperties:
     def test_uncontended_lock_is_cheap_for_creator(self):
         """The token starts at the creator: its lock/unlock sends nothing."""
         mesh = Mesh2D(4, 4)
-        strategy = make_strategy("4-ary", mesh, seed=0)
+        strategy = get_strategy("4-ary", mesh, seed=0)
         rt = Runtime(mesh, strategy, GCEL)
         shared = {}
 
@@ -92,7 +92,7 @@ class TestRaymondProperties:
     def test_token_stays_at_last_holder(self):
         """Re-acquiring by the last holder needs no messages (token rests)."""
         mesh = Mesh2D(4, 4)
-        strategy = make_strategy("4-ary", mesh, seed=0)
+        strategy = get_strategy("4-ary", mesh, seed=0)
         rt = Runtime(mesh, strategy, GCEL)
         shared = {}
 
@@ -116,7 +116,7 @@ class TestRaymondProperties:
 
     def test_unlock_without_hold_rejected(self):
         mesh = Mesh2D(2, 2)
-        strategy = make_strategy("4-ary", mesh, seed=0)
+        strategy = get_strategy("4-ary", mesh, seed=0)
         rt = Runtime(mesh, strategy, ZERO_COST)
         shared = {}
 
@@ -144,7 +144,7 @@ class TestHomeLock:
     def test_fifo_grant_order(self):
         """Home lock grants in arrival order at the home."""
         mesh = Mesh2D(4, 4)
-        strategy = make_strategy("fixed-home", mesh, seed=1)
+        strategy = get_strategy("fixed-home", mesh, seed=1)
         rt = Runtime(mesh, strategy, ZERO_COST)
         order = []
         shared = {}
@@ -163,7 +163,7 @@ class TestHomeLock:
 
     def test_double_unlock_rejected(self):
         mesh = Mesh2D(2, 2)
-        strategy = make_strategy("fixed-home", mesh, seed=0)
+        strategy = get_strategy("fixed-home", mesh, seed=0)
         rt = Runtime(mesh, strategy, ZERO_COST)
         shared = {}
 

@@ -1,0 +1,56 @@
+"""TCP ingest frontend: wire protocol round-trips over a real socket."""
+
+import asyncio
+import json
+
+from repro.network.mesh import Mesh2D
+from repro.serve import ServeSession
+from repro.serve.frontend import ServeFrontend, selfcheck
+
+
+class TestSelfcheck:
+    def test_selfcheck_answers_every_request(self):
+        out = selfcheck(side=4, requests=120, clients=3, n_vars=8, seed=0)
+        assert out["selfcheck"] == "ok"
+        assert out["answered"] == 120
+        assert out["requests"] + out["rejected"] >= 120
+        assert out["latency_p50"] <= out["latency_p99"]
+
+
+class TestWireProtocol:
+    def test_create_read_write_stats_and_errors(self):
+        async def main():
+            sess = ServeSession(Mesh2D(2, 2), "fixed-home", seed=0)
+            fe = await ServeFrontend(sess, batch_interval=0.002).start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", fe.port)
+
+            async def ask(msg):
+                writer.write((json.dumps(msg) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            created = await ask({"op": "create", "proc": 1, "payload": 64})
+            assert created == {"ok": True, "vid": 0}
+            wrote = await ask({"op": "write", "proc": 2, "vid": 0,
+                               "value": 7, "id": "w1"})
+            assert wrote["ok"] and wrote["id"] == "w1" and wrote["time"] > 0
+            read = await ask({"op": "read", "proc": 3, "vid": 0})
+            assert read["ok"] and read["value"] == 7
+            stats = await ask({"op": "stats"})
+            assert stats["ok"] and stats["completed"] == 2
+            bad_op = await ask({"op": "frobnicate"})
+            assert not bad_op["ok"] and "unknown op" in bad_op["error"]
+            # Malformed JSON must answer an error, not kill the server.
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            garbled = json.loads(await reader.readline())
+            assert not garbled["ok"]
+            still_alive = await ask({"op": "stats"})
+            assert still_alive["ok"]
+
+            writer.close()
+            await fe.aclose()
+            return sess.close()
+
+        report = asyncio.run(main())
+        assert report.requests == 2 and report.created == 1

@@ -1,0 +1,129 @@
+"""Load-generator properties: arrival registry, access samplers,
+seeded reproducibility, and overload behavior."""
+
+import numpy as np
+import pytest
+
+from repro.network.mesh import Mesh2D
+from repro.serve import (
+    ServeSession,
+    access_sampler,
+    arrival_names,
+    get_arrival,
+    register_arrival,
+    run_loadgen,
+)
+
+
+class TestArrivalRegistry:
+    def test_builtins_registered(self):
+        assert "poisson" in arrival_names()
+        assert "bursty" in arrival_names()
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError, match="poisson"):
+            get_arrival("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_arrival("poisson")(lambda rate: None)
+
+    def test_poisson_gaps_have_target_mean(self):
+        draw = get_arrival("poisson")(1000.0)
+        gaps = draw(np.random.default_rng(0), 20000)
+        assert gaps.min() >= 0.0
+        assert abs(gaps.mean() - 1e-3) < 1e-4
+
+    def test_bursty_matches_long_run_rate(self):
+        draw = get_arrival("bursty")(1000.0, burst=4)
+        gaps = draw(np.random.default_rng(0), 20000)
+        # Within a burst the gaps are zero; across bursts the long-run
+        # rate matches poisson's.
+        assert (gaps == 0.0).sum() >= 20000 * 3 // 4 - 4
+        assert abs(gaps.mean() - 1e-3) < 1e-4
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            get_arrival("poisson")(0.0)
+        with pytest.raises(ValueError):
+            get_arrival("bursty")(100.0, burst=0)
+
+
+class TestAccessSampler:
+    def test_synthetic_workload_sampled_analytically(self):
+        n_vars, payload, draw = access_sampler(
+            "zipf", {"n_vars": 32, "alpha": 1.0, "read_frac": 0.7}
+        )
+        assert n_vars == 32 and payload > 0
+        vids, is_read = draw(np.random.default_rng(1), 8000)
+        assert vids.min() >= 0 and vids.max() < 32
+        assert abs(is_read.mean() - 0.7) < 0.05
+        # Zipf: the hottest variable dominates a uniform share.
+        assert (vids == 0).mean() > 2.0 / 32
+
+    def test_registered_app_workload_sampled_empirically(self):
+        n_vars, payload, draw = access_sampler("matmul")
+        assert n_vars > 0 and payload > 0
+        vids, is_read = draw(np.random.default_rng(0), 500)
+        assert vids.min() >= 0 and vids.max() < n_vars
+        assert 0.0 < is_read.mean() < 1.0
+
+    def test_empirical_branch_rejects_custom_params(self):
+        with pytest.raises(ValueError, match="empirically"):
+            access_sampler("matmul", {"block_entries": 64})
+
+
+class TestRunLoadgen:
+    def _run(self, seed=7, **kw):
+        sess = ServeSession(Mesh2D(4, 4), "4-ary", seed=0)
+        kw.setdefault("params", {"n_vars": 16, "alpha": 0.9})
+        return sess, run_loadgen(
+            sess, workload="zipf", rate=5000.0, requests=400,
+            seed=seed, chunk=64, **kw,
+        )
+
+    def test_seeded_run_is_reproducible(self):
+        sess_a, rep_a = self._run()
+        sess_b, rep_b = self._run()
+        assert rep_a.sim_time == rep_b.sim_time
+        assert (rep_a.hits, rep_a.misses) == (rep_b.hits, rep_b.misses)
+        assert rep_a.total_msgs == rep_b.total_msgs
+        assert rep_a.latency_p99 == rep_b.latency_p99
+        assert sess_a.trace().ops == sess_b.trace().ops
+
+    def test_different_seed_different_stream(self):
+        _, rep_a = self._run(seed=7)
+        _, rep_b = self._run(seed=8)
+        assert rep_a.sim_time != rep_b.sim_time
+
+    def test_report_extra_records_the_offered_load(self):
+        _, rep = self._run()
+        assert rep.extra["workload"] == "zipf"
+        assert rep.extra["arrival"] == "poisson"
+        assert rep.extra["rate"] == 5000.0
+        assert rep.extra["requests_offered"] == 400
+        assert rep.extra["n_vars"] == 16
+
+    def test_bursty_arrivals_queue_harder(self):
+        _, poisson = self._run(arrival="poisson")
+        _, bursty = self._run(arrival="bursty",
+                              arrival_opts={"burst": 32})
+        assert bursty.requests == poisson.requests == 400
+        # Same long-run rate, spikier queueing: bursts wait behind each
+        # other, so tail latency is strictly worse.
+        assert bursty.latency_p99 > poisson.latency_p99
+
+    def test_overload_with_tiny_queue_rejects_not_drops(self):
+        sess = ServeSession(Mesh2D(2, 2), "4-ary", seed=0, max_queue=16)
+        rep = run_loadgen(
+            sess, workload="zipf", params={"n_vars": 8, "alpha": 0.5},
+            rate=1e9, requests=600, seed=0, chunk=600,
+        )
+        assert rep.rejected > 0
+        assert rep.accepted + rep.rejected == 600
+        assert rep.requests == rep.accepted
+
+    def test_snapshot_callback_sees_progress(self):
+        seen = []
+        self._run(snapshot_every=2, on_snapshot=seen.append)
+        assert seen and seen[-1]["completed"] > 0

@@ -88,10 +88,10 @@ def test_heatmap_of_real_run():
     """The heatmap renders for real application traffic and highlights at
     least one saturated wire."""
     from repro.apps import matmul
-    from repro.core.strategy import make_strategy
+    from repro.core.registry import get_strategy
 
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva(mesh, make_strategy("fixed-home", mesh), 64)
+    res = matmul.run_diva(mesh, get_strategy("fixed-home", mesh), 64)
     rt = res.extra["runtime"]
     out = rt.sim.stats.render_heatmap()
     assert "100" in out

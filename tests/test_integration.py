@@ -3,7 +3,7 @@ variants, consistency of traffic accounting, and measurement plumbing."""
 
 import pytest
 
-from repro import GCEL, Mesh2D, make_strategy
+from repro import GCEL, Mesh2D, get_strategy
 from repro.apps import barneshut, bitonic, matmul
 
 ALL = ["2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-ary", "fixed-home"]
@@ -12,7 +12,7 @@ ALL = ["2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-ary", "fixed-home
 @pytest.mark.parametrize("strategy", ALL)
 def test_matmul_correct_on_every_strategy(strategy):
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva(mesh, make_strategy(strategy, mesh), block_entries=16)
+    res = matmul.run_diva(mesh, get_strategy(strategy, mesh), block_entries=16)
     assert res.extra["verified"]
     assert res.time > 0
 
@@ -20,7 +20,7 @@ def test_matmul_correct_on_every_strategy(strategy):
 @pytest.mark.parametrize("strategy", ALL)
 def test_bitonic_correct_on_every_strategy(strategy):
     mesh = Mesh2D(4, 4)
-    res = bitonic.run_diva(mesh, make_strategy(strategy, mesh), keys_per_wire=16)
+    res = bitonic.run_diva(mesh, get_strategy(strategy, mesh), keys_per_wire=16)
     assert res.extra["verified"]
 
 
@@ -28,7 +28,7 @@ def test_bitonic_correct_on_every_strategy(strategy):
 def test_barneshut_matches_reference_on_more_strategies(strategy):
     mesh = Mesh2D(2, 2)
     res = barneshut.run(
-        mesh, make_strategy(strategy, mesh), n_bodies=48, steps=2, warm=1, verify=True
+        mesh, get_strategy(strategy, mesh), n_bodies=48, steps=2, warm=1, verify=True
     )
     assert res.extra["verified"]
 
@@ -36,27 +36,27 @@ def test_barneshut_matches_reference_on_more_strategies(strategy):
 def test_total_load_equals_per_link_sum():
     """Conservation: the sum of per-link bytes equals the per-phase sums."""
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 64)
+    res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 64)
     phase_total = sum(p.stats.total_bytes for p in res.phases)
     assert phase_total == pytest.approx(res.stats.total_bytes)
 
 
 def test_phase_times_cover_run():
     mesh = Mesh2D(4, 4)
-    res = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 64)
+    res = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 64)
     assert sum(p.time for p in res.phases) == pytest.approx(res.time, rel=1e-6)
 
 
 def test_random_embedding_still_correct():
     mesh = Mesh2D(4, 4)
-    strat = make_strategy("4-ary", mesh, embedding="random")
+    strat = get_strategy("4-ary", mesh, embedding="random")
     res = matmul.run_diva(mesh, strat, block_entries=16)
     assert res.extra["verified"]
 
 
 def test_central_barrier_still_correct():
     mesh = Mesh2D(4, 4)
-    res = bitonic.run_diva(mesh, make_strategy("4-ary", mesh), 16, barrier="central")
+    res = bitonic.run_diva(mesh, get_strategy("4-ary", mesh), 16, barrier="central")
     assert res.extra["verified"]
 
 
@@ -64,7 +64,7 @@ def test_bounded_memory_end_to_end_correct():
     """Even under heavy replacement the computation stays correct."""
     mesh = Mesh2D(4, 4)
     res = matmul.run_diva(
-        mesh, make_strategy("2-ary", mesh), block_entries=64, capacity_bytes=1500
+        mesh, get_strategy("2-ary", mesh), block_entries=64, capacity_bytes=1500
     )
     assert res.extra["verified"]
     assert res.evictions > 0
@@ -72,8 +72,8 @@ def test_bounded_memory_end_to_end_correct():
 
 def test_seeds_change_placement_but_not_results():
     mesh = Mesh2D(4, 4)
-    r1 = matmul.run_diva(mesh, make_strategy("4-ary", mesh, seed=1), 64, seed=0)
-    r2 = matmul.run_diva(mesh, make_strategy("4-ary", mesh, seed=2), 64, seed=0)
+    r1 = matmul.run_diva(mesh, get_strategy("4-ary", mesh, seed=1), 64, seed=0)
+    r2 = matmul.run_diva(mesh, get_strategy("4-ary", mesh, seed=2), 64, seed=0)
     assert r1.extra["verified"] and r2.extra["verified"]
     # different tree embeddings => (almost surely) different congestion
     assert r1.congestion_bytes != r2.congestion_bytes
@@ -91,7 +91,7 @@ def test_larger_networks_increase_fixed_home_disadvantage():
     ratios = []
     for side in (4, 8):
         mesh = Mesh2D(side, side)
-        at = matmul.run_diva(mesh, make_strategy("4-ary", mesh), 256)
-        fh = matmul.run_diva(mesh, make_strategy("fixed-home", mesh), 256)
+        at = matmul.run_diva(mesh, get_strategy("4-ary", mesh), 256)
+        fh = matmul.run_diva(mesh, get_strategy("fixed-home", mesh), 256)
         ratios.append(fh.congestion_bytes / at.congestion_bytes)
     assert ratios[1] > ratios[0]

@@ -177,13 +177,13 @@ class TestRecorderContract:
     def test_recorder_is_single_use(self):
         from repro.workloads.trace import TraceRecorder
         from repro.runtime.launcher import Runtime
-        from repro.core.strategy import make_strategy
+        from repro.core.registry import get_strategy
 
         rec = TraceRecorder()
         mesh = Mesh2D(2, 2)
-        Runtime(mesh, make_strategy("4-ary", mesh), recorder=rec)
+        Runtime(mesh, get_strategy("4-ary", mesh), recorder=rec)
         with pytest.raises(RuntimeError, match="exactly one run"):
-            Runtime(mesh, make_strategy("4-ary", mesh), recorder=rec)
+            Runtime(mesh, get_strategy("4-ary", mesh), recorder=rec)
 
     def test_recording_does_not_change_the_run(self):
         wl = get_workload("bitonic")

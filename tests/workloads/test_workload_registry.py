@@ -6,7 +6,7 @@ from repro.apps import bitonic, matmul
 from repro.network.machine import GCEL
 from repro.network.mesh import Mesh2D
 from repro.network.topology import Hypercube
-from repro.core.strategy import make_strategy
+from repro.core.registry import get_strategy
 from repro.workloads import WORKLOADS, Workload, get_workload, register, workload_names
 
 EXPECTED_NAMES = {
@@ -74,7 +74,7 @@ class TestPaperAdapters:
         mesh = Mesh2D(4, 4)
         wl = get_workload("matmul").run(mesh, "4-ary", seed=1, params={"block_entries": 64})
         direct = matmul.run_diva(
-            mesh, make_strategy("4-ary", mesh, seed=1), 64, machine=GCEL, seed=1
+            mesh, get_strategy("4-ary", mesh, seed=1), 64, machine=GCEL, seed=1
         )
         assert wl.time == direct.time
         assert wl.total_bytes == direct.total_bytes

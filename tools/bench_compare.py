@@ -1,27 +1,37 @@
 #!/usr/bin/env python3
-"""Engine perf-regression gate: compare BENCH_engine.json to the baseline.
+"""Perf-regression gate: compare a fresh bench result to its baseline.
 
 Used by the CI ``perf`` job and by hand::
 
     python benchmarks/bench_engine_perf.py
     python tools/bench_compare.py                      # default paths
     python tools/bench_compare.py --update-baseline    # refresh the baseline
+    python tools/bench_compare.py \\
+        --current benchmarks/results/BENCH_serve.json \\
+        --baseline benchmarks/baselines/BENCH_serve.baseline.json
+    python tools/bench_compare.py --history            # committed trend
 
-Compares the freshly measured ``cells_per_sec`` AND ``peak_rss_mb``
-against the committed baseline
-(``benchmarks/baselines/BENCH_engine.baseline.json``) and fails (exit 1)
-when either throughput regressed (dropped) or peak memory regressed
-(grew) by more than ``--threshold`` (default 0.20 = 20%, overridable via
-``$REPRO_BENCH_TOLERANCE``).  Improvements and small fluctuations pass;
-a baseline with a different ``bench_version``, engine, or pinned
-configuration fails loudly (the trajectory broke -- re-baseline
-deliberately with ``--update-baseline``, which refreshes both metrics at
-once).  When one side lacks ``peak_rss_mb`` (a pre-v2 result file) only
-throughput is gated, with a note.
+Compares the freshly measured throughput metric AND ``peak_rss_mb``
+against the committed baseline and fails (exit 1) when either throughput
+regressed (dropped) or peak memory regressed (grew) by more than
+``--threshold`` (default 0.20 = 20%, overridable via
+``$REPRO_BENCH_TOLERANCE``).  The throughput metric is detected from the
+files: ``cells_per_sec`` for the engine bench, ``requests_per_sec`` for
+the serving bench -- whichever key both sides carry.  Improvements and
+small fluctuations pass; a baseline with a different ``bench_version``,
+engine, or pinned configuration fails loudly (the trajectory broke --
+re-baseline deliberately with ``--update-baseline``, which refreshes
+both metrics at once).  When one side lacks ``peak_rss_mb`` (a pre-v2
+result file) only throughput is gated, with a note.
 
 The pure-Python engine has its own baseline
 (``BENCH_engine.pure.baseline.json``); point ``--current``/``--baseline``
-at the ``.pure`` files to gate it (the CI perf job gates both engines).
+at the ``.pure`` files to gate it (the CI perf job gates both engines,
+plus the serving bench on the C engine).
+
+``--history`` prints the committed ``benchmarks/BENCH_history.json``
+trajectory (optionally filtered with ``--bench``/``--engine``) and
+exits -- the dated-trend companion to the point-in-time gate.
 
 The deltas are printed human-readably, and appended as a Markdown table
 to ``$GITHUB_STEP_SUMMARY`` when that file is available (the CI job
@@ -45,7 +55,11 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_engine.baseline.json"
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "BENCH_history.json"
 DEFAULT_THRESHOLD = 0.20
+
+#: Throughput keys a bench result may gate on, in detection order.
+METRIC_KEYS = ("cells_per_sec", "requests_per_sec")
 
 
 def load(path: pathlib.Path) -> dict:
@@ -55,10 +69,28 @@ def load(path: pathlib.Path) -> dict:
         raise SystemExit(f"bench_compare: cannot read {path}: {exc}") from exc
     except ValueError as exc:
         raise SystemExit(f"bench_compare: {path} is not valid JSON: {exc}") from exc
-    for key in ("cells_per_sec", "bench_version", "pinned"):
+    for key in ("bench_version", "pinned"):
         if key not in payload:
             raise SystemExit(f"bench_compare: {path} lacks required key {key!r}")
+    if not any(key in payload for key in METRIC_KEYS):
+        raise SystemExit(
+            f"bench_compare: {path} carries none of the known throughput "
+            f"metrics {METRIC_KEYS}"
+        )
     return payload
+
+
+def metric_key(current: dict, baseline: dict) -> str:
+    """The throughput key both sides carry (``cells_per_sec`` for the
+    engine bench, ``requests_per_sec`` for the serving bench)."""
+    for key in METRIC_KEYS:
+        if key in current and key in baseline:
+            return key
+    raise SystemExit(
+        "bench_compare: current and baseline share no throughput metric "
+        f"(candidates: {METRIC_KEYS}) -- comparing results of different "
+        "benches?"
+    )
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> dict:
@@ -88,14 +120,16 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
             f"{baseline.get('engine', 'c')!r}); compare each engine "
             "against its own baseline"
         )
-    cur = float(current["cells_per_sec"])
-    base = float(baseline["cells_per_sec"])
+    key = metric_key(current, baseline)
+    cur = float(current[key])
+    base = float(baseline[key])
     ratio = cur / base if base > 0 else float("inf")
     throughput = {
         "ok": ratio >= 1.0 - threshold,
         "ratio": ratio,
         "current": cur,
         "baseline": base,
+        "metric": key,
     }
     memory = None
     if "peak_rss_mb" in current and "peak_rss_mb" in baseline:
@@ -114,6 +148,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
         "memory": memory,
         "threshold": threshold,
         "engine": current.get("engine", "c"),
+        "bench": current.get("bench", "engine"),
     }
 
 
@@ -125,13 +160,15 @@ def emit_summary(verdict: dict) -> None:
     thr = verdict["throughput"]
     t_pct = (thr["ratio"] - 1.0) * 100.0
     t_status = "✅ pass" if thr["ok"] else "❌ regression"
+    label = thr["metric"].replace("_per_sec", "/sec")
     lines = [
-        f"### Engine perf gate ({verdict['engine']} engine)",
+        f"### {verdict['bench'].capitalize()} perf gate "
+        f"({verdict['engine']} engine)",
         "",
         "| metric | baseline | current | delta | status |",
         "|---|---|---|---|---|",
         (
-            f"| cells/sec | {thr['baseline']:.2f} | {thr['current']:.2f} "
+            f"| {label} | {thr['baseline']:.2f} | {thr['current']:.2f} "
             f"| {t_pct:+.1f}% | {t_status} |"
         ),
     ]
@@ -167,7 +204,21 @@ def main(argv=None) -> int:
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="copy --current over --baseline and exit")
+    parser.add_argument("--history", action="store_true",
+                        help="print the committed perf trajectory and exit")
+    parser.add_argument("--bench", default=None,
+                        help="with --history: only rows for this bench")
+    parser.add_argument("--engine", default=None,
+                        help="with --history: only rows for this engine")
     args = parser.parse_args(argv)
+
+    if args.history:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.exp.history import format_trend, load_history
+
+        print(format_trend(load_history(DEFAULT_HISTORY),
+                           bench=args.bench, engine=args.engine))
+        return 0
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
@@ -180,8 +231,10 @@ def main(argv=None) -> int:
     verdict = compare(current, baseline, args.threshold)
     thr = verdict["throughput"]
     delta_pct = (thr["ratio"] - 1.0) * 100.0
+    label = thr["metric"].replace("_per_sec", "/sec")
+    name = verdict["bench"]
     print(
-        f"engine perf [{verdict['engine']}]: {thr['current']:.2f} cells/sec "
+        f"{name} perf [{verdict['engine']}]: {thr['current']:.2f} {label} "
         f"vs baseline {thr['baseline']:.2f} ({delta_pct:+.1f}%; gate at "
         f"-{args.threshold * 100:.0f}%)"
     )
@@ -189,7 +242,7 @@ def main(argv=None) -> int:
     if mem is not None:
         m_pct = (mem["ratio"] - 1.0) * 100.0
         print(
-            f"engine mem  [{verdict['engine']}]: {mem['current']:.1f} MiB peak "
+            f"{name} mem  [{verdict['engine']}]: {mem['current']:.1f} MiB peak "
             f"vs baseline {mem['baseline']:.1f} ({m_pct:+.1f}%; gate at "
             f"+{args.threshold * 100:.0f}%)"
         )
