@@ -27,6 +27,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.registry import get_strategy, parse_strategy_spec
+from ..metrics import MetricsBundle
 from ..network.failures import parse_failure_spec
 from ..network.machine import GCEL, MachineModel
 from ..network.mesh import Mesh2D
@@ -69,20 +70,10 @@ __all__ = [
     "xstrat_cell",
     "xcap_cell",
     "xfail_cell",
+    "xadapt_cell",
 ]
 
 Row = Dict[str, object]
-
-
-def _cache_fields(res: RunResult) -> Dict[str, object]:
-    """The strategy-cache behavior columns every cell row carries (schema
-    v5): reads served locally vs remotely, and LRU eviction pressure."""
-    return {
-        "hits": res.hits,
-        "misses": res.misses,
-        "hit_rate": res.hit_ratio,
-        "evictions": res.evictions,
-    }
 
 
 def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
@@ -189,6 +180,14 @@ def scale_params(figure: str, scale: Optional[str] = None) -> Dict[str, object]:
                 "churn:nodes=0.1:seed=7:horizon=0.8",
             )),
         },
+        # Adaptation axis: the hotspot-drift kernel (zipf head rotating
+        # mid-run) x strategy family x topology at a pinned 64 nodes;
+        # --scale grows the per-processor load and the drift-rate sweep.
+        "xadapt": {
+            "quick": dict(side=8, ops=16, drifts=(0, 2)),
+            "default": dict(side=8, ops=64, drifts=(0, 2, 5)),
+            "paper": dict(side=8, ops=256, drifts=(0, 2, 5, 10)),
+        },
         # Scale-axis experiment: thousands of nodes (the regime where the
         # paper's asymptotic congestion guarantee is supposed to bite),
         # reachable since the engine hot-path overhaul.  Quick keeps one
@@ -256,7 +255,7 @@ def fig2_cell(
             "total_bytes": res.stats.total_bytes,
             "congestion_bytes": res.stats.congestion_bytes,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -306,7 +305,7 @@ def matmul_cell(
             "time": base.time,
             "congestion_ratio": 1.0,
             "time_ratio": 1.0,
-            **_cache_fields(base),
+            **base.metrics.to_row(),
         }
     ]
     for name in strategies:
@@ -323,7 +322,7 @@ def matmul_cell(
                 "time": res.time,
                 "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
                 "time_ratio": res.time / base.time,
-                **_cache_fields(res),
+                **res.metrics.to_row(),
             }
         )
     return rows
@@ -394,7 +393,7 @@ def bitonic_cell(
             "time": base.time,
             "congestion_ratio": 1.0,
             "time_ratio": 1.0,
-            **_cache_fields(base),
+            **base.metrics.to_row(),
         }
     ]
     for name in strategies:
@@ -414,7 +413,7 @@ def bitonic_cell(
                 "time": res.time,
                 "congestion_ratio": res.congestion_bytes / base.congestion_bytes,
                 "time_ratio": res.time / base.time,
-                **_cache_fields(res),
+                **res.metrics.to_row(),
             }
         )
     return rows
@@ -477,7 +476,7 @@ def _barneshut_row(
         "bodies": bodies,
         "congestion_msgs": res.congestion_msgs,
         "time": res.time,
-        **_cache_fields(res),
+        **res.metrics.to_row(),
     }
     tb = res.phase("treebuild")
     fc = res.phase("force")
@@ -534,12 +533,6 @@ def fig8_barneshut_bodies(
     return rows
 
 
-def _carried_cache_fields(row: Row) -> Dict[str, object]:
-    """The run-level cache columns a projected row inherits from its
-    source cell row (the phase views describe the same execution)."""
-    return {k: row[k] for k in ("hits", "misses", "hit_rate", "evictions") if k in row}
-
-
 def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
     """Figure 9 (tree-building phase) projected from Barnes-Hut cell rows."""
     return [
@@ -549,7 +542,7 @@ def fig9_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
             "bodies": r["bodies"],
             "congestion_msgs": r["treebuild_congestion_msgs"],
             "time": r["treebuild_time"],
-            **_carried_cache_fields(r),
+            **MetricsBundle.carry_row(r),
         }
         for r in rows
         if "treebuild_congestion_msgs" in r
@@ -567,7 +560,7 @@ def fig10_rows_from_cells(rows: Iterable[Row]) -> List[Row]:
             "time": r["force_time"],
             "local_compute": r["force_local_compute"],
             "comm_share": r["force_comm_share"],
-            **_carried_cache_fields(r),
+            **MetricsBundle.carry_row(r),
         }
         for r in rows
         if "force_congestion_msgs" in r
@@ -608,7 +601,7 @@ def barneshut_scaling_cell(
             "congestion_msgs": res.congestion_msgs,
             "time": res.time,
             "comm_time": res.time - row["force_local_compute"],
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -642,7 +635,7 @@ def fig11_barneshut_scaling(
                     "time": res.time,
                     "comm_time": res.time - row["force_local_compute"],
                     "result": res,
-                    **_cache_fields(res),
+                    **res.metrics.to_row(),
                 }
             )
     return rows
@@ -694,7 +687,7 @@ def tree_degree_cell(
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -738,7 +731,7 @@ def embedding_cell(
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -785,7 +778,7 @@ def invalidation_cell(
             "congestion_bytes": res.congestion_bytes,
             "ctrl_msgs": res.stats.ctrl_msgs,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -850,7 +843,7 @@ def remapping_cell(
             "remaps": strat.remaps,
             "congestion_bytes": res.stats.congestion_bytes,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -904,7 +897,7 @@ def barrier_cell(
             "congestion_bytes": res.congestion_bytes,
             "time": res.time,
             "max_startups": res.stats.max_startups,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -951,7 +944,7 @@ def bounded_memory_cell(
             "workload": "barneshut",
             "congestion_msgs": res.congestion_msgs,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -989,7 +982,7 @@ def synthetic_cell(
         total_msgs=res.stats.total_msgs,
         time=res.time,
         lock_acquisitions=res.lock_acquisitions,
-        **_cache_fields(res),
+        **res.metrics.to_row(),
     )
     return [row]
 
@@ -1031,7 +1024,7 @@ def xscale_cell(
             "total_bytes": res.stats.total_bytes,
             "total_msgs": res.stats.total_msgs,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -1078,7 +1071,7 @@ def xstrat_cell(
         total_msgs=res.stats.total_msgs,
         time=res.time,
         lock_acquisitions=res.lock_acquisitions,
-        **_cache_fields(res),
+        **res.metrics.to_row(),
     )
     return [row]
 
@@ -1135,7 +1128,7 @@ def xcap_cell(
             "congestion_bytes": res.congestion_bytes,
             "total_bytes": res.stats.total_bytes,
             "time": res.time,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
         }
     ]
 
@@ -1199,7 +1192,63 @@ def xfail_cell(
             "requests_retried": res.requests_retried,
             "repairs": res.repairs,
             "failure_events": res.failure_events,
-            **_cache_fields(res),
+            **res.metrics.to_row(),
+        }
+    ]
+
+
+def xadapt_cell(
+    drift: int,
+    strategy: str,
+    topology: str = "mesh",
+    side: int = 8,
+    ops: int = 64,
+    n_vars: int = 64,
+    alpha: float = 1.2,
+    read_frac: float = 0.95,
+    payload: int = 256,
+    shift: int = 0,
+    machine: MachineModel = GCEL,
+    seed: int = 0,
+) -> List[Row]:
+    """One ``xadapt`` cell: the hotspot-drift kernel under one drift
+    rate, one strategy registry spec and one topology.
+
+    This is the metric suite's showcase sweep: the hot set moves
+    ``drift`` times mid-run, so the schema-v7 columns -- latency
+    percentiles, storage cost, effective network usage -- separate the
+    replication policies that raw completion time conflates.  ``drift=0``
+    rows are the static-hotspot baseline (exactly the zipf kernel).
+    """
+    wl = get_workload("hotspot-drift")
+    topo = make_topology(topology, side)
+    family, sparams = parse_strategy_spec(strategy)
+    res = wl.run(
+        topo,
+        strategy,
+        machine=machine,
+        seed=seed,
+        params={"n_vars": n_vars, "ops": ops, "alpha": alpha,
+                "read_frac": read_frac, "payload": payload,
+                "drift": drift, "shift": shift},
+    )
+    return [
+        {
+            "drift": drift,
+            "workload": "hotspot-drift",
+            "strategy": strategy,
+            "strategy_family": family.name,
+            "strategy_params": sparams,
+            "topology": topology,
+            "network": topo.label,
+            "nodes": topo.n_nodes,
+            "ops": ops,
+            "alpha": alpha,
+            "read_frac": read_frac,
+            "congestion_bytes": res.congestion_bytes,
+            "total_bytes": res.stats.total_bytes,
+            "time": res.time,
+            **res.metrics.to_row(),
         }
     ]
 

@@ -275,9 +275,11 @@ class AccessTreeStrategy(DataManagementStrategy):
         """
         depth = self.tree.depth
         track = self._track_mem
+        payload = var.payload_bytes
         for n in reversed(path):
             if n not in cs.nodes:
                 cs.nodes.add(n)
+                self._storage_delta(payload, t)
                 if depth[n] < depth[cs.top]:
                     cs.top = n
                 if track:
@@ -320,6 +322,7 @@ class AccessTreeStrategy(DataManagementStrategy):
         tree's direction information stays consistent (one control leg)."""
         cs = self._copies[vid]
         cs.nodes.discard(node)
+        self._storage_delta(-self.registry.by_id(vid).payload_bytes, t)
         tn = self.tree.nodes[node]
         neighbour: Optional[int] = None
         if tn.parent is not None and tn.parent in cs.nodes:
@@ -459,6 +462,7 @@ class AccessTreeStrategy(DataManagementStrategy):
                 key = (vid, n)
                 if key in mem:
                     mem.remove(key)
+        self._storage_delta((1 - len(cs.nodes)) * payload, t)
         cs.nodes = {u}
         cs.top = u
         self._add_copies(var, cs, path, t)

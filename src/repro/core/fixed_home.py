@@ -101,7 +101,9 @@ class FixedHomeStrategy(DataManagementStrategy):
 
         def on_evict(vid2) -> None:
             st2 = self._states[vid2]
-            st2.copies.discard(proc)
+            if proc in st2.copies:
+                st2.copies.discard(proc)
+                self._storage_delta(-self.registry.by_id(vid2).payload_bytes, t)
             # Dropping a cached copy must be announced to the home, which
             # tracks all copies for invalidation.
             self.sim.send_leg(proc, st2.home, 0, t, is_data=False)
@@ -153,10 +155,13 @@ class FixedHomeStrategy(DataManagementStrategy):
             # moving the ownership back to the main memory.
             hosts.append(st.owner)
             st.owner = HOME
-            st.copies.add(st.home)
+            if st.home not in st.copies:
+                st.copies.add(st.home)
+                self._storage_delta(payload, t)
             self._mem_insert(st, var, st.home, t)
         if replicate:
             st.copies.add(proc)
+            self._storage_delta(payload, t)
             self._mem_insert(st, var, proc, t)
         value = self.registry.get(var)
         runtime = self.runtime
@@ -198,6 +203,7 @@ class FixedHomeStrategy(DataManagementStrategy):
                 mem = self.memory[q]
                 if var.vid in mem:
                     mem.remove(var.vid)
+        self._storage_delta((1 - len(st.copies)) * var.payload_bytes, t)
         st.copies = {proc}
         st.owner = proc
         self.registry.set(var, value)
@@ -238,6 +244,7 @@ class FixedHomeStrategy(DataManagementStrategy):
             st = self._states[vid]
             touched = False
             var = self.registry.by_id(vid)
+            n_before = len(st.copies)
             if st.home == proc:
                 # The directory died with its node: the next live
                 # processor becomes the new home.
@@ -274,6 +281,9 @@ class FixedHomeStrategy(DataManagementStrategy):
                     self.memory[proc].remove(vid)
                 touched = True
             if touched:
+                delta = (len(st.copies) - n_before) * var.payload_bytes
+                if delta:
+                    self._storage_delta(delta, t)
                 repaired.append(vid)
         return repaired
 

@@ -32,7 +32,10 @@ Families ship in this package:
 * ``migratory`` (:mod:`repro.core.migratory`) -- single-copy owner
   migration: the copy moves to the writer, reads are forwarded;
 * ``dynrep`` (:mod:`repro.core.dynrep`) -- threshold-based dynamic
-  replication with write-invalidation.
+  replication with write-invalidation;
+* ``adaptive`` (:mod:`repro.core.adaptive`) -- online-adaptive
+  replication from a decaying access-popularity estimator whose scores
+  survive write invalidations.
 
 :data:`~repro.core.strategy.STRATEGY_NAMES` is *derived* from this
 registry (a live view); :func:`get_strategy` is the one factory every
@@ -45,11 +48,14 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .specs import SpecGrammar
+
 __all__ = [
     "StrategyFamily",
     "register_strategy",
     "get_strategy",
     "parse_strategy_spec",
+    "format_strategy_spec",
     "strategy_names",
     "STRATEGIES",
 ]
@@ -58,14 +64,6 @@ __all__ = [
 #: even when the specific arity is not a registered alias (the historic
 #: factory contract: ``"4-32-ary"`` works).
 _ARITY_PATTERN = re.compile(r"^\d+(-\d+)?-ary$")
-
-#: ``key=value`` coercers per parameter type (specs are strings).
-_COERCE: Dict[type, Callable[[str], Any]] = {
-    str: str,
-    int: int,
-    float: float,
-    bool: lambda s: {"true": True, "1": True, "false": False, "0": False}[s.lower()],
-}
 
 
 @dataclass(frozen=True)
@@ -163,79 +161,58 @@ class _DerivedNames(Sequence):
         return f"STRATEGY_NAMES{tuple(strategy_names())!r}"
 
 
-def _coerce(family: str, key: str, value: str, default: Any, target: Optional[type]):
-    kind = target if target is not None else type(default)
-    fn = _COERCE.get(kind)
-    if fn is None:  # pragma: no cover - registration-time bug
-        raise TypeError(f"strategy {family!r}: no coercer for parameter {key!r}")
-    try:
-        return fn(value)
-    except (ValueError, KeyError):
-        raise ValueError(
-            f"strategy {family!r}: parameter {key!r} expects "
-            f"{kind.__name__}, got {value!r}"
-        ) from None
+def _unknown_strategy(head: str) -> str:
+    return (
+        f"unknown strategy {head!r}; valid: {', '.join(strategy_names())} "
+        f"(or any <l>-<k>-ary access-tree variant)"
+    )
+
+
+def _resolve_arity(head: str) -> Optional[tuple]:
+    """Unregistered arity variants fall through to the tree family; the
+    head IS the arity, so it is pinned like the alias families'."""
+    if _ARITY_PATTERN.match(head) and "tree" in STRATEGIES:
+        family = STRATEGIES["tree"]
+        params = dict(family.defaults)
+        params[family.positional] = head
+        return family, params, family.locked | {family.positional}
+    return None
+
+
+def _locked_strategy(family: StrategyFamily, key: str, value: str) -> str:
+    return (
+        f"strategy {family.name!r} pins {key!r} (it is the "
+        f"family's identity); use the generic family instead "
+        f"(e.g. tree:{value})"
+    )
+
+
+#: The strategy registration against the shared grammar
+#: (:mod:`repro.core.specs`): all parsing/formatting/coercion lives
+#: there, this module only supplies the registry and its messages.
+_GRAMMAR = SpecGrammar(
+    spec_kind="strategy",
+    entry_kind="strategy",
+    registry=STRATEGIES,
+    unknown_head=_unknown_strategy,
+    resolve_head=_resolve_arity,
+    locked_message=_locked_strategy,
+)
 
 
 def parse_strategy_spec(spec: str) -> Tuple[StrategyFamily, Dict[str, Any]]:
     """Parse ``spec`` into ``(family, params)``; raises ``ValueError``
     with the valid alternatives on unknown names or malformed tokens."""
-    if not isinstance(spec, str) or not spec.strip():
-        raise ValueError(f"strategy spec must be a non-empty string, got {spec!r}")
-    head, *tokens = spec.strip().split(":")
-    family = STRATEGIES.get(head)
-    params: Dict[str, Any]
-    locked = family.locked if family is not None else frozenset()
-    if family is not None:
-        params = dict(family.defaults)
-    elif _ARITY_PATTERN.match(head) and "tree" in STRATEGIES:
-        # Unregistered arity variants fall through to the tree family;
-        # the head IS the arity, so it is pinned like the alias families'.
-        family = STRATEGIES["tree"]
-        params = dict(family.defaults)
-        params[family.positional] = head
-        locked = family.locked | {family.positional}
-    else:
-        raise ValueError(
-            f"unknown strategy {head!r}; valid: {', '.join(strategy_names())} "
-            f"(or any <l>-<k>-ary access-tree variant)"
-        )
-    for token in tokens:
-        token = token.strip()
-        if not token:
-            raise ValueError(f"strategy spec {spec!r} has an empty segment")
-        if "=" in token:
-            key, _, value = token.partition("=")
-            if key in locked:
-                raise ValueError(
-                    f"strategy {family.name!r} pins {key!r} (it is the "
-                    f"family's identity); use the generic family instead "
-                    f"(e.g. tree:{value})"
-                )
-            if key not in params:
-                valid = ", ".join(sorted(set(params) - locked)) or "(none)"
-                raise ValueError(
-                    f"strategy {family.name!r} has no parameter {key!r}; "
-                    f"valid: {valid}"
-                )
-            coerced = _coerce(
-                family.name, key, value, family.defaults[key], family.param_types.get(key)
-            )
-            if key == family.positional and family.normalize is not None:
-                coerced = family.normalize(coerced)
-            params[key] = coerced
-        else:
-            if family.positional is None or family.positional in locked:
-                raise ValueError(
-                    f"strategy {head!r} takes no positional spec "
-                    f"segment, got {token!r}"
-                )
-            params[family.positional] = (
-                family.normalize(token) if family.normalize is not None else token
-            )
-    if family.validate is not None:
-        family.validate(params)
-    return family, params
+    return _GRAMMAR.parse(spec)
+
+
+def format_strategy_spec(family, params: Optional[Dict[str, Any]] = None) -> str:
+    """Canonical spec string for ``(family, params)``: every unlocked
+    parameter in registration order, so ``parse -> format -> parse``
+    round-trips (locked identity parameters -- ``4-ary``'s arity -- ride
+    in the name, ``None`` knobs meaning "use the call site's value" are
+    omitted)."""
+    return _GRAMMAR.format(family, params)
 
 
 def get_strategy(
@@ -322,6 +299,30 @@ def _build_dynrep(topology, params, *, seed, embedding, remap_threshold):
     return DynRepStrategy(topology, seed=seed, threshold=params["threshold"])
 
 
+def _validate_adaptive(params: Dict[str, Any]) -> None:
+    if params["halflife"] <= 0:
+        raise ValueError(f"adaptive halflife must be > 0, got {params['halflife']}")
+    if params["promote"] <= 0:
+        raise ValueError(f"adaptive promote must be > 0, got {params['promote']}")
+    if not 0 <= params["demote"] < params["promote"]:
+        raise ValueError(
+            f"adaptive demote must satisfy 0 <= demote < promote, "
+            f"got {params['demote']}"
+        )
+
+
+def _build_adaptive(topology, params, *, seed, embedding, remap_threshold):
+    from .adaptive import AdaptiveStrategy
+
+    return AdaptiveStrategy(
+        topology,
+        seed=seed,
+        halflife=params["halflife"],
+        promote=params["promote"],
+        demote=params["demote"],
+    )
+
+
 def _tree_knobs() -> Dict[str, Any]:
     return {"embed": None, "remap": None}
 
@@ -369,6 +370,13 @@ def _register_builtins() -> None:
         build=_build_dynrep,
         defaults={"threshold": 2},
         validate=_validate_dynrep,
+    ))
+    register_strategy(StrategyFamily(
+        name="adaptive",
+        description="decayed-popularity replication (scores survive writes)",
+        build=_build_adaptive,
+        defaults={"halflife": 50.0, "promote": 3.0, "demote": 0.5},
+        validate=_validate_adaptive,
     ))
 
 

@@ -1,0 +1,202 @@
+"""The one spec grammar shared by every parameterized registry.
+
+Three registries accept compact **spec strings** of the same shape::
+
+    name[:token][:token]...
+
+where each ``token`` is ``key=value`` or a bare positional value the
+entry interprets -- strategies (``dynrep:threshold=3``,
+:mod:`repro.core.registry`), failure models (``churn:nodes=0.05``,
+:mod:`repro.network.failures`) and arrival processes
+(``bursty:burst=16``, :mod:`repro.serve.loadgen`).  Historically each
+registry carried its own copy of the parser; this module is the single
+implementation all three register against.
+
+A :class:`SpecGrammar` is parameterized by the registry dict it resolves
+names in and by the two words its error messages use (``entry_kind`` --
+"strategy" / "failure model" / "arrival process" -- and ``spec_kind`` --
+"strategy" / "failure" / "arrival"), so every grammar's historic
+messages reproduce byte for byte.  Registry *entries* are duck-typed:
+any object with ``name`` and ``defaults`` works; ``param_types``,
+``positional``, ``normalize``, ``locked`` and ``validate`` are optional
+refinements (see :class:`repro.core.registry.StrategyFamily` for the
+full vocabulary).
+
+Parsing and formatting are inverses: :meth:`SpecGrammar.format` emits
+the canonical spec (every unlocked, non-``None`` parameter in
+registration order) and ``parse(format(parse(s)))`` is a fixed point for
+every valid ``s`` -- the cross-grammar round-trip suite pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+__all__ = ["COERCERS", "SpecGrammar"]
+
+#: ``key=value`` coercers per parameter type (specs are strings).  The
+#: shared table formerly copied into each registry.
+COERCERS: Dict[type, Callable[[str], Any]] = {
+    str: str,
+    int: int,
+    float: float,
+    bool: lambda s: {"true": True, "1": True, "false": False, "0": False}[s.lower()],
+}
+
+
+class SpecGrammar:
+    """Parser/formatter for one registry's spec strings.
+
+    Parameters
+    ----------
+    spec_kind:
+        The word naming the *spec* in messages ("strategy spec must
+        be..."): ``"strategy"`` / ``"failure"`` / ``"arrival"``.
+    entry_kind:
+        The word naming the *entry* in messages ("failure model 'churn'
+        has no parameter..."): ``"strategy"`` / ``"failure model"`` /
+        ``"arrival process"``.
+    registry:
+        The live ``name -> entry`` mapping (the grammar reads it on
+        every parse, so late registrations are visible).
+    unknown_head:
+        ``unknown_head(head) -> str`` building the error message for an
+        unresolvable leading segment (each registry lists its own valid
+        alternatives).
+    resolve_head:
+        Optional fallthrough ``resolve_head(head) -> (entry, params,
+        locked) | None`` consulted when ``head`` is not a registered
+        name (the strategy registry's ``<l>-<k>-ary`` arity aliases).
+    locked_message:
+        Optional ``locked_message(entry, key, value) -> str`` for specs
+        overriding a locked parameter; only grammars with locked
+        entries need one.
+    """
+
+    def __init__(
+        self,
+        *,
+        spec_kind: str,
+        entry_kind: str,
+        registry: Mapping[str, Any],
+        unknown_head: Callable[[str], str],
+        resolve_head: Optional[Callable[[str], Optional[tuple]]] = None,
+        locked_message: Optional[Callable[[Any, str, str], str]] = None,
+    ):
+        self.spec_kind = spec_kind
+        self.entry_kind = entry_kind
+        self.registry = registry
+        self._unknown_head = unknown_head
+        self._resolve_head = resolve_head
+        self._locked_message = locked_message
+
+    # ------------------------------------------------------------- coerce
+    def coerce(
+        self, entry_name: str, key: str, value: str, default: Any,
+        target: Optional[type] = None,
+    ) -> Any:
+        """Coerce one ``key=value`` string to the parameter's type (the
+        explicit ``target`` when the default is ``None``, else the
+        default's own type)."""
+        kind = target if target is not None else type(default)
+        fn = COERCERS.get(kind)
+        if fn is None:  # pragma: no cover - registration-time bug
+            raise TypeError(
+                f"{self.entry_kind} {entry_name!r}: no coercer for parameter {key!r}"
+            )
+        try:
+            return fn(value)
+        except (ValueError, KeyError):
+            raise ValueError(
+                f"{self.entry_kind} {entry_name!r}: parameter {key!r} expects "
+                f"{kind.__name__}, got {value!r}"
+            ) from None
+
+    # -------------------------------------------------------------- parse
+    def parse(self, spec: str) -> Tuple[Any, Dict[str, Any]]:
+        """Parse ``spec`` into ``(entry, params)``; raises ``ValueError``
+        with the valid alternatives on unknown names or malformed
+        tokens."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise ValueError(
+                f"{self.spec_kind} spec must be a non-empty string, got {spec!r}"
+            )
+        head, *tokens = spec.strip().split(":")
+        entry = self.registry.get(head)
+        if entry is not None:
+            params = dict(entry.defaults)
+            locked = getattr(entry, "locked", frozenset())
+        else:
+            resolved = self._resolve_head(head) if self._resolve_head else None
+            if resolved is None:
+                raise ValueError(self._unknown_head(head))
+            entry, params, locked = resolved
+        positional = getattr(entry, "positional", None)
+        normalize = getattr(entry, "normalize", None)
+        param_types = getattr(entry, "param_types", {})
+        for token in tokens:
+            token = token.strip()
+            if not token:
+                raise ValueError(f"{self.spec_kind} spec {spec!r} has an empty segment")
+            if "=" in token:
+                key, _, value = token.partition("=")
+                if key in locked:
+                    raise ValueError(self._locked_msg(entry, key, value))
+                if key not in params:
+                    valid = ", ".join(sorted(set(params) - locked)) or "(none)"
+                    raise ValueError(
+                        f"{self.entry_kind} {entry.name!r} has no parameter "
+                        f"{key!r}; valid: {valid}"
+                    )
+                coerced = self.coerce(
+                    entry.name, key, value, entry.defaults[key], param_types.get(key)
+                )
+                if key == positional and normalize is not None:
+                    coerced = normalize(coerced)
+                params[key] = coerced
+            else:
+                if positional is None or positional in locked:
+                    raise ValueError(
+                        f"{self.entry_kind} {head!r} takes no positional spec "
+                        f"segment, got {token!r}"
+                    )
+                coerced = self.coerce(
+                    entry.name, positional, token,
+                    entry.defaults[positional], param_types.get(positional),
+                )
+                params[positional] = normalize(coerced) if normalize else coerced
+        validate = getattr(entry, "validate", None)
+        if validate is not None:
+            validate(params)
+        return entry, params
+
+    def _locked_msg(self, entry: Any, key: str, value: str) -> str:
+        if self._locked_message is not None:
+            return self._locked_message(entry, key, value)
+        return (  # pragma: no cover - every locked grammar installs its own
+            f"{self.entry_kind} {entry.name!r} pins {key!r}"
+        )
+
+    # ------------------------------------------------------------- format
+    def format(self, entry: Any, params: Optional[Dict[str, Any]] = None) -> str:
+        """Canonical spec string for ``(entry, params)``: every unlocked,
+        non-``None`` parameter in registration order, so
+        ``parse -> format -> parse`` round-trips.  ``entry`` may be a
+        registered name."""
+        if isinstance(entry, str):
+            entry = self.registry[entry]
+        merged = dict(entry.defaults)
+        merged.update(params or {})
+        locked = getattr(entry, "locked", frozenset())
+        tokens = [entry.name]
+        for key in entry.defaults:
+            value = merged[key]
+            if key in locked or value is None:
+                continue
+            if isinstance(value, bool):
+                tokens.append(f"{key}={'true' if value else 'false'}")
+            elif isinstance(value, float):
+                tokens.append(f"{key}={value!r}")
+            else:
+                tokens.append(f"{key}={value}")
+        return ":".join(tokens)

@@ -69,6 +69,14 @@ class DataManagementStrategy:
     hits: int = 0
     misses: int = 0
 
+    #: Storage-cost accumulator (schema v7, see :mod:`repro.metrics`):
+    #: the time integral of excess replica bytes, advanced by
+    #: :meth:`_storage_delta` at every copy add/drop event.  Class-level
+    #: zeros keep unattached strategies reporting 0.0.
+    _sc_integral: float = 0.0
+    _sc_excess: float = 0.0
+    _sc_last: float = 0.0
+
     def attach(self, runtime) -> None:
         """Bind to a runtime (simulator, registry, memory book)."""
         self.runtime = runtime
@@ -77,6 +85,9 @@ class DataManagementStrategy:
         self.memory = runtime.memory
         self.hits = 0
         self.misses = 0
+        self._sc_integral = 0.0
+        self._sc_excess = 0.0
+        self._sc_last = 0.0
 
     def register(self, var: GlobalVariable) -> None:
         """A variable was created; place its initial sole copy."""
@@ -104,6 +115,33 @@ class DataManagementStrategy:
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------- storage cost
+    # Replica-bytes x time accounting (schema v7's ``storage_cost``, see
+    # repro.metrics).  Strategies that replicate call _storage_delta at
+    # every event that adds or removes a copy *beyond the authoritative
+    # one* -- +payload when a copy materializes, -payload when one is
+    # dropped/invalidated/evicted -- stamped at the event's initiation
+    # time, which both engines agree on.  Single-copy strategies never
+    # call it and report exactly 0.0.
+
+    def _storage_delta(self, delta: float, t: float) -> None:
+        """Excess replica bytes changed by ``delta`` at virtual time ``t``."""
+        if t > self._sc_last:
+            self._sc_integral += self._sc_excess * (t - self._sc_last)
+            self._sc_last = t
+        self._sc_excess += delta
+
+    def storage_cost(self, t_end: float) -> float:
+        """The integral up to ``t_end`` (replica-bytes x seconds)."""
+        tail = self._sc_excess * (t_end - self._sc_last) if t_end > self._sc_last else 0.0
+        return self._sc_integral + tail
+
+    def reset_storage(self, at: float) -> None:
+        """Restart the integral at time ``at`` (measurement reset: the
+        copies currently held keep accruing from here)."""
+        self._sc_integral = 0.0
+        self._sc_last = at
 
     # ---------------------------------------------------------- repair
     # Failure-axis hooks (see repro.network.failures): the runtime calls

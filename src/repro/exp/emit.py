@@ -32,7 +32,15 @@ version 6 (the failure axis) added the ``xfail`` rows' ``failures`` /
 ``failure_model`` fields and the availability columns
 ``requests_failed`` / ``requests_stalled`` / ``requests_retried`` /
 ``repairs`` / ``failure_events`` (zero-failure experiments are
-otherwise row-identical to v5).
+otherwise row-identical to v5); version 7 (the metric suite,
+:mod:`repro.metrics`) added the per-row metric columns
+``latency_p50`` / ``latency_p95`` / ``latency_p99`` (simulated
+issue->completion latency percentiles), ``storage_cost`` (time
+integral of excess replica bytes) and ``effective_network_usage``
+(bytes moved per access) to every cell row, emitted through one
+shared ``MetricsBundle.to_row()``, plus the ``xadapt`` rows' ``drift``
+field (v5/v6 simulated quantities are byte-identical, the new columns
+ride along).
 
 Sanitization policy: non-serializable row fields (e.g. the ``result``
 :class:`~repro.runtime.results.RunResult` objects some legacy runners
@@ -63,7 +71,7 @@ __all__ = [
 Row = Dict[str, object]
 
 #: Version of the result-file schema consumed by CI.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 _DROP = object()  # sentinel: value is not JSON-serializable
 

@@ -49,6 +49,10 @@ XCAP_STRATEGIES = ("fixed-home", "2-ary", "2-4-ary", "dynrep", "migratory")
 #: repair hooks (all five -- the xfail sweep is the adversarial proof
 #: that each survives link flaps and node churn).
 XFAIL_STRATEGIES = ("fixed-home", "4-ary", "2-4-ary", "migratory", "dynrep")
+#: Strategies compared on the adaptation axis: the online-adaptive
+#: scheme against its threshold-counting ancestor, the static baseline
+#: and the paper's access tree, under a drifting hotspot.
+XADAPT_STRATEGIES = ("adaptive", "dynrep", "fixed-home", "4-ary")
 #: Zipf skew exponents of the xwork-zipf sweep (0 = uniform).
 XWORK_ZIPF_ALPHAS = (0.0, 0.8, 1.5)
 #: Read fractions of the xwork-readfrac sweep (1.0 = read-only).
@@ -319,6 +323,24 @@ def _xfail_cells(p: Params) -> List[Cell]:
     ]
 
 
+def _xadapt_params(scale: Optional[str], workload: str) -> Params:
+    params = E.scale_params("xadapt", scale)
+    params["topologies"] = ["mesh", "torus", "hypercube"]
+    params["strategies"] = list(XADAPT_STRATEGIES)
+    params["drifts"] = list(params["drifts"])
+    return params
+
+
+def _xadapt_cells(p: Params) -> List[Cell]:
+    return [
+        Cell.make(E.xadapt_cell, drift=drift, strategy=name,
+                  topology=topology, side=p["side"], ops=p["ops"], seed=0)
+        for drift in p["drifts"]
+        for topology in p["topologies"]
+        for name in p["strategies"]
+    ]
+
+
 def _invalidation_cells(p: Params) -> List[Cell]:
     return [
         Cell.make(E.invalidation_cell, strategy=name, variant=variant,
@@ -484,6 +506,19 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             title=_fixed_title(
                 "failure axis: zipf under link flaps and node churn "
                 "(5 strategy families x mesh+torus+hypercube)"
+            ),
+        ),
+        ExperimentSpec(
+            name="xadapt",
+            columns=("drift", "topology", "strategy", "time", "hit_rate",
+                     "latency_p50", "latency_p95", "latency_p99",
+                     "storage_cost", "effective_network_usage"),
+            make_params=_xadapt_params,
+            make_cells=_xadapt_cells,
+            title=_fixed_title(
+                "adaptation axis: drifting zipf hotspot "
+                "(adaptive vs dynrep vs fixed-home vs 4-ary, "
+                "mesh+torus+hypercube)"
             ),
         ),
         ExperimentSpec(

@@ -32,7 +32,7 @@ Row = Dict[str, object]
 #: Manual escape hatch: bump to invalidate every cached cell result even
 #: when the source fingerprint below cannot see the change (e.g. an
 #: external data file).
-CACHE_KEY_VERSION = 1
+CACHE_KEY_VERSION = 2  # schema v7: rows carry the metric-suite columns
 
 _FINGERPRINT: Optional[str] = None
 

@@ -1,0 +1,164 @@
+"""The metric suite: one vocabulary for batch cells and serving sessions.
+
+The paper evaluates on two numbers -- execution time and link congestion.
+The data-grid literature ("Replication in Data Grids: Metrics and
+Strategies", PAPERS.md) evaluates on a richer vocabulary this module
+makes first-class, emitted identically by every batch cell (schema v7
+result rows, :mod:`repro.exp.emit`) and every serving report
+(:class:`repro.serve.session.ServeReport`):
+
+simulated-latency percentiles (``latency_p50/p95/p99``)
+    Per-request simulated seconds from issue to completion.  Batch runs
+    measure issue -> completion inside the launcher's dispatch loop
+    (cache hits are 0.0-latency requests, not omissions); serving
+    sessions measure arrival -> completion, so queueing delay under
+    load is part of the number.  Both engines resume a blocked request
+    at the exact completion time of its flow, so the percentiles are
+    engine-identical (pinned by the differential suite).
+
+storage cost (``storage_cost``)
+    The time integral of *excess* replica bytes: every copy beyond the
+    one authoritative copy per variable contributes its payload for the
+    time it exists (replica-bytes x seconds).  Strategies feed an O(1)
+    accumulator at every copy add/drop/invalidate/evict event
+    (:meth:`repro.core.strategy.DataManagementStrategy._storage_delta`);
+    single-copy families (``migratory``, ``handopt``) cost exactly 0.
+
+effective network usage (``effective_network_usage``)
+    Bytes moved on links per useful request (``total_bytes`` over
+    completed reads+writes): how much traffic one request costs on
+    average.  0.0 when no requests ran.
+
+hit rate (``hit_rate``)
+    Reads served from a local copy over all strategy accesses; 0.0 on
+    zero traffic -- the **one** zero-division convention, replacing the
+    two ad-hoc computations the launcher and the serve session used to
+    carry.
+
+Everything funnels through :class:`MetricsBundle`:
+:meth:`MetricsBundle.to_row` is the emitter contract -- cells and
+reports spread its dict instead of hand-merging counter fields -- and
+:meth:`MetricsBundle.carry_row` projects the same columns into derived
+rows (the per-phase Figure 9/10 breakdowns).  Adding a metric is one
+field + one ``to_row`` entry here, plus whatever accounting feeds it
+(see ARCHITECTURE.md "Adding a metric").
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["MetricsBundle", "latency_percentiles"]
+
+#: The percentile triple every surface reports, as quantiles.
+LATENCY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def latency_percentiles(latencies) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of a latency sample.
+
+    ``latencies`` is any float sequence (the hot paths pass an
+    ``array('d')``, read zero-copy); an empty sample reports 0.0s rather
+    than NaNs so zero-traffic rows stay valid JSON.
+    """
+    if not len(latencies):
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    if isinstance(latencies, array):
+        lat = np.frombuffer(latencies, dtype=np.float64)
+    else:
+        lat = np.asarray(latencies, dtype=np.float64)
+    p50, p95, p99 = np.quantile(lat, LATENCY_QUANTILES)
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass(frozen=True)
+class MetricsBundle:
+    """The per-run metric suite, identical for batch and serving.
+
+    Constructed once per finished run (from a :class:`~repro.runtime
+    .results.RunResult` via its ``metrics`` property, or inside
+    :meth:`~repro.serve.session.ServeSession.close`) and consumed through
+    :meth:`to_row` -- the one place the metric columns of a result row
+    are defined.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Total bytes moved on links inside the measured window.
+    total_bytes: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    #: Time integral of excess replica bytes (replica-bytes x seconds).
+    storage_cost: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        """Completed strategy accesses (reads + writes)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Reads served locally over all accesses; 0.0 on zero traffic
+        (the unified zero-request convention)."""
+        n = self.requests
+        return self.hits / n if n else 0.0
+
+    @property
+    def effective_network_usage(self) -> float:
+        """Bytes moved per useful request; 0.0 on zero traffic."""
+        n = self.requests
+        return self.total_bytes / n if n else 0.0
+
+    @classmethod
+    def from_run(cls, hits: int, misses: int, evictions: int,
+                 total_bytes: float, latencies, storage_cost: float,
+                 ) -> "MetricsBundle":
+        """Bundle raw accounting: percentiles are computed here so every
+        surface uses the one quantile definition."""
+        pct = latency_percentiles(latencies)
+        return cls(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            total_bytes=total_bytes,
+            latency_p50=pct["p50"],
+            latency_p95=pct["p95"],
+            latency_p99=pct["p99"],
+            storage_cost=storage_cost,
+        )
+
+    #: The metric columns of a schema-v7 result row, in emission order.
+    ROW_KEYS = (
+        "hits", "misses", "hit_rate", "evictions",
+        "latency_p50", "latency_p95", "latency_p99",
+        "storage_cost", "effective_network_usage",
+    )
+
+    def to_row(self) -> Dict[str, Any]:
+        """The emitter contract: the metric columns every result row
+        carries (schema v7).  Cells spread this dict -- there is no other
+        place these keys are assembled."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "storage_cost": self.storage_cost,
+            "effective_network_usage": self.effective_network_usage,
+        }
+
+    @staticmethod
+    def carry_row(row: Dict[str, Any]) -> Dict[str, Any]:
+        """Project the metric columns out of an existing row, for derived
+        rows (per-phase breakdowns) that inherit their source row's
+        metrics."""
+        return {k: row[k] for k in MetricsBundle.ROW_KEYS}

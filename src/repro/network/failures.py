@@ -44,6 +44,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.specs import SpecGrammar
 from .routing import get_route_table
 from .topology import Topology
 
@@ -62,15 +63,6 @@ __all__ = [
 
 #: Event kinds a schedule may contain, in canonical order.
 EVENT_KINDS = ("link_down", "link_up", "node_down", "node_up")
-
-#: ``key=value`` coercers per parameter type (specs are strings); the
-#: same table as the strategy registry's.
-_COERCE: Dict[type, Callable[[str], Any]] = {
-    str: str,
-    int: int,
-    float: float,
-    bool: lambda s: {"true": True, "1": True, "false": False, "0": False}[s.lower()],
-}
 
 
 @dataclass(frozen=True)
@@ -158,79 +150,30 @@ def failure_model_names() -> List[str]:
     return list(FAILURE_MODELS)
 
 
-def _coerce(model: str, key: str, value: str, default: Any, target: Optional[type]):
-    kind = target if target is not None else type(default)
-    fn = _COERCE.get(kind)
-    if fn is None:  # pragma: no cover - registration-time bug
-        raise TypeError(f"failure model {model!r}: no coercer for parameter {key!r}")
-    try:
-        return fn(value)
-    except (ValueError, KeyError):
-        raise ValueError(
-            f"failure model {model!r}: parameter {key!r} expects "
-            f"{kind.__name__}, got {value!r}"
-        ) from None
+#: The failure-axis registration against the shared grammar
+#: (:mod:`repro.core.specs`): all parsing/formatting/coercion lives
+#: there, this module only supplies the registry and its messages.
+_GRAMMAR = SpecGrammar(
+    spec_kind="failure",
+    entry_kind="failure model",
+    registry=FAILURE_MODELS,
+    unknown_head=lambda head: (
+        f"unknown failure model {head!r}; valid: "
+        f"{', '.join(failure_model_names())}"
+    ),
+)
 
 
 def parse_failure_spec(spec: str) -> Tuple[FailureModel, Dict[str, Any]]:
     """Parse ``spec`` into ``(model, params)``; raises ``ValueError``
     with the valid alternatives on unknown names or malformed tokens."""
-    if not isinstance(spec, str) or not spec.strip():
-        raise ValueError(f"failure spec must be a non-empty string, got {spec!r}")
-    head, *tokens = spec.strip().split(":")
-    model = FAILURE_MODELS.get(head)
-    if model is None:
-        raise ValueError(
-            f"unknown failure model {head!r}; valid: "
-            f"{', '.join(failure_model_names())}"
-        )
-    params = dict(model.defaults)
-    for token in tokens:
-        token = token.strip()
-        if not token:
-            raise ValueError(f"failure spec {spec!r} has an empty segment")
-        if "=" in token:
-            key, _, value = token.partition("=")
-            if key not in params:
-                valid = ", ".join(sorted(params)) or "(none)"
-                raise ValueError(
-                    f"failure model {model.name!r} has no parameter {key!r}; "
-                    f"valid: {valid}"
-                )
-            params[key] = _coerce(
-                model.name, key, value, model.defaults[key], model.param_types.get(key)
-            )
-        else:
-            if model.positional is None:
-                raise ValueError(
-                    f"failure model {head!r} takes no positional spec "
-                    f"segment, got {token!r}"
-                )
-            params[model.positional] = _coerce(
-                model.name, model.positional, token,
-                model.defaults[model.positional],
-                model.param_types.get(model.positional),
-            )
-    if model.validate is not None:
-        model.validate(params)
-    return model, params
+    return _GRAMMAR.parse(spec)
 
 
 def format_failure_spec(model, params: Optional[Dict[str, Any]] = None) -> str:
     """Canonical spec string for ``(model, params)``: every parameter in
     registration order, so ``parse -> format -> parse`` round-trips."""
-    if isinstance(model, str):
-        model = FAILURE_MODELS[model]
-    merged = dict(model.defaults)
-    merged.update(params or {})
-    tokens = [model.name]
-    for key in model.defaults:
-        value = merged[key]
-        if isinstance(value, bool):
-            tokens.append(f"{key}={'true' if value else 'false'}")
-        else:
-            tokens.append(f"{key}={value!r}" if isinstance(value, float) else f"{key}={value}")
-    return ":".join(tokens)
+    return _GRAMMAR.format(model, params)
 
 
 def build_schedule(spec, topology: Topology) -> FailureSchedule:

@@ -10,10 +10,12 @@ inline to keep large runs fast.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import latency_percentiles
 from ..network.machine import GCEL, MachineModel
 from ..network.stats import LinkStats, PhaseStats, StatsSnapshot
 from ..network.topology import Topology
@@ -182,6 +184,15 @@ class Runtime:
         self._final_time = [0.0] * p
         self.program_results: List[Any] = [None] * p
 
+        # Per-request simulated latency (schema v7, see repro.metrics):
+        # one float per completed read/write.  Requests whose flow blocks
+        # (strategy returned None) stash their issue time per processor
+        # and are closed out at the resume _step entry -- both engines
+        # re-enter at the exact flow completion time, so the sample is
+        # engine-identical.
+        self._lat = array("d")
+        self._lat_pending: List[Optional[float]] = [None] * p
+
         # message passing
         self._mailbox: Dict[Tuple[int, Any], List[Tuple[float, Any]]] = {}
         self._waiting_recv: Dict[Tuple[int, Any], bool] = {}
@@ -236,6 +247,7 @@ class Runtime:
         # NullStrategy inherits them), so no getattr defensiveness here.
         strategy = self.strategy
         view = self._failview
+        lat_pct = latency_percentiles(self._lat)
         return RunResult(
             strategy=strategy.name,
             mesh=topo.label,
@@ -246,6 +258,10 @@ class Runtime:
             compute_time=float(self._compute_by_proc.max(initial=0.0)),
             hits=strategy.hits,
             misses=strategy.misses,
+            latency_p50=lat_pct["p50"],
+            latency_p95=lat_pct["p95"],
+            latency_p99=lat_pct["p99"],
+            storage_cost=strategy.storage_cost(end),
             lock_acquisitions=strategy.lock_acquisitions,
             evictions=self.memory.total_evictions,
             barrier_episodes=self.barrier.episodes,
@@ -296,6 +312,14 @@ class Runtime:
         strategy = self.strategy
         recorder = self._recorder
         schedule = sim.schedule
+        lat_append = self._lat.append
+        pending = self._lat_pending
+        # A request whose flow blocked us completes exactly now: close
+        # out its latency sample (see __init__).
+        issued = pending[p]
+        if issued is not None:
+            pending[p] = None
+            lat_append(sim.now - issued)
         # Retry accounting (None outside the failure axis: one dead-cheap
         # check per read/write keeps the zero-failure hot path intact).
         retried = self._repaired_vids if self._failview is not None else None
@@ -319,9 +343,11 @@ class Runtime:
                 res = strategy.read(p, req.var, now)
                 if res is None:
                     # Miss: a flow was launched; it resumes us on completion.
+                    pending[p] = now
                     self._blocked_on[p] = req
                     return
                 done, value = res
+                lat_append(done - now)
                 if done <= now:
                     continue
                 self._blocked_on[p] = req
@@ -334,8 +360,10 @@ class Runtime:
                 done = strategy.write(p, req.var, req.value, now)
                 value = None
                 if done is None:
+                    pending[p] = now
                     self._blocked_on[p] = req
                     return
+                lat_append(done - now)
                 if done <= now:
                     continue
                 self._blocked_on[p] = req
@@ -506,9 +534,18 @@ class Runtime:
         self._phase_start = t
         self._compute_by_proc[:] = 0.0
         self._phase_compute_mark[:] = 0.0
-        reset = getattr(self.strategy, "reset_counters", None)
+        # No request is in flight at a measurement boundary (it is a
+        # barrier boundary: every processor has arrived), so the latency
+        # sample restarts cleanly and the storage integral re-anchors at
+        # the boundary with the currently-held copies still accruing.
+        del self._lat[:]
+        strategy = self.strategy
+        reset = getattr(strategy, "reset_counters", None)
         if reset is not None:
             reset()
+        reset_storage = getattr(strategy, "reset_storage", None)
+        if reset_storage is not None:
+            reset_storage(t)
 
 
 def run_spmd(

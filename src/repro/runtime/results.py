@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..metrics import MetricsBundle
 from ..network.stats import PhaseStats, StatsSnapshot
 
 __all__ = ["RunResult"]
@@ -34,6 +35,12 @@ class RunResult:
     hits / misses:
         Strategy cache statistics (reads served from a local copy vs reads
         that needed communication).
+    latency_p50 / latency_p95 / latency_p99 / storage_cost:
+        The schema-v7 metric suite (see :mod:`repro.metrics`): simulated
+        issue->completion latency percentiles over every read/write in
+        the measured window, and the time integral of excess replica
+        bytes.  :attr:`metrics` bundles them (plus the derived hit rate
+        and effective network usage) for emission.
     requests_failed / requests_stalled / requests_retried / repairs /
     failure_events:
         Availability accounting under a failure schedule (schema v6; all
@@ -57,6 +64,10 @@ class RunResult:
     compute_time: float = 0.0
     hits: int = 0
     misses: int = 0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    storage_cost: float = 0.0
     lock_acquisitions: int = 0
     evictions: int = 0
     barrier_episodes: int = 0
@@ -80,9 +91,23 @@ class RunResult:
         return self.stats.total_bytes
 
     @property
+    def metrics(self) -> MetricsBundle:
+        """The metric suite of this run (schema v7): the bundle cells
+        spread into result rows via ``metrics.to_row()``."""
+        return MetricsBundle(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            total_bytes=self.total_bytes,
+            latency_p50=self.latency_p50,
+            latency_p95=self.latency_p95,
+            latency_p99=self.latency_p99,
+            storage_cost=self.storage_cost,
+        )
+
+    @property
     def hit_ratio(self) -> float:
-        n = self.hits + self.misses
-        return self.hits / n if n else 0.0
+        return self.metrics.hit_rate
 
     def phase(self, name: str) -> Optional[PhaseStats]:
         for ph in self.phases:
@@ -103,6 +128,11 @@ class RunResult:
             "hits": self.hits,
             "misses": self.misses,
             "hit_ratio": self.hit_ratio,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "storage_cost": self.storage_cost,
+            "effective_network_usage": self.metrics.effective_network_usage,
             "lock_acquisitions": self.lock_acquisitions,
             "evictions": self.evictions,
             "compute_time": self.compute_time,

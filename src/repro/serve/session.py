@@ -45,9 +45,8 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Optional, Union
 
-import numpy as np
-
 from ..core.registry import get_strategy
+from ..metrics import MetricsBundle, latency_percentiles
 from ..network.machine import GCEL, MachineModel
 from ..network.topology import Topology
 from ..runtime.api import ComputeReq, ReadReq, RecvReq, WriteReq
@@ -97,17 +96,14 @@ class _Item:
         self.cb = cb
 
 
-def _percentiles(buf: array) -> Dict[str, float]:
-    if not buf:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-    lat = np.frombuffer(buf, dtype=np.float64)
-    p50, p95, p99 = np.quantile(lat, (0.5, 0.95, 0.99))
-    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
-
-
 @dataclass
 class ServeReport:
-    """Final metrics of one serving session (``as_dict`` for JSON)."""
+    """Final metrics of one serving session (``as_dict`` for JSON).
+
+    The metric-suite fields (latency percentiles, ``hit_rate``,
+    ``evictions``, ``storage_cost``, ``effective_network_usage``) come
+    from one :class:`~repro.metrics.MetricsBundle`, so a serving report
+    and a batch result row speak the same schema-v7 vocabulary."""
 
     strategy: str
     network: str
@@ -129,6 +125,9 @@ class ServeReport:
     hits: int
     misses: int
     hit_rate: float
+    evictions: int
+    storage_cost: float
+    effective_network_usage: float
     total_bytes: float
     total_msgs: int
     congestion_bytes: float
@@ -367,7 +366,6 @@ class ServeSession:
         kernel-aware message totals and latency percentiles so far."""
         strat = self.rt.strategy
         hits, misses = strat.hits, strat.misses
-        total = hits + misses
         snap = {
             "sim_time": self.rt.sim.now,
             "completed": self.completed,
@@ -378,10 +376,10 @@ class ServeSession:
             "inflight": self._inflight,
             "hits": hits,
             "misses": misses,
-            "hit_rate": hits / total if total else 0.0,
+            "hit_rate": MetricsBundle(hits=hits, misses=misses).hit_rate,
             "total_msgs": self.rt.sim.stats.total_msgs,
         }
-        for k, v in _percentiles(self._lat_sim).items():
+        for k, v in latency_percentiles(self._lat_sim).items():
             snap[f"latency_{k}"] = v
         return snap
 
@@ -402,9 +400,18 @@ class ServeSession:
         end = max(self._clock) if self.completed else 0.0
         stats = rt.sim.stats
         strat = rt.strategy
-        total_acc = strat.hits + strat.misses
-        sim_pct = _percentiles(self._lat_sim)
-        wall_pct = _percentiles(self._lat_wall)
+        # The serving latency sample is arrival -> completion (queueing
+        # included), so the bundle is built from the session's own buffer;
+        # everything else is the shared metric-suite accounting.
+        bundle = MetricsBundle.from_run(
+            hits=strat.hits,
+            misses=strat.misses,
+            evictions=rt.memory.total_evictions,
+            total_bytes=stats.total_bytes,
+            latencies=self._lat_sim,
+            storage_cost=strat.storage_cost(end),
+        )
+        wall_pct = latency_percentiles(self._lat_wall)
         self._report = ServeReport(
             strategy=strat.name,
             network=rt.sim.topology.label,
@@ -417,15 +424,18 @@ class ServeSession:
             wall_seconds=wall,
             requests_per_sec=self.completed / wall if wall > 0 else 0.0,
             sim_requests_per_sec=self.completed / end if end > 0 else 0.0,
-            latency_p50=sim_pct["p50"],
-            latency_p95=sim_pct["p95"],
-            latency_p99=sim_pct["p99"],
+            latency_p50=bundle.latency_p50,
+            latency_p95=bundle.latency_p95,
+            latency_p99=bundle.latency_p99,
             wall_p50=wall_pct["p50"],
             wall_p95=wall_pct["p95"],
             wall_p99=wall_pct["p99"],
-            hits=strat.hits,
-            misses=strat.misses,
-            hit_rate=strat.hits / total_acc if total_acc else 0.0,
+            hits=bundle.hits,
+            misses=bundle.misses,
+            hit_rate=bundle.hit_rate,
+            evictions=bundle.evictions,
+            storage_cost=bundle.storage_cost,
+            effective_network_usage=bundle.effective_network_usage,
             total_bytes=stats.total_bytes,
             total_msgs=stats.total_msgs,
             congestion_bytes=stats.congestion_bytes,

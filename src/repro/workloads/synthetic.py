@@ -45,6 +45,7 @@ from .base import Workload, register
 __all__ = [
     "SyntheticWorkload",
     "ZipfWorkload",
+    "HotspotDriftWorkload",
     "UniformSweepWorkload",
     "ProducerConsumerWorkload",
     "LockContentionWorkload",
@@ -182,6 +183,78 @@ class ZipfWorkload(SyntheticWorkload):
         return program, None
 
 
+class HotspotDriftWorkload(SyntheticWorkload):
+    """The zipf kernel with a rotating head: the run is cut into
+    ``drift + 1`` equal segments (boundaries at ``floor(ops * j / (drift
+    + 1))``, exact in both engines) and in segment ``j`` every draw is
+    shifted by ``j * shift`` variables (mod ``n_vars``), so the hot set
+    moves mid-run while the per-rank draw streams -- shared with
+    :class:`ZipfWorkload` through the ``_zipf_stream`` memo -- stay
+    byte-identical for a given seed.  ``shift=0`` auto-spaces the
+    segments across the variable range (``max(1, n_vars // (drift +
+    1))``).  ``drift=0`` is exactly the zipf kernel."""
+
+    name = "hotspot-drift"
+    description = "Zipf mix whose hotspot head rotates mid-run (drift = rotations)"
+    defaults = {
+        "n_vars": 64,
+        "ops": 64,
+        "alpha": 1.0,
+        "read_frac": 0.9,
+        "payload": 256,
+        "drift": 2,
+        "shift": 0,
+    }
+    size_param = "ops"
+
+    def make_program(self, topology, machine, seed, params):
+        n_vars = int(params["n_vars"])
+        ops = int(params["ops"])
+        alpha = float(params["alpha"])
+        read_frac = float(params["read_frac"])
+        payload = int(params["payload"])
+        drift = int(params["drift"])
+        shift = int(params["shift"])
+        if not (0.0 <= read_frac <= 1.0):
+            raise ValueError(f"read_frac must be in [0, 1], got {read_frac}")
+        if drift < 0:
+            raise ValueError(f"drift must be >= 0, got {drift}")
+        if shift < 0:
+            raise ValueError(f"shift must be >= 0, got {shift}")
+        zipf_weights(n_vars, alpha)  # validate parameters eagerly
+        segments = drift + 1
+        if shift == 0:
+            shift = max(1, n_vars // segments)
+        #: op index at which segment j (j >= 1) begins.
+        starts = [ops * j // segments for j in range(1, segments)]
+        perm = np.random.default_rng((seed, 23)).permutation(n_vars).tolist()
+        handles: Dict[int, object] = {}
+
+        def program(env):
+            from ..runtime.api import ReadReq, WriteReq
+
+            nprocs = env.nprocs
+            rank = env.rank
+            for i in range(rank, n_vars, nprocs):
+                handles[i] = env.create(f"z{i}", payload, value=0)
+            yield from env.barrier(phase="access")
+            targets, is_read = _zipf_stream(seed, rank, n_vars, ops, alpha, read_frac)
+            seg = 0
+            offset = 0
+            for k in range(ops):
+                while seg < drift and k >= starts[seg]:
+                    seg += 1
+                    offset = (seg * shift) % n_vars
+                var = handles[perm[(targets[k] + offset) % n_vars]]
+                if is_read[k]:
+                    yield ReadReq(var)
+                else:
+                    yield WriteReq(var, (rank, k))
+            yield from env.barrier(phase="done")
+
+        return program, None
+
+
 class UniformSweepWorkload(SyntheticWorkload):
     name = "uniform"
     description = "uniform shared-array sweep: all-read rounds + owner write-back"
@@ -282,6 +355,7 @@ class LockContentionWorkload(SyntheticWorkload):
 
 
 register(ZipfWorkload())
+register(HotspotDriftWorkload())
 register(UniformSweepWorkload())
 register(ProducerConsumerWorkload())
 register(LockContentionWorkload())

@@ -1,0 +1,156 @@
+"""AdaptiveStrategy protocol tests: decayed-score promotion, lazy
+demotion of cold holders, and score persistence across writes (the edge
+over dynrep under a drifting hotspot)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveStrategy
+from repro.core.dynrep import DynRepStrategy
+from repro.network.machine import ZERO_COST
+from repro.network.mesh import Mesh2D
+from repro.core.registry import parse_strategy_spec
+from repro.runtime.launcher import Runtime
+
+
+def drive(mesh, program, seed=0, **kw):
+    strat = AdaptiveStrategy(mesh, seed=seed, **kw)
+    rt = Runtime(mesh, strat, ZERO_COST, seed=seed)
+    res = rt.run(program)
+    return strat, rt, res
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kw,msg", [
+        (dict(halflife=0), "halflife must be > 0"),
+        (dict(halflife=-5), "halflife must be > 0"),
+        (dict(promote=0), "promote must be > 0"),
+        (dict(demote=-0.1), "demote must satisfy"),
+        (dict(promote=2, demote=2), "demote must satisfy"),
+    ])
+    def test_invalid_params_rejected(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            AdaptiveStrategy(Mesh2D(2, 2), **kw)
+
+    def test_name_is_a_parseable_spec(self):
+        strat = AdaptiveStrategy(Mesh2D(2, 2), halflife=20, promote=2)
+        assert strat.name == "adaptive:halflife=20:promote=2"
+        family, params = parse_strategy_spec(strat.name)
+        assert family.name == "adaptive"
+        assert params["halflife"] == 20.0 and params["promote"] == 2.0
+
+
+class TestPromotion:
+    def test_replica_earned_at_promote_score(self):
+        """With no competing accesses the score is the reader's own read
+        count: read ``promote`` times -> replicate, then hit."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=9)
+            yield from env.barrier()
+            if env.rank == 3:
+                for _ in range(4):
+                    v = yield from env.read(handles["x"])
+                    assert v == 9
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, halflife=1000.0, promote=2.5)
+        var = handles["x"]
+        # reads 1, 2 forwarded (score ~1, ~2); read 3 crosses 2.5 and
+        # replicates; read 4 hits
+        assert strat.misses == 3 and strat.hits == 1
+        assert 3 in strat.copy_procs(var)
+        assert strat.replications == 1
+
+    def test_scores_survive_writes_unlike_dynrep(self):
+        """After a write invalidation the hot reader re-replicates on its
+        FIRST miss; dynrep at an equivalent threshold starts from zero.
+        This is the adaptation edge the xadapt sweep measures."""
+        mesh = Mesh2D(2, 2)
+
+        def make_program(handles):
+            def program(env):
+                if env.rank == 0:
+                    handles["x"] = env.create("x", 64, value=0)
+                yield from env.barrier()
+                if env.rank == 3:  # earn the replica
+                    for _ in range(3):
+                        yield from env.read(handles["x"])
+                yield from env.barrier()
+                if env.rank == 1:  # invalidate it
+                    yield from env.write(handles["x"], 1)
+                yield from env.barrier()
+                if env.rank == 3:  # one miss ...
+                    yield from env.read(handles["x"])
+                yield from env.barrier()
+                if env.rank == 3:  # ... must already hit again
+                    yield from env.read(handles["x"])
+                yield from env.barrier()
+            return program
+
+        handles = {}
+        strat, rt, _ = drive(mesh, make_program(handles),
+                             halflife=1000.0, promote=2.5)
+        assert 3 in strat.copy_procs(handles["x"])
+        assert strat.replications == 2  # initial earn + instant re-earn
+        assert strat.hits == 1  # the final read
+
+        handles = {}
+        dyn = DynRepStrategy(mesh, seed=0, threshold=3)
+        Runtime(mesh, dyn, ZERO_COST, seed=0).run(make_program(handles))
+        # Same access pattern: dynrep's counters were reset by the write,
+        # so the two post-write reads both miss and no replica exists.
+        assert 3 not in dyn.copy_procs(handles["x"])
+        assert dyn.hits == 0
+
+
+class TestDemotion:
+    def test_cold_holder_dropped_on_read_miss(self):
+        """A holder that stops reading decays below ``demote`` and is
+        dropped by a later miss of another processor; the authoritative
+        copy is never demoted."""
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=9)
+                handles["y"] = env.create("y", 64, value=7)
+            yield from env.barrier()
+            if env.rank == 3:  # earn a replica of x (scores: 2 reads)
+                yield from env.read(handles["x"])
+                yield from env.read(handles["x"])
+            yield from env.barrier()
+            if env.rank == 2:  # many accesses of x: rank 3's score decays
+                for _ in range(40):
+                    yield from env.read(handles["x"])
+            yield from env.barrier()
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, halflife=4.0, promote=2.0, demote=0.5)
+        var = handles["x"]
+        assert 3 not in strat.copy_procs(var)  # demoted
+        assert strat.demotions >= 1
+        # The owner's authoritative copy survives every demotion pass.
+        owner = strat.owner_of(var)
+        assert owner in strat.copy_procs(var) or owner == -1
+
+    def test_counters_reset(self):
+        mesh = Mesh2D(2, 2)
+        handles = {}
+
+        def program(env):
+            if env.rank == 0:
+                handles["x"] = env.create("x", 64, value=9)
+            yield from env.barrier()
+            if env.rank == 3:
+                yield from env.read(handles["x"])
+            yield from env.barrier()
+
+        strat, rt, _ = drive(mesh, program, promote=1.0)
+        assert strat.replications == 1
+        strat.reset_counters()
+        assert strat.replications == 0 and strat.demotions == 0
+        assert strat.hits == 0 and strat.misses == 0

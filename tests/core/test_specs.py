@@ -1,0 +1,222 @@
+"""The shared spec grammar (repro.core.specs).
+
+One parser/formatter serves the strategy, failure and arrival
+registries.  These tests pin the cross-grammar contract: every
+pre-existing spec string parses exactly as it did when each registry
+carried its own copy of the parser, ``parse -> format -> parse`` is a
+fixed point in all three grammars, and malformed specs fail with the
+historic messages listing the valid alternatives.
+"""
+
+import pytest
+
+from repro.core.registry import (
+    STRATEGIES,
+    format_strategy_spec,
+    parse_strategy_spec,
+)
+from repro.core.specs import COERCERS, SpecGrammar
+from repro.network.failures import (
+    FAILURE_MODELS,
+    format_failure_spec,
+    parse_failure_spec,
+)
+from repro.serve import loadgen
+from repro.serve.loadgen import get_arrival
+
+#: (spec, expected head, expected params) -- the historic surface of each
+#: grammar, one table per registry.
+STRATEGY_SPECS = [
+    ("fixed-home", "fixed-home", {}),
+    ("handopt", "handopt", {}),
+    ("migratory", "migratory", {}),
+    ("4-ary", "4-ary", {"arity": "4-ary", "embed": None, "remap": None}),
+    ("2-4-ary", "2-4-ary", {"arity": "2-4-ary", "embed": None, "remap": None}),
+    # Unregistered arity variants fall through to the tree family.
+    ("4-32-ary", "tree", {"arity": "4-32-ary", "embed": None, "remap": None}),
+    ("tree", "tree", {"arity": "4-ary", "embed": None, "remap": None}),
+    ("tree:4-8", "tree", {"arity": "4-8-ary", "embed": None, "remap": None}),
+    ("tree:4-8:embed=random", "tree",
+     {"arity": "4-8-ary", "embed": "random", "remap": None}),
+    ("tree:arity=16:remap=4", "tree",
+     {"arity": "16-ary", "embed": None, "remap": 4}),
+    ("dynrep", "dynrep", {"threshold": 2}),
+    ("dynrep:threshold=3", "dynrep", {"threshold": 3}),
+    ("adaptive", "adaptive", {"halflife": 50.0, "promote": 3.0, "demote": 0.5}),
+    ("adaptive:halflife=50:promote=3", "adaptive",
+     {"halflife": 50.0, "promote": 3.0, "demote": 0.5}),
+]
+
+FAILURE_SPECS = [
+    ("none", "none", {}),
+    ("linkflap:rate=0.05:seed=7:horizon=0.05:down=0.5", "linkflap",
+     {"rate": 0.05, "seed": 7, "horizon": 0.05, "down": 0.5}),
+    ("churn:nodes=0.05:seed=7:horizon=0.05", "churn",
+     {"nodes": 0.05, "seed": 7, "horizon": 0.05, "revive": 0.0}),
+    ("linkdown:link=3:at=0.01", "linkdown", {"link": 3, "at": 0.01, "up": -1.0}),
+    ("nodedown:node=2:at=0.01:up=0.02", "nodedown",
+     {"node": 2, "at": 0.01, "up": 0.02}),
+]
+
+ARRIVAL_SPECS = [
+    ("poisson", "poisson", {}),
+    ("bursty", "bursty", {"burst": 8}),
+    ("bursty:burst=16", "bursty", {"burst": 16}),
+]
+
+
+class TestHistoricSpecsParseIdentically:
+    @pytest.mark.parametrize("spec,head,params", STRATEGY_SPECS)
+    def test_strategy(self, spec, head, params):
+        family, got = parse_strategy_spec(spec)
+        assert family.name == head
+        assert got == params
+
+    @pytest.mark.parametrize("spec,head,params", FAILURE_SPECS)
+    def test_failure(self, spec, head, params):
+        model, got = parse_failure_spec(spec)
+        assert model.name == head
+        assert got == params
+
+    @pytest.mark.parametrize("spec,head,params", ARRIVAL_SPECS)
+    def test_arrival(self, spec, head, params):
+        proc, got = loadgen._GRAMMAR.parse(spec)
+        assert proc.name == head
+        assert got == params
+        assert callable(get_arrival(spec))
+
+
+class TestCrossGrammarRoundTrip:
+    """``parse -> format -> parse`` is a fixed point in every grammar."""
+
+    @pytest.mark.parametrize("spec,_head,_params", STRATEGY_SPECS)
+    def test_strategy(self, spec, _head, _params):
+        family, params = parse_strategy_spec(spec)
+        canonical = format_strategy_spec(family, params)
+        family2, params2 = parse_strategy_spec(canonical)
+        assert family2 is family
+        assert params2 == params
+        assert format_strategy_spec(family2, params2) == canonical
+
+    @pytest.mark.parametrize("spec,_head,_params", FAILURE_SPECS)
+    def test_failure(self, spec, _head, _params):
+        model, params = parse_failure_spec(spec)
+        canonical = format_failure_spec(model, params)
+        model2, params2 = parse_failure_spec(canonical)
+        assert model2 is model
+        assert params2 == params
+        assert format_failure_spec(model2, params2) == canonical
+
+    @pytest.mark.parametrize("spec,_head,_params", ARRIVAL_SPECS)
+    def test_arrival(self, spec, _head, _params):
+        proc, params = loadgen._GRAMMAR.parse(spec)
+        canonical = loadgen._GRAMMAR.format(proc, params)
+        proc2, params2 = loadgen._GRAMMAR.parse(canonical)
+        assert proc2 is proc
+        assert params2 == params
+
+    def test_format_accepts_registered_name(self):
+        assert format_strategy_spec("dynrep") == "dynrep:threshold=2"
+        assert format_failure_spec("none") == "none"
+
+    def test_locked_identity_rides_in_the_name(self):
+        # The alias families pin their arity: the canonical form must not
+        # re-emit it (``4-ary:arity=4-ary`` would not re-parse).
+        family, params = parse_strategy_spec("4-ary")
+        assert format_strategy_spec(family, params) == "4-ary"
+
+
+class TestMalformedSpecs:
+    """Errors name the offender and list the valid alternatives."""
+
+    def test_unknown_strategy_lists_names(self):
+        with pytest.raises(ValueError, match="unknown strategy 'warp'") as ei:
+            parse_strategy_spec("warp")
+        for name in STRATEGIES:
+            assert name in str(ei.value)
+
+    def test_unknown_failure_model_lists_names(self):
+        with pytest.raises(ValueError, match="unknown failure model 'meteor'") as ei:
+            parse_failure_spec("meteor:rate=1")
+        for name in FAILURE_MODELS:
+            assert name in str(ei.value)
+
+    def test_unknown_arrival_lists_names(self):
+        with pytest.raises(ValueError, match="unknown arrival process 'tide'") as ei:
+            get_arrival("tide")
+        assert "poisson" in str(ei.value) and "bursty" in str(ei.value)
+
+    @pytest.mark.parametrize("parse,spec,kind", [
+        (parse_strategy_spec, "dynrep:wat=1", "strategy 'dynrep'"),
+        (parse_failure_spec, "churn:wat=1", "failure model 'churn'"),
+        (get_arrival, "bursty:wat=1", "arrival process 'bursty'"),
+    ])
+    def test_unknown_parameter_lists_valid_ones(self, parse, spec, kind):
+        with pytest.raises(ValueError, match="has no parameter 'wat'") as ei:
+            parse(spec)
+        assert kind in str(ei.value)
+
+    def test_type_mismatch_names_expected_type(self):
+        with pytest.raises(ValueError, match="expects int, got 'soon'"):
+            parse_strategy_spec("dynrep:threshold=soon")
+        with pytest.raises(ValueError, match="expects float, got 'x'"):
+            parse_failure_spec("linkflap:rate=x")
+        with pytest.raises(ValueError, match="expects int, got '8.5'"):
+            get_arrival("bursty:burst=8.5")
+
+    def test_locked_parameter_rejected(self):
+        with pytest.raises(ValueError, match="pins 'arity'"):
+            parse_strategy_spec("4-ary:arity=2-ary")
+
+    def test_positional_rejected_where_undefined(self):
+        with pytest.raises(ValueError, match="takes no positional"):
+            parse_strategy_spec("dynrep:3")
+        with pytest.raises(ValueError, match="takes no positional"):
+            parse_failure_spec("none:fast")
+        # Models with a positional still type-check the bare token.
+        with pytest.raises(ValueError, match="'nodes' expects float, got 'fast'"):
+            parse_failure_spec("churn:fast")
+
+    @pytest.mark.parametrize("parse,kind", [
+        (parse_strategy_spec, "strategy"),
+        (parse_failure_spec, "failure"),
+        (get_arrival, "arrival"),
+    ])
+    def test_non_string_and_empty_rejected(self, parse, kind):
+        for bad in (None, 7, ""):
+            with pytest.raises(ValueError, match=f"{kind} spec must be a non-empty"):
+                parse(bad)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError, match="empty segment"):
+            parse_strategy_spec("dynrep::threshold=2")
+
+    def test_validate_hook_fires(self):
+        with pytest.raises(ValueError, match="threshold must be >= 1"):
+            parse_strategy_spec("dynrep:threshold=0")
+        with pytest.raises(ValueError, match="halflife must be > 0"):
+            parse_strategy_spec("adaptive:halflife=0")
+
+
+class TestCoercers:
+    def test_bool_forms(self):
+        assert COERCERS[bool]("true") is True
+        assert COERCERS[bool]("1") is True
+        assert COERCERS[bool]("False") is False
+        assert COERCERS[bool]("0") is False
+
+    def test_grammar_reads_registry_live(self):
+        registry = {}
+        g = SpecGrammar(spec_kind="toy", entry_kind="toy thing", registry=registry,
+                        unknown_head=lambda h: f"unknown toy {h!r}")
+        with pytest.raises(ValueError, match="unknown toy 'knob'"):
+            g.parse("knob")
+
+        class Entry:
+            name = "knob"
+            defaults = {"level": 1}
+
+        registry["knob"] = Entry()
+        entry, params = g.parse("knob:level=3")
+        assert params == {"level": 3}
+        assert g.format(entry, params) == "knob:level=3"

@@ -1,11 +1,13 @@
 """Zero-failure fast path pinned by golden files.
 
-The failure axis must be invisible when unused: ``tests/exp/goldens/``
+Later schema axes must be invisible when unused: ``tests/exp/goldens/``
 holds the quick-scale fig3/fig4 payloads captured *before* the
 fault-injection subsystem landed (schema v5).  A fresh run must
-reproduce them byte-for-byte -- rows, columns, params -- with only the
-top-level ``schema_version`` tag advanced.  Any drift here means the
-failure axis leaked into the static-network hot path.
+reproduce every golden quantity byte-for-byte -- on each row, the
+projection onto the golden row's keys equals the golden row exactly --
+while newer schema versions may only *add* columns (v6 availability
+counters, v7 metric suite).  Any drift in a golden value means a later
+axis leaked into the static-network hot path.
 """
 
 import json
@@ -14,6 +16,7 @@ import pathlib
 import pytest
 
 from repro.exp import run_experiment
+from repro.metrics import MetricsBundle
 from repro.network.topology import make_topology
 from repro.workloads import get_workload
 
@@ -24,11 +27,21 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 def test_zero_failure_payload_matches_pre_failure_golden(name):
     golden = json.loads((GOLDEN_DIR / f"{name}.quick.json").read_text())
     fresh = run_experiment(name, scale="quick").payload()
-    # The only sanctioned difference: the schema tag (v5 -> v6 added the
-    # failure axis, which these experiments do not use).
     assert golden.pop("schema_version") == 5
-    assert fresh.pop("schema_version") >= 6
+    assert fresh.pop("schema_version") >= 7
+    golden_rows = golden.pop("rows")
+    fresh_rows = fresh.pop("rows")
+    # Everything outside the rows -- params, columns, axes -- is unchanged.
     assert fresh == golden
+    assert len(fresh_rows) == len(golden_rows)
+    for got, want in zip(fresh_rows, golden_rows):
+        # Byte-identical simulated quantities on every golden column ...
+        assert {k: got[k] for k in want} == want
+        # ... and the v7 metric suite rides along, well-formed.
+        assert 0.0 <= got["latency_p50"] <= got["latency_p95"] <= got["latency_p99"]
+        assert got["storage_cost"] >= 0.0
+        assert got["effective_network_usage"] >= 0.0
+        assert set(MetricsBundle.ROW_KEYS) <= set(got)
 
 
 class TestEmptyScheduleFastPath:

@@ -27,10 +27,12 @@ XSCALE_NAMES = ["xscale"]
 XSTRAT_NAMES = ["xcap", "xstrat"]
 #: Failure-axis experiment added with the fault-injection subsystem.
 XFAIL_NAMES = ["xfail"]
+#: Adaptation-axis experiment added with the metric suite.
+XADAPT_NAMES = ["xadapt"]
 
 ALL_NAMES = sorted(
     LEGACY_NAMES + XTOPO_NAMES + XWORK_NAMES + XSCALE_NAMES + XSTRAT_NAMES
-    + XFAIL_NAMES
+    + XFAIL_NAMES + XADAPT_NAMES
 )
 
 

@@ -276,6 +276,14 @@ class TestTraceCli:
                 # Schema v5: every cell row carries the cache columns.
                 for col in ("hits", "misses", "hit_rate", "evictions"):
                     assert col in row, f"{name}: row missing {col}"
+                # Schema v7: the metric suite rides on every cell row,
+                # well-formed (ordered percentiles, non-negative costs).
+                for col in ("latency_p50", "latency_p95", "latency_p99",
+                            "storage_cost", "effective_network_usage"):
+                    assert col in row, f"{name}: row missing {col}"
+                assert (0.0 <= row["latency_p50"] <= row["latency_p95"]
+                        <= row["latency_p99"]), f"{name}: unordered percentiles"
+                assert row["storage_cost"] >= 0.0, f"{name}: negative storage cost"
             spec = get_spec(name)
             for row in payload["rows"]:
                 for col in spec.columns:
@@ -363,3 +371,40 @@ class TestFailuresCli:
                 assert row["failure_events"] > 0
             if row["failure_model"] == "churn":
                 assert row["repairs"] > 0
+
+
+class TestXadaptCli:
+    """The adaptation axis: the quick xadapt sweep covers every strategy
+    of the comparison on every topology at every drift rate, and rows
+    carry the full schema-v7 metric suite."""
+
+    METRIC_COLUMNS = (
+        "latency_p50", "latency_p95", "latency_p99",
+        "storage_cost", "effective_network_usage",
+    )
+
+    @pytest.mark.slow
+    def test_xadapt_quick_json_contract(self, _isolated_results_dir, capsys):
+        assert main(["xadapt", "--scale", "quick", "--jobs", "2", "--json"]) == 0
+        payload = json.loads(
+            (_isolated_results_dir / "xadapt.quick.json").read_text()
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "xadapt"
+        rows = payload["rows"]
+        assert {row["strategy"] for row in rows} == {
+            "adaptive", "dynrep", "fixed-home", "4-ary"
+        }
+        assert {row["topology"] for row in rows} == {"mesh", "torus", "hypercube"}
+        assert {row["drift"] for row in rows} == {0, 2}
+        for row in rows:
+            assert row["workload"] == "hotspot-drift"
+            for col in self.METRIC_COLUMNS:
+                assert col in row, f"row missing {col}"
+            assert 0.0 <= row["latency_p50"] <= row["latency_p95"] <= row["latency_p99"]
+            assert row["storage_cost"] >= 0.0
+            assert row["effective_network_usage"] >= 0.0
+            assert 0.0 <= row["hit_rate"] <= 1.0
+        # Immediate re-run is fully cached (cell determinism).
+        assert main(["xadapt", "--scale", "quick", "--json"]) == 0
+        assert "24/24 cells cached" in capsys.readouterr().err

@@ -1,0 +1,117 @@
+"""Hotspot-drift kernel: deterministic streams, exact drift boundaries,
+and the drift=0 degeneration to the zipf kernel."""
+
+import pytest
+
+from repro.network.mesh import Mesh2D
+from repro.network.topology import make_topology
+from repro.workloads import get_workload
+from repro.workloads.synthetic import HotspotDriftWorkload, _zipf_stream
+
+
+class TestRegistration:
+    def test_registered(self):
+        wl = get_workload("hotspot-drift")
+        assert isinstance(wl, HotspotDriftWorkload)
+        assert wl.defaults["drift"] == 2
+
+    @pytest.mark.parametrize("params,msg", [
+        ({"drift": -1}, "drift must be >= 0"),
+        ({"shift": -2}, "shift must be >= 0"),
+        ({"read_frac": 1.5}, "read_frac must be in"),
+    ])
+    def test_invalid_params_rejected(self, params, msg):
+        wl = get_workload("hotspot-drift")
+        with pytest.raises(ValueError, match=msg):
+            wl.run(Mesh2D(2, 2), "fixed-home", params={"ops": 4, **params})
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        wl = get_workload("hotspot-drift")
+        p = {"n_vars": 32, "ops": 40, "drift": 3}
+        a = wl.run(Mesh2D(4, 4), "dynrep", seed=5, params=p)
+        b = wl.run(Mesh2D(4, 4), "dynrep", seed=5, params=p)
+        assert a.as_dict() == b.as_dict()
+
+    def test_seed_changes_the_stream(self):
+        wl = get_workload("hotspot-drift")
+        p = {"n_vars": 32, "ops": 40, "drift": 3}
+        a = wl.run(Mesh2D(4, 4), "dynrep", seed=5, params=p)
+        b = wl.run(Mesh2D(4, 4), "dynrep", seed=6, params=p)
+        assert a.as_dict() != b.as_dict()
+
+    def test_draw_streams_shared_with_zipf(self):
+        """The kernel reuses the zipf per-rank streams verbatim (the
+        ``_zipf_stream`` memo): drift shifts draws, it never redraws."""
+        s1 = _zipf_stream(3, 0, 32, 40, 1.0, 0.9)
+        s2 = _zipf_stream(3, 0, 32, 40, 1.0, 0.9)
+        assert s1 is s2  # memoized
+
+    def test_drift_zero_is_exactly_zipf(self):
+        p = {"n_vars": 32, "ops": 40, "alpha": 1.0, "read_frac": 0.9}
+        drift = get_workload("hotspot-drift").run(
+            Mesh2D(4, 4), "4-ary", seed=3, params={**p, "drift": 0})
+        zipf = get_workload("zipf").run(Mesh2D(4, 4), "4-ary", seed=3, params=p)
+        assert drift.as_dict() == zipf.as_dict()
+
+    @pytest.mark.parametrize("topology", ["mesh", "torus", "hypercube"])
+    def test_runs_on_every_topology_family(self, topology):
+        wl = get_workload("hotspot-drift")
+        res = wl.run(make_topology(topology, 4), "adaptive", seed=1,
+                     params={"ops": 12, "drift": 2})
+        assert res.time > 0
+
+
+class TestDriftBoundaries:
+    def test_segment_starts_are_exact(self):
+        """The head rotates exactly at ``floor(ops * j / (drift + 1))``:
+        op k uses offset ``seg(k) * shift`` where seg counts crossed
+        boundaries.  Verified against the generated access stream."""
+        n_vars, ops, drift, shift, seed = 16, 10, 2, 3, 0
+        import numpy as np
+        perm = np.random.default_rng((seed, 23)).permutation(n_vars).tolist()
+        targets, _ = _zipf_stream(seed, 0, n_vars, ops, 1.0, 1.0)
+        # drift+1 = 3 segments over 10 ops: starts at 3 and 6 (floor).
+        starts = [ops * j // (drift + 1) for j in (1, 2)]
+        assert starts == [3, 6]
+        expected = []
+        for k in range(ops):
+            seg = sum(1 for s in starts if k >= s)
+            expected.append(perm[(targets[k] + seg * shift) % n_vars])
+
+        seen = []
+        wl = get_workload("hotspot-drift")
+        wl_params = {"n_vars": n_vars, "ops": ops, "alpha": 1.0,
+                     "read_frac": 1.0, "drift": drift, "shift": shift}
+        program, _ = wl.make_program(Mesh2D(1, 1), None, seed,
+                                     wl.resolve_params(wl_params))
+
+        class Env:
+            rank = 0
+            nprocs = 1
+
+            def create(self, name, payload, value=None):
+                class H:
+                    pass
+                h = H()
+                h.idx = int(name[1:])
+                return h
+
+            def barrier(self, phase=None):
+                return iter(())
+
+        for req in program(Env()):
+            if hasattr(req, "var"):
+                seen.append(req.var.idx)
+        assert seen == expected
+
+    def test_auto_shift_spaces_segments(self):
+        """``shift=0`` auto-picks ``max(1, n_vars // (drift + 1))``: the
+        rotated heads are disjoint for small drift."""
+        wl = get_workload("hotspot-drift")
+        res_auto = wl.run(Mesh2D(2, 2), "fixed-home", seed=2,
+                          params={"n_vars": 30, "ops": 20, "drift": 2, "shift": 0})
+        res_expl = wl.run(Mesh2D(2, 2), "fixed-home", seed=2,
+                          params={"n_vars": 30, "ops": 20, "drift": 2, "shift": 10})
+        assert res_auto.as_dict() == res_expl.as_dict()
