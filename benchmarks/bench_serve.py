@@ -72,54 +72,97 @@ PINNED = dict(
 REQUESTS = int(os.environ.get("REPRO_SERVE_REQUESTS", 1_000_000))
 
 
-def run_once(requests: int = REQUESTS) -> dict:
+def _make_session():
     from repro.network.topology import make_topology
-    from repro.serve import ServeSession, run_loadgen
+    from repro.serve import ServeSession
 
     topo = make_topology(PINNED["topology"], PINNED["side"])
-    session = ServeSession(
+    return ServeSession(
         topo,
         PINNED["strategy"],
         seed=PINNED["seed"],
         max_queue=PINNED["max_queue"],
         max_inflight=PINNED["max_inflight"],
     )
+
+
+def run_once(requests: int = REQUESTS, workers: int = 1) -> dict:
+    from repro.serve import run_fleet, run_loadgen
+
     t0 = time.perf_counter()
-    report = run_loadgen(
-        session,
-        workload=PINNED["workload"],
-        params=PINNED["params"],
-        arrival=PINNED["arrival"],
-        rate=PINNED["rate"],
-        requests=requests,
-        seed=PINNED["seed"],
-        chunk=PINNED["chunk"],
-    )
-    wall = time.perf_counter() - t0
-    assert report.requests == requests - report.rejected
+    if workers == 1:
+        session = _make_session()
+        report = run_loadgen(
+            session,
+            workload=PINNED["workload"],
+            params=PINNED["params"],
+            arrival=PINNED["arrival"],
+            rate=PINNED["rate"],
+            requests=requests,
+            seed=PINNED["seed"],
+            chunk=PINNED["chunk"],
+        )
+        wall = time.perf_counter() - t0
+        assert report.requests == requests - report.rejected
+        row = dict(
+            requests=report.requests,
+            rejected=report.rejected,
+            requests_per_sec=report.requests / wall,
+            sim_requests_per_sec=report.sim_requests_per_sec,
+            latency_p50=report.latency_p50,
+            latency_p95=report.latency_p95,
+            latency_p99=report.latency_p99,
+            hit_rate=report.hit_rate,
+            simulated_time=report.sim_time,
+            simulated_msgs=report.total_msgs,
+        )
+    else:
+        fleet = run_fleet(
+            _make_session,
+            workers=workers,
+            requests=requests,
+            seed=PINNED["seed"],
+            workload=PINNED["workload"],
+            params=PINNED["params"],
+            arrival=PINNED["arrival"],
+            rate=PINNED["rate"],
+            chunk=PINNED["chunk"],
+        )
+        wall = time.perf_counter() - t0
+        f = fleet.fleet
+        row = dict(
+            requests=f["requests"],
+            rejected=f["rejected"],
+            # The fleet's own aggregate (completed / slowest worker wall):
+            # the per-shard concurrency number the workers=N row tracks.
+            requests_per_sec=f["requests_per_sec"],
+            sim_requests_per_sec=(
+                f["requests"] / f["sim_time"] if f["sim_time"] > 0 else 0.0
+            ),
+            latency_p50=f["latency_p50"],
+            latency_p95=f["latency_p95"],
+            latency_p99=f["latency_p99"],
+            hit_rate=f["hit_rate"],
+            simulated_time=f["sim_time"],
+            simulated_msgs=f["total_msgs"],
+        )
     return {
         "bench": "serve",
         "bench_version": BENCH_VERSION,
         "engine": engine_name(),
         "pinned": PINNED,
-        "requests": report.requests,
-        "rejected": report.rejected,
+        "workers": workers,
         "best_wall_seconds": wall,
-        "requests_per_sec": report.requests / wall,
-        "sim_requests_per_sec": report.sim_requests_per_sec,
-        "latency_p50": report.latency_p50,
-        "latency_p95": report.latency_p95,
-        "latency_p99": report.latency_p99,
-        "hit_rate": report.hit_rate,
-        "simulated_time": report.sim_time,
-        "simulated_msgs": report.total_msgs,
         "peak_rss_mb": peak_rss_mb(),
+        **row,
     }
 
 
 def emit(result: dict) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     stem = "BENCH_serve" if result["engine"] == "c" else "BENCH_serve.pure"
+    if result.get("workers", 1) != 1:
+        stem += f".w{result['workers']}"
     path = RESULTS_DIR / f"{stem}.json"
     path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     return path
@@ -136,8 +179,16 @@ def test_serve_throughput():
           f"(p99 {result['latency_p99'] * 1e3:.2f} sim-ms)")
 
 
-def main() -> int:
-    result = run_once()
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard the pinned load across N engine "
+                             "replicas (fleet row; workers=1 is the "
+                             "gated single-session row)")
+    args = parser.parse_args(argv)
+    result = run_once(workers=args.workers)
     path = emit(result)
     from repro.exp.history import append_history
 
@@ -149,10 +200,14 @@ def main() -> int:
             "value": result["requests_per_sec"],
             "peak_rss_mb": result["peak_rss_mb"],
             "bench_version": BENCH_VERSION,
+            "workers": args.workers,
         },
         HISTORY_PATH,
     )
-    print(f"serve[{result['engine']}]: {result['requests_per_sec']:.0f} requests/sec "
+    label = f"serve[{result['engine']}]"
+    if args.workers != 1:
+        label = f"serve[{result['engine']} x{args.workers}]"
+    print(f"{label}: {result['requests_per_sec']:.0f} requests/sec "
           f"({result['requests']} served, p50 {result['latency_p50'] * 1e3:.2f} / "
           f"p99 {result['latency_p99'] * 1e3:.2f} sim-ms, "
           f"peak {result['peak_rss_mb']:.1f} MiB) -> {path}")

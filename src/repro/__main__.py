@@ -94,7 +94,7 @@ def _serve_main(args: argparse.Namespace) -> int:
         return 0
 
     from .analysis.tables import format_table
-    from .serve import ServeSession, get_arrival, run_loadgen
+    from .serve import ServeSession, get_arrival, run_fleet, run_loadgen
 
     try:
         get_arrival(args.arrival)
@@ -104,39 +104,95 @@ def _serve_main(args: argparse.Namespace) -> int:
     if args.requests < 1 or args.rate <= 0:
         print("error: --requests must be >= 1 and --rate > 0", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.trace is not None:
+        print("error: --trace needs a single session (--workers 1)",
+              file=sys.stderr)
+        return 2
     topo = make_topology(args.topology or "mesh", args.side)
-    session = ServeSession(
-        topo, strategy, seed=args.seed,
-        max_queue=args.max_queue, max_inflight=args.max_inflight,
-    )
-    report = run_loadgen(
-        session, workload=args.workload, arrival=args.arrival,
-        rate=args.rate, requests=args.requests, seed=args.seed,
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    fleet = None
+    if args.workers > 1:
+        def make_session():
+            return ServeSession(
+                topo, strategy, seed=args.seed,
+                max_queue=args.max_queue, max_inflight=args.max_inflight,
+                exact_latency=args.exact_latency,
+            )
+
+        fleet = run_fleet(
+            make_session, workers=args.workers,
+            workload=args.workload, arrival=args.arrival,
+            rate=args.rate, requests=args.requests, seed=args.seed,
+        )
+        report = None
+    else:
+        session = ServeSession(
+            topo, strategy, seed=args.seed,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+            exact_latency=args.exact_latency,
+        )
+        report = run_loadgen(
+            session, workload=args.workload, arrival=args.arrival,
+            rate=args.rate, requests=args.requests, seed=args.seed,
+        )
+    if profiler is not None:
+        profiler.disable()
+
+    results_dir = (
+        pathlib.Path(args.results_dir) if args.results_dir
+        else default_results_dir()
     )
     if args.trace is not None:
         path = session.trace(params=report.extra).save(args.trace)
         print(f"recorded served stream -> {path}", file=sys.stderr)
-    row = {
-        "strategy": report.strategy,
-        "network": report.network,
-        "requests": report.requests,
-        "rejected": report.rejected,
-        "req/s": round(report.requests_per_sec, 1),
-        "p50": report.latency_p50,
-        "p95": report.latency_p95,
-        "p99": report.latency_p99,
-        "hit_rate": round(report.hit_rate, 4),
-    }
+    if fleet is not None:
+        f = fleet.fleet
+        row = {
+            "strategy": f["strategy"],
+            "network": f["network"],
+            "workers": f["workers"],
+            "requests": f["requests"],
+            "rejected": f["rejected"],
+            "req/s": round(f["requests_per_sec"], 1),
+            "p50": f["latency_p50"],
+            "p95": f["latency_p95"],
+            "p99": f["latency_p99"],
+            "hit_rate": round(f["hit_rate"], 4),
+        }
+        payload = fleet.to_dict()
+    else:
+        row = {
+            "strategy": report.strategy,
+            "network": report.network,
+            "requests": report.requests,
+            "rejected": report.rejected,
+            "req/s": round(report.requests_per_sec, 1),
+            "p50": report.latency_p50,
+            "p95": report.latency_p95,
+            "p99": report.latency_p99,
+            "hit_rate": round(report.hit_rate, 4),
+        }
+        payload = report.as_dict()
     print(format_table([row], list(row), title="loadgen"))
     if args.json:
-        results_dir = (
-            pathlib.Path(args.results_dir) if args.results_dir
-            else default_results_dir()
-        )
         results_dir.mkdir(parents=True, exist_ok=True)
         path = results_dir / "SERVE_loadgen.json"
-        path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"[loadgen] wrote {path}", file=sys.stderr)
+    if profiler is not None:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        ppath = results_dir / "SERVE_profile.pstats"
+        profiler.dump_stats(ppath)
+        print(f"[loadgen] wrote {ppath}", file=sys.stderr)
     return 0
 
 
@@ -310,6 +366,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--selfcheck", action="store_true",
                         help="serve: run a bounded self-test over a real "
                              "socket and exit (prints JSON)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="loadgen: shard the request stream across N "
+                             "engine replicas in worker processes "
+                             "(default 1 = single session, no fork)")
+    parser.add_argument("--profile", action="store_true",
+                        help="loadgen: run under cProfile and write "
+                             "SERVE_profile.pstats next to the JSON report")
+    parser.add_argument("--exact-latency", action="store_true",
+                        help="loadgen: retain every latency sample "
+                             "(exact percentiles, O(requests) memory) "
+                             "instead of the streaming sketch")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))

@@ -52,19 +52,132 @@ from typing import Any, Dict
 
 import numpy as np
 
-__all__ = ["MetricsBundle", "latency_percentiles"]
+__all__ = ["MetricsBundle", "StreamingQuantiles", "latency_percentiles"]
 
 #: The percentile triple every surface reports, as quantiles.
 LATENCY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class StreamingQuantiles:
+    """Fixed-size log-bucketed quantile sketch for latency samples.
+
+    Serving a million requests used to retain every per-request latency
+    sample just to compute three percentiles at close; this sketch folds
+    samples into ``2 * HALF`` logarithmic buckets (~128 KiB, O(1) in the
+    request count) with ``RESOLUTION`` buckets per octave -- a relative
+    quantile error below ``2**(1/RESOLUTION) - 1`` (~0.55%).
+
+    Deterministic and order-insensitive: the same multiset of samples
+    produces the same bucket counts and therefore the same percentiles,
+    whatever order the samples arrived in -- which is what lets the
+    kernel fast path (completions drained in packed arrays) report the
+    same numbers as the classic per-request path.  Mergeable by bucket
+    addition (:meth:`merge`), which is what the serving fleet uses to
+    combine per-worker sketches into fleet percentiles.
+    """
+
+    #: Buckets per octave (factor-of-two range of sample values).
+    RESOLUTION = 128
+    #: Bucket index range: [-HALF, HALF) covers 2**-64 .. 2**64 seconds.
+    HALF = 8192
+
+    __slots__ = ("buckets", "n", "zeros")
+
+    def __init__(self):
+        self.buckets = np.zeros(2 * self.HALF, dtype=np.int64)
+        self.n = 0          # total samples, including non-positive ones
+        self.zeros = 0      # samples <= 0.0 (sorted below every bucket)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _indices(self, arr: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            idx = np.floor(np.log2(arr) * self.RESOLUTION).astype(np.int64)
+        return np.clip(idx + self.HALF, 0, 2 * self.HALF - 1)
+
+    def add(self, value: float) -> None:
+        self.add_many(np.asarray([value], dtype=np.float64))
+
+    def add_many(self, values) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if not arr.size:
+            return
+        pos = arr[arr > 0.0]
+        self.zeros += int(arr.size - pos.size)
+        self.n += int(arr.size)
+        if pos.size:
+            np.add.at(self.buckets, self._indices(pos), 1)
+
+    def merge(self, other: "StreamingQuantiles") -> None:
+        self.buckets += other.buckets
+        self.n += other.n
+        self.zeros += other.zeros
+
+    def quantile(self, q: float) -> float:
+        """The sketched ``q``-quantile: midpoint (in log space) of the
+        bucket holding the rank-``q`` sample; 0.0 on an empty sketch."""
+        if not self.n:
+            return 0.0
+        rank = q * (self.n - 1)
+        if rank < self.zeros:
+            return 0.0
+        csum = np.cumsum(self.buckets)
+        i = int(np.searchsorted(csum, rank - self.zeros, side="right"))
+        if i >= 2 * self.HALF:
+            i = 2 * self.HALF - 1
+        return float(2.0 ** ((i - self.HALF + 0.5) / self.RESOLUTION))
+
+    def percentiles(self) -> Dict[str, float]:
+        csum = np.cumsum(self.buckets)
+        out = {}
+        for q, name in zip(LATENCY_QUANTILES, ("p50", "p95", "p99")):
+            if not self.n:
+                out[name] = 0.0
+                continue
+            rank = q * (self.n - 1)
+            if rank < self.zeros:
+                out[name] = 0.0
+                continue
+            i = int(np.searchsorted(csum, rank - self.zeros, side="right"))
+            i = min(i, 2 * self.HALF - 1)
+            out[name] = float(2.0 ** ((i - self.HALF + 0.5) / self.RESOLUTION))
+        return out
+
+    # ------------------------------------------------- fleet serialization
+    def state(self) -> Dict[str, Any]:
+        """Picklable state (worker -> parent transport); the bucket array
+        ships sparse (indices + counts) because it is mostly zeros."""
+        nz = np.nonzero(self.buckets)[0]
+        return {
+            "n": self.n,
+            "zeros": self.zeros,
+            "idx": nz.tolist(),
+            "cnt": self.buckets[nz].tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "StreamingQuantiles":
+        sk = cls()
+        sk.n = int(state["n"])
+        sk.zeros = int(state["zeros"])
+        if state["idx"]:
+            sk.buckets[np.asarray(state["idx"], dtype=np.int64)] = np.asarray(
+                state["cnt"], dtype=np.int64
+            )
+        return sk
 
 
 def latency_percentiles(latencies) -> Dict[str, float]:
     """``{"p50": ..., "p95": ..., "p99": ...}`` of a latency sample.
 
     ``latencies`` is any float sequence (the hot paths pass an
-    ``array('d')``, read zero-copy); an empty sample reports 0.0s rather
-    than NaNs so zero-traffic rows stay valid JSON.
+    ``array('d')``, read zero-copy) or a :class:`StreamingQuantiles`
+    sketch; an empty sample reports 0.0s rather than NaNs so
+    zero-traffic rows stay valid JSON.
     """
+    if isinstance(latencies, StreamingQuantiles):
+        return latencies.percentiles()
     if not len(latencies):
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
     if isinstance(latencies, array):

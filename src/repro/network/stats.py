@@ -524,6 +524,51 @@ class LinkStats:
         else:
             self._merge_sparse(other._s_ids, other._s_bytes, other._s_msgs)
 
+    # ------------------------------------------------------ fleet transport
+    def state(self) -> Dict[str, object]:
+        """Picklable counter state (worker -> parent transport for the
+        serving fleet).  Per-link counters ship sparse -- indices plus
+        counts -- whatever the in-memory representation, so the payload
+        scales with links *touched*, not machine size."""
+        t, d, loc = self._scalar_counters()  # flushes, kernel included
+        if self._link_bytes is not None:
+            ids = np.flatnonzero(
+                (self._link_msgs != 0) | (self._link_bytes != 0.0)
+            )
+            byt = self._link_bytes[ids]
+            msgs = self._link_msgs[ids]
+        else:
+            ids, byt, msgs = self._s_ids, self._s_bytes, self._s_msgs
+        return {
+            "n_links": self.topology.n_links,
+            "ids": np.asarray(ids, dtype=np.intp),
+            "bytes": np.asarray(byt, dtype=np.float64),
+            "msgs": np.asarray(msgs, dtype=np.int64),
+            "startups": self._startups.copy(),
+            "receives": self._receives.copy(),
+            "total_msgs": t,
+            "data_msgs": d,
+            "local_msgs": loc,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a :meth:`state` dict into this accumulator (the cross-
+        process face of :meth:`merge_from`; identical order-exact sums)."""
+        if state["n_links"] != self.topology.n_links:
+            raise ValueError("merge_state: topologies differ in link count")
+        self._flush()
+        self._total_msgs += int(state["total_msgs"])
+        self._data_msgs += int(state["data_msgs"])
+        self._local_msgs += int(state["local_msgs"])
+        self._startups += state["startups"]
+        self._receives += state["receives"]
+        ids = state["ids"]
+        if self._link_bytes is not None:
+            self._link_bytes[ids] += state["bytes"]
+            self._link_msgs[ids] += state["msgs"]
+        else:
+            self._merge_sparse(ids, state["bytes"], state["msgs"])
+
     def snapshot(self) -> StatsSnapshot:
         t, d, loc = self._scalar_counters()
         return StatsSnapshot(

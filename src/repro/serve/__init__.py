@@ -17,10 +17,12 @@ See ARCHITECTURE.md ("Serving") for the wire protocol, the parked-
 dispatcher mechanics and how to add an arrival process.
 """
 
+from .fleet import FleetReport, run_fleet
 from .loadgen import access_sampler, arrival_names, get_arrival, register_arrival, run_loadgen
 from .session import QueueFull, ServeReport, ServeSession
 
 __all__ = [
+    "FleetReport",
     "QueueFull",
     "ServeReport",
     "ServeSession",
@@ -28,5 +30,6 @@ __all__ = [
     "arrival_names",
     "get_arrival",
     "register_arrival",
+    "run_fleet",
     "run_loadgen",
 ]

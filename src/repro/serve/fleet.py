@@ -1,0 +1,272 @@
+"""Shard-parallel serving fleet: N engine replicas in worker processes.
+
+One :class:`~repro.serve.session.ServeSession` is single-threaded by
+construction (one event heap, one strategy state).  The fleet scales
+serving *out* instead of up: the offered request stream is partitioned
+deterministically across ``workers`` independent engine replicas, each
+running the full session + loadgen stack in its own forked process with
+a derived seed, and the per-worker results are merged into one
+:class:`FleetReport`:
+
+* counters (accepted / rejected / completed / hits / misses) merge by
+  integer addition -- order-exact, so the aggregate is independent of
+  worker scheduling;
+* latency percentiles merge through the
+  :class:`~repro.metrics.StreamingQuantiles` sketch (bucket addition):
+  the merged percentiles equal a single sketch fed the concatenation of
+  every worker's samples, which is what the fleet property tests pin;
+* link traffic merges through :meth:`LinkStats.merge_state
+  <repro.network.stats.LinkStats.merge_state>` into a fleet-wide
+  accumulator (sharded :class:`~repro.network.stats.LinkStats`);
+* throughput aggregates as total completed requests over the slowest
+  worker's wall clock -- the fleet serves shards concurrently, so the
+  makespan is the widest worker.
+
+``workers=1`` never forks: :func:`run_fleet` falls through to a plain
+:func:`~repro.serve.loadgen.run_loadgen` call in-process, byte-identical
+to driving the session directly.
+
+Determinism: worker ``i`` of ``N`` serves ``requests // N`` (+1 for the
+first ``requests % N`` workers) requests with loadgen seed
+``spawn_seed(seed, i)`` (derived via :class:`numpy.random.SeedSequence`
+spawning, so worker streams are independent and reproducible).  The
+same ``(seed, workers, requests)`` triple always produces the same
+fleet report, whatever the interleaving of the worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..metrics import StreamingQuantiles, latency_percentiles
+from .loadgen import run_loadgen
+from .session import ServeReport, ServeSession
+
+__all__ = ["FleetReport", "run_fleet", "spawn_seed", "split_requests"]
+
+
+def split_requests(requests: int, workers: int) -> List[int]:
+    """Deterministic shard sizes: as even as possible, remainder to the
+    lowest-indexed workers, every shard nonempty when ``requests >=
+    workers``."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if requests < workers:
+        raise ValueError(
+            f"cannot shard {requests} requests across {workers} workers "
+            "(each worker needs at least one request)"
+        )
+    base, extra = divmod(requests, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def spawn_seed(seed: int, worker: int) -> int:
+    """Worker ``worker``'s derived loadgen seed (SeedSequence spawning:
+    independent streams, reproducible from the parent seed alone)."""
+    child = np.random.SeedSequence(seed).spawn(worker + 1)[worker]
+    return int(child.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass
+class FleetReport:
+    """Merged result of a fleet run: per-worker reports plus aggregates.
+
+    ``workers`` holds each replica's full :class:`ServeReport` (its shard
+    size, seed, and counters in ``extra``); ``fleet`` is the merged view
+    -- summed counters, sketch-merged percentiles, fleet-wide link
+    aggregates, and ``requests_per_sec`` = total completed / slowest
+    worker wall clock."""
+
+    workers: List[ServeReport]
+    fleet: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fleet": dict(self.fleet),
+            "workers": [w.as_dict() for w in self.workers],
+        }
+
+
+def _run_worker(
+    index: int,
+    make_session: Callable[[], ServeSession],
+    loadgen_opts: Dict[str, Any],
+    out_q,
+) -> None:
+    """Worker body (forked): fresh session, its shard of the load, state
+    shipped back through the queue."""
+    try:
+        session = make_session()
+        report = run_loadgen(session, **loadgen_opts)
+        lat_sim = session._lat_sim
+        lat_wall = session._lat_wall
+        out_q.put((index, {
+            "report": report,
+            "links": session.rt.sim.stats.state(),
+            "lat_sim": _lat_state(lat_sim),
+            "lat_wall": _lat_state(lat_wall),
+        }))
+    except BaseException as exc:  # surfaced by the parent as a fleet error
+        out_q.put((index, {"error": repr(exc)}))
+        raise
+
+
+def _lat_state(store) -> Dict[str, Any]:
+    if isinstance(store, StreamingQuantiles):
+        return {"kind": "sketch", "state": store.state()}
+    return {"kind": "exact", "values": np.asarray(store, dtype=np.float64)}
+
+
+def _lat_merge(states: List[Dict[str, Any]]):
+    """One merged latency store from per-worker states: sketches merge by
+    bucket addition; exact arrays concatenate."""
+    if all(s["kind"] == "sketch" for s in states):
+        merged = StreamingQuantiles()
+        for s in states:
+            merged.merge(StreamingQuantiles.from_state(s["state"]))
+        return merged
+    vals = np.concatenate([
+        np.asarray(s["values"], dtype=np.float64) if s["kind"] == "exact"
+        else np.empty(0)
+        for s in states
+    ])
+    return vals
+
+
+def run_fleet(
+    make_session: Callable[[], ServeSession],
+    *,
+    workers: int = 1,
+    requests: int = 10_000,
+    seed: int = 0,
+    **loadgen_opts: Any,
+) -> FleetReport:
+    """Run ``requests`` total requests across ``workers`` engine replicas.
+
+    ``make_session`` builds one fresh :class:`ServeSession` (called once
+    per worker, inside the forked process); remaining keyword options are
+    forwarded to :func:`~repro.serve.loadgen.run_loadgen`.  With
+    ``workers=1`` the call never forks and is byte-identical to
+    ``run_loadgen(make_session(), requests=requests, seed=seed, ...)``.
+    """
+    if workers == 1:
+        session = make_session()
+        report = run_loadgen(session, requests=requests, seed=seed, **loadgen_opts)
+        fleet = _aggregate(
+            [report],
+            [session.rt.sim.stats.state()],
+            [_lat_state(session._lat_sim)],
+            [_lat_state(session._lat_wall)],
+            topology=session.rt.sim.topology,
+        )
+        return FleetReport(workers=[report], fleet=fleet)
+
+    shards = split_requests(requests, workers)
+    ctx = mp.get_context("fork")
+    out_q = ctx.Queue()
+    procs = []
+    for i in range(workers):
+        opts = dict(loadgen_opts)
+        opts["requests"] = shards[i]
+        opts["seed"] = spawn_seed(seed, i)
+        p = ctx.Process(
+            target=_run_worker, args=(i, make_session, opts, out_q)
+        )
+        p.start()
+        procs.append(p)
+    results: List[Optional[Dict[str, Any]]] = [None] * workers
+    for _ in range(workers):
+        i, payload = out_q.get()
+        results[i] = payload
+    for p in procs:
+        p.join()
+    errors = [
+        f"worker {i}: {r['error']}"
+        for i, r in enumerate(results)
+        if r is not None and "error" in r
+    ]
+    if errors:
+        raise RuntimeError("fleet worker(s) failed: " + "; ".join(errors))
+
+    reports = [r["report"] for r in results]
+    # Annotate each worker's report with its shard parameters so the
+    # fleet JSON is self-describing.
+    for i, rep in enumerate(reports):
+        rep.extra.update(worker=i, workers=workers, parent_seed=seed)
+    fleet = _aggregate(
+        reports,
+        [r["links"] for r in results],
+        [r["lat_sim"] for r in results],
+        [r["lat_wall"] for r in results],
+        topology=None,
+        make_session=make_session,
+    )
+    return FleetReport(workers=reports, fleet=fleet)
+
+
+def _aggregate(
+    reports: List[ServeReport],
+    link_states: List[Dict[str, Any]],
+    lat_sim_states: List[Dict[str, Any]],
+    lat_wall_states: List[Dict[str, Any]],
+    topology=None,
+    make_session: Optional[Callable[[], ServeSession]] = None,
+) -> Dict[str, Any]:
+    """The merged fleet view (the ``"fleet"`` half of the report JSON)."""
+    from ..network.stats import LinkStats
+
+    if topology is None:
+        # Rebuild a throwaway session to recover the topology shape for
+        # the fleet-wide LinkStats accumulator (cheap: no requests run).
+        topology = make_session().rt.sim.topology
+    links = LinkStats(topology)
+    for st in link_states:
+        links.merge_state(st)
+    snap = links.snapshot()
+
+    lat_sim = _lat_merge(lat_sim_states)
+    lat_wall = _lat_merge(lat_wall_states)
+    pct = latency_percentiles(lat_sim)
+    wall_pct = latency_percentiles(lat_wall)
+
+    completed = sum(r.requests for r in reports)
+    hits = sum(r.hits for r in reports)
+    misses = sum(r.misses for r in reports)
+    n_acc = hits + misses
+    max_wall = max((r.wall_seconds for r in reports), default=0.0)
+    sim_time = max((r.sim_time for r in reports), default=0.0)
+    return {
+        "workers": len(reports),
+        "strategy": reports[0].strategy if reports else "",
+        "network": reports[0].network if reports else "",
+        "engine": reports[0].engine if reports else "",
+        "requests": completed,
+        "accepted": sum(r.accepted for r in reports),
+        "rejected": sum(r.rejected for r in reports),
+        "created": sum(r.created for r in reports),
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / n_acc if n_acc else 0.0,
+        "evictions": sum(r.evictions for r in reports),
+        "sim_time": sim_time,
+        "wall_seconds": max_wall,
+        "requests_per_sec": completed / max_wall if max_wall > 0 else 0.0,
+        "latency_p50": pct["p50"],
+        "latency_p95": pct["p95"],
+        "latency_p99": pct["p99"],
+        "wall_p50": wall_pct["p50"],
+        "wall_p95": wall_pct["p95"],
+        "wall_p99": wall_pct["p99"],
+        "storage_cost": sum(r.storage_cost for r in reports),
+        "total_bytes": snap.total_bytes,
+        "total_msgs": snap.total_msgs,
+        "congestion_bytes": snap.congestion_bytes,
+        "congestion_msgs": snap.congestion_msgs,
+        "effective_network_usage": (
+            snap.total_bytes / completed if completed else 0.0
+        ),
+    }

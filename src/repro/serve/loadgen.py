@@ -238,18 +238,15 @@ def run_loadgen(
     t = 0.0
     remaining = requests
     epoch = 0
-    try_submit = session.try_submit
+    submit_batch = session.submit_batch
     pump = session.pump
     while remaining:
         m = min(chunk, remaining)
-        times = (t + np.cumsum(draw_gaps(rng, m))).tolist()
-        t = times[-1]
+        times = t + np.cumsum(draw_gaps(rng, m))
+        t = float(times[-1])
         vids, is_read = draw_access(rng, m)
-        vids = vids.tolist()
-        kinds = np.where(is_read, "r", "w").tolist()
-        procs = rng.integers(0, n_procs, size=m).tolist()
-        for kind, proc, vid, at in zip(kinds, procs, vids, times):
-            try_submit(kind, proc, vid, arrival=at)
+        procs = rng.integers(0, n_procs, size=m)
+        submit_batch(is_read, procs, vids, times)
         pump(until=t)
         remaining -= m
         epoch += 1

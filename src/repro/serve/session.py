@@ -13,6 +13,30 @@ processor just gets the request appended to its run queue and issues it
 after the current one completes (that wait *is* the queueing delay the
 latency percentiles report).
 
+The kernel fast path
+--------------------
+When the C kernel is active and the strategy's residency test is
+side-effect-free (fixed-home, dynrep, migratory ownership; the access
+tree's copy components; adaptive's write side), the whole dispatcher
+state machine above is mirrored *inside* the kernel: queued requests
+live in per-processor C rings, wake-up kicks and idle-until-arrival
+timers are native ``K_SREQ`` events, and a request whose data is locally
+resident (read hit / owner write) completes without re-entering Python
+at all.  Only misses and remote writes cross back (``R_SREQ``), run the
+unchanged strategy code, and re-sync the touched variable's residency
+mirror.  Ingest is batched -- one Python->C call per queue drain
+carrying packed ``(proc, vid, op, arrival)`` arrays -- and completions
+come back the same way (packed arrays folded into the metric sketches).
+Event keys ``(time, seq)`` are assigned at the same logical points as
+the classic path, so a served run is **bit-identical** between the two
+(pinned by the differential suite in ``tests/serve/test_replay.py``).
+
+The mode is decided lazily at the first :meth:`ServeSession.pump`:
+``fast=None`` (the default) picks the fast path when eligible, the
+classic generators otherwise; submitting with an ``on_done`` callback
+before the first pump commits the session to the classic path (the C
+queues cannot carry Python callbacks).
+
 Micro-batching and bounded run-ahead
 ------------------------------------
 :meth:`ServeSession.pump` drains the ingest queue (admission-controlled
@@ -32,9 +56,12 @@ The session records through :class:`ServeRecorder` (a
 park wake-ups): inter-request idle gaps become pure think-time ops
 (``["k", 0.0, gap]``), issued live as ``ComputeReq`` between queued
 requests and written via ``record_gap`` for parked wake-ups, whose kick
-already positioned simulated time at the arrival.  Replaying the trace
-re-issues every operation at the identical simulated time, so traffic
-totals, hit counters and end time reproduce exactly.
+already positioned simulated time at the arrival.  The fast path
+reconstructs the identical op stream from its completion records (the
+recorded effective issue time and the previous completion per processor
+determine every gap).  Replaying the trace re-issues every operation at
+the identical simulated time, so traffic totals, hit counters and end
+time reproduce exactly.
 """
 
 from __future__ import annotations
@@ -45,12 +72,15 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Optional, Union
 
+import numpy as np
+
 from ..core.registry import get_strategy
-from ..metrics import MetricsBundle, latency_percentiles
+from ..metrics import MetricsBundle, StreamingQuantiles, latency_percentiles
 from ..network.machine import GCEL, MachineModel
 from ..network.topology import Topology
 from ..runtime.api import ComputeReq, ReadReq, RecvReq, WriteReq
 from ..runtime.launcher import Runtime
+from ..sim.engine import ServeResume
 from ..workloads.trace import Trace, TraceRecorder
 
 __all__ = ["QueueFull", "ServeRecorder", "ServeReport", "ServeSession"]
@@ -147,6 +177,15 @@ class ServeSession:
     ``max_inflight`` the injected-but-incomplete window (backpressure).
     ``record=False`` disables trace recording (slightly faster, not
     replayable).
+
+    ``fast`` selects the request dispatch path: ``None`` (default) uses
+    the kernel fast path when eligible (C kernel active, no failure
+    schedule, no memory capacity, a mirrored strategy family) and the
+    classic generator dispatchers otherwise; ``False`` forces classic;
+    ``True`` raises if the fast path is unavailable.  Results are
+    bit-identical either way.  ``exact_latency=True`` retains every
+    per-request latency sample (exact percentiles, O(requests) memory)
+    instead of the default fixed-size streaming sketch.
     """
 
     def __init__(
@@ -161,6 +200,8 @@ class ServeSession:
         max_inflight: int = 8192,
         record: bool = True,
         failures=None,
+        fast: Optional[bool] = None,
+        exact_latency: bool = False,
     ):
         if max_queue < 1 or max_inflight < 1:
             raise ValueError("max_queue and max_inflight must be >= 1")
@@ -186,13 +227,37 @@ class ServeSession:
         self.completed = 0
         self.created = 0
         self._arrival_floor = 0.0
-        self._lat_sim = array("d")
-        self._lat_wall = array("d")
+        self.exact_latency = exact_latency
+        if exact_latency:
+            self._lat_sim: Any = array("d")
+            self._lat_wall: Any = array("d")
+        else:
+            self._lat_sim = StreamingQuantiles()
+            self._lat_wall = StreamingQuantiles()
         self._wall_start: Optional[float] = None
         self._closed = False
         self._report: Optional[ServeReport] = None
+        # Dispatch mode: None = undecided (decided lazily at the first
+        # pump), "classic" = generator dispatchers, "fast" = C kernel.
+        self._mode: Optional[str] = None
+        self._fast_opt = fast
+        self._hk = None           # kernel Sim handle while fast-armed
+        self._lib = None
+        self._kffi = None
+        self._batches: list = []  # packed pending batches (fast ingest)
+        self._buffered = 0
+        self._sim_end = 0.0       # max completion time seen (fast mode)
+        self._sync_vid: Optional[Callable[[int], None]] = None
+        self._pre_sync: Optional[Callable[[int], None]] = None
+        self._arm_var: Optional[Callable[[int], None]] = None
+        self._tree_native = False
+        self._rec_batches: list = []     # retained completion records
+        self._rec_prev: Optional[list] = None  # per-proc prev completion
         # Start the dispatchers: every processor parks at t=0, ready to be
-        # kicked awake by its first request.
+        # kicked awake by its first request.  Both modes start them (the
+        # fast path leaves them parked forever): the t=0 startup events
+        # consume identical event sequence numbers, which is part of what
+        # keeps the two paths bit-identical.
         sim = self.rt.sim
         for p in range(n):
             self.rt._gens[p] = self._dispatch(p)
@@ -206,6 +271,8 @@ class ServeSession:
         by_id = self.rt.registry.by_id
         lat = self._lat_sim
         wlat = self._lat_wall
+        lat_add = lat.append if isinstance(lat, array) else lat.add
+        wlat_add = wlat.append if isinstance(wlat, array) else wlat.add
         clock = self._clock
         perf = time.perf_counter
         while True:
@@ -228,13 +295,332 @@ class ServeSession:
                 value = None
             done = sim.now
             clock[p] = done
-            lat.append(done - it.arrival)
-            wlat.append(perf() - it.wall)
+            lat_add(done - it.arrival)
+            wlat_add(perf() - it.wall)
             self._inflight -= 1
             self.completed += 1
             cb = it.cb
             if cb is not None:
                 cb(it, done, value)
+
+    # ------------------------------------------------------- mode selection
+    def _set_classic(self) -> None:
+        self._mode = "classic"
+        if self._batches:
+            # Packed batches arrived before the mode was decided: unpack
+            # them ahead of any scalar tail already in the ingest deque.
+            items: deque = deque()
+            for kinds, procs, vids, arr, walls in self._batches:
+                for i in range(len(kinds)):
+                    items.append(_Item(
+                        "r" if kinds[i] == 0 else "w", int(procs[i]),
+                        int(vids[i]), 0, float(arr[i]), float(walls[i]), None,
+                    ))
+            self._batches.clear()
+            self._buffered = 0
+            items.extend(self._ingest)
+            self._ingest = items
+
+    def _decide_mode(self) -> None:
+        if self._fast_opt is False:
+            self._set_classic()
+            return
+        if self._arm_fast():
+            self._mode = "fast"
+            return
+        if self._fast_opt is True:
+            raise RuntimeError(
+                "fast=True but the kernel fast path is unavailable here "
+                "(needs the C kernel, no failure schedule, no memory "
+                "capacity, and a mirrored strategy family)"
+            )
+        self._set_classic()
+
+    def _arm_fast(self) -> bool:
+        """Mirror the strategy's residency state into the kernel and
+        switch completion routing to native events.  Returns ``False``
+        (leaving the session untouched) when ineligible."""
+        rt = self.rt
+        sim = rt.sim
+        if sim._h is None or sim._failview is not None:
+            return False
+        strat = rt.strategy
+        if getattr(strat, "_track_mem", False):
+            return False  # bounded memory: hits touch the LRU
+        from ..core.access_tree import AccessTreeStrategy
+        from ..core.adaptive import AdaptiveStrategy
+        from ..core.dynrep import DynRepStrategy
+        from ..core.fixed_home import FixedHomeStrategy
+        from ..core.migratory import MigratoryStrategy
+
+        n = self.n_procs
+        cls = type(strat)
+        # Exact-class checks (like the engine's topology dispatch): an
+        # unknown subclass may override the hit path, so it gets the
+        # classic dispatchers.  nat_r/nat_w say whether the native hit /
+        # local-write tests are side-effect-free for this family;
+        # wl_rule selects the local-write predicate (0: owner == proc,
+        # 1: sole copy at the requester's site).
+        if cls is FixedHomeStrategy or cls is DynRepStrategy:
+            nat_r, nat_w, rule = 1, 1, 0
+            nsites, site_of = n, range(n)
+            sync = self._sync_home
+        elif cls is AdaptiveStrategy:
+            # Every read advances the popularity estimator, so reads
+            # always cross; writes are inherited from fixed home.
+            nat_r, nat_w, rule = 0, 1, 0
+            nsites, site_of = n, range(n)
+            sync = self._sync_home
+        elif cls is MigratoryStrategy:
+            nat_r, nat_w, rule = 1, 1, 0
+            nsites, site_of = n, range(n)
+            sync = self._sync_migratory
+        tree_native = False
+        if cls is AccessTreeStrategy:
+            nat_r, nat_w, rule = 1, 1, 1
+            nsites = len(strat.tree.nodes)
+            site_of = strat._leaf_of_proc
+            sync = self._sync_tree
+            # With remapping off the per-vid flow shape (hosts, costs,
+            # path geometry) is static, so the whole read-miss flow is
+            # compiled into the kernel: reads never cross into Python.
+            tree_native = strat.remap_threshold is None
+            if tree_native:
+                sync = self._sync_tree_native
+        elif cls not in (FixedHomeStrategy, DynRepStrategy, AdaptiveStrategy,
+                         MigratoryStrategy):
+            return False
+
+        lib, ffi, h = sim._lib, sim._ffi, sim._h
+        sim._reserve_stage(max(n, 2 * nsites))
+        sim._stage_i[0:n] = list(site_of)
+        lib.sim_serve_init(h, nsites, rule, self.max_inflight)
+        self._hk, self._lib, self._kffi = h, lib, ffi
+        self._nat = (nat_r, nat_w)
+        self._sync_vid = sync
+        if tree_native:
+            tree = strat.tree
+            sim._stage_i[0:nsites] = tree.parent
+            sim._stage_i[nsites:2 * nsites] = tree.depth
+            lib.sim_serve_tree_init(h)
+            lib.sim_serve_storage_seed(
+                h, strat._sc_integral, strat._sc_last, strat._sc_excess, 1
+            )
+            # Route the strategy's storage accounting into the kernel's
+            # accumulator: ONE float accumulation sequence whichever side
+            # (native miss / crossed write) applies the delta, so the
+            # storage integral stays bit-identical to the pure path.
+            strat._storage_delta = (
+                lambda delta, t, _lib=lib, _h=h:
+                    _lib.sim_serve_storage_delta(_h, delta, t)
+            )
+            self._pre_sync = self._pre_sync_tree
+            self._arm_var = self._sync_tree_flow
+            self._tree_native = True
+        for vid in range(len(rt.registry)):
+            sync(vid)
+            if tree_native:
+                self._sync_tree_flow(vid)
+        # Completion routing: flows built by the strategies resolve their
+        # continuation through these two runtime hooks -- override them
+        # (instance attributes) so completions become native K_SDONE
+        # events, pushed at the exact code points (and with the exact
+        # sequence numbers) the classic path's resumes occupy.
+        def _fast_resume(proc, t, value, _lib=lib, _h=h):
+            _lib.sim_serve_push_done(_h, proc, t)
+
+        rt.resume = _fast_resume
+        rt.resume_event = lambda proc, value: ServeResume(proc)
+        sim.serve_cb = self._serve_cb
+        return True
+
+    # ------------------------------------------------- fast-path internals
+    def _sync_home(self, vid: int) -> None:
+        st = self.rt.strategy._states[vid]
+        members = st.copies
+        k = len(members)
+        sim = self.rt.sim
+        sim._reserve_stage(k)
+        sim._stage_i[0:k] = list(members)
+        self._lib.sim_serve_sync_var(
+            self._hk, vid, st.owner, k, k, self._nat[0], self._nat[1]
+        )
+
+    def _sync_migratory(self, vid: int) -> None:
+        st = self.rt.strategy._states[vid]
+        sim = self.rt.sim
+        sim._stage_i[0] = st.owner
+        self._lib.sim_serve_sync_var(
+            self._hk, vid, st.owner, 1, 1, self._nat[0], self._nat[1]
+        )
+
+    def _sync_tree(self, vid: int) -> None:
+        cs = self.rt.strategy._copies[vid]
+        nodes = cs.nodes
+        k = len(nodes)
+        sim = self.rt.sim
+        sim._reserve_stage(k)
+        sim._stage_i[0:k] = list(nodes)
+        self._lib.sim_serve_sync_var(
+            self._hk, vid, 0, k, k, self._nat[0], self._nat[1]
+        )
+
+    def _sync_tree_native(self, vid: int) -> None:
+        # Tree-native mode computes miss paths from the mirror, so the
+        # component top must track the bitset exactly.
+        self._sync_tree(vid)
+        self._lib.sim_serve_set_top(
+            self._hk, vid, self.rt.strategy._copies[vid].top
+        )
+
+    def _sync_tree_flow(self, vid: int) -> None:
+        """Stage the vid's static flow shape -- node->host row, leg costs,
+        payload, component top -- so the kernel can replay its read-miss
+        flow without crossing (arm/create time only)."""
+        strat = self.rt.strategy
+        emb = strat.embedding
+        nsites = len(strat.tree.nodes)
+        sim = self.rt.sim
+        sim._reserve_stage(nsites)
+        sim._stage_i[0:nsites] = [emb.host(vid, node) for node in range(nsites)]
+        var = self.rt.registry.by_id(vid)
+        cs = strat._copies[vid]
+        self._lib.sim_serve_var_flow(
+            self._hk, vid, cs.top, float(var.payload_bytes),
+            *strat._leg_costs[vid],
+        )
+
+    def _pre_sync_tree(self, vid: int) -> None:
+        """Import the kernel's residency mirror (mutated by native read
+        misses) back into the strategy's copy set before a crossed write
+        runs the unchanged Python write path."""
+        lib, h = self._lib, self._hk
+        k = lib.sim_serve_members(h, vid)
+        cs = self.rt.strategy._copies[vid]
+        cs.nodes = set(self.rt.sim._stage_i[0:k])
+        cs.top = lib.sim_serve_top(h, vid)
+
+    def _serve_cb(self, out) -> None:
+        """Handle an ``R_SREQ`` crossing: a request whose data is not
+        locally resident runs the unchanged strategy code, the touched
+        variable's residency mirror is re-synced, and the completion is
+        routed back natively."""
+        lib, h = self._lib, self._hk
+        strat = self.rt.strategy
+        by_id = self.rt.registry.by_id
+        read = strat.read
+        write = strat.write
+        sync = self._sync_vid
+        pre = self._pre_sync
+        complete = lib.sim_serve_complete
+        while True:
+            p = out.a
+            code = out.b
+            vid = code >> 1
+            t = out.time
+            if pre is not None:
+                pre(vid)
+            if code & 1:
+                done = write(p, by_id(vid), 0, t)
+            else:
+                res = read(p, by_id(vid), t)
+                done = None if res is None else res[0]
+            sync(vid)
+            if done is None:
+                return  # flow in flight: completes via K_SDONE
+            if done > t:
+                lib.sim_serve_push_done(h, p, done)
+                return
+            if not complete(h, out, p, done):
+                return
+
+    def _flush_batches(self) -> None:
+        if self._ingest:
+            items = self._ingest
+            m = len(items)
+            self._batches.append((
+                np.fromiter((0 if it.kind == "r" else 1 for it in items),
+                            dtype=np.int32, count=m),
+                np.fromiter((it.proc for it in items), dtype=np.int32, count=m),
+                np.fromiter((it.vid for it in items), dtype=np.int32, count=m),
+                np.fromiter((it.arrival for it in items), dtype=np.float64,
+                            count=m),
+                np.fromiter((it.wall for it in items), dtype=np.float64,
+                            count=m),
+            ))
+            self._buffered += m
+            items.clear()
+        if not self._batches:
+            return
+        lib, ffi, h = self._lib, self._kffi, self._hk
+        cast = ffi.cast
+        for kinds, procs, vids, arr, walls in self._batches:
+            lib.sim_serve_ingest(
+                h, len(kinds),
+                cast("const int *", procs.ctypes.data),
+                cast("const int *", vids.ctypes.data),
+                cast("const int *", kinds.ctypes.data),
+                cast("const double *", arr.ctypes.data),
+                cast("const double *", walls.ctypes.data),
+            )
+        self._batches.clear()
+        self._buffered = 0
+
+    def _lat_feed(self, store, values: np.ndarray) -> None:
+        if isinstance(store, array):
+            store.frombytes(np.ascontiguousarray(values).tobytes())
+        else:
+            store.add_many(values)
+
+    def _drain(self) -> None:
+        """Pull the kernel's completion records (packed arrays) and fold
+        them into the counters and latency sketches."""
+        lib, ffi, h = self._lib, self._kffi, self._hk
+        n = lib.sim_serve_stat(h, 5)
+        if n:
+            def cp(ptr, nbytes, dtype):
+                return np.frombuffer(
+                    ffi.buffer(ptr, n * nbytes), dtype=dtype
+                ).copy()
+
+            done = cp(lib.sim_serve_rec_done(h), 8, np.float64)
+            arrv = cp(lib.sim_serve_rec_arr(h), 8, np.float64)
+            self._lat_feed(self._lat_sim, done - arrv)
+            walls = cp(lib.sim_serve_rec_wall(h), 8, np.float64)
+            self._lat_feed(self._lat_wall, time.perf_counter() - walls)
+            if self.recorder is not None:
+                self._rec_batches.append((
+                    cp(lib.sim_serve_rec_proc(h), 4, np.int32),
+                    cp(lib.sim_serve_rec_vid(h), 4, np.int32),
+                    cp(lib.sim_serve_rec_kind(h), 4, np.int32),
+                    cp(lib.sim_serve_rec_eff(h), 8, np.float64),
+                    done,
+                ))
+            self.completed += int(n)
+            end = float(done.max())
+            if end > self._sim_end:
+                self._sim_end = end
+            lib.sim_serve_rec_reset(h)
+        strat = self.rt.strategy
+        strat.hits += int(lib.sim_serve_stat(h, 2))
+        strat.write_local += int(lib.sim_serve_stat(h, 3))
+        if self._tree_native:
+            strat.misses += int(lib.sim_serve_stat(h, 6))
+            # The kernel owns the storage accumulator; copy its state back
+            # so storage_cost() stays correct from the Python side.
+            strat._sc_integral = lib.sim_serve_storage_get(h, 0)
+            strat._sc_last = lib.sim_serve_storage_get(h, 1)
+            strat._sc_excess = lib.sim_serve_storage_get(h, 2)
+        lib.sim_serve_counters_reset(h)
+
+    def _pump_fast(self, until: Optional[float]) -> None:
+        lib, h = self._lib, self._hk
+        self._flush_batches()
+        lib.sim_serve_pump_begin(h)
+        sim = self.rt.sim
+        sim.run(until)
+        sim.now = lib.sim_serve_now(h)
+        self._drain()
 
     # ---------------------------------------------------------------- ingest
     def create(self, proc: int, payload_bytes: int = 256, value: Any = 0) -> int:
@@ -247,10 +633,21 @@ class ServeSession:
         """
         if self._closed:
             raise RuntimeError("session is closed")
+        if self._mode == "fast" and self.recorder is not None and self.accepted:
+            raise RuntimeError(
+                "cannot create variables after requests were accepted on the "
+                "kernel fast path with recording on (the reconstructed trace "
+                "hoists creates); create everything up front, or open the "
+                "session with record=False or fast=False"
+            )
         var = self.rt.create_var(
             f"s{len(self.rt.registry)}", payload_bytes, proc, value
         )
         self.created += 1
+        if self._sync_vid is not None:
+            self._sync_vid(var.vid)
+            if self._arm_var is not None:
+                self._arm_var(var.vid)
         return var.vid
 
     def try_submit(
@@ -269,7 +666,8 @@ class ServeSession:
         ``arrival`` is the simulated arrival time; arrivals are clamped
         nondecreasing (``None`` = right after the previous one).
         ``on_done(item, sim_completion_time, value)`` fires inside the
-        pump when the request completes.
+        pump when the request completes.  Passing ``on_done`` before the
+        first pump commits the session to the classic dispatch path.
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -279,7 +677,16 @@ class ServeSession:
             raise ValueError(f"no such processor: {proc}")
         if not 0 <= vid < len(self.rt.registry):
             raise ValueError(f"no such variable: {vid}")
-        if len(self._ingest) >= self.max_queue:
+        if on_done is not None:
+            if self._mode == "fast":
+                raise RuntimeError(
+                    "on_done callbacks need the classic dispatch path, but "
+                    "this session is already on the kernel fast path (open "
+                    "it with fast=False to keep callbacks)"
+                )
+            if self._mode is None:
+                self._set_classic()
+        if self.queue_depth >= self.max_queue:
             self.rejected += 1
             return False
         wall = time.perf_counter()
@@ -298,9 +705,78 @@ class ServeSession:
         if not self.try_submit(kind, proc, vid, **kw):
             raise QueueFull(f"ingest queue at capacity ({self.max_queue})")
 
+    def submit_batch(self, reads, procs, vids, arrivals) -> int:
+        """Vectorized :meth:`try_submit`: queue a whole epoch of requests
+        in one call (the load generator's path to the kernel's batched
+        ingest).  ``reads`` is a boolean array (True = read), ``procs``/
+        ``vids`` integer arrays, ``arrivals`` the simulated arrival
+        times; all the same length.  Admission accepts the longest prefix
+        the queue has room for (identical to per-item submission, since
+        arrivals are nondecreasing) and returns the accepted count.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        m = len(procs)
+        if not m:
+            return 0
+        if self._mode == "classic":
+            n_ok = 0
+            for i in range(m):
+                if self.try_submit(
+                    "r" if reads[i] else "w", int(procs[i]), int(vids[i]),
+                    arrival=float(arrivals[i]),
+                ):
+                    n_ok += 1
+            return n_ok
+        procs = np.ascontiguousarray(procs, dtype=np.int32)
+        vids = np.ascontiguousarray(vids, dtype=np.int32)
+        if procs.min(initial=0) < 0 or procs.max(initial=0) >= self.n_procs:
+            raise ValueError("processor id out of range in batch")
+        if vids.min(initial=0) < 0 or vids.max(initial=0) >= len(self.rt.registry):
+            raise ValueError("variable id out of range in batch")
+        room = self.max_queue - self.queue_depth
+        k = m if m <= room else (room if room > 0 else 0)
+        self.rejected += m - k
+        if not k:
+            return 0
+        wall = time.perf_counter()
+        if self._wall_start is None:
+            self._wall_start = wall
+        arr = np.maximum(np.asarray(arrivals[:k], dtype=np.float64),
+                         self._arrival_floor)
+        np.maximum.accumulate(arr, out=arr)
+        self._arrival_floor = float(arr[-1])
+        kinds = np.where(np.asarray(reads[:k], dtype=bool), 0, 1).astype(np.int32)
+        if self._ingest:
+            # Scalar submissions precede this batch: pack them first so
+            # the pending stream stays FIFO.
+            self._pack_ingest()
+        self._batches.append((kinds, procs[:k], vids[:k], arr,
+                              np.full(k, wall, dtype=np.float64)))
+        self._buffered += k
+        self.accepted += k
+        return k
+
+    def _pack_ingest(self) -> None:
+        items = self._ingest
+        m = len(items)
+        self._batches.append((
+            np.fromiter((0 if it.kind == "r" else 1 for it in items),
+                        dtype=np.int32, count=m),
+            np.fromiter((it.proc for it in items), dtype=np.int32, count=m),
+            np.fromiter((it.vid for it in items), dtype=np.int32, count=m),
+            np.fromiter((it.arrival for it in items), dtype=np.float64, count=m),
+            np.fromiter((it.wall for it in items), dtype=np.float64, count=m),
+        ))
+        self._buffered += m
+        items.clear()
+
     @property
     def queue_depth(self) -> int:
-        return len(self._ingest)
+        depth = len(self._ingest) + self._buffered
+        if self._hk is not None:
+            depth += int(self._lib.sim_serve_stat(self._hk, 4))
+        return depth
 
     @property
     def arrival_floor(self) -> float:
@@ -310,6 +786,8 @@ class ServeSession:
 
     @property
     def inflight(self) -> int:
+        if self._hk is not None:
+            return int(self._lib.sim_serve_stat(self._hk, 0))
         return self._inflight
 
     # ------------------------------------------------------------------ pump
@@ -342,6 +820,11 @@ class ServeSession:
         """
         if self._closed:
             raise RuntimeError("session is closed")
+        if self._mode is None:
+            self._decide_mode()
+        if self._mode == "fast":
+            self._pump_fast(until)
+            return
         sim = self.rt.sim
         ing = self._ingest
         while True:
@@ -372,8 +855,8 @@ class ServeSession:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "created": self.created,
-            "queue_depth": len(self._ingest),
-            "inflight": self._inflight,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
             "hits": hits,
             "misses": misses,
             "hit_rate": MetricsBundle(hits=hits, misses=misses).hit_rate,
@@ -389,15 +872,24 @@ class ServeSession:
             return self._report
         self.pump()  # unbounded: drains the ingest queue completely
         rt = self.rt
-        for p in range(self.n_procs):
-            if self._parked[p]:
-                self._parked[p] = False
-                rt._deliver(p, _PARK, rt.sim.now, _STOP)
-        rt.sim.run()
+        if self._mode == "fast":
+            # The dispatchers never ran: close the parked generators.
+            for p in range(self.n_procs):
+                gen = rt._gens[p]
+                if gen is not None:
+                    gen.close()
+                    rt._gens[p] = None
+            end = self._sim_end
+        else:
+            for p in range(self.n_procs):
+                if self._parked[p]:
+                    self._parked[p] = False
+                    rt._deliver(p, _PARK, rt.sim.now, _STOP)
+            rt.sim.run()
+            end = max(self._clock) if self.completed else 0.0
         self._closed = True
         wall_end = time.perf_counter()
         wall = wall_end - self._wall_start if self._wall_start is not None else 0.0
-        end = max(self._clock) if self.completed else 0.0
         stats = rt.sim.stats
         strat = rt.strategy
         # The serving latency sample is arrival -> completion (queueing
@@ -443,8 +935,37 @@ class ServeSession:
         )
         return self._report
 
+    def _reconstruct_trace(self) -> None:
+        """Fold the fast path's completion records into the recorder's op
+        streams: per processor, in completion order, the idle gap before
+        each request (``eff`` minus the previous completion) becomes the
+        think-time op the classic path would have recorded, then the
+        request itself -- byte-identical to the live-recorded stream."""
+        ops = self.recorder.ops
+        if self._rec_prev is None:
+            self._rec_prev = [0.0] * self.n_procs
+        prev = self._rec_prev
+        for procs, vids, kinds, effs, dones in self._rec_batches:
+            procs = procs.tolist()
+            vids = vids.tolist()
+            kinds = kinds.tolist()
+            effs = effs.tolist()
+            dones = dones.tolist()
+            for i in range(len(procs)):
+                p = procs[i]
+                e = effs[i]
+                gap = e - prev[p]
+                stream = ops[p]
+                if gap > 0.0:
+                    stream.append(["k", 0.0, gap])
+                stream.append(["w" if kinds[i] else "r", vids[i]])
+                prev[p] = dones[i]
+        self._rec_batches.clear()
+
     def trace(self, params: Optional[Dict[str, Any]] = None) -> Trace:
         """The served access stream as a replayable :class:`Trace`."""
         if self.recorder is None:
             raise RuntimeError("session was opened with record=False")
+        if self._rec_batches:
+            self._reconstruct_trace()
         return self.recorder.to_trace(workload="serve", params=params)

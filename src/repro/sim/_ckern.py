@@ -50,9 +50,10 @@ CKERN_SOURCE = r"""
 
 typedef long long i64;
 
-enum { K_GEN = 0, K_CHAIN = 1, K_MDOWN = 2, K_MACK = 3 };
+enum { K_GEN = 0, K_CHAIN = 1, K_MDOWN = 2, K_MACK = 3,
+       K_SREQ = 4, K_SDONE = 5 };
 enum { R_DONE = 0, R_GENERIC = 1, R_CHAIN_DONE = 2, R_MC_DONE = 3,
-       R_NEED_ROUTE = 4 };
+       R_NEED_ROUTE = 4, R_SREQ = 5 };
 
 typedef struct { double time; i64 seq; int kind, a, b, c, d; } Ev;
 typedef struct { int kind; int a; int b; double time; double targ; } Crossing;
@@ -65,6 +66,19 @@ typedef struct {
 } Chain;
 
 typedef struct { int remaining; double tmax; int node; int parent_host; int parent; } Pend;
+
+/* ------------------------------------------------------- serving fast path
+ * One queued request.  kind: 0 = read, 1 = write.  arrival is the
+ * requested simulated arrival (latency zero point), eff the effective
+ * issue floor (clamped at injection, exactly like the Python session's
+ * _inject), wall the perf_counter() stamp taken at submission. */
+typedef struct { int vid, kind; double arrival, eff, wall; } SReq;
+
+/* Per-processor FIFO ring of queued requests. */
+typedef struct { SReq *buf; int cap, head, len; } SQueue;
+
+/* Request pending injection (the C half of the ingest queue). */
+typedef struct { int proc, vid, kind; double arrival, wall; } SPend;
 
 typedef struct {
     int done_id;
@@ -95,6 +109,44 @@ typedef struct {
     int *stage_i;
     double *stage_d;
     int stage_cap;
+    /* ------------------------------------------------- serving fast path */
+    int serve_on;                 /* armed by sim_serve_init */
+    int sv_phase;                 /* 0 = inject next, 1 = running */
+    double sv_now;                /* mirror of the Python-visible clock */
+    SQueue *sv_q;                 /* per-proc request rings */
+    SReq *sv_cur;                 /* per-proc request crossed into Python */
+    unsigned char *sv_state;      /* 0 idle, 1 timer pending, 2 crossed */
+    SPend *sv_pend; int sv_pend_cap, sv_pend_head, sv_pend_len;
+    i64 sv_inflight, sv_max_inflight, sv_completed, sv_round_n;
+    i64 sv_hits, sv_wlocal;       /* native counter deltas (folded by Python) */
+    /* completion records, structure-of-arrays, drained per pump */
+    int sv_rec_cap; i64 sv_rec_n;
+    int *sv_rec_proc, *sv_rec_vid, *sv_rec_kind;
+    double *sv_rec_arr, *sv_rec_eff, *sv_rec_done, *sv_rec_wall;
+    /* residency mirror: per-vid membership bitset over "sites" (procs for
+       the directory families, tree nodes for the access tree) */
+    int sv_nsites, sv_words, sv_wl_rule;
+    int *sv_site_of;              /* proc -> site (identity or leaf_of) */
+    int sv_var_cap;
+    unsigned long long *sv_bits;  /* sv_var_cap * sv_words */
+    int *sv_owner;                /* per vid; -1 = home/main memory */
+    int *sv_count;                /* per vid: member count */
+    unsigned char *sv_nat_r, *sv_nat_w;  /* per vid: fast path allowed */
+    /* access-tree flow mirror: read misses compiled into the kernel
+       (armed only when the strategy's flow shape is static -- no remap,
+       no memory pressure -- so the whole read path stays native) */
+    int sv_tree_on;
+    int *sv_parent, *sv_depth;    /* [nsites] static tree shape */
+    int *sv_top;                  /* per vid: component top node */
+    int *sv_host;                 /* per vid: nsites-wide node->host row */
+    double *sv_flow;              /* per vid: 6 up/down leg costs */
+    double *sv_payload;           /* per vid: payload bytes */
+    int *sv_scr_a, *sv_scr_b, *sv_path;  /* LCA walk scratch */
+    i64 sv_misses;                /* native miss delta (folded by Python) */
+    /* storage-cost accumulator, moved into C so the time integral stays
+       ONE float accumulation sequence (bit-identical to the pure path) */
+    int sv_storage_on;
+    double sc_integral, sc_last, sc_excess;
 } Sim;
 
 /* ------------------------------------------------------------------ heap */
@@ -552,6 +604,466 @@ static void mc_free_one(Sim *s, int id) {
     s->mc_free[s->mc_free_n++] = id;
 }
 
+/* ------------------------------------------------------- serving fast path
+ *
+ * The request path of the serving session, mirrored move for move from
+ * serve/session.py's dispatcher generators (see that module's docstring):
+ * same event keys (time, seq) at the same logical points, so a served
+ * run is bit-identical between this fast path and the classic
+ * generator-based path.
+ *
+ *   parked kick          ->  K_SREQ pushed at injection (idle proc)
+ *   queued-gap ComputeReq->  K_SREQ pushed at the previous completion
+ *   flow auto-resume     ->  K_SDONE at the chain-completion push point
+ *   strategy done > now  ->  sim_serve_push_done (Python crossing point)
+ *   local hit/write      ->  handled natively when the residency mirror
+ *                            proves the strategy call is side-effect-free
+ */
+
+static void serve_record(Sim *s, int p, const SReq *it, double done) {
+    if (s->sv_rec_n == s->sv_rec_cap) {
+        s->sv_rec_cap *= 2;
+        s->sv_rec_proc = (int *)realloc(s->sv_rec_proc, s->sv_rec_cap * sizeof(int));
+        s->sv_rec_vid = (int *)realloc(s->sv_rec_vid, s->sv_rec_cap * sizeof(int));
+        s->sv_rec_kind = (int *)realloc(s->sv_rec_kind, s->sv_rec_cap * sizeof(int));
+        s->sv_rec_arr = (double *)realloc(s->sv_rec_arr, s->sv_rec_cap * sizeof(double));
+        s->sv_rec_eff = (double *)realloc(s->sv_rec_eff, s->sv_rec_cap * sizeof(double));
+        s->sv_rec_done = (double *)realloc(s->sv_rec_done, s->sv_rec_cap * sizeof(double));
+        s->sv_rec_wall = (double *)realloc(s->sv_rec_wall, s->sv_rec_cap * sizeof(double));
+    }
+    i64 i = s->sv_rec_n++;
+    s->sv_rec_proc[i] = p;
+    s->sv_rec_vid[i] = it->vid;
+    s->sv_rec_kind[i] = it->kind;
+    s->sv_rec_arr[i] = it->arrival;
+    s->sv_rec_eff[i] = it->eff;
+    s->sv_rec_done[i] = done;
+    s->sv_rec_wall[i] = it->wall;
+    s->sv_completed++;
+    s->sv_inflight--;
+}
+
+static void sq_push(SQueue *q, const SReq *it) {
+    if (q->len == q->cap) {
+        SReq *nb = (SReq *)malloc(2 * q->cap * sizeof(SReq));
+        for (int j = 0; j < q->len; j++)
+            nb[j] = q->buf[(q->head + j) & (q->cap - 1)];
+        free(q->buf);
+        q->buf = nb;
+        q->cap *= 2;
+        q->head = 0;
+    }
+    q->buf[(q->head + q->len) & (q->cap - 1)] = *it;
+    q->len++;
+}
+
+static int serve_tree_miss(Sim *s, int p, const SReq *cur);
+
+/* Dispatch queued requests for processor p until one must wait (timer),
+ * one crosses into Python (returns 1, crossing filled), or the queue is
+ * empty.  Mirrors the dispatcher generator's loop head. */
+static int serve_advance(Sim *s, int p, Crossing *out) {
+    SQueue *q = &s->sv_q[p];
+    for (;;) {
+        if (!q->len) {
+            s->sv_state[p] = 0;      /* parked */
+            return 0;
+        }
+        SReq *head = &q->buf[q->head];
+        if (head->eff > s->sv_now) {
+            /* idle until the arrival: the classic path schedules a kick
+               (parked) or a ComputeReq resume (queued gap) here. */
+            heap_push(s, head->eff, s->seqno++, K_SREQ, p, 0, 0, 0);
+            s->sv_state[p] = 1;
+            return 0;
+        }
+        SReq cur = *head;
+        q->head = (q->head + 1) & (q->cap - 1);
+        q->len--;
+        int vid = cur.vid;
+        int native = 0;
+        if (cur.kind == 0) {
+            if (s->sv_nat_r[vid]) {
+                unsigned long long *w = s->sv_bits + (size_t)vid * s->sv_words;
+                int site = s->sv_site_of[p];
+                if (w[site >> 6] & (1ULL << (site & 63))) {
+                    s->sv_hits++;
+                    native = 1;
+                } else if (s->sv_tree_on && serve_tree_miss(s, p, &cur)) {
+                    /* miss flow launched natively: this proc blocks until
+                       its K_SDONE, exactly like a crossed request */
+                    s->sv_cur[p] = cur;
+                    s->sv_state[p] = 2;
+                    return 0;
+                }
+            }
+        } else {
+            if (s->sv_nat_w[vid]) {
+                int local;
+                if (s->sv_wl_rule == 0) {
+                    local = (s->sv_owner[vid] == p);
+                } else {
+                    unsigned long long *w = s->sv_bits + (size_t)vid * s->sv_words;
+                    int site = s->sv_site_of[p];
+                    local = (s->sv_count[vid] == 1 &&
+                             (w[site >> 6] & (1ULL << (site & 63))) != 0);
+                }
+                if (local) {
+                    s->sv_wlocal++;
+                    native = 1;
+                }
+            }
+        }
+        if (native) {
+            /* local hit / owner write: zero simulated time, zero side
+               effects beyond the counter -- complete in place. */
+            serve_record(s, p, &cur, s->sv_now);
+            continue;
+        }
+        s->sv_cur[p] = cur;
+        s->sv_state[p] = 2;
+        out->kind = R_SREQ;
+        out->a = p;
+        out->b = vid * 2 + cur.kind;
+        out->time = s->sv_now;
+        return 1;
+    }
+}
+
+/* One injection round: move pending requests whose arrival is within the
+ * horizon into the per-proc queues while the in-flight window has room.
+ * Mirrors ServeSession.pump's inject loop (same admission order, same
+ * eff clamp, same kick points). */
+static i64 serve_inject(Sim *s, double horizon) {
+    i64 n = 0;
+    while (s->sv_pend_len && s->sv_inflight < s->sv_max_inflight) {
+        SPend *pr = &s->sv_pend[s->sv_pend_head];
+        if (pr->arrival > horizon) break;
+        double eff = pr->arrival;
+        if (eff < s->sv_now) eff = s->sv_now;
+        SReq it;
+        it.vid = pr->vid; it.kind = pr->kind;
+        it.arrival = pr->arrival; it.eff = eff; it.wall = pr->wall;
+        int p = pr->proc;
+        s->sv_pend_head = (s->sv_pend_head + 1) & (s->sv_pend_cap - 1);
+        s->sv_pend_len--;
+        sq_push(&s->sv_q[p], &it);
+        if (s->sv_state[p] == 0) {
+            /* parked processor: the wake-up kick, stamped at eff */
+            heap_push(s, eff, s->seqno++, K_SREQ, p, 0, 0, 0);
+            s->sv_state[p] = 1;
+        }
+        s->sv_inflight++;
+        n++;
+    }
+    return n;
+}
+
+int sim_serve_init(Sim *s, int nsites, int wl_rule, i64 max_inflight) {
+    /* site_of staged in stage_i[0..n_nodes) */
+    int n = s->n_nodes;
+    s->serve_on = 1;
+    s->sv_phase = 0;
+    s->sv_now = 0.0;
+    s->sv_nsites = nsites;
+    s->sv_words = (nsites + 63) >> 6;
+    s->sv_wl_rule = wl_rule;
+    s->sv_max_inflight = max_inflight;
+    s->sv_q = (SQueue *)calloc(n, sizeof(SQueue));
+    for (int p = 0; p < n; p++) {
+        s->sv_q[p].cap = 16;
+        s->sv_q[p].buf = (SReq *)malloc(16 * sizeof(SReq));
+    }
+    s->sv_cur = (SReq *)calloc(n, sizeof(SReq));
+    s->sv_state = (unsigned char *)calloc(n, 1);
+    s->sv_site_of = (int *)malloc(n * sizeof(int));
+    memcpy(s->sv_site_of, s->stage_i, n * sizeof(int));
+    s->sv_pend_cap = 1024;
+    s->sv_pend = (SPend *)malloc(s->sv_pend_cap * sizeof(SPend));
+    s->sv_rec_cap = 4096;
+    s->sv_rec_proc = (int *)malloc(s->sv_rec_cap * sizeof(int));
+    s->sv_rec_vid = (int *)malloc(s->sv_rec_cap * sizeof(int));
+    s->sv_rec_kind = (int *)malloc(s->sv_rec_cap * sizeof(int));
+    s->sv_rec_arr = (double *)malloc(s->sv_rec_cap * sizeof(double));
+    s->sv_rec_eff = (double *)malloc(s->sv_rec_cap * sizeof(double));
+    s->sv_rec_done = (double *)malloc(s->sv_rec_cap * sizeof(double));
+    s->sv_rec_wall = (double *)malloc(s->sv_rec_cap * sizeof(double));
+    s->sv_var_cap = 256;
+    s->sv_bits = (unsigned long long *)calloc(
+        (size_t)s->sv_var_cap * s->sv_words, sizeof(unsigned long long));
+    s->sv_owner = (int *)malloc(s->sv_var_cap * sizeof(int));
+    s->sv_count = (int *)calloc(s->sv_var_cap, sizeof(int));
+    s->sv_nat_r = (unsigned char *)calloc(s->sv_var_cap, 1);
+    s->sv_nat_w = (unsigned char *)calloc(s->sv_var_cap, 1);
+    return 0;
+}
+
+static void sv_grow_vars(Sim *s, int vid) {
+    if (vid < s->sv_var_cap) return;
+    int old = s->sv_var_cap;
+    while (vid >= s->sv_var_cap) s->sv_var_cap *= 2;
+    s->sv_bits = (unsigned long long *)realloc(
+        s->sv_bits,
+        (size_t)s->sv_var_cap * s->sv_words * sizeof(unsigned long long));
+    memset(s->sv_bits + (size_t)old * s->sv_words, 0,
+           (size_t)(s->sv_var_cap - old) * s->sv_words *
+           sizeof(unsigned long long));
+    s->sv_owner = (int *)realloc(s->sv_owner, s->sv_var_cap * sizeof(int));
+    s->sv_count = (int *)realloc(s->sv_count, s->sv_var_cap * sizeof(int));
+    s->sv_nat_r = (unsigned char *)realloc(s->sv_nat_r, s->sv_var_cap);
+    s->sv_nat_w = (unsigned char *)realloc(s->sv_nat_w, s->sv_var_cap);
+    memset(s->sv_count + old, 0, (s->sv_var_cap - old) * sizeof(int));
+    memset(s->sv_nat_r + old, 0, s->sv_var_cap - old);
+    memset(s->sv_nat_w + old, 0, s->sv_var_cap - old);
+    if (s->sv_tree_on) {
+        s->sv_top = (int *)realloc(s->sv_top, s->sv_var_cap * sizeof(int));
+        s->sv_host = (int *)realloc(
+            s->sv_host, (size_t)s->sv_var_cap * s->sv_nsites * sizeof(int));
+        s->sv_flow = (double *)realloc(
+            s->sv_flow, (size_t)s->sv_var_cap * 6 * sizeof(double));
+        s->sv_payload = (double *)realloc(
+            s->sv_payload, s->sv_var_cap * sizeof(double));
+    }
+}
+
+void sim_serve_sync_var(Sim *s, int vid, int owner, int count, int n_members,
+                        int nat_r, int nat_w) {
+    /* member sites staged in stage_i[0..n_members) */
+    sv_grow_vars(s, vid);
+    unsigned long long *w = s->sv_bits + (size_t)vid * s->sv_words;
+    memset(w, 0, s->sv_words * sizeof(unsigned long long));
+    for (int j = 0; j < n_members; j++) {
+        int site = s->stage_i[j];
+        w[site >> 6] |= 1ULL << (site & 63);
+    }
+    s->sv_owner[vid] = owner;
+    s->sv_count[vid] = count;
+    s->sv_nat_r[vid] = (unsigned char)nat_r;
+    s->sv_nat_w[vid] = (unsigned char)nat_w;
+}
+
+void sim_serve_tree_init(Sim *s) {
+    /* tree shape staged in stage_i: parent[0..nsites), depth[nsites..2n).
+       Arms the native read-miss flow (sv_tree_on). */
+    int n = s->sv_nsites;
+    s->sv_tree_on = 1;
+    s->sv_parent = (int *)malloc(n * sizeof(int));
+    s->sv_depth = (int *)malloc(n * sizeof(int));
+    memcpy(s->sv_parent, s->stage_i, n * sizeof(int));
+    memcpy(s->sv_depth, s->stage_i + n, n * sizeof(int));
+    s->sv_scr_a = (int *)malloc(n * sizeof(int));
+    s->sv_scr_b = (int *)malloc(n * sizeof(int));
+    s->sv_path = (int *)malloc(2 * n * sizeof(int));
+    s->sv_top = (int *)malloc(s->sv_var_cap * sizeof(int));
+    s->sv_host = (int *)malloc((size_t)s->sv_var_cap * n * sizeof(int));
+    s->sv_flow = (double *)malloc((size_t)s->sv_var_cap * 6 * sizeof(double));
+    s->sv_payload = (double *)malloc(s->sv_var_cap * sizeof(double));
+}
+
+void sim_serve_var_flow(Sim *s, int vid, int top, double payload, double cw,
+                        double co, double cocc, double dw, double dov,
+                        double docc) {
+    /* node->host row staged in stage_i[0..nsites): the per-vid flow shape
+       a native read miss replays (costs from the strategy's leg table). */
+    sv_grow_vars(s, vid);
+    s->sv_top[vid] = top;
+    s->sv_payload[vid] = payload;
+    memcpy(s->sv_host + (size_t)vid * s->sv_nsites, s->stage_i,
+           s->sv_nsites * sizeof(int));
+    double *fc = s->sv_flow + (size_t)vid * 6;
+    fc[0] = cw; fc[1] = co; fc[2] = cocc;
+    fc[3] = dw; fc[4] = dov; fc[5] = docc;
+}
+
+void sim_serve_set_top(Sim *s, int vid, int top) { s->sv_top[vid] = top; }
+int sim_serve_top(Sim *s, int vid) { return s->sv_top[vid]; }
+
+int sim_serve_members(Sim *s, int vid) {
+    /* export the vid's member sites into stage_i; returns the count
+       (Python refreshes its copy-set before a crossed write). */
+    unsigned long long *w = s->sv_bits + (size_t)vid * s->sv_words;
+    int n = 0;
+    for (int wd = 0; wd < s->sv_words; wd++) {
+        unsigned long long bits = w[wd];
+        while (bits) {
+            int b = __builtin_ctzll(bits);
+            s->stage_i[n++] = wd * 64 + b;
+            bits &= bits - 1;
+        }
+    }
+    return n;
+}
+
+void sim_serve_storage_seed(Sim *s, double integral, double last,
+                            double excess, int on) {
+    s->sc_integral = integral; s->sc_last = last; s->sc_excess = excess;
+    s->sv_storage_on = on;
+}
+
+void sim_serve_storage_delta(Sim *s, double delta, double t) {
+    /* exact mirror of DataManagementStrategy._storage_delta */
+    if (t > s->sc_last) {
+        s->sc_integral += s->sc_excess * (t - s->sc_last);
+        s->sc_last = t;
+    }
+    s->sc_excess += delta;
+}
+
+double sim_serve_storage_get(Sim *s, int which) {
+    switch (which) {
+    case 0: return s->sc_integral;
+    case 1: return s->sc_last;
+    case 2: return s->sc_excess;
+    }
+    return 0.0;
+}
+
+/* tree_path(leaf, top) cut at the first component member (inclusive):
+ * the exact walk of decomposition.tree_path + AccessTree._request_path. */
+static int sv_tree_path_cut(Sim *s, int a, int b,
+                            const unsigned long long *w, int *out) {
+    const int *parent = s->sv_parent, *depth = s->sv_depth;
+    int *ua = s->sv_scr_a, *ub = s->sv_scr_b;
+    int na = 0, nb = 0;
+    ua[na++] = a; ub[nb++] = b;
+    int x = a, y = b;
+    while (depth[x] > depth[y]) { x = parent[x]; ua[na++] = x; }
+    while (depth[y] > depth[x]) { y = parent[y]; ub[nb++] = y; }
+    while (x != y) { x = parent[x]; y = parent[y]; ua[na++] = x; ub[nb++] = y; }
+    nb--;  /* ub's last entry duplicates the LCA already in ua */
+    int n = 0;
+    for (int i = 0; i < na; i++) {
+        int node = ua[i]; out[n++] = node;
+        if (w[node >> 6] & (1ULL << (node & 63))) return n;
+    }
+    for (int i = nb - 1; i >= 0; i--) {
+        int node = ub[i]; out[n++] = node;
+        if (w[node >> 6] & (1ULL << (node & 63))) return n;
+    }
+    return -1;  /* no member on the path: invariant broken, cross out */
+}
+
+int sim_ensure_stage(Sim *s, int n);
+
+/* A native access-tree read miss: replay AccessTreeStrategy.read's miss
+ * body without leaving C -- walk to the component, extend the copy set
+ * down the path (count/top/storage updated exactly as _add_copies does),
+ * and push the same up/down chain the Python path pushes, consuming the
+ * same seqnos.  Returns 0 to fall back to a Python crossing. */
+static int serve_tree_miss(Sim *s, int p, const SReq *cur) {
+    int vid = cur->vid;
+    unsigned long long *w = s->sv_bits + (size_t)vid * s->sv_words;
+    int *path = s->sv_path;
+    int np = sv_tree_path_cut(s, s->sv_site_of[p], s->sv_top[vid], w, path);
+    if (np < 2) return 0;
+    double t = s->sv_now;
+    s->sv_misses++;
+    double payload = s->sv_payload[vid];
+    const int *depth = s->sv_depth;
+    int top = s->sv_top[vid];
+    for (int i = np - 1; i >= 0; i--) {
+        int node = path[i];
+        unsigned long long bit = 1ULL << (node & 63);
+        if (!(w[node >> 6] & bit)) {
+            w[node >> 6] |= bit;
+            s->sv_count[vid]++;
+            if (s->sv_storage_on) sim_serve_storage_delta(s, payload, t);
+            if (depth[node] < depth[top]) top = node;
+        }
+    }
+    s->sv_top[vid] = top;
+    sim_ensure_stage(s, np);
+    const int *row = s->sv_host + (size_t)vid * s->sv_nsites;
+    for (int i = 0; i < np; i++) s->stage_i[i] = row[path[i]];
+    const double *fc = s->sv_flow + (size_t)vid * 6;
+    sim_push_chain_updown(s, t, np, fc[0], fc[1], fc[2], fc[3], fc[4], fc[5],
+                          p, 2);
+    return 1;
+}
+
+i64 sim_serve_ingest(Sim *s, i64 n, const int *procs, const int *vids,
+                     const int *kinds, const double *arrivals,
+                     const double *walls) {
+    /* append n admitted requests to the pending ring (ONE call per
+       queue drain: the batched-ingest half of the fast path) */
+    while (s->sv_pend_len + n > s->sv_pend_cap) {
+        SPend *nb = (SPend *)malloc(2 * s->sv_pend_cap * sizeof(SPend));
+        for (int j = 0; j < s->sv_pend_len; j++)
+            nb[j] = s->sv_pend[(s->sv_pend_head + j) & (s->sv_pend_cap - 1)];
+        free(s->sv_pend);
+        s->sv_pend = nb;
+        s->sv_pend_cap *= 2;
+        s->sv_pend_head = 0;
+    }
+    for (i64 j = 0; j < n; j++) {
+        SPend *pr = &s->sv_pend[(s->sv_pend_head + s->sv_pend_len) &
+                                (s->sv_pend_cap - 1)];
+        pr->proc = procs[j]; pr->vid = vids[j]; pr->kind = kinds[j];
+        pr->arrival = arrivals[j]; pr->wall = walls[j];
+        s->sv_pend_len++;
+    }
+    return s->sv_pend_len;
+}
+
+void sim_serve_pump_begin(Sim *s) { s->sv_phase = 0; }
+
+int sim_serve_complete(Sim *s, Crossing *out, int p, double done) {
+    /* Python-side strategy returned an immediate completion (done <= now):
+       record it and keep dispatching; 1 = next request crossed (out). */
+    serve_record(s, p, &s->sv_cur[p], done);
+    return serve_advance(s, p, out);
+}
+
+void sim_serve_push_done(Sim *s, int p, double done) {
+    /* Python-side strategy flow will complete at `done` (> now): the
+       exact analogue of the classic path's schedule(done, _step, ...) */
+    heap_push(s, done, s->seqno++, K_SDONE, p, 0, 0, 0);
+}
+
+i64 sim_serve_stat(Sim *s, int which) {
+    switch (which) {
+    case 0: return s->sv_inflight;
+    case 1: return s->sv_completed;
+    case 2: return s->sv_hits;
+    case 3: return s->sv_wlocal;
+    case 4: return s->sv_pend_len;
+    case 5: return s->sv_rec_n;
+    case 6: return s->sv_misses;
+    }
+    return -1;
+}
+
+void sim_serve_counters_reset(Sim *s) {
+    s->sv_hits = 0; s->sv_wlocal = 0; s->sv_misses = 0;
+}
+void sim_serve_rec_reset(Sim *s) { s->sv_rec_n = 0; }
+double sim_serve_now(Sim *s) { return s->sv_now; }
+int *sim_serve_rec_proc(Sim *s) { return s->sv_rec_proc; }
+int *sim_serve_rec_vid(Sim *s) { return s->sv_rec_vid; }
+int *sim_serve_rec_kind(Sim *s) { return s->sv_rec_kind; }
+double *sim_serve_rec_arr(Sim *s) { return s->sv_rec_arr; }
+double *sim_serve_rec_eff(Sim *s) { return s->sv_rec_eff; }
+double *sim_serve_rec_done(Sim *s) { return s->sv_rec_done; }
+double *sim_serve_rec_wall(Sim *s) { return s->sv_rec_wall; }
+
+static void serve_free(Sim *s) {
+    if (!s->serve_on) return;
+    for (int p = 0; p < s->n_nodes; p++) free(s->sv_q[p].buf);
+    free(s->sv_q); free(s->sv_cur); free(s->sv_state); free(s->sv_site_of);
+    free(s->sv_pend);
+    free(s->sv_rec_proc); free(s->sv_rec_vid); free(s->sv_rec_kind);
+    free(s->sv_rec_arr); free(s->sv_rec_eff); free(s->sv_rec_done);
+    free(s->sv_rec_wall);
+    free(s->sv_bits); free(s->sv_owner); free(s->sv_count);
+    free(s->sv_nat_r); free(s->sv_nat_w);
+    if (s->sv_tree_on) {
+        free(s->sv_parent); free(s->sv_depth);
+        free(s->sv_scr_a); free(s->sv_scr_b); free(s->sv_path);
+        free(s->sv_top); free(s->sv_host); free(s->sv_flow);
+        free(s->sv_payload);
+    }
+}
+
 /* ------------------------------------------------------------------ loop */
 void sim_push_generic(Sim *s, double t, int obj) {
     heap_push(s, t, s->seqno++, K_GEN, obj, 0, 0, 0);
@@ -570,9 +1082,19 @@ void sim_set_stats(Sim *s, double *bytes, i64 *msgs, i64 *startups,
 }
 
 int sim_run_until(Sim *s, Crossing *out, double horizon) {
+  for (;;) {
+    /* Serving mode interleaves injection rounds with event processing,
+       exactly like the classic pump's do {inject; run} while (n) loop.
+       A crossing mid-round leaves sv_phase == 1 so re-entry resumes the
+       event loop without double-injecting. */
+    if (s->serve_on && s->sv_phase == 0) {
+        s->sv_round_n = serve_inject(s, horizon);
+        s->sv_phase = 1;
+    }
     while (s->heap_n) {
-        if (s->heap[0].time > horizon) return R_DONE;
+        if (s->heap[0].time > horizon) break;
         Ev ev = heap_pop(s);
+        s->sv_now = ev.time;
         if (ev.kind == K_CHAIN) {
             Chain *ch = s->chains[ev.a];
             int i = ev.b;
@@ -592,8 +1114,13 @@ int sim_run_until(Sim *s, Crossing *out, double horizon) {
                     /* completion just resumes a processor: schedule the
                        stored generic continuation at the completion time
                        without crossing into Python (seq order matches the
-                       crossing-based path: nothing runs in between). */
-                    heap_push(s, arrive, s->seqno++, K_GEN, ch->done_id, 0, 0, 0);
+                       crossing-based path: nothing runs in between).
+                       auto_resume == 2 is the serving fast path: done_id
+                       is the processor id and the completion is consumed
+                       natively (K_SDONE) instead of re-entering Python. */
+                    heap_push(s, arrive, s->seqno++,
+                              ch->auto_resume == 2 ? K_SDONE : K_GEN,
+                              ch->done_id, 0, 0, 0);
                     chain_free(s, ev.a);
                     continue;
                 }
@@ -660,12 +1187,28 @@ int sim_run_until(Sim *s, Crossing *out, double horizon) {
             }
             continue;
         }
+        if (ev.kind == K_SREQ) {
+            /* a wake-up kick or idle-until-arrival timer fired */
+            if (serve_advance(s, ev.a, out)) return R_SREQ;
+            continue;
+        }
+        if (ev.kind == K_SDONE) {
+            /* a Python-owned flow (or auto_resume==2 chain) completed */
+            serve_record(s, ev.a, &s->sv_cur[ev.a], ev.time);
+            if (serve_advance(s, ev.a, out)) return R_SREQ;
+            continue;
+        }
         out->kind = R_GENERIC;
         out->a = ev.a;
         out->time = ev.time;
         return R_GENERIC;
     }
+    if (s->serve_on) {
+        s->sv_phase = 0;
+        if (s->sv_round_n) continue;   /* completions freed window room */
+    }
     return R_DONE;
+  }
 }
 
 /* ----------------------------------------------------------- lifecycle */
@@ -724,6 +1267,7 @@ void sim_free(Sim *s) {
     free(s->chains); free(s->ch_free); free(s->mcs); free(s->mc_free);
     free(s->heap); free(s->rt_keys); free(s->rt_off); free(s->rt_len);
     free(s->arena); free(s->rt_scratch); free(s->stage_i); free(s->stage_d);
+    serve_free(s);
     free(s);
 }
 """
@@ -768,6 +1312,37 @@ double sim_send_leg(Sim *s, double time, int src, int dst, double wire,
                     double over, double occ, int isdat);
 double sim_probe_leg(Sim *s, double time, int src, int dst, double wire,
                      double over, double occ);
+int sim_serve_init(Sim *s, int nsites, int wl_rule, i64 max_inflight);
+void sim_serve_sync_var(Sim *s, int vid, int owner, int count, int n_members,
+                        int nat_r, int nat_w);
+void sim_serve_tree_init(Sim *s);
+void sim_serve_var_flow(Sim *s, int vid, int top, double payload, double cw,
+                        double co, double cocc, double dw, double dov,
+                        double docc);
+void sim_serve_set_top(Sim *s, int vid, int top);
+int sim_serve_top(Sim *s, int vid);
+int sim_serve_members(Sim *s, int vid);
+void sim_serve_storage_seed(Sim *s, double integral, double last,
+                            double excess, int on);
+void sim_serve_storage_delta(Sim *s, double delta, double t);
+double sim_serve_storage_get(Sim *s, int which);
+i64 sim_serve_ingest(Sim *s, i64 n, const int *procs, const int *vids,
+                     const int *kinds, const double *arrivals,
+                     const double *walls);
+void sim_serve_pump_begin(Sim *s);
+int sim_serve_complete(Sim *s, Crossing *out, int p, double done);
+void sim_serve_push_done(Sim *s, int p, double done);
+i64 sim_serve_stat(Sim *s, int which);
+void sim_serve_counters_reset(Sim *s);
+void sim_serve_rec_reset(Sim *s);
+double sim_serve_now(Sim *s);
+int *sim_serve_rec_proc(Sim *s);
+int *sim_serve_rec_vid(Sim *s);
+int *sim_serve_rec_kind(Sim *s);
+double *sim_serve_rec_arr(Sim *s);
+double *sim_serve_rec_eff(Sim *s);
+double *sim_serve_rec_done(Sim *s);
+double *sim_serve_rec_wall(Sim *s);
 """
 
 #: Staging buffer capacity (ints/doubles); bounds one chain/multicast/route.
@@ -813,6 +1388,7 @@ class Kernel:
     R_CHAIN_DONE = 2
     R_MC_DONE = 3
     R_NEED_ROUTE = 4
+    R_SREQ = 5
 
     def __init__(self, ffi, lib):
         self.ffi = ffi

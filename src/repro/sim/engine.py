@@ -80,6 +80,25 @@ _MDOWN = object()
 _MACK = object()
 
 
+class ServeResume:
+    """Serving fast-path completion marker for ``resume_event``.
+
+    When the serving session runs in kernel-fast mode, a flow whose
+    completion should feed the C-side request dispatcher passes
+    ``ServeResume(proc)`` as ``resume_event``: the kernel pushes a
+    native ``K_SDONE`` for ``proc`` at the completion time (the exact
+    push point of the classic auto-resume), consuming the same seqno, so
+    event order is bit-identical to the generator-based path.  Only
+    meaningful in kernel mode -- the serving fast path requires the C
+    kernel.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: int):
+        self.proc = proc
+
+
 class _ResumeDone:
     """Pure-engine completion shim for ``resume_event``: schedules the
     stored ``callback(*args)`` at the flow's completion time (seq assigned
@@ -148,6 +167,7 @@ class Simulator:
         "_obj_free",
         "_np_arrays",
         "_failview",
+        "serve_cb",
     )
 
     def __init__(self, topology: Topology, machine: MachineModel):
@@ -243,6 +263,9 @@ class Simulator:
             1_000_000 if topology.n_nodes <= DENSE_NODE_LIMIT else 65_536
         )
         self._failview = None
+        #: Serving fast-path crossing handler (set by ServeSession when it
+        #: arms kernel-fast mode); receives the Crossing for R_SREQ.
+        self.serve_cb = None
         self._stats = None
         self.stats = LinkStats(topology)
 
@@ -403,6 +426,8 @@ class Simulator:
                 done(out.targ)
             elif r == 4:  # route miss: supply and re-enter
                 self._supply_route(out.a, out.b)
+            elif r == 5:  # serving fast path: a request crossed to Python
+                self.serve_cb(out)
             else:
                 break
 
@@ -618,7 +643,9 @@ class Simulator:
         if self._h is not None:
             self._reserve_stage(len(hosts))
             self._stage_i[0 : len(hosts)] = hosts
-            if resume_event is not None:
+            if type(resume_event) is ServeResume:
+                obj, auto = resume_event.proc, 2
+            elif resume_event is not None:
                 obj, auto = self._obj_put(resume_event), 1
             else:
                 obj, auto = self._obj_put(done), 0
@@ -658,7 +685,9 @@ class Simulator:
         if self._h is not None:
             self._reserve_stage(len(hosts))
             self._stage_i[0 : len(hosts)] = hosts
-            if resume_event is not None:
+            if type(resume_event) is ServeResume:
+                obj, auto = resume_event.proc, 2
+            elif resume_event is not None:
                 obj, auto = self._obj_put(resume_event), 1
             else:
                 obj, auto = self._obj_put(done), 0

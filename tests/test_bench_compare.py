@@ -114,6 +114,76 @@ class TestMemoryGate:
         )["ok"]
 
 
+class TestBestRatchet:
+    def test_baseline_without_best_ratchets_against_itself(self):
+        v = bench_compare.compare(payload(8.0), payload(10.0), 0.2)
+        assert v["best"]["best"] == 10.0
+        assert v["best"]["ok"]  # -20% is within the 30% ratchet
+
+    def test_drift_beyond_best_threshold_fails(self):
+        base = payload(10.0)
+        base["best"] = {"cells_per_sec": 20.0}
+        v = bench_compare.compare(payload(10.0), base, 0.2)
+        assert v["throughput"]["ok"]          # flat vs rolling baseline...
+        assert not v["best"]["ok"]            # ...but -50% vs best-ever
+        assert not v["ok"]
+
+    def test_drift_within_best_threshold_passes(self):
+        base = payload(10.0)
+        base["best"] = {"cells_per_sec": 12.0}
+        v = bench_compare.compare(payload(9.0), base, 0.2)
+        assert v["ok"] and v["best"]["ratio"] == pytest.approx(0.75)
+
+    def test_best_failure_exit_code_and_message(self, tmp_path, capsys):
+        base = payload(10.0)
+        base["best"] = {"cells_per_sec": 20.0}
+        cur = write(tmp_path, "cur.json", payload(10.0))
+        bp = write(tmp_path, "base.json", base)
+        assert bench_compare.main(
+            ["--current", str(cur), "--baseline", str(bp)]) == 1
+        captured = capsys.readouterr()
+        assert "best-ever 20.00" in captured.out
+        assert "below the recorded best" in captured.err
+
+    def test_update_baseline_carries_best_forward(self, tmp_path):
+        base = payload(10.0, peak_rss_mb=40.0)
+        base["best"] = {"cells_per_sec": 15.0, "peak_rss_mb": 35.0}
+        bp = write(tmp_path, "base.json", base)
+        cur = write(tmp_path, "cur.json", payload(12.0, peak_rss_mb=50.0))
+        assert bench_compare.main(
+            ["--current", str(cur), "--baseline", str(bp),
+             "--update-baseline"]) == 0
+        new = json.loads(bp.read_text())
+        assert new["cells_per_sec"] == 12.0          # rolling baseline moved
+        assert new["best"]["cells_per_sec"] == 15.0  # best kept (max)
+        assert new["best"]["peak_rss_mb"] == 35.0    # best RSS kept (min)
+
+    def test_update_baseline_advances_best_on_record(self, tmp_path):
+        base = payload(10.0)
+        base["best"] = {"cells_per_sec": 15.0}
+        bp = write(tmp_path, "base.json", base)
+        cur = write(tmp_path, "cur.json", payload(18.0))
+        bench_compare.main(["--current", str(cur), "--baseline", str(bp),
+                            "--update-baseline"])
+        assert json.loads(bp.read_text())["best"]["cells_per_sec"] == 18.0
+
+    def test_update_baseline_seeds_best_from_pre_ratchet_file(self, tmp_path):
+        bp = write(tmp_path, "base.json", payload(14.0))  # no "best" key
+        cur = write(tmp_path, "cur.json", payload(12.0))
+        bench_compare.main(["--current", str(cur), "--baseline", str(bp),
+                            "--update-baseline"])
+        assert json.loads(bp.read_text())["best"]["cells_per_sec"] == 14.0
+
+    def test_update_baseline_resets_best_on_version_change(self, tmp_path):
+        base = payload(10.0)
+        base["best"] = {"cells_per_sec": 99.0}
+        bp = write(tmp_path, "base.json", base)
+        cur = write(tmp_path, "cur.json", payload(8.0, bench_version=2))
+        bench_compare.main(["--current", str(cur), "--baseline", str(bp),
+                            "--update-baseline"])
+        assert json.loads(bp.read_text())["best"]["cells_per_sec"] == 8.0
+
+
 class TestCli:
     def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
         cur = write(tmp_path, "cur.json", payload(9.0))

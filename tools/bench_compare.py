@@ -49,7 +49,6 @@ import argparse
 import json
 import os
 import pathlib
-import shutil
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -60,6 +59,12 @@ DEFAULT_THRESHOLD = 0.20
 
 #: Throughput keys a bench result may gate on, in detection order.
 METRIC_KEYS = ("cells_per_sec", "requests_per_sec")
+
+#: Allowed drift below the best-ever throughput (the ratchet): a result
+#: may fluctuate against the rolling baseline, but falling more than 30%
+#: under the recorded best means sustained decay slipped through the
+#: incremental gate -- fail loudly.
+BEST_THRESHOLD = 0.30
 
 
 def load(path: pathlib.Path) -> dict:
@@ -142,10 +147,23 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
             "current": cur_m,
             "baseline": base_m,
         }
+    # The ratchet: the committed baseline also remembers the best-ever
+    # throughput; current must stay within BEST_THRESHOLD of it.  A
+    # baseline predating the ratchet ratchets against itself.
+    best_val = float(baseline.get("best", {}).get(key, baseline[key]))
+    b_ratio = cur / best_val if best_val > 0 else float("inf")
+    best = {
+        "ok": b_ratio >= 1.0 - BEST_THRESHOLD,
+        "ratio": b_ratio,
+        "current": cur,
+        "best": best_val,
+        "metric": key,
+    }
     return {
-        "ok": throughput["ok"] and (memory is None or memory["ok"]),
+        "ok": throughput["ok"] and best["ok"] and (memory is None or memory["ok"]),
         "throughput": throughput,
         "memory": memory,
+        "best": best,
         "threshold": threshold,
         "engine": current.get("engine", "c"),
         "bench": current.get("bench", "engine"),
@@ -172,6 +190,13 @@ def emit_summary(verdict: dict) -> None:
             f"| {t_pct:+.1f}% | {t_status} |"
         ),
     ]
+    best = verdict["best"]
+    b_pct = (best["ratio"] - 1.0) * 100.0
+    b_status = "✅ pass" if best["ok"] else "❌ decayed"
+    lines.append(
+        f"| {label} vs best | {best['best']:.2f} | {best['current']:.2f} "
+        f"| {b_pct:+.1f}% | {b_status} |"
+    )
     mem = verdict["memory"]
     if mem is not None:
         m_pct = (mem["ratio"] - 1.0) * 100.0
@@ -222,8 +247,35 @@ def main(argv=None) -> int:
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        shutil.copyfile(args.current, args.baseline)
-        print(f"baseline updated: {args.baseline}")
+        current = load(args.current)
+        # Carry the ratchet forward: new best = max(old best, current)
+        # per throughput metric (min for peak RSS), reset when the pinned
+        # cell or bench version changed (numbers no longer comparable).
+        best: dict = {}
+        if args.baseline.exists():
+            old = json.loads(args.baseline.read_text())
+            if (old.get("bench_version") == current.get("bench_version")
+                    and old.get("pinned") == current.get("pinned")):
+                best = dict(old.get("best", {}))
+                for key in METRIC_KEYS:
+                    if key in old and key not in best:
+                        best[key] = old[key]
+                if "peak_rss_mb" in old and "peak_rss_mb" not in best:
+                    best["peak_rss_mb"] = old["peak_rss_mb"]
+        for key in METRIC_KEYS:
+            if key in current:
+                best[key] = max(float(best.get(key, current[key])),
+                                float(current[key]))
+        if "peak_rss_mb" in current:
+            best["peak_rss_mb"] = min(
+                float(best.get("peak_rss_mb", current["peak_rss_mb"])),
+                float(current["peak_rss_mb"]),
+            )
+        current["best"] = best
+        args.baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline} (best: {best})")
         return 0
 
     current = load(args.current)
@@ -237,6 +289,13 @@ def main(argv=None) -> int:
         f"{name} perf [{verdict['engine']}]: {thr['current']:.2f} {label} "
         f"vs baseline {thr['baseline']:.2f} ({delta_pct:+.1f}%; gate at "
         f"-{args.threshold * 100:.0f}%)"
+    )
+    best = verdict["best"]
+    b_pct = (best["ratio"] - 1.0) * 100.0
+    print(
+        f"{name} best [{verdict['engine']}]: {best['current']:.2f} {label} "
+        f"vs best-ever {best['best']:.2f} ({b_pct:+.1f}%; ratchet at "
+        f"-{BEST_THRESHOLD * 100:.0f}%)"
     )
     mem = verdict["memory"]
     if mem is not None:
@@ -252,6 +311,10 @@ def main(argv=None) -> int:
     if not verdict["ok"]:
         if not thr["ok"]:
             print("FAIL: throughput regressed beyond the allowed threshold",
+                  file=sys.stderr)
+        if not best["ok"]:
+            print("FAIL: throughput drifted more than "
+                  f"{BEST_THRESHOLD * 100:.0f}% below the recorded best",
                   file=sys.stderr)
         if mem is not None and not mem["ok"]:
             print("FAIL: peak RSS regressed beyond the allowed threshold",
